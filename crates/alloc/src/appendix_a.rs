@@ -1,0 +1,302 @@
+//! A literal port of the paper's Appendix A context-allocation code.
+//!
+//! The paper lists C routines over a 32-bit `AllocMap` — one bit per chunk of
+//! 4 contiguous registers in a 128-register file, set bit = unused chunk —
+//! using linear search for some context sizes and a bit-parallel prefix scan
+//! plus binary search for others. This module keeps the port bit-for-bit
+//! faithful for the two listed routines ([`AppendixA::context_alloc_64`],
+//! [`AppendixA::context_alloc_16`]) and completes the family for sizes 4, 8,
+//! and 32 in the same idiom.
+//!
+//! The routines are intentionally *not* the crate's general allocator (see
+//! [`crate::BitmapAllocator`]); they exist to validate that the paper's cycle
+//! claims (~25 cycles to allocate, <5 to deallocate) are achievable with
+//! straight-line RISC code, and the two implementations are cross-checked in
+//! the test suite.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a successful Appendix A allocation: the relocation mask value
+/// and the chunk mask to pass back to [`AppendixA::context_dealloc`].
+///
+/// These are exactly the `t->rrm` and `t->allocMask` fields the C code
+/// stores into the thread structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocResult {
+    /// Register relocation mask (the context base register number).
+    pub rrm: u16,
+    /// One set bit per chunk occupied by the context.
+    pub alloc_mask: u32,
+}
+
+/// The Appendix A allocator: a 32-bit chunk bitmap for a 128-register file.
+///
+/// # Example
+///
+/// ```
+/// use rr_alloc::appendix_a::AppendixA;
+///
+/// let mut a = AppendixA::new();
+/// let ctx = a.context_alloc_16().expect("file is empty");
+/// assert_eq!(ctx.rrm, 0);                  // context base register
+/// assert_eq!(ctx.alloc_mask, 0x000f);      // four 4-register chunks
+/// a.context_dealloc(ctx.alloc_mask);
+/// assert_eq!(a.alloc_map(), !0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppendixA {
+    /// `int AllocMap;` — set bit (1) denotes an unused chunk.
+    alloc_map: u32,
+}
+
+impl Default for AppendixA {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppendixA {
+    /// A fresh, fully free 128-register file.
+    pub fn new() -> Self {
+        AppendixA { alloc_map: !0 }
+    }
+
+    /// The raw allocation bitmap.
+    pub fn alloc_map(&self) -> u32 {
+        self.alloc_map
+    }
+
+    /// `ContextDealloc`: update bitmap to reclaim thread context.
+    pub fn context_dealloc(&mut self, alloc_mask: u32) {
+        self.alloc_map |= alloc_mask;
+    }
+
+    /// `ContextAlloc64`: allocate a context with 64 registers (16 chunks)
+    /// using linear search over the two halfwords — the literal paper code.
+    pub fn context_alloc_64(&mut self) -> Option<AllocResult> {
+        // check low-order halfword
+        let temp_map = self.alloc_map & 0xffff;
+        if temp_map == 0xffff {
+            // success: update bitmap, thread state
+            self.alloc_map &= !temp_map;
+            return Some(AllocResult { rrm: 0, alloc_mask: 0xffff });
+        }
+        // check high-order halfword
+        let temp_map = self.alloc_map >> 16;
+        if temp_map == 0xffff {
+            // success: update bitmap, thread state
+            self.alloc_map &= 0xffff;
+            return Some(AllocResult { rrm: 16 << 2, alloc_mask: 0xffff << 16 });
+        }
+        // fail: unable to alloc context
+        None
+    }
+
+    /// `ContextAlloc16`: allocate a context with 16 registers (4 chunks)
+    /// using a bit-parallel prefix scan and binary search — the literal
+    /// paper code.
+    pub fn context_alloc_16(&mut self) -> Option<AllocResult> {
+        // Construct bitmap for blocks of chunks: combine to form a map of
+        // size-2 blocks, then size-4 blocks, then mask unaligned bits.
+        let mut temp_map = self.alloc_map & (self.alloc_map >> 1);
+        temp_map &= temp_map >> 2;
+        temp_map &= 0x1111_1111;
+
+        // fail quickly if unable to alloc context
+        if temp_map == 0 {
+            return None;
+        }
+
+        // Search bitmap for a free block of chunks via binary search: first
+        // a 16-bit block with an unused chunk, then 8, then 4. (An FF1
+        // instruction could eliminate most of this code.)
+        let mut rrm = 0u32;
+        if (temp_map & 0xffff) == 0 {
+            rrm |= 16;
+            temp_map >>= 16;
+        }
+        if (temp_map & 0x00ff) == 0 {
+            rrm |= 8;
+            temp_map >>= 8;
+        }
+        if (temp_map & 0x000f) == 0 {
+            rrm |= 4;
+        }
+
+        // success: update bitmap, thread state
+        let block = 0x000fu32 << rrm;
+        self.alloc_map &= !block;
+        Some(AllocResult { rrm: (rrm << 2) as u16, alloc_mask: block })
+    }
+
+    /// `ContextAlloc32` (8 chunks): the same prefix-scan idiom extended one
+    /// combining step, completing the family the paper describes.
+    pub fn context_alloc_32(&mut self) -> Option<AllocResult> {
+        let mut temp_map = self.alloc_map & (self.alloc_map >> 1);
+        temp_map &= temp_map >> 2;
+        temp_map &= temp_map >> 4;
+        temp_map &= 0x0101_0101;
+        if temp_map == 0 {
+            return None;
+        }
+        let mut rrm = 0u32;
+        if (temp_map & 0xffff) == 0 {
+            rrm |= 16;
+            temp_map >>= 16;
+        }
+        if (temp_map & 0x00ff) == 0 {
+            rrm |= 8;
+        }
+        let block = 0x00ffu32 << rrm;
+        self.alloc_map &= !block;
+        Some(AllocResult { rrm: (rrm << 2) as u16, alloc_mask: block })
+    }
+
+    /// `ContextAlloc8` (2 chunks): one combining step.
+    pub fn context_alloc_8(&mut self) -> Option<AllocResult> {
+        let mut temp_map = self.alloc_map & (self.alloc_map >> 1);
+        temp_map &= 0x5555_5555;
+        if temp_map == 0 {
+            return None;
+        }
+        let mut rrm = 0u32;
+        if (temp_map & 0xffff) == 0 {
+            rrm |= 16;
+            temp_map >>= 16;
+        }
+        if (temp_map & 0x00ff) == 0 {
+            rrm |= 8;
+            temp_map >>= 8;
+        }
+        if (temp_map & 0x000f) == 0 {
+            rrm |= 4;
+            temp_map >>= 4;
+        }
+        if (temp_map & 0x0003) == 0 {
+            rrm |= 2;
+        }
+        let block = 0x0003u32 << rrm;
+        self.alloc_map &= !block;
+        Some(AllocResult { rrm: (rrm << 2) as u16, alloc_mask: block })
+    }
+
+    /// `ContextAlloc4` (1 chunk): pure binary search for any set bit.
+    pub fn context_alloc_4(&mut self) -> Option<AllocResult> {
+        let mut temp_map = self.alloc_map;
+        if temp_map == 0 {
+            return None;
+        }
+        let mut rrm = 0u32;
+        if (temp_map & 0xffff) == 0 {
+            rrm |= 16;
+            temp_map >>= 16;
+        }
+        if (temp_map & 0x00ff) == 0 {
+            rrm |= 8;
+            temp_map >>= 8;
+        }
+        if (temp_map & 0x000f) == 0 {
+            rrm |= 4;
+            temp_map >>= 4;
+        }
+        if (temp_map & 0x0003) == 0 {
+            rrm |= 2;
+            temp_map >>= 2;
+        }
+        if (temp_map & 0x0001) == 0 {
+            rrm |= 1;
+        }
+        let block = 0x0001u32 << rrm;
+        self.alloc_map &= !block;
+        Some(AllocResult { rrm: (rrm << 2) as u16, alloc_mask: block })
+    }
+
+    /// Dispatches to the routine for `size` registers.
+    ///
+    /// Returns `None` for sizes outside {4, 8, 16, 32, 64} — the practical
+    /// context sizes the paper lists for this file geometry — or when no
+    /// block is free.
+    pub fn context_alloc(&mut self, size: u32) -> Option<AllocResult> {
+        match size {
+            4 => self.context_alloc_4(),
+            8 => self.context_alloc_8(),
+            16 => self.context_alloc_16(),
+            32 => self.context_alloc_32(),
+            64 => self.context_alloc_64(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_register_contexts_fill_the_file() {
+        let mut a = AppendixA::new();
+        let c0 = a.context_alloc_64().unwrap();
+        assert_eq!(c0.rrm, 0);
+        assert_eq!(c0.alloc_mask, 0xffff);
+        let c1 = a.context_alloc_64().unwrap();
+        assert_eq!(c1.rrm, 64);
+        assert_eq!(c1.alloc_mask, 0xffff_0000);
+        assert!(a.context_alloc_64().is_none());
+        assert_eq!(a.alloc_map(), 0);
+        a.context_dealloc(c0.alloc_mask);
+        assert_eq!(a.context_alloc_64().unwrap().rrm, 0);
+    }
+
+    #[test]
+    fn sixteen_register_contexts_pack_densely() {
+        let mut a = AppendixA::new();
+        let mut rrms = Vec::new();
+        while let Some(c) = a.context_alloc_16() {
+            rrms.push(c.rrm);
+        }
+        assert_eq!(rrms.len(), 8);
+        let expected: Vec<u16> = (0..8).map(|i| i * 16).collect();
+        assert_eq!(rrms, expected);
+    }
+
+    #[test]
+    fn prefix_scan_skips_fragmented_holes() {
+        let mut a = AppendixA::new();
+        let c0 = a.context_alloc_4().unwrap(); // chunk 0
+        assert_eq!(c0.rrm, 0);
+        // A 16-register context must skip the (now unaligned) low chunks.
+        let c = a.context_alloc_16().unwrap();
+        assert_eq!(c.rrm, 16);
+    }
+
+    #[test]
+    fn every_size_allocates_and_deallocates() {
+        let mut a = AppendixA::new();
+        for size in [4u32, 8, 16, 32, 64] {
+            let c = a.context_alloc(size).unwrap();
+            assert_eq!(c.alloc_mask.count_ones() * 4, size);
+            assert_eq!(u32::from(c.rrm) % size, 0, "base aligned to size");
+            a.context_dealloc(c.alloc_mask);
+            assert_eq!(a.alloc_map(), !0);
+        }
+        assert!(a.context_alloc(128).is_none());
+        assert!(a.context_alloc(7).is_none());
+    }
+
+    #[test]
+    fn mixed_allocation_exhausts_exactly() {
+        let mut a = AppendixA::new();
+        // 64 + 32 + 16 + 8 + 4 + 4 = 128 registers.
+        let sizes = [64u32, 32, 16, 8, 4, 4];
+        let results: Vec<AllocResult> =
+            sizes.iter().map(|&s| a.context_alloc(s).unwrap()).collect();
+        assert_eq!(a.alloc_map(), 0);
+        // Chunk masks are disjoint and cover the file.
+        let mut acc = 0u32;
+        for r in &results {
+            assert_eq!(acc & r.alloc_mask, 0);
+            acc |= r.alloc_mask;
+        }
+        assert_eq!(acc, !0);
+    }
+}

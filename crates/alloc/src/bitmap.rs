@@ -1,0 +1,315 @@
+//! The general-purpose dynamic context allocator (paper section 2.3).
+//!
+//! An allocation bitmap holds one bit per *chunk* of contiguous registers
+//! (4 registers per chunk in the paper, the minimum practical context). A set
+//! bit denotes a free chunk. Allocation of a size-`2^k` context searches for
+//! a *size-aligned* run of free chunks — alignment is what lets the context
+//! base double as an OR-combinable relocation mask — and deallocation simply
+//! ORs the chunks back, which is why the paper charges it under 5 cycles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context_size_for;
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::handle::ContextHandle;
+use crate::traits::ContextAllocator;
+
+/// A bitmap allocator over a register file of up to `64 × chunk_size`
+/// registers.
+///
+/// This is the Rust generalization of the paper's Appendix A routines; the
+/// [`crate::appendix_a`] module keeps the literal 128-register port, and the
+/// two are cross-checked against each other in tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitmapAllocator {
+    file_size: u32,
+    chunk_size: u32,
+    num_chunks: u32,
+    /// Set bit = free chunk (the paper's convention).
+    map: u64,
+    live: Vec<ContextHandle>,
+    costs: AllocCosts,
+}
+
+impl BitmapAllocator {
+    /// Creates an allocator for a register file of `file_size` registers
+    /// with the paper's 4-register chunks and Figure 4 costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadFileSize`] unless `file_size` is a power of
+    /// two between one chunk and 64 chunks (256 registers with the default
+    /// chunk size, covering every configuration in the paper).
+    pub fn new(file_size: u32) -> Result<Self, AllocError> {
+        Self::with_chunk_size(file_size, 4)
+    }
+
+    /// Creates an allocator with an explicit minimum context (chunk) size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both sizes are powers of two and the file is
+    /// between 1 and 64 chunks.
+    pub fn with_chunk_size(file_size: u32, chunk_size: u32) -> Result<Self, AllocError> {
+        if !chunk_size.is_power_of_two() {
+            return Err(AllocError::BadMinSize { min_size: chunk_size });
+        }
+        if !file_size.is_power_of_two()
+            || file_size < chunk_size
+            || file_size / chunk_size > 64
+        {
+            return Err(AllocError::BadFileSize { file_size });
+        }
+        let num_chunks = file_size / chunk_size;
+        Ok(BitmapAllocator {
+            file_size,
+            chunk_size,
+            num_chunks,
+            map: free_map(num_chunks),
+            live: Vec::new(),
+            costs: AllocCosts::paper_flexible(),
+        })
+    }
+
+    /// Replaces the cycle-cost model (e.g. [`AllocCosts::ff1`]).
+    pub fn with_costs(mut self, costs: AllocCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// The raw free-chunk bitmap (set bit = free chunk).
+    pub fn free_map(&self) -> u64 {
+        self.map
+    }
+
+    /// The chunk (minimum context) size in registers.
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// The largest context currently allocatable, in registers (0 when the
+    /// file is exhausted). Exposes the fragmentation state the paper's
+    /// flexible partitioning must contend with.
+    pub fn largest_free_context(&self) -> u32 {
+        let mut best = 0;
+        let mut size = self.chunk_size;
+        while size <= self.file_size {
+            if self.find_block(size / self.chunk_size).is_some() {
+                best = size;
+            }
+            size *= 2;
+        }
+        best
+    }
+
+    /// Currently live contexts, for diagnostics.
+    pub fn live_contexts(&self) -> &[ContextHandle] {
+        &self.live
+    }
+
+    fn block_mask(chunks: u32) -> u64 {
+        if chunks >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunks) - 1
+        }
+    }
+
+    /// Finds a size-aligned free block of `chunks` chunks, returning the
+    /// first chunk index.
+    fn find_block(&self, chunks: u32) -> Option<u32> {
+        let mask = Self::block_mask(chunks);
+        let mut idx = 0;
+        while idx + chunks <= self.num_chunks {
+            if (self.map >> idx) & mask == mask {
+                return Some(idx);
+            }
+            idx += chunks; // aligned search only
+        }
+        None
+    }
+}
+
+fn free_map(num_chunks: u32) -> u64 {
+    if num_chunks >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << num_chunks) - 1
+    }
+}
+
+impl ContextAllocator for BitmapAllocator {
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle> {
+        if regs_needed == 0 {
+            return None;
+        }
+        let size = context_size_for(regs_needed, self.chunk_size);
+        if size > self.file_size {
+            return None;
+        }
+        let chunks = size / self.chunk_size;
+        let idx = self.find_block(chunks)?;
+        let mask = Self::block_mask(chunks) << idx;
+        self.map &= !mask;
+        let handle = ContextHandle::new((idx * self.chunk_size) as u16, size);
+        self.live.push(handle);
+        Some(handle)
+    }
+
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError> {
+        let pos = self.live.iter().position(|c| *c == ctx).ok_or(AllocError::BadHandle {
+            base: ctx.base(),
+            size: ctx.size(),
+        })?;
+        self.live.swap_remove(pos);
+        let chunks = ctx.size() / self.chunk_size;
+        let idx = u32::from(ctx.base()) / self.chunk_size;
+        self.map |= Self::block_mask(chunks) << idx;
+        Ok(())
+    }
+
+    fn capacity(&self) -> u32 {
+        self.file_size
+    }
+
+    fn free_registers(&self) -> u32 {
+        self.map.count_ones() * self.chunk_size
+    }
+
+    fn can_ever_fit(&self, regs_needed: u32) -> bool {
+        regs_needed > 0 && context_size_for(regs_needed, self.chunk_size) <= self.file_size
+    }
+
+    fn costs(&self) -> AllocCosts {
+        self.costs
+    }
+
+    fn reset(&mut self) {
+        self.map = free_map(self.num_chunks);
+        self.live.clear();
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "bitmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_the_file_with_uniform_contexts() {
+        let mut a = BitmapAllocator::new(128).unwrap();
+        let mut got = Vec::new();
+        while let Some(c) = a.alloc(8) {
+            got.push(c);
+        }
+        assert_eq!(got.len(), 16);
+        assert_eq!(a.free_registers(), 0);
+        for (i, c) in got.iter().enumerate() {
+            assert_eq!(u32::from(c.base()), i as u32 * 8);
+        }
+    }
+
+    #[test]
+    fn rounds_requirements_up_to_powers_of_two() {
+        let mut a = BitmapAllocator::new(128).unwrap();
+        assert_eq!(a.alloc(6).unwrap().size(), 8);
+        assert_eq!(a.alloc(9).unwrap().size(), 16);
+        assert_eq!(a.alloc(17).unwrap().size(), 32);
+        assert_eq!(a.alloc(3).unwrap().size(), 4);
+        assert_eq!(a.alloc(33).unwrap().size(), 64);
+    }
+
+    #[test]
+    fn alignment_guarantees_or_equals_add() {
+        let mut a = BitmapAllocator::new(256).unwrap();
+        a.alloc(4).unwrap();
+        // Next 32-register context must skip to an aligned base, not 4.
+        let c = a.alloc(32).unwrap();
+        assert_eq!(c.base(), 32);
+        assert_eq!(u32::from(c.base()) % 32, 0);
+    }
+
+    #[test]
+    fn dealloc_reclaims_and_rejects_double_free() {
+        let mut a = BitmapAllocator::new(64).unwrap();
+        let c = a.alloc(32).unwrap();
+        let before = a.free_registers();
+        a.dealloc(c).unwrap();
+        assert_eq!(a.free_registers(), before + 32);
+        assert!(matches!(a.dealloc(c), Err(AllocError::BadHandle { .. })));
+    }
+
+    #[test]
+    fn mixed_sizes_share_the_file() {
+        // The use case motivating the paper: a mix of coarse and fine
+        // contexts sharing one file.
+        let mut a = BitmapAllocator::new(128).unwrap();
+        let big = a.alloc(32).unwrap();
+        let mid = a.alloc(16).unwrap();
+        let small: Vec<_> = (0..4).map(|_| a.alloc(8).unwrap()).collect();
+        let mut all = vec![big, mid];
+        all.extend(&small);
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert!(!x.overlaps(y), "{x} overlaps {y}");
+            }
+        }
+        assert_eq!(a.free_registers(), 128 - 32 - 16 - 32);
+    }
+
+    #[test]
+    fn fragmentation_can_block_large_contexts() {
+        let mut a = BitmapAllocator::new(64).unwrap();
+        let c0 = a.alloc(4).unwrap(); // occupies chunk 0
+        let _c1 = a.alloc(4).unwrap();
+        a.dealloc(c0).unwrap();
+        // 56 + 4 registers are free but no aligned 64-register block exists.
+        assert_eq!(a.free_registers(), 60);
+        assert!(a.alloc(64).is_none());
+        assert_eq!(a.largest_free_context(), 32);
+    }
+
+    #[test]
+    fn full_file_context_is_allocatable() {
+        let mut a = BitmapAllocator::new(256).unwrap();
+        let c = a.alloc(256).unwrap();
+        assert_eq!(c.size(), 256);
+        assert_eq!(a.free_registers(), 0);
+        a.dealloc(c).unwrap();
+        assert_eq!(a.free_registers(), 256);
+    }
+
+    #[test]
+    fn zero_and_oversize_requests_fail() {
+        let mut a = BitmapAllocator::new(64).unwrap();
+        assert!(a.alloc(0).is_none());
+        assert!(a.alloc(65).is_none());
+        assert!(!a.can_ever_fit(0));
+        assert!(!a.can_ever_fit(65));
+        assert!(a.can_ever_fit(64));
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let mut a = BitmapAllocator::new(128).unwrap();
+        let _ = a.alloc(32);
+        let _ = a.alloc(8);
+        a.reset();
+        assert_eq!(a.free_registers(), 128);
+        assert!(a.live_contexts().is_empty());
+        assert_eq!(a.alloc(128).unwrap().size(), 128);
+    }
+
+    #[test]
+    fn bad_geometries_rejected() {
+        assert!(BitmapAllocator::new(100).is_err());
+        assert!(BitmapAllocator::new(512).is_err()); // > 64 chunks of 4
+        assert!(BitmapAllocator::with_chunk_size(512, 8).is_ok());
+        assert!(BitmapAllocator::with_chunk_size(128, 3).is_err());
+        assert!(BitmapAllocator::with_chunk_size(2, 4).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Allocator errors.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by context allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// The register file size is not supported by this allocator.
+    BadFileSize {
+        /// The offending size.
+        file_size: u32,
+    },
+    /// A minimum context size that is not a power of two, or larger than the
+    /// file.
+    BadMinSize {
+        /// The offending minimum size.
+        min_size: u32,
+    },
+    /// A handle returned to the wrong allocator, already freed, or never
+    /// allocated.
+    BadHandle {
+        /// Base register of the offending handle.
+        base: u16,
+        /// Size of the offending handle.
+        size: u32,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AllocError::BadFileSize { file_size } => {
+                write!(f, "unsupported register file size {file_size}")
+            }
+            AllocError::BadMinSize { min_size } => {
+                write!(f, "bad minimum context size {min_size}")
+            }
+            AllocError::BadHandle { base, size } => {
+                write!(f, "context handle (base {base}, size {size}) is not live in this allocator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}

@@ -1,0 +1,240 @@
+//! An arbitrary-size, first-fit context allocator — the ADD-relocation
+//! comparison from the paper's Related Work.
+//!
+//! The AMD Am29000 (and the Denelcor HEP before it) provided base-plus-offset
+//! register addressing: an *ADD* in the decode path instead of register
+//! relocation's OR. "An ADD operation ... is more general than our proposed
+//! OR operation, and eliminates the power-of-two constraint on context
+//! sizes. However, an ADD is much more expensive than an OR in terms of
+//! hardware and time on the critical path. Moreover, the software for
+//! managing arbitrary-size contexts is likely to be more complex."
+//!
+//! This allocator quantifies that trade: contexts take exactly the requested
+//! number of registers at any base (no rounding, no alignment), managed by a
+//! first-fit free list with coalescing — visibly more code than a bitmap
+//! scan, which is why its default cost model is dearer than Appendix A's.
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::handle::ContextHandle;
+use crate::traits::ContextAllocator;
+
+/// First-fit allocator over a register file, for ADD-based relocation.
+///
+/// # Example
+///
+/// ```
+/// use rr_alloc::{ContextAllocator, FirstFitAllocator};
+///
+/// let mut a = FirstFitAllocator::new(128)?;
+/// let ctx = a.alloc(17).expect("room");   // exactly 17 registers —
+/// assert_eq!(ctx.size(), 17);             // no power-of-two rounding
+/// assert!(!ctx.is_or_relocatable());      // needs ADD relocation
+/// # Ok::<(), rr_alloc::AllocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirstFitAllocator {
+    file_size: u32,
+    /// Free extents as (base, size), sorted by base, coalesced.
+    free: Vec<(u32, u32)>,
+    live: Vec<ContextHandle>,
+    costs: AllocCosts,
+}
+
+impl FirstFitAllocator {
+    /// Creates the allocator for `file_size` registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadFileSize`] for zero-sized or oversized
+    /// (> 1024) files; unlike the bitmap allocator, any size in range works —
+    /// that is the point of ADD relocation.
+    pub fn new(file_size: u32) -> Result<Self, AllocError> {
+        if file_size == 0 || file_size > 1024 {
+            return Err(AllocError::BadFileSize { file_size });
+        }
+        Ok(FirstFitAllocator {
+            file_size,
+            free: vec![(0, file_size)],
+            live: Vec::new(),
+            costs: AllocCosts::first_fit(),
+        })
+    }
+
+    /// Replaces the cycle-cost model.
+    pub fn with_costs(mut self, costs: AllocCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Current free extents (base, size), sorted by base — exposed so the
+    /// fragmentation behaviour is testable.
+    pub fn free_extents(&self) -> &[(u32, u32)] {
+        &self.free
+    }
+
+    /// The largest single allocatable context right now.
+    pub fn largest_free_context(&self) -> u32 {
+        self.free.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+}
+
+impl ContextAllocator for FirstFitAllocator {
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle> {
+        if regs_needed == 0 || regs_needed > self.file_size {
+            return None;
+        }
+        let idx = self.free.iter().position(|&(_, size)| size >= regs_needed)?;
+        let (base, size) = self.free[idx];
+        if size == regs_needed {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (base + regs_needed, size - regs_needed);
+        }
+        let handle = ContextHandle::new(base as u16, regs_needed);
+        self.live.push(handle);
+        Some(handle)
+    }
+
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError> {
+        let pos = self.live.iter().position(|c| *c == ctx).ok_or(AllocError::BadHandle {
+            base: ctx.base(),
+            size: ctx.size(),
+        })?;
+        self.live.swap_remove(pos);
+        let base = u32::from(ctx.base());
+        let size = ctx.size();
+        // Insert sorted and coalesce with neighbours.
+        let idx = self.free.partition_point(|&(b, _)| b < base);
+        self.free.insert(idx, (base, size));
+        // Coalesce right.
+        if idx + 1 < self.free.len() {
+            let (b, s) = self.free[idx];
+            let (nb, ns) = self.free[idx + 1];
+            if b + s == nb {
+                self.free[idx] = (b, s + ns);
+                self.free.remove(idx + 1);
+            }
+        }
+        // Coalesce left.
+        if idx > 0 {
+            let (pb, ps) = self.free[idx - 1];
+            let (b, s) = self.free[idx];
+            if pb + ps == b {
+                self.free[idx - 1] = (pb, ps + s);
+                self.free.remove(idx);
+            }
+        }
+        Ok(())
+    }
+
+    fn capacity(&self) -> u32 {
+        self.file_size
+    }
+
+    fn free_registers(&self) -> u32 {
+        self.free.iter().map(|&(_, s)| s).sum()
+    }
+
+    fn can_ever_fit(&self, regs_needed: u32) -> bool {
+        regs_needed > 0 && regs_needed <= self.file_size
+    }
+
+    fn costs(&self) -> AllocCosts {
+        self.costs
+    }
+
+    fn reset(&mut self) {
+        self.free = vec![(0, self.file_size)];
+        self.live.clear();
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sizes_no_rounding() {
+        let mut a = FirstFitAllocator::new(128).unwrap();
+        // The paper's C ~ U(6,24) mean is 15: ADD relocation packs
+        // eight 15-register contexts plus one 8 into 128 registers...
+        let c = a.alloc(17).unwrap();
+        assert_eq!(c.size(), 17, "no power-of-two rounding");
+        assert_eq!(c.base(), 0);
+        let d = a.alloc(6).unwrap();
+        assert_eq!(d.base(), 17, "no alignment constraint");
+        assert_eq!(a.free_registers(), 128 - 23);
+        assert!(!c.is_or_relocatable());
+    }
+
+    #[test]
+    fn packs_tighter_than_the_bitmap() {
+        use crate::bitmap::BitmapAllocator;
+        // Nine 13-register threads: OR relocation rounds each to 16
+        // (8 fit in 128); ADD fits all nine with room to spare.
+        let mut or_alloc = BitmapAllocator::new(128).unwrap();
+        let mut add_alloc = FirstFitAllocator::new(128).unwrap();
+        let or_count = (0..9).filter(|_| or_alloc.alloc(13).is_some()).count();
+        let add_count = (0..9).filter(|_| add_alloc.alloc(13).is_some()).count();
+        assert_eq!(or_count, 8);
+        assert_eq!(add_count, 9);
+    }
+
+    #[test]
+    fn coalescing_restores_large_extents() {
+        let mut a = FirstFitAllocator::new(64).unwrap();
+        let c1 = a.alloc(10).unwrap();
+        let c2 = a.alloc(10).unwrap();
+        let c3 = a.alloc(10).unwrap();
+        a.dealloc(c1).unwrap();
+        a.dealloc(c3).unwrap();
+        // c3's hole coalesces with the tail; c1's stays separate.
+        assert_eq!(a.free_extents(), &[(0, 10), (20, 44)]);
+        a.dealloc(c2).unwrap();
+        // Everything coalesces back to one extent.
+        assert_eq!(a.free_extents(), &[(0, 64)]);
+        assert_eq!(a.largest_free_context(), 64);
+    }
+
+    #[test]
+    fn external_fragmentation_is_the_cost_of_generality() {
+        let mut a = FirstFitAllocator::new(64).unwrap();
+        let keep: Vec<_> = (0..4).map(|_| a.alloc(10).unwrap()).collect();
+        let holes: Vec<_> = keep.iter().step_by(2).copied().collect();
+        for h in holes {
+            a.dealloc(h).unwrap();
+        }
+        // 44 registers free, but no 25-register context fits.
+        assert_eq!(a.free_registers(), 44);
+        assert!(a.alloc(25).is_none());
+        assert_eq!(a.largest_free_context(), 24);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = FirstFitAllocator::new(64).unwrap();
+        let c = a.alloc(7).unwrap();
+        a.dealloc(c).unwrap();
+        assert!(matches!(a.dealloc(c), Err(AllocError::BadHandle { .. })));
+    }
+
+    #[test]
+    fn geometry() {
+        assert!(FirstFitAllocator::new(0).is_err());
+        assert!(FirstFitAllocator::new(2048).is_err());
+        // Non-power-of-two files are fine here — ADD doesn't care.
+        assert!(FirstFitAllocator::new(96).is_ok());
+        let mut a = FirstFitAllocator::new(96).unwrap();
+        assert!(a.alloc(96).is_some());
+        assert!(a.alloc(1).is_none());
+        a.reset();
+        assert_eq!(a.free_registers(), 96);
+    }
+}

@@ -1,0 +1,179 @@
+//! The conventional baseline: fixed-size hardware contexts.
+//!
+//! Existing multithreaded architectures divide the register file into a few
+//! fixed-size hardware contexts (the paper compares against 32-register
+//! windows, as in APRIL). Allocation is trivial — pick any free window — and
+//! the paper charges it zero cycles, "assuming some hardware support for
+//! context scheduling", a deliberately conservative baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::handle::ContextHandle;
+use crate::traits::ContextAllocator;
+
+/// Fixed 32-register (by default) hardware context windows.
+///
+/// # Example
+///
+/// ```
+/// use rr_alloc::{ContextAllocator, FixedSlots};
+///
+/// let mut slots = FixedSlots::new(128)?;          // 4 windows
+/// let ctx = slots.alloc(6).expect("window free"); // 6-register thread...
+/// assert_eq!(ctx.size(), 32);                     // ...still burns a window
+/// # Ok::<(), rr_alloc::AllocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedSlots {
+    file_size: u32,
+    slot_size: u32,
+    num_slots: u32,
+    /// Set bit = free slot.
+    free: u64,
+    live: Vec<ContextHandle>,
+}
+
+impl FixedSlots {
+    /// Creates the baseline with the paper's 32-register windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadFileSize`] unless the file holds between 1
+    /// and 64 whole windows.
+    pub fn new(file_size: u32) -> Result<Self, AllocError> {
+        Self::with_slot_size(file_size, 32)
+    }
+
+    /// Creates the baseline with explicit window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both sizes are powers of two and the file
+    /// holds 1..=64 windows.
+    pub fn with_slot_size(file_size: u32, slot_size: u32) -> Result<Self, AllocError> {
+        if !slot_size.is_power_of_two() {
+            return Err(AllocError::BadMinSize { min_size: slot_size });
+        }
+        if !file_size.is_power_of_two() || file_size < slot_size || file_size / slot_size > 64 {
+            return Err(AllocError::BadFileSize { file_size });
+        }
+        let num_slots = file_size / slot_size;
+        Ok(FixedSlots {
+            file_size,
+            slot_size,
+            num_slots,
+            free: if num_slots >= 64 { u64::MAX } else { (1u64 << num_slots) - 1 },
+            live: Vec::new(),
+        })
+    }
+
+    /// Number of hardware windows.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Window size in registers.
+    pub fn slot_size(&self) -> u32 {
+        self.slot_size
+    }
+}
+
+impl ContextAllocator for FixedSlots {
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle> {
+        if regs_needed == 0 || regs_needed > self.slot_size || self.free == 0 {
+            return None;
+        }
+        let slot = self.free.trailing_zeros();
+        self.free &= !(1u64 << slot);
+        // A fixed window always occupies its full size, whatever the thread
+        // actually needs — the waste the paper's mechanism removes.
+        let handle = ContextHandle::new((slot * self.slot_size) as u16, self.slot_size);
+        self.live.push(handle);
+        Some(handle)
+    }
+
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError> {
+        let pos = self.live.iter().position(|c| *c == ctx).ok_or(AllocError::BadHandle {
+            base: ctx.base(),
+            size: ctx.size(),
+        })?;
+        self.live.swap_remove(pos);
+        let slot = u32::from(ctx.base()) / self.slot_size;
+        self.free |= 1u64 << slot;
+        Ok(())
+    }
+
+    fn capacity(&self) -> u32 {
+        self.file_size
+    }
+
+    fn free_registers(&self) -> u32 {
+        self.free.count_ones() * self.slot_size
+    }
+
+    fn can_ever_fit(&self, regs_needed: u32) -> bool {
+        regs_needed > 0 && regs_needed <= self.slot_size
+    }
+
+    fn costs(&self) -> AllocCosts {
+        AllocCosts::hardware_free()
+    }
+
+    fn reset(&mut self) {
+        self.free = if self.num_slots >= 64 { u64::MAX } else { (1u64 << self.num_slots) - 1 };
+        self.live.clear();
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "fixed-slots"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_counts_match_the_paper() {
+        // F = 64, 128, 256 give 2, 4, 8 fixed contexts of 32 registers.
+        for (f, n) in [(64, 2), (128, 4), (256, 8)] {
+            assert_eq!(FixedSlots::new(f).unwrap().num_slots(), n);
+        }
+    }
+
+    #[test]
+    fn any_request_consumes_a_whole_window() {
+        let mut a = FixedSlots::new(128).unwrap();
+        let c = a.alloc(6).unwrap();
+        assert_eq!(c.size(), 32, "a 6-register thread wastes 26 registers");
+        assert_eq!(a.free_registers(), 96);
+        assert!(a.alloc(33).is_none());
+        assert!(!a.can_ever_fit(33));
+    }
+
+    #[test]
+    fn exhaustion_and_reclaim() {
+        let mut a = FixedSlots::new(64).unwrap();
+        let c0 = a.alloc(24).unwrap();
+        let _c1 = a.alloc(24).unwrap();
+        assert!(a.alloc(1).is_none());
+        a.dealloc(c0).unwrap();
+        assert!(matches!(a.dealloc(c0), Err(AllocError::BadHandle { .. })));
+        assert_eq!(a.alloc(1).unwrap().base(), 0);
+    }
+
+    #[test]
+    fn zero_cost_in_the_model() {
+        let a = FixedSlots::new(128).unwrap();
+        assert_eq!(a.costs(), AllocCosts::hardware_free());
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(FixedSlots::new(16).is_err());
+        assert!(FixedSlots::with_slot_size(16, 16).is_ok());
+        assert!(FixedSlots::new(100).is_err());
+    }
+}

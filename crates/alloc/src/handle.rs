@@ -1,0 +1,99 @@
+//! Allocated-context handles.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use rr_isa::Rrm;
+
+/// A live context: a contiguous block of registers.
+///
+/// Contexts from the OR-relocation allocators are power-of-two sized and
+/// size-aligned, so the base doubles as the register relocation mask
+/// ([`Self::rrm`]); contexts from the ADD-relocation allocator
+/// ([`crate::FirstFitAllocator`], the Am29000-style comparison) may have any
+/// geometry, and [`Self::is_or_relocatable`] distinguishes the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContextHandle {
+    base: u16,
+    size: u32,
+}
+
+impl ContextHandle {
+    /// Creates a handle. Intended for allocator implementations; geometry
+    /// invariants are the allocator's responsibility.
+    pub(crate) fn new(base: u16, size: u32) -> Self {
+        ContextHandle { base, size }
+    }
+
+    /// Whether this context's base can serve as an OR relocation mask
+    /// (power-of-two size, size-aligned base).
+    pub fn is_or_relocatable(&self) -> bool {
+        self.size.is_power_of_two() && u32::from(self.base) % self.size == 0
+    }
+
+    /// First absolute register of the context.
+    pub fn base(&self) -> u16 {
+        self.base
+    }
+
+    /// Context size in registers (a power of two).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The register relocation mask that maps context-relative `r0` onto
+    /// [`Self::base`]. Only meaningful for OR-relocatable contexts (an
+    /// ADD-relocation base register is just a number, not a mask).
+    pub fn rrm(&self) -> Rrm {
+        debug_assert!(self.is_or_relocatable(), "{self} is not an OR mask");
+        Rrm::from_raw(self.base)
+    }
+
+    /// Whether `abs_reg` falls inside this context.
+    pub fn contains(&self, abs_reg: u16) -> bool {
+        u32::from(abs_reg) >= u32::from(self.base)
+            && u32::from(abs_reg) < u32::from(self.base) + self.size
+    }
+
+    /// Whether the register ranges of two contexts overlap.
+    pub fn overlaps(&self, other: &ContextHandle) -> bool {
+        let a = u32::from(self.base);
+        let b = u32::from(other.base);
+        a < b + other.size && b < a + self.size
+    }
+}
+
+impl fmt::Display for ContextHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx[{}..{}]", self.base, u32::from(self.base) + self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = ContextHandle::new(40, 8);
+        assert_eq!(c.base(), 40);
+        assert_eq!(c.size(), 8);
+        assert!(c.contains(40));
+        assert!(c.contains(47));
+        assert!(!c.contains(48));
+        assert!(!c.contains(39));
+        assert_eq!(c.rrm().raw(), 40);
+        assert_eq!(c.to_string(), "ctx[40..48]");
+    }
+
+    #[test]
+    fn overlap() {
+        let a = ContextHandle::new(32, 16);
+        let b = ContextHandle::new(48, 16);
+        let c = ContextHandle::new(40, 8);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(!b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+}

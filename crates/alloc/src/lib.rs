@@ -1,0 +1,77 @@
+//! Software context allocators for register relocation.
+//!
+//! The register relocation mechanism (Waldspurger & Weihl, ISCA 1993) manages
+//! the division of the register file into power-of-two contexts entirely in
+//! software. This crate provides the allocators the paper describes:
+//!
+//! * [`BitmapAllocator`] — the general-purpose dynamic allocator of paper
+//!   section 2.3 / Appendix A, generalized to any register file size: an
+//!   allocation bitmap of 4-register "chunks" searched with shift/mask
+//!   operations (~25 cycles to allocate, <5 to deallocate on the paper's
+//!   RISC).
+//! * [`appendix_a`] — a literal port of the paper's Appendix A C routines for
+//!   the 128-register file, kept bit-for-bit faithful (including the linear
+//!   search for size-64 and the prefix-scan binary search for size-16) and
+//!   cross-checked against [`BitmapAllocator`] in tests.
+//! * [`LookupAllocator`] — the specialized two-size allocator sketched in the
+//!   paper's section 3.3 discussion: an allocation bitmap small enough to
+//!   index a precomputed table, trading generality for a few-cycle allocation
+//!   path.
+//! * [`FixedSlots`] — the conventional baseline: the register file divided
+//!   into fixed 32-register hardware contexts with zero-cost allocation
+//!   (the paper's deliberately conservative comparison point).
+//!
+//! All allocators implement [`ContextAllocator`] and hand out
+//! [`ContextHandle`]s whose base/size pair converts directly to an
+//! [`rr_isa::Rrm`].
+//!
+//! # Example
+//!
+//! ```
+//! use rr_alloc::{BitmapAllocator, ContextAllocator};
+//!
+//! // The paper's 128-register file.
+//! let mut a = BitmapAllocator::new(128)?;
+//! let ctx = a.alloc(6).expect("128 free registers");   // rounds up to 8
+//! assert_eq!(ctx.size(), 8);
+//! assert_eq!(ctx.base() % 8, 0);                        // aligned, so OR = ADD
+//! a.dealloc(ctx)?;
+//! # Ok::<(), rr_alloc::AllocError>(())
+//! ```
+
+pub mod appendix_a;
+pub mod bitmap;
+pub mod costs;
+pub mod error;
+pub mod first_fit;
+pub mod fixed;
+pub mod handle;
+pub mod lookup;
+pub mod traits;
+
+pub use bitmap::BitmapAllocator;
+pub use costs::AllocCosts;
+pub use error::AllocError;
+pub use first_fit::FirstFitAllocator;
+pub use fixed::FixedSlots;
+pub use handle::ContextHandle;
+pub use lookup::LookupAllocator;
+pub use traits::ContextAllocator;
+
+/// Rounds a register requirement up to a legal context size: the next power
+/// of two, at least `min_size`.
+///
+/// The paper notes this power-of-two constraint biases workloads toward large
+/// contexts (a thread needing 17 registers occupies 32).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rr_alloc::context_size_for(6, 4), 8);
+/// assert_eq!(rr_alloc::context_size_for(17, 4), 32);
+/// assert_eq!(rr_alloc::context_size_for(3, 4), 4);
+/// assert_eq!(rr_alloc::context_size_for(32, 4), 32);
+/// ```
+pub fn context_size_for(regs_needed: u32, min_size: u32) -> u32 {
+    regs_needed.next_power_of_two().max(min_size)
+}

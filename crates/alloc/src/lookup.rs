@@ -1,0 +1,241 @@
+//! The specialized two-size lookup-table allocator sketched in the paper's
+//! section 3.3 discussion.
+//!
+//! When a workload's context sizes cluster around two values (the paper's
+//! example: sizes 16 and 32 competing for a 64-register file), the chunk
+//! bitmap is small enough — four bits there — that a direct lookup table
+//! indexed by the bitmap yields the allocation decision in a couple of
+//! cycles. "The flexibility of performing allocation in software makes such
+//! schemes possible."
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::handle::ContextHandle;
+use crate::traits::ContextAllocator;
+
+/// A two-size allocator whose allocation decision is one table lookup.
+///
+/// Chunks are `small` registers each; a `large` context occupies
+/// `large/small` aligned chunks. The table is indexed by the free-chunk
+/// bitmap and precomputes the chosen chunk for each size.
+///
+/// # Example
+///
+/// The paper's own example geometry: sizes 16 and 32 on 64 registers, the
+/// whole allocation state in four bits.
+///
+/// ```
+/// use rr_alloc::{ContextAllocator, LookupAllocator};
+///
+/// let mut a = LookupAllocator::new(64, 16, 32)?;
+/// assert_eq!(a.alloc(32).unwrap().base(), 0);
+/// assert_eq!(a.alloc(10).unwrap().size(), 16);
+/// # Ok::<(), rr_alloc::AllocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupAllocator {
+    file_size: u32,
+    small: u32,
+    large: u32,
+    num_chunks: u32,
+    map: u8,
+    /// `alloc_small[map]` = first free chunk, or `NONE`.
+    alloc_small: Vec<u8>,
+    /// `alloc_large[map]` = first aligned free chunk pair/group, or `NONE`.
+    alloc_large: Vec<u8>,
+    live: Vec<ContextHandle>,
+    costs: AllocCosts,
+}
+
+const NONE: u8 = 0xff;
+
+impl LookupAllocator {
+    /// Creates the allocator for `file_size` registers with context sizes
+    /// `small` and `large`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless all sizes are powers of two,
+    /// `small < large <= file_size`, and the file is at most 8 chunks (so
+    /// the whole table has at most 256 entries, in the spirit of the paper's
+    /// "four bits" example).
+    pub fn new(file_size: u32, small: u32, large: u32) -> Result<Self, AllocError> {
+        if !small.is_power_of_two() || !large.is_power_of_two() || small >= large {
+            return Err(AllocError::BadMinSize { min_size: small });
+        }
+        if !file_size.is_power_of_two() || large > file_size || file_size / small > 8 {
+            return Err(AllocError::BadFileSize { file_size });
+        }
+        let num_chunks = file_size / small;
+        let group = large / small;
+        let states = 1usize << num_chunks;
+        let mut alloc_small = vec![NONE; states];
+        let mut alloc_large = vec![NONE; states];
+        for state in 0..states {
+            for chunk in 0..num_chunks {
+                if state & (1 << chunk) != 0 && alloc_small[state] == NONE {
+                    alloc_small[state] = chunk as u8;
+                }
+            }
+            let group_mask = (1usize << group) - 1;
+            let mut chunk = 0;
+            while chunk + group <= num_chunks {
+                if (state >> chunk) & group_mask == group_mask {
+                    alloc_large[state] = chunk as u8;
+                    break;
+                }
+                chunk += group;
+            }
+        }
+        Ok(LookupAllocator {
+            file_size,
+            small,
+            large,
+            num_chunks,
+            map: ((1u16 << num_chunks) - 1) as u8,
+            alloc_small,
+            alloc_large,
+            live: Vec::new(),
+            costs: AllocCosts::lookup_table(),
+        })
+    }
+
+    /// The two context sizes served, `(small, large)`.
+    pub fn sizes(&self) -> (u32, u32) {
+        (self.small, self.large)
+    }
+}
+
+impl ContextAllocator for LookupAllocator {
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle> {
+        if regs_needed == 0 {
+            return None;
+        }
+        let (size, chunk) = if regs_needed <= self.small {
+            (self.small, self.alloc_small[self.map as usize])
+        } else if regs_needed <= self.large {
+            (self.large, self.alloc_large[self.map as usize])
+        } else {
+            return None;
+        };
+        if chunk == NONE {
+            return None;
+        }
+        let chunks = size / self.small;
+        let mask = (((1u16 << chunks) - 1) << chunk) as u8;
+        self.map &= !mask;
+        let handle = ContextHandle::new((u32::from(chunk) * self.small) as u16, size);
+        self.live.push(handle);
+        Some(handle)
+    }
+
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError> {
+        let pos = self.live.iter().position(|c| *c == ctx).ok_or(AllocError::BadHandle {
+            base: ctx.base(),
+            size: ctx.size(),
+        })?;
+        self.live.swap_remove(pos);
+        let chunks = ctx.size() / self.small;
+        let chunk = u32::from(ctx.base()) / self.small;
+        self.map |= (((1u16 << chunks) - 1) << chunk) as u8;
+        Ok(())
+    }
+
+    fn capacity(&self) -> u32 {
+        self.file_size
+    }
+
+    fn free_registers(&self) -> u32 {
+        self.map.count_ones() * self.small
+    }
+
+    fn can_ever_fit(&self, regs_needed: u32) -> bool {
+        regs_needed > 0 && regs_needed <= self.large
+    }
+
+    fn costs(&self) -> AllocCosts {
+        self.costs
+    }
+
+    fn reset(&mut self) {
+        self.map = ((1u16 << self.num_chunks) - 1) as u8;
+        self.live.clear();
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "lookup-table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's exact example: sizes 16 and 32 on a 64-register file,
+    /// encoded in a 4-bit bitmap.
+    fn paper_example() -> LookupAllocator {
+        LookupAllocator::new(64, 16, 32).unwrap()
+    }
+
+    #[test]
+    fn serves_both_sizes() {
+        let mut a = paper_example();
+        let big = a.alloc(32).unwrap();
+        assert_eq!(big.size(), 32);
+        assert_eq!(big.base(), 0);
+        let s1 = a.alloc(10).unwrap();
+        assert_eq!(s1.size(), 16);
+        assert_eq!(s1.base(), 32);
+        let s2 = a.alloc(16).unwrap();
+        assert_eq!(s2.base(), 48);
+        assert!(a.alloc(16).is_none());
+        assert_eq!(a.free_registers(), 0);
+    }
+
+    #[test]
+    fn large_contexts_need_aligned_pairs() {
+        let mut a = paper_example();
+        let s = a.alloc(16).unwrap(); // chunk 0
+        assert_eq!(s.base(), 0);
+        let big = a.alloc(32).unwrap(); // must take chunks 2,3
+        assert_eq!(big.base(), 32);
+        assert!(a.alloc(32).is_none()); // chunk 1 alone can't host size 32
+        assert_eq!(a.free_registers(), 16);
+    }
+
+    #[test]
+    fn dealloc_restores_table_state() {
+        let mut a = paper_example();
+        let big = a.alloc(32).unwrap();
+        a.dealloc(big).unwrap();
+        assert_eq!(a.alloc(32).unwrap().base(), 0);
+        let bogus = a.alloc(16).unwrap();
+        a.dealloc(bogus).unwrap();
+        assert!(matches!(a.dealloc(bogus), Err(AllocError::BadHandle { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_profile_requests() {
+        let mut a = paper_example();
+        assert!(a.alloc(33).is_none());
+        assert!(a.alloc(0).is_none());
+        assert!(!a.can_ever_fit(64));
+        assert!(a.can_ever_fit(32));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(LookupAllocator::new(64, 32, 16).is_err());
+        assert!(LookupAllocator::new(64, 16, 128).is_err());
+        assert!(LookupAllocator::new(256, 16, 32).is_err()); // 16 chunks > 8
+        assert!(LookupAllocator::new(128, 16, 32).is_ok());
+    }
+
+    #[test]
+    fn lookup_is_cheap_in_the_cost_model() {
+        let a = paper_example();
+        assert!(a.costs().alloc_success < AllocCosts::paper_flexible().alloc_success);
+    }
+}

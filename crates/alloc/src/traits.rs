@@ -1,0 +1,49 @@
+//! The allocator interface shared by the flexible and fixed strategies.
+
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::handle::ContextHandle;
+
+/// A software context allocator over a register file.
+///
+/// Implementations partition the file into contexts and account for their
+/// cycle costs via [`ContextAllocator::costs`]; the discrete-event simulator
+/// drives any implementation through this trait. The trait is object-safe so
+/// experiment configurations can box the chosen strategy.
+pub trait ContextAllocator {
+    /// Attempts to allocate a context able to hold `regs_needed` registers.
+    ///
+    /// Flexible allocators round the requirement up to a power-of-two context
+    /// size; the fixed baseline hands out a whole hardware window. Returns
+    /// `None` when no suitable context is free (charged as a *failed*
+    /// allocation by the cost model).
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle>;
+
+    /// Returns a context to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadHandle`] if the handle is not currently live
+    /// in this allocator (double free or foreign handle).
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError>;
+
+    /// Total registers managed.
+    fn capacity(&self) -> u32;
+
+    /// Registers currently free (including fragmentation: free registers may
+    /// not be allocatable for a given size).
+    fn free_registers(&self) -> u32;
+
+    /// Whether a thread needing `regs_needed` registers could *ever* be
+    /// satisfied by this allocator when the file is empty.
+    fn can_ever_fit(&self, regs_needed: u32) -> bool;
+
+    /// The cycle-cost model for this allocator's operations.
+    fn costs(&self) -> AllocCosts;
+
+    /// Releases every context, returning to the empty state.
+    fn reset(&mut self);
+
+    /// A short human-readable strategy name for reports.
+    fn strategy_name(&self) -> &'static str;
+}

@@ -1,0 +1,206 @@
+//! Property tests over the allocators: structural invariants under random
+//! allocate/deallocate sequences, and equivalence between the generalized
+//! bitmap allocator and the literal Appendix A port.
+
+use proptest::prelude::*;
+use rr_alloc::appendix_a::AppendixA;
+use rr_alloc::{
+    BitmapAllocator, ContextAllocator, ContextHandle, FirstFitAllocator, FixedSlots,
+    LookupAllocator,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a context for this many registers.
+    Alloc(u32),
+    /// Deallocate the i-th live context (modulo the live count).
+    Dealloc(usize),
+}
+
+fn arb_ops(max_regs: u32) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..=max_regs).prop_map(Op::Alloc),
+            (0usize..16).prop_map(Op::Dealloc),
+        ],
+        1..120,
+    )
+}
+
+/// Runs an op sequence, checking the shared invariants after every step.
+fn check_invariants<A: ContextAllocator>(alloc: &mut A, ops: &[Op]) {
+    let mut live: Vec<ContextHandle> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Alloc(regs) => {
+                if let Some(c) = alloc.alloc(*regs) {
+                    // The context can actually hold the request.
+                    assert!(c.size() >= *regs);
+                    // Power-of-two size, size-aligned base: OR acts as ADD.
+                    assert!(c.size().is_power_of_two());
+                    assert_eq!(u32::from(c.base()) % c.size(), 0);
+                    // Fits in the file.
+                    assert!(u32::from(c.base()) + c.size() <= alloc.capacity());
+                    // Disjoint from every live context.
+                    for other in &live {
+                        assert!(!c.overlaps(other), "{c} overlaps {other}");
+                    }
+                    live.push(c);
+                }
+            }
+            Op::Dealloc(i) => {
+                if !live.is_empty() {
+                    let c = live.remove(i % live.len());
+                    alloc.dealloc(c).expect("live handle deallocates");
+                }
+            }
+        }
+        // Free-register accounting: what is not live is free (fixed windows
+        // count their full size; flexible contexts their rounded size).
+        let used: u32 = live.iter().map(|c| c.size()).sum();
+        assert_eq!(alloc.free_registers(), alloc.capacity() - used);
+    }
+    // Draining everything restores the empty state.
+    for c in live.drain(..) {
+        alloc.dealloc(c).unwrap();
+    }
+    assert_eq!(alloc.free_registers(), alloc.capacity());
+}
+
+proptest! {
+    #[test]
+    fn bitmap_invariants_128(ops in arb_ops(64)) {
+        let mut a = BitmapAllocator::new(128).unwrap();
+        check_invariants(&mut a, &ops);
+    }
+
+    #[test]
+    fn bitmap_invariants_256(ops in arb_ops(64)) {
+        let mut a = BitmapAllocator::new(256).unwrap();
+        check_invariants(&mut a, &ops);
+    }
+
+    #[test]
+    fn bitmap_invariants_64(ops in arb_ops(64)) {
+        let mut a = BitmapAllocator::new(64).unwrap();
+        check_invariants(&mut a, &ops);
+    }
+
+    #[test]
+    fn fixed_slots_invariants(ops in arb_ops(32)) {
+        let mut a = FixedSlots::new(128).unwrap();
+        check_invariants(&mut a, &ops);
+    }
+
+    #[test]
+    fn lookup_invariants(ops in arb_ops(32)) {
+        let mut a = LookupAllocator::new(64, 16, 32).unwrap();
+        check_invariants(&mut a, &ops);
+    }
+
+    /// The ADD-relocation first-fit allocator upholds the structural
+    /// invariants that do not depend on power-of-two geometry: exact sizes,
+    /// disjointness, accounting, and full coalescing on drain.
+    #[test]
+    fn first_fit_invariants(ops in arb_ops(64)) {
+        let mut a = FirstFitAllocator::new(128).unwrap();
+        let mut live: Vec<ContextHandle> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(regs) => {
+                    if let Some(c) = a.alloc(*regs) {
+                        assert_eq!(c.size(), *regs, "exact size, no rounding");
+                        assert!(u32::from(c.base()) + c.size() <= a.capacity());
+                        for other in &live {
+                            prop_assert!(!c.overlaps(other), "{c} overlaps {other}");
+                        }
+                        live.push(c);
+                    }
+                }
+                Op::Dealloc(i) => {
+                    if !live.is_empty() {
+                        let c = live.remove(i % live.len());
+                        a.dealloc(c).unwrap();
+                    }
+                }
+            }
+            let used: u32 = live.iter().map(|c| c.size()).sum();
+            prop_assert_eq!(a.free_registers(), a.capacity() - used);
+        }
+        for c in live.drain(..) {
+            a.dealloc(c).unwrap();
+        }
+        prop_assert_eq!(a.free_extents(), &[(0u32, 128u32)][..]);
+    }
+
+    /// ADD relocation never does worse than OR relocation on utilization:
+    /// for any request stream, first-fit admits at least as many registers'
+    /// worth of contexts as the rounding bitmap allocator — the Related Work
+    /// trade-off, quantified.
+    #[test]
+    fn add_relocation_packs_at_least_as_tight(
+        requests in prop::collection::vec(1u32..=32, 1..40),
+    ) {
+        let mut or_alloc = BitmapAllocator::new(128).unwrap();
+        let mut add_alloc = FirstFitAllocator::new(128).unwrap();
+        let mut or_admitted = 0u32;
+        let mut add_admitted = 0u32;
+        for &r in &requests {
+            if or_alloc.alloc(r).is_some() {
+                or_admitted += r;
+            }
+            if add_alloc.alloc(r).is_some() {
+                add_admitted += r;
+            }
+        }
+        prop_assert!(
+            add_admitted >= or_admitted,
+            "ADD admitted {add_admitted} < OR {or_admitted}"
+        );
+    }
+
+    /// The generalized bitmap allocator and the literal Appendix A port make
+    /// identical decisions on the 128-register file, because both search
+    /// aligned blocks lowest-address-first.
+    #[test]
+    fn bitmap_matches_appendix_a(ops in arb_ops(64)) {
+        let mut general = BitmapAllocator::new(128).unwrap();
+        let mut literal = AppendixA::new();
+        // Track parallel handles: (general handle, literal alloc_mask).
+        let mut live: Vec<(ContextHandle, u32)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(regs) => {
+                    let size = rr_alloc::context_size_for(*regs, 4);
+                    let g = general.alloc(*regs);
+                    let l = if size <= 64 { literal.context_alloc(size) } else { None };
+                    match (g, l) {
+                        (Some(gc), Some(lc)) => {
+                            prop_assert_eq!(gc.base(), lc.rrm, "base/rrm diverged");
+                            prop_assert_eq!(gc.size(), lc.alloc_mask.count_ones() * 4);
+                            live.push((gc, lc.alloc_mask));
+                        }
+                        (None, None) => {}
+                        // Sizes above 64 registers are only supported by the
+                        // generalized allocator.
+                        (Some(gc), None) if size > 64 => {
+                            general.dealloc(gc).unwrap();
+                        }
+                        (g, l) => {
+                            prop_assert!(false, "divergence: general={g:?} literal={l:?}");
+                        }
+                    }
+                }
+                Op::Dealloc(i) => {
+                    if !live.is_empty() {
+                        let (gc, mask) = live.remove(i % live.len());
+                        general.dealloc(gc).unwrap();
+                        literal.context_dealloc(mask);
+                    }
+                }
+            }
+            // Bitmaps agree at every step (general's u64 map restricted to 32 bits).
+            prop_assert_eq!(general.free_map() as u32, literal.alloc_map());
+        }
+    }
+}

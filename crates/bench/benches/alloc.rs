@@ -1,0 +1,93 @@
+//! Criterion: allocator micro-benchmarks — how fast the *host* executes the
+//! allocation strategies (the simulated-cycle costs are measured separately
+//! by `table_costs`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use register_relocation::alloc::appendix_a::AppendixA;
+use register_relocation::alloc::{
+    BitmapAllocator, ContextAllocator, FixedSlots, LookupAllocator,
+};
+
+/// Fill the file with mixed sizes, then drain it — one allocation storm.
+fn storm<A: ContextAllocator>(a: &mut A) {
+    let mut live = Vec::new();
+    let sizes = [8u32, 16, 32, 8, 16, 8];
+    let mut i = 0;
+    loop {
+        match a.alloc(sizes[i % sizes.len()]) {
+            Some(c) => live.push(c),
+            None => break,
+        }
+        i += 1;
+    }
+    for c in live {
+        a.dealloc(c).unwrap();
+    }
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_storm_128_regs");
+    g.bench_function("bitmap", |b| {
+        b.iter_batched(
+            || BitmapAllocator::new(128).unwrap(),
+            |mut a| storm(&mut a),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fixed_slots", |b| {
+        b.iter_batched(
+            || FixedSlots::new(128).unwrap(),
+            |mut a| storm(&mut a),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lookup_16_32", |b| {
+        b.iter_batched(
+            || LookupAllocator::new(128, 16, 32).unwrap(),
+            |mut a| {
+                // The lookup allocator serves only 16/32-register requests.
+                let mut live = Vec::new();
+                while let Some(ctx) = a.alloc(if live.len() % 2 == 0 { 16 } else { 32 }) {
+                    live.push(ctx);
+                }
+                for ctx in live {
+                    a.dealloc(ctx).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("appendix_a_literal", |b| {
+        b.iter_batched(
+            AppendixA::new,
+            |mut a| {
+                let mut live = Vec::new();
+                let sizes = [8u32, 16, 32, 8, 16, 8];
+                let mut i = 0;
+                while let Some(r) = a.context_alloc(sizes[i % sizes.len()]) {
+                    live.push(r.alloc_mask);
+                    i += 1;
+                }
+                for mask in live {
+                    a.context_dealloc(mask);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_allocators
+}
+criterion_main!(benches);

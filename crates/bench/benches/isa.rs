@@ -1,0 +1,75 @@
+//! Criterion: ISA-layer throughput — assembling, encoding/decoding, and the
+//! relocation OR itself (the operation the paper puts on the decode path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use register_relocation::isa::{
+    assemble, decode, encode, relocate_word, ContextReg, Rrm,
+};
+use register_relocation::runtime::loader_asm::loader_program;
+use register_relocation::runtime::switch_code::round_robin_source;
+
+fn bench_isa(c: &mut Criterion) {
+    // A realistic program: the full loader image (130 instructions).
+    let loader_src_words = loader_program(32, 0).unwrap().words().to_vec();
+    let ring_src = round_robin_source(8);
+
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(loader_src_words.len() as u64));
+    g.bench_function("decode_loader_image", |b| {
+        b.iter(|| {
+            loader_src_words
+                .iter()
+                .filter_map(|&w| decode(w).ok())
+                .count()
+        })
+    });
+    g.bench_function("encode_decode_round_trip", |b| {
+        let instrs: Vec<_> =
+            loader_src_words.iter().filter_map(|&w| decode(w).ok()).collect();
+        b.iter(|| {
+            instrs
+                .iter()
+                .map(|i| decode(encode(i).unwrap()).unwrap())
+                .count()
+        })
+    });
+    g.bench_function("relocate_word_image", |b| {
+        let rrm = Rrm::for_context(40, 8).unwrap();
+        b.iter(|| {
+            loader_src_words
+                .iter()
+                .filter_map(|&w| relocate_word(w, rrm))
+                .count()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("assembler");
+    g.bench_function("assemble_ring_program", |b| {
+        b.iter(|| assemble(&ring_src).unwrap().len())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("relocation_unit");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_or", |b| {
+        let rrm = Rrm::for_context(96, 32).unwrap();
+        let op = ContextReg::new(17).unwrap();
+        b.iter(|| rrm.relocate(op))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_isa
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: efficiency vs memory latency under cache faults,
+//! for F = 64/128/256 registers and run lengths R = 8/32/128, comparing
+//! fixed 32-register hardware contexts (solid curves in the paper) against
+//! register relocation (dotted curves).
+//!
+//! `cargo run --release --bin fig5 [--json]`
+
+use register_relocation::figures::{figure5_sweep, FILE_SIZES};
+use rr_bench::{emit_panel, seed};
+
+fn main() -> Result<(), String> {
+    println!("Figure 5: Cache Faults — efficiency vs latency, C ~ U(6,24), S = 6");
+    println!("(solid = fixed 32-register contexts, dotted = register relocation)\n");
+    for (panel, &f) in ["(a)", "(b)", "(c)"].iter().zip(FILE_SIZES.iter()) {
+        let points = figure5_sweep(f, seed())?;
+        emit_panel(&format!("Figure 5{panel}: F = {f} registers"), &points);
+    }
+    Ok(())
+}

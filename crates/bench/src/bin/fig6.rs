@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: efficiency vs synchronization latency, for
+//! F = 64/128/256 registers and run lengths R = 32/128/512, with
+//! exponentially distributed waits and the two-phase competitive unloading
+//! policy.
+//!
+//! `cargo run --release --bin fig6 [--json]`
+
+use register_relocation::figures::{figure6_sweep, FILE_SIZES};
+use rr_bench::{emit_panel, seed};
+
+fn main() -> Result<(), String> {
+    println!("Figure 6: Synchronization Faults — efficiency vs latency, C ~ U(6,24), S = 8");
+    println!("(solid = fixed 32-register contexts, dotted = register relocation)\n");
+    for (panel, &f) in ["(a)", "(b)", "(c)"].iter().zip(FILE_SIZES.iter()) {
+        let points = figure6_sweep(f, seed())?;
+        emit_panel(&format!("Figure 6{panel}: F = {f} registers"), &points);
+    }
+    Ok(())
+}

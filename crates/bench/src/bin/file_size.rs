@@ -1,0 +1,64 @@
+//! The paper's chip-area argument (section 1): "better utilization of the
+//! register file would permit a smaller register file to support a given
+//! number of contexts, which has architectural advantages in terms of chip
+//! area and processor cycle-time."
+//!
+//! Sweeps the register file size at a fixed workload of 8-register threads
+//! (fine-grained, the regime the paper motivates) and reports how small a
+//! flexible file delivers each fixed file's efficiency.
+//!
+//! `cargo run --release --bin file_size`
+
+use register_relocation::experiments::{Arch, ExperimentSpec, FaultKind};
+use register_relocation::workload::ContextSizeDist;
+use rr_bench::seed;
+
+const FILES: [u32; 4] = [32, 64, 128, 256];
+
+fn run(f: u32, arch: Arch) -> Result<(f64, f64), String> {
+    let spec = ExperimentSpec {
+        file_size: f,
+        arch,
+        run_length: 16.0,
+        fault: FaultKind::Cache { latency: 400 },
+        context_size: ContextSizeDist::Fixed(8),
+        seed: seed(),
+        ..ExperimentSpec::default()
+    };
+    let stats = spec.run()?;
+    Ok((stats.efficiency(), stats.avg_resident))
+}
+
+fn main() -> Result<(), String> {
+    println!("Efficiency vs register file size (cache faults, R = 16, L = 400,");
+    println!("C = 8 fine-grained threads; fixed windows of 32 registers)\n");
+    println!(
+        "{:>8}{:>12}{:>14}{:>12}{:>14}",
+        "F", "fixed", "fixed N", "flexible", "flexible N"
+    );
+    let mut fixed = Vec::new();
+    let mut flex = Vec::new();
+    for f in FILES {
+        let (ef, nf) = run(f, Arch::Fixed)?;
+        let (el, nl) = run(f, Arch::Flexible)?;
+        println!("{f:>8}{ef:>12.3}{nf:>14.1}{el:>12.3}{nl:>14.1}");
+        fixed.push((f, ef));
+        flex.push((f, el));
+    }
+    println!();
+    for &(f_fixed, e_fixed) in &fixed {
+        if let Some(&(f_flex, e_flex)) =
+            flex.iter().find(|&&(_, e)| e >= e_fixed * 0.98)
+        {
+            println!(
+                "a {f_flex:>3}-register flexible file delivers the {f_fixed:>3}-register \
+                 fixed file's efficiency ({e_flex:.3} vs {e_fixed:.3})"
+            );
+        }
+    }
+    println!("\nExpected shape: with 8-register threads a fixed window wastes 3/4 of");
+    println!("its registers, so the flexible file supports the same resident-context");
+    println!("count — and hence efficiency — at one quarter the register file size,");
+    println!("the paper's area/cycle-time argument quantified.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The section 3 mixed-fault experiments: "We also ran experiments
+//! involving both types of faults, with similar results; the main effect
+//! was to increase the overall fault rate."
+//!
+//! Sweeps the cache fraction from pure-sync (0.0) to pure-cache (1.0) at a
+//! fixed pair of latencies.
+//!
+//! `cargo run --release --bin mixed`
+
+use register_relocation::experiments::{compare, ExperimentSpec, FaultKind};
+use rr_bench::seed;
+
+fn main() -> Result<(), String> {
+    let cache_latency = 150u64;
+    let sync_mean = 400.0f64;
+    println!("Mixed faults: cache latency {cache_latency} (constant) + sync waits");
+    println!("mean {sync_mean} (exponential), F = 128, R = 32, C ~ U(6,24)\n");
+    println!(
+        "{:>12}{:>12}{:>12}{:>10}{:>14}{:>14}",
+        "cache frac", "fixed", "flexible", "ratio", "flex unloads", "mean L"
+    );
+    for pct in [0u32, 25, 50, 75, 100] {
+        let fraction = f64::from(pct) / 100.0;
+        let spec = ExperimentSpec {
+            file_size: 128,
+            run_length: 32.0,
+            fault: FaultKind::Mixed {
+                cache_fraction: fraction,
+                cache_latency,
+                sync_mean_latency: sync_mean,
+            },
+            seed: seed(),
+            ..ExperimentSpec::default()
+        };
+        let point = compare(&spec)?;
+        let flex_stats = spec.run()?;
+        println!(
+            "{:>12.2}{:>12.3}{:>12.3}{:>10.2}{:>14}{:>14.0}",
+            fraction,
+            point.fixed_efficiency,
+            point.flexible_efficiency,
+            point.speedup(),
+            flex_stats.unloads,
+            spec.fault.mean_latency()
+        );
+    }
+    println!("\nExpected shape: efficiencies interpolate smoothly between the pure");
+    println!("processes; register relocation's advantage persists across the mix.");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The `rr-bench` crate regenerates every table and figure of the paper:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `cargo run --release --bin fig5` | Figure 5 (cache faults, 3 panels) |
+//! | `cargo run --release --bin fig6` | Figure 6 (synchronization faults) |
+//! | `cargo run --release --bin fig6a_ablation` | section 3.3's low-cost-allocation rerun |
+//! | `cargo run --release --bin homogeneous` | section 3.4's C = 8 / C = 16 experiments |
+//! | `cargo run --release --bin table_costs` | Figure 4's cost table, measured on the ISA machine |
+//! | `cargo run --release --bin model_check` | section 3.4's analytical model vs simulation |
+//! | `cargo run --release --bin adaptive` | section 5.2's adaptive context limiting |
+//! | `cargo bench` | Criterion micro/meso benchmarks of the implementation itself |
+
+use register_relocation::figures::FigurePoint;
+
+/// Emits a figure panel in both human-readable and JSONL forms.
+pub fn emit_panel(title: &str, points: &[FigurePoint]) {
+    println!("{}", register_relocation::report::format_panel(title, points));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", register_relocation::report::format_jsonl(points));
+    }
+}
+
+/// Standard seed for the published tables (override with `RR_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("RR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1993)
+}

@@ -1,0 +1,174 @@
+//! `rr` — the register-relocation toolchain driver.
+//!
+//! ```text
+//! rr asm    <file.s>                      assemble; print one hex word per line
+//! rr dis    <file.hex>                    disassemble hex words
+//! rr demand <file.s>                      report register demand and context size
+//! rr check  <file.s> --size <n>           static context-bounds check (section 2.4)
+//! rr run    <file.s> [--rrm <mask>] [--cycles <n>] [--regs <n>] [--trace]
+//!                                         execute on the cycle-level machine
+//! ```
+//!
+//! Sources are the `rr-isa` assembly dialect; hex files contain one 32-bit
+//! word per line (comments after `#`).
+
+use std::process::ExitCode;
+
+use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
+use register_relocation::machine::{Machine, MachineConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("dis") => cmd_dis(&args[1..]),
+        Some("demand") => cmd_demand(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`; try `rr help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rr — register-relocation toolchain
+
+  rr asm    <file.s>                      assemble to hex words
+  rr dis    <file.hex>                    disassemble hex words
+  rr demand <file.s>                      register demand and context size
+  rr check  <file.s> --size <n>           static context-bounds check
+  rr run    <file.s> [--rrm <mask>] [--cycles <n>] [--regs <n>] [--trace]
+";
+
+fn read_source(args: &[String]) -> Result<(String, String), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing input file")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok((path.clone(), text))
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
+    let (radix, body) = match s.strip_prefix("0x") {
+        Some(hex) => (16, hex),
+        None => (10, s),
+    };
+    u32::from_str_radix(body, radix).map_err(|_| format!("bad {what} `{s}`"))
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let (_path, text) = read_source(args)?;
+    let p = assemble(&text).map_err(|e| e.to_string())?;
+    for w in p.words() {
+        println!("{w:08x}");
+    }
+    Ok(())
+}
+
+fn cmd_dis(args: &[String]) -> Result<(), String> {
+    let (_path, text) = read_source(args)?;
+    let mut words = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let w = u32::from_str_radix(body.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("line {}: bad hex word `{body}`", i + 1))?;
+        words.push(w);
+    }
+    for line in disassemble(&words) {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn cmd_demand(args: &[String]) -> Result<(), String> {
+    let (path, text) = read_source(args)?;
+    let p = assemble(&text).map_err(|e| e.to_string())?;
+    let usage = analysis::register_usage(p.words());
+    let size = analysis::context_size_needed(usage.demand, 4);
+    println!("{path}: demand {} registers ({} distinct)", usage.demand, usage.distinct);
+    println!("context size needed: {size} (waste {})", size - usage.demand);
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (path, text) = read_source(args)?;
+    let size = parse_u32(
+        &flag_value(args, "--size").ok_or("check needs --size <registers>")?,
+        "context size",
+    )?;
+    let p = assemble(&text).map_err(|e| e.to_string())?;
+    let violations = analysis::check_context_bounds(p.words(), size);
+    if violations.is_empty() {
+        println!("{path}: ok for a {size}-register context");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("{path}: {v}");
+        }
+        Err(format!("{} context-bounds violation(s)", violations.len()))
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (_path, text) = read_source(args)?;
+    let p = assemble(&text).map_err(|e| e.to_string())?;
+    let cycles = match flag_value(args, "--cycles") {
+        Some(v) => u64::from(parse_u32(&v, "cycle budget")?),
+        None => 100_000,
+    };
+    let mut cfg = MachineConfig::default_128();
+    if let Some(v) = flag_value(args, "--regs") {
+        cfg.num_registers = parse_u32(&v, "register count")? as u16;
+        cfg.operand_width = 6;
+    }
+    let mut m = Machine::new(cfg).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--trace") {
+        m.enable_trace(32);
+    }
+    if let Some(v) = flag_value(args, "--rrm") {
+        m.set_rrm(0, Rrm::from_raw(parse_u32(&v, "rrm")? as u16));
+    }
+    m.load_program(&p).map_err(|e| e.to_string())?;
+    let outcome = m.run(cycles).map_err(|e| e.to_string())?;
+    println!("{outcome:?} after {} cycles, {} instructions", m.cycles(), m.instret());
+    let touched: Vec<(usize, u32)> = m
+        .registers()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .map(|(i, &v)| (i, v))
+        .collect();
+    if touched.is_empty() {
+        println!("all registers zero");
+    } else {
+        for (i, v) in touched {
+            println!("R{i:<4} = {v:#010x} ({v})");
+        }
+    }
+    if args.iter().any(|a| a == "--trace") {
+        println!("-- last instructions --\n{}", m.trace().render());
+    }
+    Ok(())
+}

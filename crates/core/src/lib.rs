@@ -1,0 +1,71 @@
+//! Register relocation: flexible variable-size register contexts for
+//! multithreading.
+//!
+//! A production-quality Rust reproduction of *Waldspurger & Weihl, "Register
+//! Relocation: Flexible Contexts for Multithreading", ISCA 1993*. The
+//! mechanism: instructions name context-relative registers, and the decode
+//! stage ORs each operand with a software-managed *register relocation mask*
+//! (RRM), so the register file can be partitioned into power-of-two contexts
+//! of varying sizes. More threads stay resident in the register file, so the
+//! processor hides longer latencies and shorter run lengths.
+//!
+//! The workspace layers, bottom-up (each re-exported here):
+//!
+//! * [`isa`] ([`rr_isa`]) — the RISC instruction set, encoding and assembler.
+//! * [`machine`] ([`rr_machine`]) — the cycle-level processor with the RRM
+//!   relocation unit, `LDRRM` delay slots, and the multi-RRM extension.
+//! * [`alloc`] ([`rr_alloc`]) — software context allocators, including a
+//!   literal port of the paper's Appendix A.
+//! * [`runtime`] ([`rr_runtime`]) — the scheduling ring, unloading policies,
+//!   and the executable Figure 3 context-switch assembly.
+//! * [`sim`] ([`rr_sim`]) — the discrete-event multithreaded-processor
+//!   simulator behind every figure.
+//! * [`workload`] ([`rr_workload`]) — the synthetic thread supplies.
+//! * [`model`] ([`rr_model`]) — the analytical efficiency model.
+//!
+//! This crate adds the experiment harness that regenerates every table and
+//! figure of the paper: see [`experiments`], [`figures`], and [`report`],
+//! plus the section 5.1 software-only variant in [`software_only`].
+//!
+//! # Quickstart
+//!
+//! Compare fixed 32-register hardware contexts against register relocation
+//! on one cache-fault workload:
+//!
+//! ```
+//! use register_relocation::experiments::{Arch, ExperimentSpec, FaultKind};
+//!
+//! let spec = ExperimentSpec {
+//!     file_size: 128,
+//!     run_length: 16.0,
+//!     fault: FaultKind::Cache { latency: 200 },
+//!     ..ExperimentSpec::default()
+//! };
+//! let fixed = spec.with_arch(Arch::Fixed).run()?;
+//! let flexible = spec.with_arch(Arch::Flexible).run()?;
+//! assert!(flexible.efficiency() > fixed.efficiency());
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod experiments;
+pub mod figures;
+pub mod report;
+pub mod software_only;
+
+pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
+pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
+
+/// Re-export of the ISA crate.
+pub use rr_isa as isa;
+/// Re-export of the machine crate.
+pub use rr_machine as machine;
+/// Re-export of the allocator crate.
+pub use rr_alloc as alloc;
+/// Re-export of the runtime crate.
+pub use rr_runtime as runtime;
+/// Re-export of the simulator crate.
+pub use rr_sim as sim;
+/// Re-export of the workload crate.
+pub use rr_workload as workload;
+/// Re-export of the analytical-model crate.
+pub use rr_model as model;

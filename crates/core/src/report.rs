@@ -1,0 +1,91 @@
+//! Text rendering of figure sweeps, in the spirit of the paper's plots.
+
+use crate::figures::FigurePoint;
+
+/// Renders one figure panel as an aligned text table: one row block per run
+/// length, columns per latency, with fixed/flexible efficiencies and their
+/// ratio.
+pub fn format_panel(title: &str, points: &[FigurePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let mut run_lengths: Vec<f64> = points.iter().map(|p| p.run_length).collect();
+    run_lengths.dedup();
+    for r in run_lengths {
+        let row: Vec<&FigurePoint> =
+            points.iter().filter(|p| p.run_length == r).collect();
+        if row.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("  R = {r:>5}\n"));
+        out.push_str("    L        ");
+        for p in &row {
+            out.push_str(&format!("{:>9}", p.comparison.latency));
+        }
+        out.push_str("\n    fixed    ");
+        for p in &row {
+            out.push_str(&format!("{:>9.3}", p.comparison.fixed_efficiency));
+        }
+        out.push_str("\n    flexible ");
+        for p in &row {
+            out.push_str(&format!("{:>9.3}", p.comparison.flexible_efficiency));
+        }
+        out.push_str("\n    ratio    ");
+        for p in &row {
+            out.push_str(&format!("{:>9.2}", p.comparison.speedup()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the points as a machine-readable JSON lines block (one point per
+/// line), for EXPERIMENTS.md and downstream plotting.
+pub fn format_jsonl(points: &[FigurePoint]) -> String {
+    points
+        .iter()
+        .map(|p| serde_json::to_string(p).expect("figure points serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ComparisonPoint;
+
+    fn point(r: f64, l: f64, fixed: f64, flex: f64) -> FigurePoint {
+        FigurePoint {
+            run_length: r,
+            comparison: ComparisonPoint {
+                file_size: 128,
+                run_length: r,
+                latency: l,
+                fixed_efficiency: fixed,
+                flexible_efficiency: flex,
+                fixed_avg_resident: 4.0,
+                flexible_avg_resident: 9.0,
+            },
+        }
+    }
+
+    #[test]
+    fn panel_contains_all_rows() {
+        let pts =
+            vec![point(8.0, 50.0, 0.2, 0.4), point(8.0, 100.0, 0.1, 0.3), point(32.0, 50.0, 0.5, 0.6)];
+        let s = format_panel("Figure 5(b): F = 128", &pts);
+        assert!(s.contains("Figure 5(b)"));
+        assert!(s.contains("R =     8"));
+        assert!(s.contains("R =    32"));
+        assert!(s.contains("fixed"));
+        assert!(s.contains("flexible"));
+        assert!(s.contains("2.00"), "ratio row present:\n{s}");
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let pts = vec![point(8.0, 50.0, 0.2, 0.4)];
+        let s = format_jsonl(&pts);
+        let back: FigurePoint = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, pts[0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The software-only approach of paper section 5.1: compile-time register
+//! relocation.
+//!
+//! With *no* relocation hardware, the compiler can still support multiple
+//! register contexts by emitting **multiple versions** of the code, each
+//! using a disjoint subset of the register file — relocation performed at
+//! compile time. The cost is code expansion; the benefit is that it works on
+//! stock processors (the authors prototyped it on a MIPS R3000, where the
+//! 32-register file limited the technique to about two contexts).
+//!
+//! Here, "the compiler" is [`compile_for_context`]: it rewrites an assembled
+//! program's register operand fields by OR-ing a context base into each —
+//! the identical transformation the decode hardware performs, applied once
+//! at compile time via [`rr_isa::relocate_word`].
+
+use core::fmt;
+
+use rr_isa::{decode, relocate_word, Program, Rrm, OPERAND_BITS};
+
+/// Errors from compile-time relocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoftwareOnlyError {
+    /// The base is not aligned to the context size, or the geometry is not a
+    /// power of two.
+    BadGeometry {
+        /// Context base register.
+        base: u16,
+        /// Context size in registers.
+        size: u32,
+    },
+    /// The program names a register at or above the context size, so it
+    /// cannot be confined to the subset.
+    RegisterTooHigh {
+        /// Word index of the offending instruction.
+        word_index: usize,
+        /// The offending operand.
+        operand: u8,
+        /// The context size.
+        size: u32,
+    },
+    /// The relocated registers would exceed what an instruction operand
+    /// field can encode — the fundamental limit of the software-only scheme
+    /// (`2^OPERAND_BITS` registers total).
+    ExceedsOperandField {
+        /// Context base register.
+        base: u16,
+        /// Context size in registers.
+        size: u32,
+    },
+    /// A word in the program did not decode as an instruction.
+    NotAnInstruction {
+        /// Word index of the offending word.
+        word_index: usize,
+    },
+}
+
+impl fmt::Display for SoftwareOnlyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SoftwareOnlyError::BadGeometry { base, size } => {
+                write!(f, "context base {base} is not aligned to size {size}")
+            }
+            SoftwareOnlyError::RegisterTooHigh { word_index, operand, size } => write!(
+                f,
+                "instruction {word_index} names r{operand}, outside the {size}-register context"
+            ),
+            SoftwareOnlyError::ExceedsOperandField { base, size } => write!(
+                f,
+                "context [{base}, {base}+{size}) exceeds the {}-register operand field",
+                1u32 << OPERAND_BITS
+            ),
+            SoftwareOnlyError::NotAnInstruction { word_index } => {
+                write!(f, "word {word_index} is not an instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SoftwareOnlyError {}
+
+/// Compile-time relocation: produces a copy of `program`'s words with every
+/// register operand OR-ed with `base`, confining the code to the register
+/// subset `[base, base + size)`.
+///
+/// # Errors
+///
+/// * [`SoftwareOnlyError::BadGeometry`] if `base`/`size` are malformed.
+/// * [`SoftwareOnlyError::ExceedsOperandField`] if the subset extends past
+///   register `2^OPERAND_BITS - 1` — the hard limit the paper hit on MIPS.
+/// * [`SoftwareOnlyError::RegisterTooHigh`] if the program uses a register
+///   outside `0..size`.
+/// * [`SoftwareOnlyError::NotAnInstruction`] if a word fails to decode
+///   (data words cannot be relocated safely).
+pub fn compile_for_context(
+    program: &Program,
+    base: u16,
+    size: u32,
+) -> Result<Vec<u32>, SoftwareOnlyError> {
+    if !size.is_power_of_two() || u32::from(base) % size != 0 {
+        return Err(SoftwareOnlyError::BadGeometry { base, size });
+    }
+    if u32::from(base) + size > (1 << OPERAND_BITS) {
+        return Err(SoftwareOnlyError::ExceedsOperandField { base, size });
+    }
+    let rrm = Rrm::from_raw(base);
+    program
+        .words()
+        .iter()
+        .enumerate()
+        .map(|(word_index, &w)| {
+            let instr =
+                decode(w).map_err(|_| SoftwareOnlyError::NotAnInstruction { word_index })?;
+            if let Some(&too_high) =
+                instr.registers().iter().find(|r| u32::from(r.number()) >= size)
+            {
+                return Err(SoftwareOnlyError::RegisterTooHigh {
+                    word_index,
+                    operand: too_high.number(),
+                    size,
+                });
+            }
+            relocate_word(w, rrm).ok_or(SoftwareOnlyError::ExceedsOperandField { base, size })
+        })
+        .collect()
+}
+
+/// A compile-time-relocated thread version: its register subset and code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledVersion {
+    /// First register of the subset.
+    pub base: u16,
+    /// Subset size in registers.
+    pub size: u32,
+    /// Word address the version is placed at.
+    pub origin: u32,
+    /// Relocated code.
+    pub words: Vec<u32>,
+}
+
+/// Emits `num_contexts` versions of `thread_body`, each confined to its own
+/// register subset and laid out back to back starting at `origin` — the
+/// "multiple versions of code that use disjoint subsets of the register
+/// file" of section 5.1. The code-expansion factor is exactly
+/// `num_contexts`.
+///
+/// # Errors
+///
+/// Propagates [`compile_for_context`] failures (in particular, running out
+/// of operand-field space caps how many contexts fit).
+pub fn compile_versions(
+    thread_body: &Program,
+    num_contexts: u32,
+    ctx_size: u32,
+    origin: u32,
+) -> Result<Vec<CompiledVersion>, SoftwareOnlyError> {
+    let mut versions = Vec::with_capacity(num_contexts as usize);
+    let mut at = origin;
+    for i in 0..num_contexts {
+        let base = (i * ctx_size) as u16;
+        let words = compile_for_context(thread_body, base, ctx_size)?;
+        let len = words.len() as u32;
+        versions.push(CompiledVersion { base, size: ctx_size, origin: at, words });
+        at += len;
+    }
+    Ok(versions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::assemble;
+    use rr_machine::{Machine, MachineConfig};
+
+    fn body() -> Program {
+        assemble("addi r5, r5, 1\n addi r6, r6, 2\n add r7, r5, r6").unwrap()
+    }
+
+    #[test]
+    fn relocation_is_pure_operand_rewriting() {
+        let p = body();
+        let v = compile_for_context(&p, 16, 16).unwrap();
+        let texts: Vec<String> = v.iter().map(|w| decode(*w).unwrap().to_string()).collect();
+        assert_eq!(texts[0], "addi r21, r21, 1");
+        assert_eq!(texts[2], "add r23, r21, r22");
+    }
+
+    #[test]
+    fn version_zero_is_identity() {
+        let p = body();
+        assert_eq!(compile_for_context(&p, 0, 16).unwrap(), p.words());
+    }
+
+    #[test]
+    fn out_of_subset_registers_rejected() {
+        let p = assemble("add r20, r1, r2").unwrap();
+        assert!(matches!(
+            compile_for_context(&p, 0, 16),
+            Err(SoftwareOnlyError::RegisterTooHigh { operand: 20, .. })
+        ));
+    }
+
+    #[test]
+    fn operand_field_limit_is_enforced() {
+        let p = body();
+        // Four 16-register contexts fit the 64-register operand space...
+        assert!(compile_versions(&p, 4, 16, 100).is_ok());
+        // ...a fifth does not: the paper's MIPS limitation, reproduced.
+        assert!(matches!(
+            compile_versions(&p, 5, 16, 100),
+            Err(SoftwareOnlyError::ExceedsOperandField { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let p = body();
+        assert!(matches!(
+            compile_for_context(&p, 8, 16),
+            Err(SoftwareOnlyError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            compile_for_context(&p, 0, 12),
+            Err(SoftwareOnlyError::BadGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn data_words_are_rejected() {
+        let p = assemble(".word 0xffffffff").unwrap();
+        assert!(matches!(
+            compile_for_context(&p, 0, 16),
+            Err(SoftwareOnlyError::NotAnInstruction { word_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn versions_run_in_disjoint_subsets_without_any_rrm() {
+        // The full software-only demo: every version executes with RRM = 0
+        // on a 64-register machine, yet each mutates only its own subset.
+        let mut cfg = MachineConfig::default_128();
+        cfg.num_registers = 64;
+        cfg.operand_width = 6;
+        let mut m = Machine::new(cfg).unwrap();
+
+        let p = body();
+        let versions = compile_versions(&p, 4, 16, 0).unwrap();
+        // Lay the versions out, chaining each into the next with a jmp and
+        // halting after the last.
+        let chained = {
+            // Rebuild with explicit jumps: version i (3 instrs) + jmp.
+            let mut words = Vec::new();
+            for (i, v) in versions.iter().enumerate() {
+                words.extend(&v.words);
+                let next = ((i + 1) % versions.len()) * 4;
+                if i + 1 == versions.len() {
+                    words.push(rr_isa::assemble("halt").unwrap().words()[0]);
+                } else {
+                    words
+                        .extend(rr_isa::assemble(&format!("jmp {next}")).unwrap().words());
+                }
+            }
+            words
+        };
+        m.memory_mut().load_image(0, &chained).unwrap();
+        m.set_pc(0);
+        m.run_until_halt(1000).unwrap();
+        for v in &versions {
+            assert_eq!(m.read_abs(v.base + 5).unwrap(), 1, "base {}", v.base);
+            assert_eq!(m.read_abs(v.base + 6).unwrap(), 2);
+            assert_eq!(m.read_abs(v.base + 7).unwrap(), 3);
+        }
+        // RRM stayed zero throughout: no hardware support used.
+        assert_eq!(m.rrm(0).raw(), 0);
+    }
+
+    #[test]
+    fn code_expansion_factor_is_context_count() {
+        let p = body();
+        let versions = compile_versions(&p, 3, 16, 0).unwrap();
+        let total: usize = versions.iter().map(|v| v.words.len()).sum();
+        assert_eq!(total, 3 * p.len());
+    }
+}

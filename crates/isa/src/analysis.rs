@@ -1,0 +1,232 @@
+//! Static analysis of assembled programs: the compiler/tooling side of the
+//! paper's section 2.4.
+//!
+//! Two obligations fall on software under register relocation:
+//!
+//! 1. **The compiler must report each thread's register demand** so the
+//!    runtime can size its context ("the compiler must inform the runtime
+//!    system about the number of registers that the thread requires").
+//!    [`register_demand`] computes it from the executable, and
+//!    [`context_size_needed`] rounds it to the power-of-two context the
+//!    runtime will allocate — including the paper's 17-vs-16 observation:
+//!    one extra register can double the context.
+//! 2. **Protection is by convention, not hardware**, so the paper suggests
+//!    "a separate tool could be used to statically check executables or
+//!    object files for most violations of context boundaries".
+//!    [`check_context_bounds`] is that tool.
+
+use serde::{Deserialize, Serialize};
+
+use crate::encode::decode;
+use crate::reg::MAX_CONTEXT_SIZE;
+
+/// The number of registers a program actually names: one past the highest
+/// register operand, or 0 for a program with no register operands.
+///
+/// Words that fail to decode (data) are skipped — data does not name
+/// registers.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{assemble, analysis::register_demand};
+///
+/// let p = assemble("add r7, r5, r6\n li r2, 1")?;
+/// assert_eq!(register_demand(p.words()), 8);
+/// # Ok::<(), rr_isa::AsmError>(())
+/// ```
+pub fn register_demand(words: &[u32]) -> u32 {
+    words
+        .iter()
+        .filter_map(|&w| decode(w).ok())
+        .flat_map(|i| i.registers().into_iter().map(|r| u32::from(r.number()) + 1).collect::<Vec<_>>())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The power-of-two context size a thread with this register demand needs,
+/// with minimum `min_size`.
+///
+/// # Example
+///
+/// The paper's compiler trade-off: 17 registers cost a 32-register context,
+/// so a compiler may prefer to squeeze into 16.
+///
+/// ```
+/// use rr_isa::analysis::context_size_needed;
+///
+/// assert_eq!(context_size_needed(16, 4), 16);
+/// assert_eq!(context_size_needed(17, 4), 32);  // 15 registers wasted
+/// ```
+pub fn context_size_needed(demand: u32, min_size: u32) -> u32 {
+    demand.next_power_of_two().max(min_size)
+}
+
+/// A context-boundary violation found by the static checker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundsViolation {
+    /// Word index of the offending instruction.
+    pub word_index: usize,
+    /// Disassembly of the instruction.
+    pub instr: String,
+    /// The offending operand's register number.
+    pub operand: u8,
+    /// The declared context size.
+    pub declared_size: u32,
+}
+
+impl core::fmt::Display for BoundsViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "word {}: `{}` names r{}, outside the declared {}-register context",
+            self.word_index, self.instr, self.operand, self.declared_size
+        )
+    }
+}
+
+/// Statically checks an executable against its declared context size,
+/// reporting every register operand that would reach outside the context —
+/// the low-level debugging tool of the paper's section 2.4.
+///
+/// Like the paper's "most violations" phrasing, this is a conservative
+/// syntactic check: it cannot see registers reached through `LDRRM` mask
+/// arithmetic, only operands that are out of bounds outright.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{assemble, analysis::check_context_bounds};
+///
+/// let p = assemble("add r1, r2, r9")?;
+/// let violations = check_context_bounds(p.words(), 8);
+/// assert_eq!(violations.len(), 1);
+/// assert_eq!(violations[0].operand, 9);
+/// # Ok::<(), rr_isa::AsmError>(())
+/// ```
+pub fn check_context_bounds(words: &[u32], declared_size: u32) -> Vec<BoundsViolation> {
+    let mut out = Vec::new();
+    for (word_index, &w) in words.iter().enumerate() {
+        let Ok(instr) = decode(w) else { continue };
+        for r in instr.registers() {
+            if u32::from(r.number()) >= declared_size {
+                out.push(BoundsViolation {
+                    word_index,
+                    instr: instr.to_string(),
+                    operand: r.number(),
+                    declared_size,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Summary statistics about a program's register usage, for compiler
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterUsage {
+    /// One past the highest register named.
+    pub demand: u32,
+    /// Number of distinct registers named.
+    pub distinct: u32,
+    /// Registers below `demand` that are never named (internal
+    /// fragmentation within the context).
+    pub unused_below_demand: u32,
+}
+
+/// Computes [`RegisterUsage`] for an executable.
+pub fn register_usage(words: &[u32]) -> RegisterUsage {
+    let mut seen = [false; MAX_CONTEXT_SIZE as usize];
+    for instr in words.iter().filter_map(|&w| decode(w).ok()) {
+        for r in instr.registers() {
+            seen[usize::from(r.number())] = true;
+        }
+    }
+    let demand = seen
+        .iter()
+        .rposition(|&s| s)
+        .map(|i| i as u32 + 1)
+        .unwrap_or(0);
+    let distinct = seen.iter().filter(|&&s| s).count() as u32;
+    RegisterUsage { demand, distinct, unused_below_demand: demand - distinct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn demand_of_figure3_yield_code() {
+        // The yield sequence touches r0, r1, r2: demand 3.
+        let p = assemble("ldrrm r2\n mfpsw r1\n mtpsw r1\n jr r0").unwrap();
+        assert_eq!(register_demand(p.words()), 3);
+    }
+
+    #[test]
+    fn demand_ignores_data_words() {
+        let p = assemble(".word 0xffffffff\n add r1, r2, r3").unwrap();
+        assert_eq!(register_demand(p.words()), 4);
+        assert_eq!(register_demand(&[]), 0);
+        let data_only = assemble(".word 0xffffffff").unwrap();
+        assert_eq!(register_demand(data_only.words()), 0);
+    }
+
+    #[test]
+    fn context_sizing_and_the_17_register_cliff() {
+        assert_eq!(context_size_needed(0, 4), 4);
+        assert_eq!(context_size_needed(6, 4), 8);
+        assert_eq!(context_size_needed(16, 4), 16);
+        assert_eq!(context_size_needed(17, 4), 32);
+        assert_eq!(context_size_needed(33, 4), 64);
+    }
+
+    #[test]
+    fn checker_finds_all_violations_with_positions() {
+        let p = assemble(
+            r#"
+            add r1, r2, r3      ; fine for size 8
+            lw r9, 0(r1)        ; r9 violates size 8
+            sw r10, 4(r12)      ; both violate
+            halt
+            "#,
+        )
+        .unwrap();
+        let v = check_context_bounds(p.words(), 8);
+        assert_eq!(v.len(), 3);
+        assert_eq!((v[0].word_index, v[0].operand), (1, 9));
+        assert_eq!((v[1].word_index, v[1].operand), (2, 10));
+        assert_eq!((v[2].word_index, v[2].operand), (2, 12));
+        assert!(v[0].to_string().contains("outside the declared 8-register context"));
+        assert!(check_context_bounds(p.words(), 16).is_empty());
+    }
+
+    #[test]
+    fn checker_skips_data() {
+        let p = assemble(".word 0xffffffff").unwrap();
+        assert!(check_context_bounds(p.words(), 4).is_empty());
+    }
+
+    #[test]
+    fn usage_statistics() {
+        let p = assemble("add r1, r2, r7\n mov r1, r2").unwrap();
+        let u = register_usage(p.words());
+        assert_eq!(u.demand, 8);
+        assert_eq!(u.distinct, 3);
+        assert_eq!(u.unused_below_demand, 5);
+        let empty = register_usage(&[]);
+        assert_eq!(empty.demand, 0);
+        assert_eq!(empty.distinct, 0);
+    }
+
+    #[test]
+    fn demand_feeds_the_allocator_contract() {
+        // End-to-end compiler story: analyze, size, check.
+        let p = assemble("li r5, 1\n addi r6, r5, 2\n add r7, r5, r6").unwrap();
+        let demand = register_demand(p.words());
+        let size = context_size_needed(demand, 4);
+        assert_eq!(size, 8);
+        assert!(check_context_bounds(p.words(), size).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Disassembly of encoded words back into assembly text.
+
+use crate::encode::decode;
+use crate::instr::{Instr, ADDR20_LIMIT};
+
+/// Disassembles a sequence of words into one line of assembly text per word,
+/// assuming the first word sits at word address `origin`.
+///
+/// Branch instructions carry PC-relative offsets in the encoding but the
+/// assembler reads absolute targets, so the disassembler converts offsets to
+/// absolute addresses using each instruction's position. Words that do not
+/// decode — and branches whose reconstructed target falls outside the address
+/// space — are rendered as `.word 0x...`, so a program containing data still
+/// round-trips through the assembler.
+pub fn disassemble_at(words: &[u32], origin: u32) -> Vec<String> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(idx, &w)| {
+            let pc = i64::from(origin) + idx as i64;
+            match decode(w) {
+                Ok(Instr::Beq { s, t, off }) => match branch_target(pc, off) {
+                    Some(target) => format!("beq {s}, {t}, {target}"),
+                    None => format!(".word {w:#010x}"),
+                },
+                Ok(Instr::Bne { s, t, off }) => match branch_target(pc, off) {
+                    Some(target) => format!("bne {s}, {t}, {target}"),
+                    None => format!(".word {w:#010x}"),
+                },
+                Ok(i) => i.to_string(),
+                Err(_) => format!(".word {w:#010x}"),
+            }
+        })
+        .collect()
+}
+
+/// Disassembles with origin 0; see [`disassemble_at`].
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{assemble, disassemble};
+///
+/// let p = assemble("add r1, r2, r3\n .word 0xffffffff")?;
+/// let text = disassemble(p.words());
+/// assert!(text[0].contains("add r1, r2, r3"));
+/// assert!(text[1].starts_with(".word"));
+/// # Ok::<(), rr_isa::AsmError>(())
+/// ```
+pub fn disassemble(words: &[u32]) -> Vec<String> {
+    disassemble_at(words, 0)
+}
+
+fn branch_target(pc: i64, off: i32) -> Option<i64> {
+    let target = pc + 1 + i64::from(off);
+    (0..i64::from(ADDR20_LIMIT)).contains(&target).then_some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{assemble, assemble_at};
+
+    #[test]
+    fn disassembly_reassembles_to_identical_words() {
+        let src = r#"
+            start:
+                li r1, 10
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                lw r2, 4(r3)
+                sw r2, -4(r3)
+                jal r5, start
+                jalr r5, r6
+                ldrrm r2
+                mfpsw r1
+                mtpsw r1
+                halt
+        "#;
+        let p = assemble(src).unwrap();
+        let text = disassemble(p.words()).join("\n");
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.words(), p2.words());
+    }
+
+    #[test]
+    fn branch_targets_respect_origin() {
+        let p = assemble_at("loop: nop\n bne r1, r0, loop", 50).unwrap();
+        let text = disassemble_at(p.words(), 50);
+        assert_eq!(text[1], "bne r1, r0, 50");
+        let p2 = assemble_at(&text.join("\n"), 50).unwrap();
+        assert_eq!(p.words(), p2.words());
+    }
+
+    #[test]
+    fn out_of_range_branches_become_data() {
+        // A backwards branch from address 0 has no absolute target.
+        let p = assemble_at("x: nop\n beq r0, r0, x", 0).unwrap();
+        let branch_word = p.words()[1];
+        let text = disassemble(&[branch_word]);
+        assert!(text[0].starts_with(".word"), "got {}", text[0]);
+    }
+
+    #[test]
+    fn undecodable_words_become_data() {
+        let out = disassemble(&[0xffff_ffff]);
+        assert_eq!(out, vec![".word 0xffffffff"]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Fixed-field binary encoding of instructions.
+//!
+//! Every instruction is one 32-bit word:
+//!
+//! ```text
+//!  31      26 25     20 19     14 13      8 7        0
+//! +----------+---------+---------+---------+----------+
+//! |  opcode  | field A | field B | field C |          |
+//! +----------+---------+---------+---------+----------+
+//!            |<------ imm14 (bits 0..14) ----->|
+//!            |<--------- addr20 (bits 0..20) --------->|
+//! ```
+//!
+//! Register operands always occupy the same field positions regardless of
+//! opcode — the "fixed-field decoding scheme" the paper relies on so that the
+//! relocation OR can run in parallel with opcode decode. [`relocate_word`]
+//! performs that OR directly on the encoded word, exactly as the hardware of
+//! Figure 2 would; the machine crate instead relocates on the decoded
+//! representation so that absolute registers wider than an operand field (the
+//! paper's "widened internal paths") are representable.
+
+use crate::error::{DecodeError, EncodeError};
+use crate::instr::{Instr, Opcode, RegField, ADDR20_LIMIT, IMM14_MAX, IMM14_MIN, SHAMT_LIMIT};
+use crate::reg::{ContextReg, Rrm};
+
+const FIELD_MASK: u32 = 0x3f;
+const IMM14_MASK: u32 = 0x3fff;
+const ADDR20_MASK: u32 = 0xf_ffff;
+
+fn field(word: u32, f: RegField) -> ContextReg {
+    // A 6-bit field value is always a valid ContextReg.
+    ContextReg::new(((word >> f.shift()) & FIELD_MASK) as u8).expect("6-bit field")
+}
+
+fn put_field(r: ContextReg, f: RegField) -> u32 {
+    u32::from(r.number()) << f.shift()
+}
+
+fn imm14(word: u32) -> i32 {
+    // Sign-extend the low 14 bits.
+    ((word & IMM14_MASK) as i32) << 18 >> 18
+}
+
+fn put_imm14(imm: i32) -> Result<u32, EncodeError> {
+    if (IMM14_MIN..=IMM14_MAX).contains(&imm) {
+        Ok((imm as u32) & IMM14_MASK)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange { imm })
+    }
+}
+
+fn put_shamt(shamt: u8) -> Result<u32, EncodeError> {
+    if shamt < SHAMT_LIMIT {
+        Ok(u32::from(shamt))
+    } else {
+        Err(EncodeError::ShamtOutOfRange { shamt })
+    }
+}
+
+fn put_addr20(target: u32) -> Result<u32, EncodeError> {
+    if target < ADDR20_LIMIT {
+        Ok(target & ADDR20_MASK)
+    } else {
+        Err(EncodeError::TargetOutOfRange { target })
+    }
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns an error if an immediate, shift amount, or jump target does not
+/// fit its field. Register operands are valid by construction.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{encode, decode, Instr, ContextReg};
+///
+/// let i = Instr::Addi {
+///     d: ContextReg::new(1)?,
+///     s: ContextReg::new(2)?,
+///     imm: -7,
+/// };
+/// let word = encode(&i)?;
+/// assert_eq!(decode(word)?, i);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(instr: &Instr<ContextReg>) -> Result<u32, EncodeError> {
+    use RegField::{A, B, C};
+    let op = (instr.opcode() as u32) << 26;
+    Ok(match *instr {
+        Instr::Nop | Instr::Halt => op,
+        Instr::Add { d, s, t }
+        | Instr::Sub { d, s, t }
+        | Instr::And { d, s, t }
+        | Instr::Or { d, s, t }
+        | Instr::Xor { d, s, t }
+        | Instr::Sll { d, s, t }
+        | Instr::Srl { d, s, t }
+        | Instr::Sra { d, s, t }
+        | Instr::Slt { d, s, t } => op | put_field(d, A) | put_field(s, B) | put_field(t, C),
+        Instr::Addi { d, s, imm }
+        | Instr::Andi { d, s, imm }
+        | Instr::Ori { d, s, imm }
+        | Instr::Xori { d, s, imm }
+        | Instr::Slti { d, s, imm } => {
+            op | put_field(d, A) | put_field(s, B) | put_imm14(imm)?
+        }
+        Instr::Slli { d, s, shamt } | Instr::Srli { d, s, shamt } | Instr::Srai { d, s, shamt } => {
+            op | put_field(d, A) | put_field(s, B) | put_shamt(shamt)?
+        }
+        Instr::Li { d, imm } => op | put_field(d, A) | put_imm14(imm)?,
+        Instr::Lw { d, base, off } => op | put_field(d, A) | put_field(base, B) | put_imm14(off)?,
+        Instr::Sw { s, base, off } => op | put_field(s, A) | put_field(base, B) | put_imm14(off)?,
+        Instr::Mov { d, s } => op | put_field(d, A) | put_field(s, B),
+        Instr::Beq { s, t, off } | Instr::Bne { s, t, off } => {
+            op | put_field(s, A) | put_field(t, B) | put_imm14(off)?
+        }
+        Instr::Jmp { target } => op | put_addr20(target)?,
+        Instr::Jal { d, target } => op | put_field(d, A) | put_addr20(target)?,
+        Instr::Jr { s } => op | put_field(s, B),
+        Instr::Jalr { d, s } => op | put_field(d, A) | put_field(s, B),
+        Instr::Ldrrm { s } => op | put_field(s, B),
+        Instr::Mfpsw { d } => op | put_field(d, A),
+        Instr::Mtpsw { s } => op | put_field(s, B),
+    })
+}
+
+/// Decodes a 32-bit word into an instruction with context-relative operands.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownOpcode`] if the opcode field does not name an
+/// instruction.
+pub fn decode(word: u32) -> Result<Instr<ContextReg>, DecodeError> {
+    use RegField::{A, B, C};
+    let raw_op = (word >> 26) as u8;
+    let op = Opcode::from_u8(raw_op)
+        .ok_or(DecodeError::UnknownOpcode { opcode: raw_op, word })?;
+    Ok(match op {
+        Opcode::Nop => Instr::Nop,
+        Opcode::Halt => Instr::Halt,
+        Opcode::Add => Instr::Add { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Sub => Instr::Sub { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::And => Instr::And { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Or => Instr::Or { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Xor => Instr::Xor { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Sll => Instr::Sll { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Srl => Instr::Srl { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Sra => Instr::Sra { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Slt => Instr::Slt { d: field(word, A), s: field(word, B), t: field(word, C) },
+        Opcode::Addi => Instr::Addi { d: field(word, A), s: field(word, B), imm: imm14(word) },
+        Opcode::Andi => Instr::Andi { d: field(word, A), s: field(word, B), imm: imm14(word) },
+        Opcode::Ori => Instr::Ori { d: field(word, A), s: field(word, B), imm: imm14(word) },
+        Opcode::Xori => Instr::Xori { d: field(word, A), s: field(word, B), imm: imm14(word) },
+        Opcode::Slti => Instr::Slti { d: field(word, A), s: field(word, B), imm: imm14(word) },
+        Opcode::Slli => Instr::Slli {
+            d: field(word, A),
+            s: field(word, B),
+            shamt: (word & 0x1f) as u8,
+        },
+        Opcode::Srli => Instr::Srli {
+            d: field(word, A),
+            s: field(word, B),
+            shamt: (word & 0x1f) as u8,
+        },
+        Opcode::Srai => Instr::Srai {
+            d: field(word, A),
+            s: field(word, B),
+            shamt: (word & 0x1f) as u8,
+        },
+        Opcode::Li => Instr::Li { d: field(word, A), imm: imm14(word) },
+        Opcode::Lw => Instr::Lw { d: field(word, A), base: field(word, B), off: imm14(word) },
+        Opcode::Sw => Instr::Sw { s: field(word, A), base: field(word, B), off: imm14(word) },
+        Opcode::Mov => Instr::Mov { d: field(word, A), s: field(word, B) },
+        Opcode::Beq => Instr::Beq { s: field(word, A), t: field(word, B), off: imm14(word) },
+        Opcode::Bne => Instr::Bne { s: field(word, A), t: field(word, B), off: imm14(word) },
+        Opcode::Jmp => Instr::Jmp { target: word & ADDR20_MASK },
+        Opcode::Jal => Instr::Jal { d: field(word, A), target: word & ADDR20_MASK },
+        Opcode::Jr => Instr::Jr { s: field(word, B) },
+        Opcode::Jalr => Instr::Jalr { d: field(word, A), s: field(word, B) },
+        Opcode::Ldrrm => Instr::Ldrrm { s: field(word, B) },
+        Opcode::Mfpsw => Instr::Mfpsw { d: field(word, A) },
+        Opcode::Mtpsw => Instr::Mtpsw { s: field(word, B) },
+    })
+}
+
+/// Performs register relocation directly on an encoded word, as the decode
+/// hardware of Figure 2 does: a bitwise OR of the RRM into every register
+/// operand field of the instruction.
+///
+/// Returns `None` when the mask needs more than [`crate::OPERAND_BITS`] bits,
+/// in which case relocated operands no longer fit in the instruction word and
+/// the widened-datapath route ([`Instr::try_map_registers`] on the decoded
+/// form) must be used instead.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::{assemble, decode, relocate_word, Rrm};
+///
+/// let p = assemble("add r1, r2, r3")?;
+/// let rrm = Rrm::for_context(40, 8)?;
+/// let relocated = relocate_word(p.words()[0], rrm).expect("mask fits the field");
+/// assert_eq!(decode(relocated)?.to_string(), "add r41, r42, r43");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn relocate_word(word: u32, rrm: Rrm) -> Option<u32> {
+    let mask = u32::from(rrm.raw());
+    if mask > FIELD_MASK {
+        return None;
+    }
+    let raw_op = (word >> 26) as u8;
+    let op = Opcode::from_u8(raw_op)?;
+    let mut out = word;
+    for f in op.register_fields() {
+        out |= mask << f.shift();
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::MAX_CONTEXT_SIZE;
+
+    fn r(n: u8) -> ContextReg {
+        ContextReg::new(n).unwrap()
+    }
+
+    fn samples() -> Vec<Instr<ContextReg>> {
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Add { d: r(1), s: r(2), t: r(3) },
+            Instr::Sub { d: r(63), s: r(0), t: r(31) },
+            Instr::And { d: r(4), s: r(5), t: r(6) },
+            Instr::Or { d: r(4), s: r(5), t: r(6) },
+            Instr::Xor { d: r(4), s: r(5), t: r(6) },
+            Instr::Sll { d: r(4), s: r(5), t: r(6) },
+            Instr::Srl { d: r(4), s: r(5), t: r(6) },
+            Instr::Sra { d: r(4), s: r(5), t: r(6) },
+            Instr::Slt { d: r(4), s: r(5), t: r(6) },
+            Instr::Addi { d: r(1), s: r(2), imm: -8192 },
+            Instr::Andi { d: r(1), s: r(2), imm: 8191 },
+            Instr::Ori { d: r(1), s: r(2), imm: 0 },
+            Instr::Xori { d: r(1), s: r(2), imm: -1 },
+            Instr::Slti { d: r(1), s: r(2), imm: 100 },
+            Instr::Slli { d: r(1), s: r(2), shamt: 31 },
+            Instr::Srli { d: r(1), s: r(2), shamt: 0 },
+            Instr::Srai { d: r(1), s: r(2), shamt: 16 },
+            Instr::Li { d: r(9), imm: -1 },
+            Instr::Lw { d: r(1), base: r(2), off: 12 },
+            Instr::Sw { s: r(1), base: r(2), off: -12 },
+            Instr::Mov { d: r(7), s: r(8) },
+            Instr::Beq { s: r(1), t: r(2), off: -5 },
+            Instr::Bne { s: r(1), t: r(2), off: 5 },
+            Instr::Jmp { target: 0xf_ffff },
+            Instr::Jal { d: r(0), target: 123 },
+            Instr::Jr { s: r(0) },
+            Instr::Jalr { d: r(0), s: r(1) },
+            Instr::Ldrrm { s: r(2) },
+            Instr::Mfpsw { d: r(1) },
+            Instr::Mtpsw { s: r(1) },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in samples() {
+            let word = encode(&i).unwrap();
+            assert_eq!(decode(word).unwrap(), i, "round trip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_fields() {
+        assert!(matches!(
+            encode(&Instr::Addi { d: r(0), s: r(0), imm: 8192 }),
+            Err(EncodeError::ImmediateOutOfRange { imm: 8192 })
+        ));
+        assert!(matches!(
+            encode(&Instr::Addi { d: r(0), s: r(0), imm: -8193 }),
+            Err(EncodeError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Instr::Slli { d: r(0), s: r(0), shamt: 32 }),
+            Err(EncodeError::ShamtOutOfRange { shamt: 32 })
+        ));
+        assert!(matches!(
+            encode(&Instr::Jmp { target: 1 << 20 }),
+            Err(EncodeError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcodes() {
+        let word = 32u32 << 26;
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::UnknownOpcode { opcode: 32, .. })
+        ));
+    }
+
+    #[test]
+    fn relocate_word_matches_structural_relocation() {
+        // For masks that fit the operand field, in-word relocation and the
+        // widened-path relocation agree.
+        let rrm = Rrm::for_context(40, 8).unwrap();
+        for i in samples() {
+            // Skip instructions whose operands would escape the field after OR
+            // (operand numbers here are < 24 except the deliberate r63 case).
+            if i.registers().iter().any(|x| x.number() >= 8) {
+                continue;
+            }
+            let word = encode(&i).unwrap();
+            let relocated = relocate_word(word, rrm).unwrap();
+            let structural = i.map_registers(|x| {
+                ContextReg::new(rrm.relocate(x).0 as u8).unwrap()
+            });
+            assert_eq!(decode(relocated).unwrap(), structural, "mismatch for {i}");
+        }
+    }
+
+    #[test]
+    fn relocate_word_refuses_wide_masks() {
+        let word = encode(&Instr::Nop).unwrap();
+        assert!(relocate_word(word, Rrm::from_raw(MAX_CONTEXT_SIZE as u16)).is_none());
+        assert!(relocate_word(word, Rrm::from_raw(63)).is_some());
+    }
+
+    #[test]
+    fn relocation_does_not_touch_non_register_fields() {
+        let i = Instr::Addi { d: r(1), s: r(2), imm: -1 };
+        let word = encode(&i).unwrap();
+        let relocated = relocate_word(word, Rrm::from_raw(8)).unwrap();
+        match decode(relocated).unwrap() {
+            Instr::Addi { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The instruction set, generic over register representation.
+//!
+//! [`Instr<R>`] is parameterized by its register operand type so that the
+//! pipeline stages of the machine are visible in the types:
+//!
+//! * after *decode*, an instruction is an `Instr<ContextReg>` carrying
+//!   context-relative operands;
+//! * after *relocation* (the decode-stage OR with the RRM), it is an
+//!   `Instr<AbsReg>` carrying absolute register numbers.
+//!
+//! The ISA is a minimal load/store RISC in the spirit of the paper's examples:
+//! three-operand ALU instructions, immediates, loads/stores, branches, jumps
+//! with and without linking, and the three relocation/status instructions
+//! `ldrrm`, `mfpsw`, `mtpsw`.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Inclusive upper bound of a signed 14-bit immediate.
+pub const IMM14_MAX: i32 = (1 << 13) - 1;
+/// Inclusive lower bound of a signed 14-bit immediate.
+pub const IMM14_MIN: i32 = -(1 << 13);
+/// Exclusive upper bound of a 20-bit absolute jump target (word address).
+pub const ADDR20_LIMIT: u32 = 1 << 20;
+/// Exclusive upper bound of a shift amount.
+pub const SHAMT_LIMIT: u8 = 32;
+
+/// One machine instruction with register operands of type `R`.
+///
+/// `R` is [`crate::ContextReg`] for encoded/decoded instructions and
+/// [`crate::AbsReg`] once the relocation unit has run. All immediates are
+/// signed 14-bit unless noted; branch offsets are PC-relative word offsets
+/// (relative to the instruction *after* the branch); jump targets are absolute
+/// word addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr<R> {
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+    /// `d = s + t` (wrapping).
+    Add { d: R, s: R, t: R },
+    /// `d = s - t` (wrapping).
+    Sub { d: R, s: R, t: R },
+    /// `d = s & t`.
+    And { d: R, s: R, t: R },
+    /// `d = s | t`.
+    Or { d: R, s: R, t: R },
+    /// `d = s ^ t`.
+    Xor { d: R, s: R, t: R },
+    /// `d = s << (t & 31)`.
+    Sll { d: R, s: R, t: R },
+    /// `d = s >> (t & 31)` (logical).
+    Srl { d: R, s: R, t: R },
+    /// `d = (s as i32) >> (t & 31)` (arithmetic).
+    Sra { d: R, s: R, t: R },
+    /// `d = (s as i32) < (t as i32)` as 0/1.
+    Slt { d: R, s: R, t: R },
+    /// `d = s + imm` (wrapping).
+    Addi { d: R, s: R, imm: i32 },
+    /// `d = s & imm` (immediate sign-extended).
+    Andi { d: R, s: R, imm: i32 },
+    /// `d = s | imm` (immediate sign-extended).
+    Ori { d: R, s: R, imm: i32 },
+    /// `d = s ^ imm` (immediate sign-extended).
+    Xori { d: R, s: R, imm: i32 },
+    /// `d = (s as i32) < imm` as 0/1.
+    Slti { d: R, s: R, imm: i32 },
+    /// `d = s << shamt`.
+    Slli { d: R, s: R, shamt: u8 },
+    /// `d = s >> shamt` (logical).
+    Srli { d: R, s: R, shamt: u8 },
+    /// `d = (s as i32) >> shamt` (arithmetic).
+    Srai { d: R, s: R, shamt: u8 },
+    /// `d = imm` (sign-extended 14-bit immediate).
+    Li { d: R, imm: i32 },
+    /// `d = mem[s + off]` (word-addressed).
+    Lw { d: R, base: R, off: i32 },
+    /// `mem[base + off] = s` (word-addressed).
+    Sw { s: R, base: R, off: i32 },
+    /// `d = s`.
+    Mov { d: R, s: R },
+    /// Branch to `pc + 1 + off` if `s == t`.
+    Beq { s: R, t: R, off: i32 },
+    /// Branch to `pc + 1 + off` if `s != t`.
+    Bne { s: R, t: R, off: i32 },
+    /// Unconditional jump to absolute word address `target`.
+    Jmp { target: u32 },
+    /// Jump to `target`, storing the return address (`pc + 1`) in `d`.
+    Jal { d: R, target: u32 },
+    /// Jump to the address held in register `s`.
+    Jr { s: R },
+    /// Jump to the address in `s`, storing the return address in `d`.
+    Jalr { d: R, s: R },
+    /// Load the register relocation mask from the low bits of `s`.
+    ///
+    /// Takes effect after the machine's configured number of delay slots.
+    /// With the multiple-RRM extension, a single `ldrrm` loads every mask
+    /// from bit-fields of `s`.
+    Ldrrm { s: R },
+    /// `d = PSW` (move from processor status word).
+    Mfpsw { d: R },
+    /// `PSW = s` (move to processor status word).
+    Mtpsw { s: R },
+}
+
+/// Instruction opcodes as stored in bits `[26, 32)` of the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    Nop = 0,
+    Halt = 1,
+    Add = 2,
+    Sub = 3,
+    And = 4,
+    Or = 5,
+    Xor = 6,
+    Sll = 7,
+    Srl = 8,
+    Sra = 9,
+    Slt = 10,
+    Addi = 11,
+    Andi = 12,
+    Ori = 13,
+    Xori = 14,
+    Slti = 15,
+    Slli = 16,
+    Srli = 17,
+    Srai = 18,
+    Li = 19,
+    Lw = 20,
+    Sw = 21,
+    Mov = 22,
+    Beq = 23,
+    Bne = 24,
+    Jmp = 25,
+    Jal = 26,
+    Jr = 27,
+    Jalr = 28,
+    Ldrrm = 29,
+    Mfpsw = 30,
+    Mtpsw = 31,
+}
+
+impl Opcode {
+    /// All opcodes, in numeric order.
+    pub const ALL: [Opcode; 32] = [
+        Opcode::Nop,
+        Opcode::Halt,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slti,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Li,
+        Opcode::Lw,
+        Opcode::Sw,
+        Opcode::Mov,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Jmp,
+        Opcode::Jal,
+        Opcode::Jr,
+        Opcode::Jalr,
+        Opcode::Ldrrm,
+        Opcode::Mfpsw,
+        Opcode::Mtpsw,
+    ];
+
+    /// Converts a raw opcode field value.
+    pub fn from_u8(value: u8) -> Option<Opcode> {
+        Opcode::ALL.get(usize::from(value)).copied()
+    }
+
+    /// Which of the three fixed register fields (A, B, C) this opcode uses.
+    ///
+    /// This table is the hardware's "fixed-field decoding" knowledge: the
+    /// relocation unit ORs the RRM into exactly these fields (Figure 2 of the
+    /// paper).
+    pub fn register_fields(self) -> &'static [RegField] {
+        use RegField::*;
+        match self {
+            Opcode::Nop | Opcode::Halt | Opcode::Jmp => &[],
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Sra
+            | Opcode::Slt => &[A, B, C],
+            Opcode::Addi
+            | Opcode::Andi
+            | Opcode::Ori
+            | Opcode::Xori
+            | Opcode::Slti
+            | Opcode::Slli
+            | Opcode::Srli
+            | Opcode::Srai
+            | Opcode::Lw
+            | Opcode::Sw
+            | Opcode::Mov
+            | Opcode::Beq
+            | Opcode::Bne
+            | Opcode::Jalr => &[A, B],
+            Opcode::Li | Opcode::Jal | Opcode::Mfpsw => &[A],
+            Opcode::Jr | Opcode::Ldrrm | Opcode::Mtpsw => &[B],
+        }
+    }
+
+    /// The lowercase mnemonic, as accepted by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "nop",
+            Opcode::Halt => "halt",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Sll => "sll",
+            Opcode::Srl => "srl",
+            Opcode::Sra => "sra",
+            Opcode::Slt => "slt",
+            Opcode::Addi => "addi",
+            Opcode::Andi => "andi",
+            Opcode::Ori => "ori",
+            Opcode::Xori => "xori",
+            Opcode::Slti => "slti",
+            Opcode::Slli => "slli",
+            Opcode::Srli => "srli",
+            Opcode::Srai => "srai",
+            Opcode::Li => "li",
+            Opcode::Lw => "lw",
+            Opcode::Sw => "sw",
+            Opcode::Mov => "mov",
+            Opcode::Beq => "beq",
+            Opcode::Bne => "bne",
+            Opcode::Jmp => "jmp",
+            Opcode::Jal => "jal",
+            Opcode::Jr => "jr",
+            Opcode::Jalr => "jalr",
+            Opcode::Ldrrm => "ldrrm",
+            Opcode::Mfpsw => "mfpsw",
+            Opcode::Mtpsw => "mtpsw",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One of the three fixed register operand fields in the 32-bit encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegField {
+    /// Bits `[20, 26)`; by convention the destination.
+    A,
+    /// Bits `[14, 20)`; by convention the first source.
+    B,
+    /// Bits `[8, 14)`; by convention the second source.
+    C,
+}
+
+impl RegField {
+    /// Bit position of the field's least-significant bit in the word.
+    pub fn shift(self) -> u32 {
+        match self {
+            RegField::A => 20,
+            RegField::B => 14,
+            RegField::C => 8,
+        }
+    }
+}
+
+impl<R> Instr<R> {
+    /// The instruction's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instr::Nop => Opcode::Nop,
+            Instr::Halt => Opcode::Halt,
+            Instr::Add { .. } => Opcode::Add,
+            Instr::Sub { .. } => Opcode::Sub,
+            Instr::And { .. } => Opcode::And,
+            Instr::Or { .. } => Opcode::Or,
+            Instr::Xor { .. } => Opcode::Xor,
+            Instr::Sll { .. } => Opcode::Sll,
+            Instr::Srl { .. } => Opcode::Srl,
+            Instr::Sra { .. } => Opcode::Sra,
+            Instr::Slt { .. } => Opcode::Slt,
+            Instr::Addi { .. } => Opcode::Addi,
+            Instr::Andi { .. } => Opcode::Andi,
+            Instr::Ori { .. } => Opcode::Ori,
+            Instr::Xori { .. } => Opcode::Xori,
+            Instr::Slti { .. } => Opcode::Slti,
+            Instr::Slli { .. } => Opcode::Slli,
+            Instr::Srli { .. } => Opcode::Srli,
+            Instr::Srai { .. } => Opcode::Srai,
+            Instr::Li { .. } => Opcode::Li,
+            Instr::Lw { .. } => Opcode::Lw,
+            Instr::Sw { .. } => Opcode::Sw,
+            Instr::Mov { .. } => Opcode::Mov,
+            Instr::Beq { .. } => Opcode::Beq,
+            Instr::Bne { .. } => Opcode::Bne,
+            Instr::Jmp { .. } => Opcode::Jmp,
+            Instr::Jal { .. } => Opcode::Jal,
+            Instr::Jr { .. } => Opcode::Jr,
+            Instr::Jalr { .. } => Opcode::Jalr,
+            Instr::Ldrrm { .. } => Opcode::Ldrrm,
+            Instr::Mfpsw { .. } => Opcode::Mfpsw,
+            Instr::Mtpsw { .. } => Opcode::Mtpsw,
+        }
+    }
+
+    /// Applies `f` to every register operand, converting the register
+    /// representation.
+    ///
+    /// This is the structural analogue of the relocation unit: `rr-machine`
+    /// relocates a decoded instruction with
+    /// `instr.try_map_registers(|r| unit.relocate(r))`.
+    pub fn map_registers<S>(self, mut f: impl FnMut(R) -> S) -> Instr<S> {
+        // Infallible mapping in terms of the fallible one; the error type is
+        // uninhabited so the unwrap cannot fail.
+        match self.try_map_registers::<S, core::convert::Infallible>(|r| Ok(f(r))) {
+            Ok(i) => i,
+        }
+    }
+
+    /// Applies a fallible `f` to every register operand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f` (e.g. a relocation bounds
+    /// violation).
+    pub fn try_map_registers<S, E>(
+        self,
+        mut f: impl FnMut(R) -> Result<S, E>,
+    ) -> Result<Instr<S>, E> {
+        Ok(match self {
+            Instr::Nop => Instr::Nop,
+            Instr::Halt => Instr::Halt,
+            Instr::Add { d, s, t } => Instr::Add { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Sub { d, s, t } => Instr::Sub { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::And { d, s, t } => Instr::And { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Or { d, s, t } => Instr::Or { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Xor { d, s, t } => Instr::Xor { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Sll { d, s, t } => Instr::Sll { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Srl { d, s, t } => Instr::Srl { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Sra { d, s, t } => Instr::Sra { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Slt { d, s, t } => Instr::Slt { d: f(d)?, s: f(s)?, t: f(t)? },
+            Instr::Addi { d, s, imm } => Instr::Addi { d: f(d)?, s: f(s)?, imm },
+            Instr::Andi { d, s, imm } => Instr::Andi { d: f(d)?, s: f(s)?, imm },
+            Instr::Ori { d, s, imm } => Instr::Ori { d: f(d)?, s: f(s)?, imm },
+            Instr::Xori { d, s, imm } => Instr::Xori { d: f(d)?, s: f(s)?, imm },
+            Instr::Slti { d, s, imm } => Instr::Slti { d: f(d)?, s: f(s)?, imm },
+            Instr::Slli { d, s, shamt } => Instr::Slli { d: f(d)?, s: f(s)?, shamt },
+            Instr::Srli { d, s, shamt } => Instr::Srli { d: f(d)?, s: f(s)?, shamt },
+            Instr::Srai { d, s, shamt } => Instr::Srai { d: f(d)?, s: f(s)?, shamt },
+            Instr::Li { d, imm } => Instr::Li { d: f(d)?, imm },
+            Instr::Lw { d, base, off } => Instr::Lw { d: f(d)?, base: f(base)?, off },
+            Instr::Sw { s, base, off } => Instr::Sw { s: f(s)?, base: f(base)?, off },
+            Instr::Mov { d, s } => Instr::Mov { d: f(d)?, s: f(s)? },
+            Instr::Beq { s, t, off } => Instr::Beq { s: f(s)?, t: f(t)?, off },
+            Instr::Bne { s, t, off } => Instr::Bne { s: f(s)?, t: f(t)?, off },
+            Instr::Jmp { target } => Instr::Jmp { target },
+            Instr::Jal { d, target } => Instr::Jal { d: f(d)?, target },
+            Instr::Jr { s } => Instr::Jr { s: f(s)? },
+            Instr::Jalr { d, s } => Instr::Jalr { d: f(d)?, s: f(s)? },
+            Instr::Ldrrm { s } => Instr::Ldrrm { s: f(s)? },
+            Instr::Mfpsw { d } => Instr::Mfpsw { d: f(d)? },
+            Instr::Mtpsw { s } => Instr::Mtpsw { s: f(s)? },
+        })
+    }
+
+    /// Collects every register operand, in field order.
+    pub fn registers(&self) -> Vec<&R> {
+        let mut out = Vec::with_capacity(3);
+        match self {
+            Instr::Nop | Instr::Halt | Instr::Jmp { .. } => {}
+            Instr::Add { d, s, t }
+            | Instr::Sub { d, s, t }
+            | Instr::And { d, s, t }
+            | Instr::Or { d, s, t }
+            | Instr::Xor { d, s, t }
+            | Instr::Sll { d, s, t }
+            | Instr::Srl { d, s, t }
+            | Instr::Sra { d, s, t }
+            | Instr::Slt { d, s, t } => {
+                out.push(d);
+                out.push(s);
+                out.push(t);
+            }
+            Instr::Addi { d, s, .. }
+            | Instr::Andi { d, s, .. }
+            | Instr::Ori { d, s, .. }
+            | Instr::Xori { d, s, .. }
+            | Instr::Slti { d, s, .. }
+            | Instr::Slli { d, s, .. }
+            | Instr::Srli { d, s, .. }
+            | Instr::Srai { d, s, .. }
+            | Instr::Mov { d, s }
+            | Instr::Jalr { d, s } => {
+                out.push(d);
+                out.push(s);
+            }
+            Instr::Lw { d, base, .. } => {
+                out.push(d);
+                out.push(base);
+            }
+            Instr::Sw { s, base, .. } => {
+                out.push(s);
+                out.push(base);
+            }
+            Instr::Beq { s, t, .. } | Instr::Bne { s, t, .. } => {
+                out.push(s);
+                out.push(t);
+            }
+            Instr::Li { d, .. } | Instr::Jal { d, .. } | Instr::Mfpsw { d } => out.push(d),
+            Instr::Jr { s } | Instr::Ldrrm { s } | Instr::Mtpsw { s } => out.push(s),
+        }
+        out
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for Instr<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Add { d, s, t } => write!(f, "add {d}, {s}, {t}"),
+            Instr::Sub { d, s, t } => write!(f, "sub {d}, {s}, {t}"),
+            Instr::And { d, s, t } => write!(f, "and {d}, {s}, {t}"),
+            Instr::Or { d, s, t } => write!(f, "or {d}, {s}, {t}"),
+            Instr::Xor { d, s, t } => write!(f, "xor {d}, {s}, {t}"),
+            Instr::Sll { d, s, t } => write!(f, "sll {d}, {s}, {t}"),
+            Instr::Srl { d, s, t } => write!(f, "srl {d}, {s}, {t}"),
+            Instr::Sra { d, s, t } => write!(f, "sra {d}, {s}, {t}"),
+            Instr::Slt { d, s, t } => write!(f, "slt {d}, {s}, {t}"),
+            Instr::Addi { d, s, imm } => write!(f, "addi {d}, {s}, {imm}"),
+            Instr::Andi { d, s, imm } => write!(f, "andi {d}, {s}, {imm}"),
+            Instr::Ori { d, s, imm } => write!(f, "ori {d}, {s}, {imm}"),
+            Instr::Xori { d, s, imm } => write!(f, "xori {d}, {s}, {imm}"),
+            Instr::Slti { d, s, imm } => write!(f, "slti {d}, {s}, {imm}"),
+            Instr::Slli { d, s, shamt } => write!(f, "slli {d}, {s}, {shamt}"),
+            Instr::Srli { d, s, shamt } => write!(f, "srli {d}, {s}, {shamt}"),
+            Instr::Srai { d, s, shamt } => write!(f, "srai {d}, {s}, {shamt}"),
+            Instr::Li { d, imm } => write!(f, "li {d}, {imm}"),
+            Instr::Lw { d, base, off } => write!(f, "lw {d}, {off}({base})"),
+            Instr::Sw { s, base, off } => write!(f, "sw {s}, {off}({base})"),
+            Instr::Mov { d, s } => write!(f, "mov {d}, {s}"),
+            Instr::Beq { s, t, off } => write!(f, "beq {s}, {t}, {off}"),
+            Instr::Bne { s, t, off } => write!(f, "bne {s}, {t}, {off}"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Jal { d, target } => write!(f, "jal {d}, {target}"),
+            Instr::Jr { s } => write!(f, "jr {s}"),
+            Instr::Jalr { d, s } => write!(f, "jalr {d}, {s}"),
+            Instr::Ldrrm { s } => write!(f, "ldrrm {s}"),
+            Instr::Mfpsw { d } => write!(f, "mfpsw {d}"),
+            Instr::Mtpsw { s } => write!(f, "mtpsw {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{AbsReg, ContextReg, Rrm};
+
+    fn r(n: u8) -> ContextReg {
+        ContextReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(32), None);
+        assert_eq!(Opcode::from_u8(255), None);
+    }
+
+    #[test]
+    fn map_registers_relocates_every_operand() {
+        let rrm = Rrm::for_context(40, 8).unwrap();
+        let i = Instr::Add { d: r(1), s: r(2), t: r(3) };
+        let relocated: Instr<AbsReg> = i.map_registers(|x| rrm.relocate(x));
+        assert_eq!(
+            relocated,
+            Instr::Add { d: AbsReg(41), s: AbsReg(42), t: AbsReg(43) }
+        );
+    }
+
+    #[test]
+    fn registers_matches_register_fields_arity() {
+        let samples: Vec<Instr<ContextReg>> = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Add { d: r(0), s: r(1), t: r(2) },
+            Instr::Addi { d: r(0), s: r(1), imm: 5 },
+            Instr::Li { d: r(0), imm: 5 },
+            Instr::Lw { d: r(0), base: r(1), off: 4 },
+            Instr::Sw { s: r(0), base: r(1), off: 4 },
+            Instr::Mov { d: r(0), s: r(1) },
+            Instr::Beq { s: r(0), t: r(1), off: -2 },
+            Instr::Jmp { target: 12 },
+            Instr::Jal { d: r(0), target: 12 },
+            Instr::Jr { s: r(0) },
+            Instr::Jalr { d: r(0), s: r(1) },
+            Instr::Ldrrm { s: r(2) },
+            Instr::Mfpsw { d: r(1) },
+            Instr::Mtpsw { s: r(1) },
+        ];
+        for i in samples {
+            assert_eq!(
+                i.registers().len(),
+                i.opcode().register_fields().len(),
+                "arity mismatch for {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_registers_propagates_errors() {
+        let i = Instr::Add { d: r(1), s: r(2), t: r(3) };
+        let res: Result<Instr<AbsReg>, &str> = i.try_map_registers(|x| {
+            if x.number() == 2 {
+                Err("bad")
+            } else {
+                Ok(AbsReg(u16::from(x.number())))
+            }
+        });
+        assert_eq!(res, Err("bad"));
+    }
+
+    #[test]
+    fn display_round_trips_through_mnemonics() {
+        let i: Instr<ContextReg> = Instr::Lw { d: r(1), base: r(2), off: 4 };
+        assert_eq!(i.to_string(), "lw r1, 4(r2)");
+        let i: Instr<ContextReg> = Instr::Ldrrm { s: r(2) };
+        assert_eq!(i.to_string(), "ldrrm r2");
+    }
+}

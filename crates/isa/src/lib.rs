@@ -1,0 +1,62 @@
+//! A small RISC instruction set with register-relocation support.
+//!
+//! This crate defines the instruction set architecture used throughout the
+//! register-relocation reproduction: typed register operands, a compact
+//! instruction enum, a fixed-field 32-bit binary encoding, a two-pass text
+//! assembler, and a disassembler.
+//!
+//! # Background
+//!
+//! Register relocation (Waldspurger & Weihl, ISCA 1993) lets instructions name
+//! *context-relative* registers, numbered consecutively from `r0`. During
+//! instruction decode, each register operand field is bitwise-OR'd with a
+//! *register relocation mask* (RRM) to form the *absolute* register number used
+//! for execution. Because the OR leaves a flexible split between "base" bits
+//! (from the RRM) and "offset" bits (from the operand), the register file can
+//! be partitioned in software into power-of-two contexts of varying sizes.
+//!
+//! The type system mirrors the hardware distinction:
+//!
+//! * [`ContextReg`] — a context-relative operand as encoded in an instruction
+//!   (at most [`OPERAND_BITS`] bits wide).
+//! * [`AbsReg`] — an absolute register number after relocation (wide enough to
+//!   address the whole register file; the paper's "widened internal paths").
+//! * [`Rrm`] — a relocation mask value.
+//! * [`Instr<R>`] — an instruction generic over its register representation,
+//!   so a decoded instruction is `Instr<ContextReg>` and a relocated one is
+//!   `Instr<AbsReg>`.
+//!
+//! # Example
+//!
+//! Assemble and encode the paper's Figure 3 context-switch sequence:
+//!
+//! ```
+//! use rr_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     yield:
+//!         ldrrm r2        ; install next thread's relocation mask
+//!         mfpsw r1        ; save old PSW (executes in the LDRRM delay slot)
+//!         mtpsw r1        ; restore new context's PSW
+//!         jr r0           ; jump to new context's saved PC
+//!     "#,
+//! )?;
+//! assert_eq!(program.words().len(), 4);
+//! # Ok::<(), rr_isa::AsmError>(())
+//! ```
+
+pub mod analysis;
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod error;
+pub mod instr;
+pub mod reg;
+
+pub use asm::{assemble, assemble_at, Program};
+pub use disasm::{disassemble, disassemble_at};
+pub use encode::{decode, encode, relocate_word};
+pub use error::{AsmError, DecodeError, EncodeError, RegisterError};
+pub use instr::{Instr, Opcode};
+pub use reg::{AbsReg, ContextReg, Rrm, MAX_CONTEXT_SIZE, OPERAND_BITS};

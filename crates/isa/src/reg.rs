@@ -1,0 +1,355 @@
+//! Typed register operands and relocation masks.
+//!
+//! The newtypes in this module keep the two register spaces of the paper
+//! statically distinct: instructions carry [`ContextReg`] operands, the
+//! register file is indexed by [`AbsReg`], and only an [`Rrm`] can convert one
+//! into the other (the decode-stage bitwise OR of Figure 2).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::error::RegisterError;
+
+/// Width in bits of a register operand field in the instruction encoding.
+///
+/// This is the paper's `w`: it bounds the number of *context-relative*
+/// registers an instruction can name, and therefore places an upper limit of
+/// `2^w` = [`MAX_CONTEXT_SIZE`] on the size of a single context. A machine may
+/// be configured with a smaller effective operand width, but the binary
+/// encoding always reserves this many bits per operand (fixed-field decoding).
+pub const OPERAND_BITS: u32 = 6;
+
+/// Maximum size of a single context, `2^OPERAND_BITS` registers.
+pub const MAX_CONTEXT_SIZE: u32 = 1 << OPERAND_BITS;
+
+/// A context-relative register operand, as encoded in an instruction.
+///
+/// Values range over `0..MAX_CONTEXT_SIZE`. With the multiple-RRM extension
+/// (paper §5.3) the high-order operand bit acts as a mask *selector* rather
+/// than part of the register number; see
+/// [`Rrm::relocate`] and `rr-machine`'s relocation unit.
+///
+/// # Example
+///
+/// ```
+/// use rr_isa::ContextReg;
+///
+/// let r5 = ContextReg::new(5)?;
+/// assert_eq!(r5.number(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// # Ok::<(), rr_isa::RegisterError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContextReg(u8);
+
+impl ContextReg {
+    /// The lowest context-relative register, `r0`.
+    pub const R0: ContextReg = ContextReg(0);
+
+    /// Creates a context-relative register operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError::OperandOutOfRange`] if `number` does not fit
+    /// in [`OPERAND_BITS`] bits.
+    pub fn new(number: u8) -> Result<Self, RegisterError> {
+        if u32::from(number) < MAX_CONTEXT_SIZE {
+            Ok(ContextReg(number))
+        } else {
+            Err(RegisterError::OperandOutOfRange {
+                operand: number,
+                max: MAX_CONTEXT_SIZE as u8 - 1,
+            })
+        }
+    }
+
+    /// Creates a register operand with the multi-RRM selector bit applied.
+    ///
+    /// `selector` chooses which relocation mask relocates this operand when
+    /// the machine has the multiple-active-contexts extension enabled; the
+    /// assembler surfaces this as `c1.rN` syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `number` does not fit in the remaining
+    /// `OPERAND_BITS - 1` offset bits, or if `selector > 1`.
+    pub fn with_selector(number: u8, selector: u8) -> Result<Self, RegisterError> {
+        if selector > 1 {
+            return Err(RegisterError::BadSelector { selector });
+        }
+        let offset_bits = OPERAND_BITS - 1;
+        if u32::from(number) >= (1 << offset_bits) {
+            return Err(RegisterError::OperandOutOfRange {
+                operand: number,
+                max: (1u8 << offset_bits) - 1,
+            });
+        }
+        Ok(ContextReg(number | (selector << offset_bits)))
+    }
+
+    /// The raw operand value, including any selector bit.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The multi-RRM selector bit (the high-order operand bit).
+    ///
+    /// Only meaningful on machines with the multiple-RRM extension enabled;
+    /// otherwise the bit is ordinary operand payload.
+    #[inline]
+    pub fn selector(self) -> u8 {
+        self.0 >> (OPERAND_BITS - 1)
+    }
+
+    /// The operand value with the selector bit stripped.
+    #[inline]
+    pub fn offset(self) -> u8 {
+        self.0 & ((1 << (OPERAND_BITS - 1)) - 1)
+    }
+}
+
+impl fmt::Display for ContextReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for ContextReg {
+    type Error = RegisterError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        ContextReg::new(value)
+    }
+}
+
+/// An absolute register number, the result of relocating a [`ContextReg`].
+///
+/// Absolute numbers index the physical register file and may need more bits
+/// than an instruction operand field provides (the paper's "widened internal
+/// paths" after decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AbsReg(pub u16);
+
+impl AbsReg {
+    /// The absolute register number.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for AbsReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<AbsReg> for u16 {
+    fn from(r: AbsReg) -> u16 {
+        r.0
+    }
+}
+
+/// A register relocation mask (RRM).
+///
+/// The RRM is held in a special hardware register of `ceil(log2 n)` bits for a
+/// machine with `n` general registers, and is loaded by the `LDRRM`
+/// instruction. During decode every register operand is bitwise-OR'd with the
+/// RRM (Figure 2 of the paper).
+///
+/// A mask that is the base address of a *size-aligned* context has its low
+/// `log2(size)` bits clear, which is what makes OR equivalent to ADD for
+/// in-context operands.
+///
+/// # Example
+///
+/// Figure 1(a) of the paper: 128 registers, a context of size 8 based at
+/// register 40; context-relative register 5 relocates to absolute register 45.
+///
+/// ```
+/// use rr_isa::{ContextReg, Rrm};
+///
+/// let rrm = Rrm::for_context(40, 8)?;
+/// let abs = rrm.relocate(ContextReg::new(5)?);
+/// assert_eq!(abs.0, 45);
+/// # Ok::<(), rr_isa::RegisterError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Rrm(u16);
+
+impl Rrm {
+    /// The zero mask: context-relative numbers are absolute numbers.
+    pub const ZERO: Rrm = Rrm(0);
+
+    /// Creates a mask from a raw value (e.g. read from a general register by
+    /// `LDRRM`). Any value is a valid mask; whether it denotes a well-formed
+    /// context base is a software convention checked by [`Rrm::for_context`].
+    #[inline]
+    pub fn from_raw(value: u16) -> Self {
+        Rrm(value)
+    }
+
+    /// The raw mask value.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Creates the mask for a context of `size` registers based at absolute
+    /// register `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `size` is a power of two no larger than
+    /// [`MAX_CONTEXT_SIZE`] and `base` is aligned to `size` (the alignment is
+    /// what makes the decode-stage OR behave like an ADD).
+    pub fn for_context(base: u16, size: u32) -> Result<Self, RegisterError> {
+        if !size.is_power_of_two() || size > MAX_CONTEXT_SIZE {
+            return Err(RegisterError::BadContextSize { size });
+        }
+        if u32::from(base) % size != 0 {
+            return Err(RegisterError::MisalignedBase { base, size });
+        }
+        Ok(Rrm(base))
+    }
+
+    /// Relocates a context-relative operand: the decode-stage bitwise OR.
+    #[inline]
+    pub fn relocate(self, op: ContextReg) -> AbsReg {
+        AbsReg(self.0 | u16::from(op.number()))
+    }
+
+    /// Relocates only the offset bits of an operand, for the multiple-RRM
+    /// extension where the high operand bit is a selector.
+    #[inline]
+    pub fn relocate_offset(self, op: ContextReg) -> AbsReg {
+        AbsReg(self.0 | u16::from(op.offset()))
+    }
+
+    /// The largest context size this mask can serve without offset bits
+    /// colliding with base bits: `2^(trailing zeros)`, capped at
+    /// [`MAX_CONTEXT_SIZE`].
+    ///
+    /// The mask `0` (base register 0) can serve the maximum size. This is the
+    /// quantity a MUX-based "bounds checking" decode unit (paper footnote 3)
+    /// can infer from the mask alone.
+    #[inline]
+    pub fn natural_capacity(self) -> u32 {
+        if self.0 == 0 {
+            MAX_CONTEXT_SIZE
+        } else {
+            (1u32 << self.0.trailing_zeros()).min(MAX_CONTEXT_SIZE)
+        }
+    }
+}
+
+impl fmt::Display for Rrm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RRM({:#09b})", self.0)
+    }
+}
+
+impl fmt::Binary for Rrm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Rrm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Rrm> for u16 {
+    fn from(m: Rrm) -> u16 {
+        m.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_reg_bounds() {
+        assert!(ContextReg::new(0).is_ok());
+        assert!(ContextReg::new(63).is_ok());
+        assert!(ContextReg::new(64).is_err());
+        assert!(ContextReg::new(255).is_err());
+    }
+
+    #[test]
+    fn selector_split() {
+        let r = ContextReg::with_selector(3, 1).unwrap();
+        assert_eq!(r.number(), 35);
+        assert_eq!(r.selector(), 1);
+        assert_eq!(r.offset(), 3);
+        let r = ContextReg::with_selector(3, 0).unwrap();
+        assert_eq!(r.number(), 3);
+        assert_eq!(r.selector(), 0);
+        assert!(ContextReg::with_selector(32, 0).is_err());
+        assert!(ContextReg::with_selector(0, 2).is_err());
+    }
+
+    #[test]
+    fn figure_1a_relocation() {
+        // 128 registers, context of size 8 at base 40: r5 -> R45.
+        let rrm = Rrm::for_context(40, 8).unwrap();
+        assert_eq!(rrm.relocate(ContextReg::new(5).unwrap()).0, 45);
+    }
+
+    #[test]
+    fn figure_1b_relocation() {
+        // Context of size 16 at base 32: r14 -> R46.
+        let rrm = Rrm::for_context(32, 16).unwrap();
+        assert_eq!(rrm.relocate(ContextReg::new(14).unwrap()).0, 46);
+    }
+
+    #[test]
+    fn misaligned_base_rejected() {
+        assert!(Rrm::for_context(44, 8).is_err());
+        assert!(Rrm::for_context(44, 4).is_ok());
+    }
+
+    #[test]
+    fn bad_context_sizes_rejected() {
+        assert!(Rrm::for_context(0, 3).is_err());
+        assert!(Rrm::for_context(0, 0).is_err());
+        assert!(Rrm::for_context(0, 128).is_err());
+        assert!(Rrm::for_context(0, 64).is_ok());
+    }
+
+    #[test]
+    fn or_equals_add_for_aligned_contexts() {
+        for k in 0..=6u32 {
+            let size = 1u32 << k;
+            for base in (0..128).step_by(size as usize) {
+                let rrm = Rrm::for_context(base as u16, size).unwrap();
+                for off in 0..size.min(MAX_CONTEXT_SIZE) {
+                    let op = ContextReg::new(off as u8).unwrap();
+                    assert_eq!(u32::from(rrm.relocate(op).0), base + off);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn natural_capacity() {
+        assert_eq!(Rrm::from_raw(0).natural_capacity(), 64);
+        assert_eq!(Rrm::from_raw(40).natural_capacity(), 8);
+        assert_eq!(Rrm::from_raw(32).natural_capacity(), 32);
+        assert_eq!(Rrm::from_raw(96).natural_capacity(), 32);
+        assert_eq!(Rrm::from_raw(1).natural_capacity(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ContextReg::new(7).unwrap().to_string(), "r7");
+        assert_eq!(AbsReg(45).to_string(), "R45");
+        assert_eq!(format!("{:b}", Rrm::from_raw(40)), "101000");
+    }
+}

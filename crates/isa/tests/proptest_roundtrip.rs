@@ -1,0 +1,112 @@
+//! Property tests: encode/decode round trips, relocation identities, and
+//! assembler/disassembler round trips over arbitrary instructions.
+
+use proptest::prelude::*;
+use rr_isa::{assemble, decode, disassemble, encode, relocate_word, ContextReg, Instr, Rrm};
+
+fn arb_reg() -> impl Strategy<Value = ContextReg> {
+    (0u8..64).prop_map(|n| ContextReg::new(n).unwrap())
+}
+
+fn arb_imm14() -> impl Strategy<Value = i32> {
+    -(1i32 << 13)..(1i32 << 13)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr<ContextReg>> {
+    let r = arb_reg;
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Add { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Sub { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::And { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Or { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Xor { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Sll { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Srl { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Sra { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Slt { d, s, t }),
+        (r(), r(), arb_imm14()).prop_map(|(d, s, imm)| Instr::Addi { d, s, imm }),
+        (r(), r(), arb_imm14()).prop_map(|(d, s, imm)| Instr::Andi { d, s, imm }),
+        (r(), r(), arb_imm14()).prop_map(|(d, s, imm)| Instr::Ori { d, s, imm }),
+        (r(), r(), arb_imm14()).prop_map(|(d, s, imm)| Instr::Xori { d, s, imm }),
+        (r(), r(), arb_imm14()).prop_map(|(d, s, imm)| Instr::Slti { d, s, imm }),
+        (r(), r(), 0u8..32).prop_map(|(d, s, shamt)| Instr::Slli { d, s, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(d, s, shamt)| Instr::Srli { d, s, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(d, s, shamt)| Instr::Srai { d, s, shamt }),
+        (r(), arb_imm14()).prop_map(|(d, imm)| Instr::Li { d, imm }),
+        (r(), r(), arb_imm14()).prop_map(|(d, base, off)| Instr::Lw { d, base, off }),
+        (r(), r(), arb_imm14()).prop_map(|(s, base, off)| Instr::Sw { s, base, off }),
+        (r(), r()).prop_map(|(d, s)| Instr::Mov { d, s }),
+        (r(), r(), arb_imm14()).prop_map(|(s, t, off)| Instr::Beq { s, t, off }),
+        (r(), r(), arb_imm14()).prop_map(|(s, t, off)| Instr::Bne { s, t, off }),
+        (0u32..(1 << 20)).prop_map(|target| Instr::Jmp { target }),
+        (r(), 0u32..(1 << 20)).prop_map(|(d, target)| Instr::Jal { d, target }),
+        r().prop_map(|s| Instr::Jr { s }),
+        (r(), r()).prop_map(|(d, s)| Instr::Jalr { d, s }),
+        r().prop_map(|s| Instr::Ldrrm { s }),
+        r().prop_map(|d| Instr::Mfpsw { d }),
+        r().prop_map(|s| Instr::Mtpsw { s }),
+    ]
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on every representable instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = encode(&instr).unwrap();
+        prop_assert_eq!(decode(word).unwrap(), instr);
+    }
+
+    /// In-word relocation (Figure 2 hardware) agrees with relocation on the
+    /// decoded structure, whenever the mask fits the operand field and every
+    /// relocated operand still fits 6 bits.
+    #[test]
+    fn word_relocation_matches_structural(instr in arb_instr(), mask in 0u16..64) {
+        let rrm = Rrm::from_raw(mask);
+        let word = encode(&instr).unwrap();
+        let relocated = relocate_word(word, rrm).unwrap();
+        let structural = instr.map_registers(|x| {
+            ContextReg::new((rrm.relocate(x).0 & 0x3f) as u8).unwrap()
+        });
+        prop_assert_eq!(decode(relocated).unwrap(), structural);
+    }
+
+    /// Relocation with the zero mask is the identity.
+    #[test]
+    fn zero_mask_is_identity(instr in arb_instr()) {
+        let word = encode(&instr).unwrap();
+        prop_assert_eq!(relocate_word(word, Rrm::ZERO), Some(word));
+    }
+
+    /// Relocation is idempotent: OR-ing the same mask twice changes nothing.
+    #[test]
+    fn relocation_is_idempotent(instr in arb_instr(), mask in 0u16..64) {
+        let rrm = Rrm::from_raw(mask);
+        let word = encode(&instr).unwrap();
+        let once = relocate_word(word, rrm).unwrap();
+        prop_assert_eq!(relocate_word(once, rrm), Some(once));
+    }
+
+    /// Disassembled text reassembles to the identical encoding. Branches with
+    /// unrepresentable absolute targets degrade to `.word`, which preserves
+    /// the bits exactly.
+    #[test]
+    fn disassemble_assemble_round_trip(instrs in prop::collection::vec(arb_instr(), 1..20)) {
+        let words: Vec<u32> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+        let text = disassemble(&words).join("\n");
+        let p = assemble(&text).unwrap();
+        prop_assert_eq!(p.words(), &words[..]);
+    }
+
+    /// Aligned relocation behaves like addition for in-context operands.
+    #[test]
+    fn or_is_add_when_aligned(k in 0u32..7, base_idx in 0u16..16, off in 0u8..64) {
+        let size = 1u32 << k;
+        let base = base_idx * size as u16;
+        prop_assume!(u32::from(off) < size);
+        let rrm = Rrm::for_context(base, size).unwrap();
+        let abs = rrm.relocate(ContextReg::new(off).unwrap());
+        prop_assert_eq!(u32::from(abs.0), u32::from(base) + u32::from(off));
+    }
+}

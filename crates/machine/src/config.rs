@@ -1,0 +1,234 @@
+//! Machine configuration: register file geometry, relocation behaviour, and
+//! per-instruction cycle costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MachineError;
+use rr_isa::{Opcode, OPERAND_BITS};
+
+/// Which arithmetic the relocation unit applies to operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RelocOp {
+    /// Bitwise OR (the paper's mechanism): one gate per bit on the decode
+    /// path, but context sizes must be powers of two with aligned bases.
+    #[default]
+    Or,
+    /// Addition (Am29000/HEP-style base-plus-offset): arbitrary context
+    /// geometry, at the price of a carry chain on the critical path — the
+    /// Related Work trade-off the paper argues against.
+    Add,
+}
+
+/// How the relocation unit combines operands with the RRM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BoundsMode {
+    /// Plain bitwise OR of mask and operand (the paper's basic mechanism).
+    ///
+    /// Protection between contexts is a compiler/runtime responsibility, like
+    /// protection between threads sharing an address space.
+    #[default]
+    Or,
+    /// MUX-based relocation with bounds checking (paper footnote 3).
+    ///
+    /// Each absolute-register bit is selected from either the RRM or the
+    /// operand. The split point is inferred from the mask's alignment (a
+    /// size-2^k context base has k trailing zero bits), so an operand with a
+    /// set bit above the split names a register outside the context and
+    /// faults with [`MachineError::ContextBoundsViolation`].
+    Mux,
+}
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of general registers `n` (a power of two, at most 1024).
+    pub num_registers: u16,
+    /// Effective operand width `w` in bits (at most [`OPERAND_BITS`]).
+    ///
+    /// Bounds the largest context to `2^w` registers. Operands at or above
+    /// `2^w` raise [`MachineError::OperandExceedsWidth`].
+    pub operand_width: u32,
+    /// Delay slots after `LDRRM` before the new mask takes effect.
+    ///
+    /// The paper's Figure 3 code assumes one delay slot.
+    pub ldrrm_delay_slots: u8,
+    /// Relocation bounds behaviour.
+    pub bounds: BoundsMode,
+    /// Relocation arithmetic (OR vs ADD).
+    pub reloc_op: RelocOp,
+    /// Enables the multiple-active-contexts extension (paper section 5.3):
+    /// the high operand bit selects between two RRMs, and `LDRRM` loads both
+    /// masks from bit-fields of its source register.
+    pub multi_rrm: bool,
+    /// Size of word-addressed memory.
+    pub mem_words: u32,
+    /// Per-instruction cycle costs.
+    pub costs: CostTable,
+}
+
+impl MachineConfig {
+    /// The configuration used throughout the paper's examples: 128 general
+    /// registers, effective 5-bit operands (32-register maximum context),
+    /// one `LDRRM` delay slot.
+    pub fn default_128() -> Self {
+        MachineConfig {
+            num_registers: 128,
+            operand_width: 5,
+            ldrrm_delay_slots: 1,
+            bounds: BoundsMode::Or,
+            reloc_op: RelocOp::Or,
+            multi_rrm: false,
+            mem_words: 1 << 16,
+            costs: CostTable::default(),
+        }
+    }
+
+    /// The paper's larger example: 256 registers with 6-bit operands
+    /// (64-register maximum context).
+    pub fn default_256() -> Self {
+        MachineConfig { num_registers: 256, operand_width: 6, ..Self::default_128() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] if the register count is not a
+    /// power of two in `1..=1024`, the operand width exceeds
+    /// [`OPERAND_BITS`] or cannot address at least two registers, or memory
+    /// is empty.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        let n = u32::from(self.num_registers);
+        if !n.is_power_of_two() || !(2..=1024).contains(&n) {
+            return Err(MachineError::BadConfig {
+                reason: format!("register count {n} must be a power of two in 2..=1024"),
+            });
+        }
+        if self.operand_width == 0 || self.operand_width > OPERAND_BITS {
+            return Err(MachineError::BadConfig {
+                reason: format!(
+                    "operand width {} must be in 1..={OPERAND_BITS}",
+                    self.operand_width
+                ),
+            });
+        }
+        if self.multi_rrm && self.operand_width < 2 {
+            return Err(MachineError::BadConfig {
+                reason: "multi-RRM needs at least 2 operand bits (1 selector + 1 offset)".into(),
+            });
+        }
+        if self.mem_words == 0 {
+            return Err(MachineError::BadConfig { reason: "memory must be non-empty".into() });
+        }
+        if self.reloc_op == RelocOp::Add && self.bounds == BoundsMode::Mux {
+            return Err(MachineError::BadConfig {
+                reason: "MUX bounds checking infers capacity from mask alignment, \
+                         which ADD relocation does not have"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bits needed to address the register file: `ceil(log2 n)`, the width of
+    /// the RRM register.
+    pub fn rrm_bits(&self) -> u32 {
+        u32::from(self.num_registers).trailing_zeros()
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::default_128()
+    }
+}
+
+/// Per-opcode cycle costs.
+///
+/// The paper counts "RISC cycles" with every instruction costing one cycle,
+/// which is this table's default; individual opcodes can be re-costed to
+/// study, e.g., multi-cycle loads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostTable {
+    costs: [u32; 32],
+}
+
+impl CostTable {
+    /// Uniform single-cycle costs.
+    pub fn new() -> Self {
+        CostTable { costs: [1; 32] }
+    }
+
+    /// The cycle cost of `op`.
+    pub fn cost(&self, op: Opcode) -> u32 {
+        self.costs[op as usize]
+    }
+
+    /// Sets the cycle cost of `op`, returning `self` for chaining.
+    pub fn with_cost(mut self, op: Opcode, cycles: u32) -> Self {
+        self.costs[op as usize] = cycles;
+        self
+    }
+}
+
+impl Default for CostTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        assert!(MachineConfig::default_128().validate().is_ok());
+        assert!(MachineConfig::default_256().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = MachineConfig::default_128();
+        c.num_registers = 100;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default_128();
+        c.operand_width = 7;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default_128();
+        c.operand_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default_128();
+        c.mem_words = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default_128();
+        c.multi_rrm = true;
+        c.operand_width = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::default_128();
+        c.reloc_op = RelocOp::Add;
+        c.bounds = BoundsMode::Mux;
+        assert!(c.validate().is_err());
+        c.bounds = BoundsMode::Or;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rrm_bits_matches_paper() {
+        // ceil(lg 128) = 7 bits, as in Figure 1.
+        assert_eq!(MachineConfig::default_128().rrm_bits(), 7);
+        assert_eq!(MachineConfig::default_256().rrm_bits(), 8);
+    }
+
+    #[test]
+    fn cost_table_overrides() {
+        let t = CostTable::new().with_cost(Opcode::Lw, 2);
+        assert_eq!(t.cost(Opcode::Lw), 2);
+        assert_eq!(t.cost(Opcode::Add), 1);
+    }
+}

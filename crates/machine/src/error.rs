@@ -1,0 +1,118 @@
+//! Machine execution errors.
+
+use core::fmt;
+
+use rr_isa::DecodeError;
+
+/// Errors raised while configuring or running the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// An invalid [`crate::MachineConfig`].
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Instruction fetch outside memory.
+    FetchOutOfRange {
+        /// The program counter that failed to fetch.
+        pc: u32,
+    },
+    /// The fetched word did not decode.
+    Decode(DecodeError),
+    /// A register operand at or above `2^w` for the machine's operand width
+    /// `w` (the program was compiled for a wider machine).
+    OperandExceedsWidth {
+        /// The offending operand value.
+        operand: u8,
+        /// The machine's effective operand width.
+        width: u32,
+    },
+    /// A relocated register number outside the register file.
+    RegisterOutOfRange {
+        /// The relocated absolute register number.
+        abs: u16,
+        /// Number of registers in the file.
+        num_registers: u16,
+    },
+    /// With MUX bounds checking, an operand named a register outside the
+    /// current context (paper footnote 3).
+    ContextBoundsViolation {
+        /// The offending operand value.
+        operand: u8,
+        /// The context capacity implied by the active mask's alignment.
+        capacity: u32,
+    },
+    /// A data access outside memory.
+    MemoryOutOfRange {
+        /// The offending word address.
+        addr: i64,
+    },
+    /// Program load would not fit in memory.
+    ProgramTooLarge {
+        /// Required end address (exclusive).
+        end: u64,
+        /// Memory size in words.
+        mem_words: u32,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::BadConfig { reason } => write!(f, "bad machine config: {reason}"),
+            MachineError::FetchOutOfRange { pc } => {
+                write!(f, "instruction fetch at {pc} is outside memory")
+            }
+            MachineError::Decode(e) => write!(f, "{e}"),
+            MachineError::OperandExceedsWidth { operand, width } => {
+                write!(f, "operand r{operand} exceeds the machine's {width}-bit operand width")
+            }
+            MachineError::RegisterOutOfRange { abs, num_registers } => {
+                write!(f, "relocated register R{abs} is outside the {num_registers}-register file")
+            }
+            MachineError::ContextBoundsViolation { operand, capacity } => {
+                write!(
+                    f,
+                    "operand r{operand} is outside the current context of capacity {capacity}"
+                )
+            }
+            MachineError::MemoryOutOfRange { addr } => {
+                write!(f, "memory access at word {addr} is outside memory")
+            }
+            MachineError::ProgramTooLarge { end, mem_words } => {
+                write!(f, "program ends at word {end} but memory holds {mem_words} words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for MachineError {
+    fn from(e: DecodeError) -> Self {
+        MachineError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = MachineError::ContextBoundsViolation { operand: 9, capacity: 8 };
+        assert_eq!(
+            e.to_string(),
+            "operand r9 is outside the current context of capacity 8"
+        );
+        let e = MachineError::OperandExceedsWidth { operand: 40, width: 5 };
+        assert!(e.to_string().contains("5-bit"));
+    }
+}

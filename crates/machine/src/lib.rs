@@ -1,0 +1,62 @@
+//! Cycle-level simulator for a RISC processor with register-relocation
+//! hardware.
+//!
+//! This crate executes programs written in the [`rr_isa`] instruction set on a
+//! machine whose only multithreading support is the paper's minimal hardware:
+//! a register relocation mask (RRM) register, the `LDRRM` instruction with a
+//! configurable number of delay slots, and the decode-stage OR that relocates
+//! every register operand (Figure 2 of the paper). Everything else — context
+//! allocation, scheduling, loading and unloading — is software, which is
+//! exactly the point of the paper.
+//!
+//! Two optional hardware extensions from the paper are modeled:
+//!
+//! * **MUX/bounds-checked relocation** (footnote 3): each operand bit is
+//!   selected from either the RRM or the operand, preventing a thread from
+//!   naming registers outside its context ([`BoundsMode::Mux`]).
+//! * **Multiple active contexts** (paper section 5.3): two RRMs selected by
+//!   the high operand bit, enabling inter-context instructions such as
+//!   `add c0.r3, c0.r4, c1.r6` ([`MachineConfig::multi_rrm`]).
+//!
+//! # Example
+//!
+//! Run Figure 1(a): with the RRM set for a context of size 8 based at register
+//! 40, context-relative `r5` names absolute register `R45`.
+//!
+//! ```
+//! use rr_isa::assemble;
+//! use rr_machine::{Machine, MachineConfig};
+//!
+//! let mut m = Machine::new(MachineConfig::default_128())?;
+//! // Set the RRM through software, exactly as a runtime would: put the mask
+//! // in a register (absolute R0, reachable while RRM = 0) and LDRRM it.
+//! let p = assemble(
+//!     r#"
+//!     li r0, 40       ; mask for a size-8 context at base 40
+//!     ldrrm r0
+//!     nop             ; one LDRRM delay slot
+//!     li r5, 99       ; context-relative r5 ...
+//!     halt
+//!     "#,
+//! )?;
+//! m.load_program(&p)?;
+//! m.run_until_halt(1_000)?;
+//! assert_eq!(m.read_abs(45)?, 99);   // ... landed in absolute R45.
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod regfile;
+pub mod rrm;
+pub mod trace;
+
+pub use config::{BoundsMode, CostTable, MachineConfig, RelocOp};
+pub use error::MachineError;
+pub use machine::{Machine, RunOutcome, Status};
+pub use memory::Memory;
+pub use regfile::RegisterFile;
+pub use rrm::RelocationUnit;
+pub use trace::{OpcodeHistogram, TraceBuffer, TraceEntry};

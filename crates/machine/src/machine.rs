@@ -1,0 +1,684 @@
+//! The machine: fetch, decode, relocate, execute.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MachineConfig;
+use crate::error::MachineError;
+use crate::memory::Memory;
+use crate::regfile::RegisterFile;
+use crate::rrm::RelocationUnit;
+use crate::trace::{OpcodeHistogram, TraceBuffer, TraceEntry};
+use rr_isa::{decode, AbsReg, Instr, Program, Rrm};
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// The machine executed one instruction and can continue.
+    Running,
+    /// The machine executed `halt`.
+    Halted,
+}
+
+/// Result of a bounded [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// `halt` was executed.
+    Halted,
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+    /// The target condition of `run_until_pc` was reached.
+    ReachedTarget,
+}
+
+/// A processor with register-relocation hardware.
+///
+/// The execution loop mirrors the pipeline stages the paper discusses: fetch,
+/// decode (including the relocation OR of every register operand field),
+/// execute. Each instruction costs the cycles given by the configuration's
+/// [`crate::CostTable`] (one cycle each by default — "RISC cycles").
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    regs: RegisterFile,
+    mem: Memory,
+    rrm: RelocationUnit,
+    pc: u32,
+    psw: u32,
+    halted: bool,
+    cycles: u64,
+    instret: u64,
+    histogram: OpcodeHistogram,
+    trace: TraceBuffer,
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] if the configuration is invalid.
+    pub fn new(config: MachineConfig) -> Result<Self, MachineError> {
+        config.validate()?;
+        Ok(Machine {
+            regs: RegisterFile::new(config.num_registers),
+            mem: Memory::new(config.mem_words),
+            rrm: RelocationUnit::new(&config),
+            pc: 0,
+            psw: 0,
+            halted: false,
+            cycles: 0,
+            instret: 0,
+            histogram: OpcodeHistogram::new(),
+            trace: TraceBuffer::new(0),
+        config,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Loads an assembled program at its origin and points the PC at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::ProgramTooLarge`] if the image does not fit in
+    /// memory.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), MachineError> {
+        self.mem.load_image(program.origin(), program.words())?;
+        self.pc = program.origin();
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] raised by fetch, decode, relocation, or data
+    /// access. The machine state is left as of the fault; errors are not
+    /// recoverable restarts.
+    pub fn step(&mut self) -> Result<Status, MachineError> {
+        if self.halted {
+            return Ok(Status::Halted);
+        }
+        // Fetch.
+        let word = self
+            .mem
+            .load(i64::from(self.pc))
+            .map_err(|_| MachineError::FetchOutOfRange { pc: self.pc })?;
+        // Decode: opcode decode and operand relocation happen together, as in
+        // Figure 2 of the paper.
+        let ctx_instr = decode(word)?;
+        let instr: Instr<AbsReg> = ctx_instr.try_map_registers(|r| self.rrm.relocate(r))?;
+        // Delay-slot bookkeeping advances per decoded instruction.
+        self.rrm.tick();
+        // Instrumentation.
+        self.histogram.record(instr.opcode());
+        self.trace.record(TraceEntry { cycle: self.cycles, pc: self.pc, instr });
+        // Execute.
+        self.cycles += u64::from(self.config.costs.cost(instr.opcode()));
+        self.instret += 1;
+        let next_pc = self.pc.wrapping_add(1);
+        let mut target = next_pc;
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(Status::Halted);
+            }
+            Instr::Add { d, s, t } => {
+                let v = self.regs.read(s)?.wrapping_add(self.regs.read(t)?);
+                self.regs.write(d, v)?;
+            }
+            Instr::Sub { d, s, t } => {
+                let v = self.regs.read(s)?.wrapping_sub(self.regs.read(t)?);
+                self.regs.write(d, v)?;
+            }
+            Instr::And { d, s, t } => {
+                let v = self.regs.read(s)? & self.regs.read(t)?;
+                self.regs.write(d, v)?;
+            }
+            Instr::Or { d, s, t } => {
+                let v = self.regs.read(s)? | self.regs.read(t)?;
+                self.regs.write(d, v)?;
+            }
+            Instr::Xor { d, s, t } => {
+                let v = self.regs.read(s)? ^ self.regs.read(t)?;
+                self.regs.write(d, v)?;
+            }
+            Instr::Sll { d, s, t } => {
+                let v = self.regs.read(s)? << (self.regs.read(t)? & 31);
+                self.regs.write(d, v)?;
+            }
+            Instr::Srl { d, s, t } => {
+                let v = self.regs.read(s)? >> (self.regs.read(t)? & 31);
+                self.regs.write(d, v)?;
+            }
+            Instr::Sra { d, s, t } => {
+                let v = (self.regs.read(s)? as i32) >> (self.regs.read(t)? & 31);
+                self.regs.write(d, v as u32)?;
+            }
+            Instr::Slt { d, s, t } => {
+                let v = (self.regs.read(s)? as i32) < (self.regs.read(t)? as i32);
+                self.regs.write(d, v as u32)?;
+            }
+            Instr::Addi { d, s, imm } => {
+                let v = self.regs.read(s)?.wrapping_add(imm as u32);
+                self.regs.write(d, v)?;
+            }
+            Instr::Andi { d, s, imm } => {
+                let v = self.regs.read(s)? & (imm as u32);
+                self.regs.write(d, v)?;
+            }
+            Instr::Ori { d, s, imm } => {
+                let v = self.regs.read(s)? | (imm as u32);
+                self.regs.write(d, v)?;
+            }
+            Instr::Xori { d, s, imm } => {
+                let v = self.regs.read(s)? ^ (imm as u32);
+                self.regs.write(d, v)?;
+            }
+            Instr::Slti { d, s, imm } => {
+                let v = (self.regs.read(s)? as i32) < imm;
+                self.regs.write(d, v as u32)?;
+            }
+            Instr::Slli { d, s, shamt } => {
+                let v = self.regs.read(s)? << shamt;
+                self.regs.write(d, v)?;
+            }
+            Instr::Srli { d, s, shamt } => {
+                let v = self.regs.read(s)? >> shamt;
+                self.regs.write(d, v)?;
+            }
+            Instr::Srai { d, s, shamt } => {
+                let v = (self.regs.read(s)? as i32) >> shamt;
+                self.regs.write(d, v as u32)?;
+            }
+            Instr::Li { d, imm } => {
+                self.regs.write(d, imm as u32)?;
+            }
+            Instr::Lw { d, base, off } => {
+                let addr = i64::from(self.regs.read(base)?) + i64::from(off);
+                let v = self.mem.load(addr)?;
+                self.regs.write(d, v)?;
+            }
+            Instr::Sw { s, base, off } => {
+                let addr = i64::from(self.regs.read(base)?) + i64::from(off);
+                let v = self.regs.read(s)?;
+                self.mem.store(addr, v)?;
+            }
+            Instr::Mov { d, s } => {
+                let v = self.regs.read(s)?;
+                self.regs.write(d, v)?;
+            }
+            Instr::Beq { s, t, off } => {
+                if self.regs.read(s)? == self.regs.read(t)? {
+                    target = next_pc.wrapping_add(off as u32);
+                }
+            }
+            Instr::Bne { s, t, off } => {
+                if self.regs.read(s)? != self.regs.read(t)? {
+                    target = next_pc.wrapping_add(off as u32);
+                }
+            }
+            Instr::Jmp { target: t } => target = t,
+            Instr::Jal { d, target: t } => {
+                self.regs.write(d, next_pc)?;
+                target = t;
+            }
+            Instr::Jr { s } => target = self.regs.read(s)?,
+            Instr::Jalr { d, s } => {
+                // Read the target before writing the link register so that
+                // `jalr r0, r0` behaves sensibly.
+                let t = self.regs.read(s)?;
+                self.regs.write(d, next_pc)?;
+                target = t;
+            }
+            Instr::Ldrrm { s } => {
+                let v = self.regs.read(s)?;
+                self.rrm.issue_load(v);
+            }
+            Instr::Mfpsw { d } => {
+                self.regs.write(d, self.psw)?;
+            }
+            Instr::Mtpsw { s } => {
+                self.psw = self.regs.read(s)?;
+            }
+        }
+        self.pc = target;
+        Ok(Status::Running)
+    }
+
+    /// Runs until `halt` or until at least `max_cycles` cycles have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution error.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, MachineError> {
+        let limit = self.cycles.saturating_add(max_cycles);
+        while self.cycles < limit {
+            if let Status::Halted = self.step()? {
+                return Ok(RunOutcome::Halted);
+            }
+        }
+        Ok(RunOutcome::CycleLimit)
+    }
+
+    /// Runs until `halt`, with `max_cycles` as a runaway guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; reaching the guard without halting is
+    /// *not* an error and returns [`RunOutcome::CycleLimit`].
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<RunOutcome, MachineError> {
+        self.run(max_cycles)
+    }
+
+    /// Runs until the PC equals `target` (checked before each instruction),
+    /// until `halt`, or until the cycle guard trips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution error.
+    pub fn run_until_pc(&mut self, target: u32, max_cycles: u64) -> Result<RunOutcome, MachineError> {
+        let limit = self.cycles.saturating_add(max_cycles);
+        while self.cycles < limit {
+            if self.pc == target {
+                return Ok(RunOutcome::ReachedTarget);
+            }
+            if let Status::Halted = self.step()? {
+                return Ok(RunOutcome::Halted);
+            }
+        }
+        Ok(RunOutcome::CycleLimit)
+    }
+
+    /// Reads an absolute register, for tests and runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `abs` is outside the file.
+    pub fn read_abs(&self, abs: u16) -> Result<u32, MachineError> {
+        self.regs.read(AbsReg(abs))
+    }
+
+    /// Writes an absolute register, for tests and runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `abs` is outside the file.
+    pub fn write_abs(&mut self, abs: u16, value: u32) -> Result<(), MachineError> {
+        self.regs.write(AbsReg(abs), value)
+    }
+
+    /// The active relocation mask with index `sel` (0 unless multi-RRM).
+    pub fn rrm(&self, sel: usize) -> Rrm {
+        self.rrm.mask(sel)
+    }
+
+    /// Sets a relocation mask directly, bypassing `LDRRM` delay slots.
+    /// Intended for test setup.
+    pub fn set_rrm(&mut self, sel: usize, mask: Rrm) {
+        self.rrm.set_mask(sel, mask);
+    }
+
+    /// Current program counter (word address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+        self.halted = false;
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instruction count.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// The processor status word.
+    pub fn psw(&self) -> u32 {
+        self.psw
+    }
+
+    /// Sets the processor status word.
+    pub fn set_psw(&mut self, psw: u32) {
+        self.psw = psw;
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Enables the bounded instruction trace, keeping the most recent
+    /// `capacity` retired instructions (0 disables).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::new(capacity);
+    }
+
+    /// The instruction trace (empty unless [`Self::enable_trace`] was
+    /// called).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Retired-instruction counts per opcode.
+    pub fn histogram(&self) -> &OpcodeHistogram {
+        &self.histogram
+    }
+
+    /// Shared access to memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory, for loading data images.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// A snapshot of the register file.
+    pub fn registers(&self) -> &[u32] {
+        self.regs.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::assemble;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default_128()).unwrap()
+    }
+
+    fn run_src(src: &str) -> Machine {
+        let mut m = machine();
+        let p = assemble(src).unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(100_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let m = run_src(
+            r#"
+            li r1, 7
+            li r2, 5
+            add r3, r1, r2
+            sub r4, r1, r2
+            and r5, r1, r2
+            or r6, r1, r2
+            xor r7, r1, r2
+            slt r8, r2, r1
+            slt r9, r1, r2
+            halt
+            "#,
+        );
+        assert_eq!(m.read_abs(3).unwrap(), 12);
+        assert_eq!(m.read_abs(4).unwrap(), 2);
+        assert_eq!(m.read_abs(5).unwrap(), 5);
+        assert_eq!(m.read_abs(6).unwrap(), 7);
+        assert_eq!(m.read_abs(7).unwrap(), 2);
+        assert_eq!(m.read_abs(8).unwrap(), 1);
+        assert_eq!(m.read_abs(9).unwrap(), 0);
+    }
+
+    #[test]
+    fn shifts_and_immediates() {
+        let m = run_src(
+            r#"
+            li r1, -8
+            srai r2, r1, 1
+            srli r3, r1, 28
+            slli r4, r1, 1
+            addi r5, r1, 10
+            slti r6, r1, 0
+            halt
+            "#,
+        );
+        assert_eq!(m.read_abs(2).unwrap() as i32, -4);
+        assert_eq!(m.read_abs(3).unwrap(), 0xf);
+        assert_eq!(m.read_abs(4).unwrap() as i32, -16);
+        assert_eq!(m.read_abs(5).unwrap(), 2);
+        assert_eq!(m.read_abs(6).unwrap(), 1);
+    }
+
+    #[test]
+    fn memory_and_branches() {
+        let m = run_src(
+            r#"
+                li r1, 1000
+                li r2, 42
+                sw r2, 4(r1)
+                lw r3, 4(r1)
+                li r4, 3
+                li r5, 0
+            loop:
+                addi r5, r5, 2
+                addi r4, r4, -1
+                bne r4, r0, loop
+                halt
+            "#,
+        );
+        assert_eq!(m.read_abs(3).unwrap(), 42);
+        assert_eq!(m.read_abs(5).unwrap(), 6);
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        let m = run_src(
+            r#"
+                jal r10, sub     ; call
+                li r1, 1         ; executes after return
+                halt
+            sub:
+                li r2, 2
+                jr r10
+            "#,
+        );
+        assert_eq!(m.read_abs(1).unwrap(), 1);
+        assert_eq!(m.read_abs(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn ldrrm_delay_slot_visible_in_execution() {
+        // The instruction in the LDRRM delay slot still uses the old mask:
+        // `li r1, 7` right after `ldrrm` writes absolute R1, not R33.
+        let m = run_src(
+            r#"
+            li r0, 32
+            ldrrm r0
+            li r1, 7      ; delay slot: old mask (0)
+            li r2, 9      ; new mask (32): absolute R34
+            halt
+            "#,
+        );
+        assert_eq!(m.read_abs(1).unwrap(), 7);
+        assert_eq!(m.read_abs(34).unwrap(), 9);
+        assert_eq!(m.read_abs(33).unwrap(), 0);
+    }
+
+    #[test]
+    fn psw_round_trips_through_contexts() {
+        let m = run_src(
+            r#"
+            li r1, 123
+            mtpsw r1
+            mfpsw r2
+            halt
+            "#,
+        );
+        assert_eq!(m.read_abs(2).unwrap(), 123);
+        assert_eq!(m.psw(), 123);
+    }
+
+    #[test]
+    fn cycle_counting_is_one_per_instruction() {
+        let m = run_src("nop\n nop\n nop\n halt");
+        assert_eq!(m.cycles(), 4);
+        assert_eq!(m.instret(), 4);
+    }
+
+    #[test]
+    fn operand_width_violation_faults() {
+        // default_128 has w = 5; r32 is architecturally encodable but too
+        // wide for this machine.
+        let mut m = machine();
+        let p = assemble("li r32, 1\n halt").unwrap();
+        m.load_program(&p).unwrap();
+        assert!(matches!(
+            m.run_until_halt(10),
+            Err(MachineError::OperandExceedsWidth { operand: 32, width: 5 })
+        ));
+    }
+
+    #[test]
+    fn fetch_out_of_range_faults() {
+        let mut m = machine();
+        m.set_pc(1 << 20);
+        assert!(matches!(m.step(), Err(MachineError::FetchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn run_until_pc_stops_before_target() {
+        let mut m = machine();
+        let p = assemble("li r1, 1\n li r2, 2\n li r3, 3\n halt").unwrap();
+        m.load_program(&p).unwrap();
+        let out = m.run_until_pc(2, 100).unwrap();
+        assert_eq!(out, RunOutcome::ReachedTarget);
+        assert_eq!(m.read_abs(1).unwrap(), 1);
+        assert_eq!(m.read_abs(2).unwrap(), 2);
+        assert_eq!(m.read_abs(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn trace_and_histogram_instrumentation() {
+        let mut m = machine();
+        m.enable_trace(4);
+        let p = assemble("li r1, 1\n li r2, 2\n add r3, r1, r2\n nop\n nop\n halt").unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(100).unwrap();
+        assert_eq!(m.histogram().count(rr_isa::Opcode::Li), 2);
+        assert_eq!(m.histogram().count(rr_isa::Opcode::Add), 1);
+        assert_eq!(m.histogram().total(), m.instret());
+        // Ring capacity 4: the two li instructions fell off.
+        let trace = m.trace();
+        assert_eq!(trace.len(), 4);
+        let rendered = trace.render();
+        assert!(rendered.contains("add R3, R1, R2"), "{rendered}");
+        assert!(!rendered.contains("li"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_records_relocated_operands() {
+        let mut m = machine();
+        m.enable_trace(8);
+        m.set_rrm(0, rr_isa::Rrm::for_context(40, 8).unwrap());
+        let p = assemble("li r5, 9\n halt").unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(10).unwrap();
+        assert!(m.trace().render().contains("li R45, 9"));
+    }
+
+    #[test]
+    fn branch_in_ldrrm_delay_slot_uses_old_mask() {
+        // A taken branch in the delay shadow: its operands relocate with the
+        // OLD mask, and the mask switch still lands on time afterwards.
+        let m = run_src(
+            r#"
+                li r1, 5
+                li r0, 32
+                ldrrm r0
+                bne r1, r0, target   ; delay slot: old mask, r1=5 != r0=32
+                halt                 ; (skipped)
+            target:
+                li r2, 9             ; new mask active: absolute R34
+                halt
+            "#,
+        );
+        assert_eq!(m.read_abs(34).unwrap(), 9);
+        assert_eq!(m.read_abs(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn two_delay_slot_configuration() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.ldrrm_delay_slots = 2;
+        let mut m = Machine::new(cfg).unwrap();
+        let p = assemble(
+            r#"
+            li r0, 32
+            ldrrm r0
+            li r1, 1    ; slot 1: old mask
+            li r2, 2    ; slot 2: old mask
+            li r3, 3    ; new mask: absolute R35
+            halt
+            "#,
+        )
+        .unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(100).unwrap();
+        assert_eq!(m.read_abs(1).unwrap(), 1);
+        assert_eq!(m.read_abs(2).unwrap(), 2);
+        assert_eq!(m.read_abs(35).unwrap(), 3);
+        assert_eq!(m.read_abs(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn back_to_back_context_hops() {
+        // Chain of LDRRMs hopping across three contexts, as a scheduler
+        // cycling a ring would issue them.
+        let mut cfg = MachineConfig::default_128();
+        cfg.ldrrm_delay_slots = 0;
+        let mut m = Machine::new(cfg).unwrap();
+        let p = assemble(
+            r#"
+            li r0, 32
+            ldrrm r0
+            li r1, 11    ; R33
+            li r0, 64    ; R32 (this context's r0)
+            ldrrm r0
+            li r1, 22    ; R65
+            li r0, 96
+            ldrrm r0
+            li r1, 33    ; R97
+            halt
+            "#,
+        )
+        .unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(100).unwrap();
+        assert_eq!(m.read_abs(33).unwrap(), 11);
+        assert_eq!(m.read_abs(65).unwrap(), 22);
+        assert_eq!(m.read_abs(97).unwrap(), 33);
+    }
+
+    #[test]
+    fn memory_fault_reports_address() {
+        let mut m = machine();
+        let p = assemble("li r1, -5
+ lw r2, 0(r1)").unwrap();
+        m.load_program(&p).unwrap();
+        let err = m.run_until_halt(10).unwrap_err();
+        assert!(matches!(err, MachineError::MemoryOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let mut m = run_src("halt");
+        assert!(m.is_halted());
+        assert_eq!(m.step().unwrap(), Status::Halted);
+    }
+}

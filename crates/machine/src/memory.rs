@@ -1,0 +1,99 @@
+//! Word-addressed memory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MachineError;
+
+/// A flat, word-addressed memory of 32-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `n` words.
+    pub fn new(n: u32) -> Self {
+        Memory { words: vec![0; n as usize] }
+    }
+
+    /// Size in words.
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Loads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemoryOutOfRange`] for addresses outside
+    /// memory (including negative effective addresses).
+    pub fn load(&self, addr: i64) -> Result<u32, MachineError> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.words.get(a).copied())
+            .ok_or(MachineError::MemoryOutOfRange { addr })
+    }
+
+    /// Stores `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemoryOutOfRange`] for addresses outside
+    /// memory.
+    pub fn store(&mut self, addr: i64, value: u32) -> Result<(), MachineError> {
+        let slot = usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.words.get_mut(a))
+            .ok_or(MachineError::MemoryOutOfRange { addr })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Copies `words` into memory starting at `origin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::ProgramTooLarge`] if the image does not fit.
+    pub fn load_image(&mut self, origin: u32, words: &[u32]) -> Result<(), MachineError> {
+        let end = u64::from(origin) + words.len() as u64;
+        if end > u64::from(self.len()) {
+            return Err(MachineError::ProgramTooLarge { end, mem_words: self.len() });
+        }
+        self.words[origin as usize..end as usize].copy_from_slice(words);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut m = Memory::new(16);
+        m.store(3, 77).unwrap();
+        assert_eq!(m.load(3).unwrap(), 77);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Memory::new(16);
+        assert!(m.load(16).is_err());
+        assert!(m.load(-1).is_err());
+        assert!(m.store(16, 0).is_err());
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut m = Memory::new(8);
+        m.load_image(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.load(4).unwrap(), 1);
+        assert_eq!(m.load(7).unwrap(), 4);
+        assert!(m.load_image(6, &[1, 2, 3]).is_err());
+    }
+}

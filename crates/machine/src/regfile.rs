@@ -1,0 +1,88 @@
+//! The physical register file, indexed by absolute register numbers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MachineError;
+use rr_isa::AbsReg;
+
+/// A file of `n` 32-bit general registers.
+///
+/// Only [`AbsReg`] indexes the file: context-relative operands must pass
+/// through the relocation unit first, so the type system enforces the
+/// pipeline order decode → relocate → access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    regs: Vec<u32>,
+}
+
+impl RegisterFile {
+    /// Creates a zeroed file of `n` registers.
+    pub fn new(n: u16) -> Self {
+        RegisterFile { regs: vec![0; usize::from(n)] }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> u16 {
+        self.regs.len() as u16
+    }
+
+    /// Whether the file is empty (never true for a valid machine).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::RegisterOutOfRange`] if `r` is outside the
+    /// file (the relocation unit normally guarantees it is not).
+    pub fn read(&self, r: AbsReg) -> Result<u32, MachineError> {
+        self.regs.get(r.index()).copied().ok_or(MachineError::RegisterOutOfRange {
+            abs: r.0,
+            num_registers: self.len(),
+        })
+    }
+
+    /// Writes a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::RegisterOutOfRange`] if `r` is outside the
+    /// file.
+    pub fn write(&mut self, r: AbsReg, value: u32) -> Result<(), MachineError> {
+        let n = self.len();
+        match self.regs.get_mut(r.index()) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MachineError::RegisterOutOfRange { abs: r.0, num_registers: n }),
+        }
+    }
+
+    /// A snapshot of all register values, for debugging and tests.
+    pub fn snapshot(&self) -> &[u32] {
+        &self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut f = RegisterFile::new(128);
+        f.write(AbsReg(45), 0xdead).unwrap();
+        assert_eq!(f.read(AbsReg(45)).unwrap(), 0xdead);
+        assert_eq!(f.read(AbsReg(44)).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut f = RegisterFile::new(64);
+        assert!(f.read(AbsReg(64)).is_err());
+        assert!(f.write(AbsReg(64), 1).is_err());
+    }
+}

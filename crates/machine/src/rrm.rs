@@ -1,0 +1,315 @@
+//! The register relocation unit: RRM storage, delay-slot semantics, and the
+//! decode-stage operand relocation of Figure 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{BoundsMode, MachineConfig, RelocOp};
+use crate::error::MachineError;
+use rr_isa::{AbsReg, ContextReg, Rrm};
+
+/// The relocation hardware: one or two RRM registers plus the pending-load
+/// state that models `LDRRM` delay slots.
+///
+/// The unit is deliberately tiny — `ceil(log2 n)` bits per mask and an OR gate
+/// per operand field — matching the paper's claim that register relocation
+/// "should affect only the instruction decode stage".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelocationUnit {
+    masks: [Rrm; 2],
+    /// A load issued by `LDRRM`, taking effect after `remaining` more
+    /// decodes. A second `LDRRM` in the delay shadow replaces the pending
+    /// load (last-writer-wins; real hardware would interlock or forbid it).
+    pending: Option<PendingLoad>,
+    num_registers: u16,
+    operand_width: u32,
+    bounds: BoundsMode,
+    reloc_op: RelocOp,
+    multi_rrm: bool,
+    delay_slots: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PendingLoad {
+    value: u32,
+    remaining: u8,
+}
+
+impl RelocationUnit {
+    /// Creates the unit for a validated machine configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        RelocationUnit {
+            masks: [Rrm::ZERO; 2],
+            pending: None,
+            num_registers: config.num_registers,
+            operand_width: config.operand_width,
+            bounds: config.bounds,
+            reloc_op: config.reloc_op,
+            multi_rrm: config.multi_rrm,
+            delay_slots: config.ldrrm_delay_slots,
+        }
+    }
+
+    /// The currently active mask with index `sel` (0 unless multi-RRM).
+    pub fn mask(&self, sel: usize) -> Rrm {
+        self.masks[sel.min(1)]
+    }
+
+    /// Issues an `LDRRM` with source value `value`.
+    ///
+    /// The new mask (or masks, with multi-RRM) becomes visible after the
+    /// configured number of delay slots have been decoded; with zero delay
+    /// slots it is visible to the next instruction.
+    pub fn issue_load(&mut self, value: u32) {
+        if self.delay_slots == 0 {
+            self.apply(value);
+        } else {
+            self.pending = Some(PendingLoad { value, remaining: self.delay_slots });
+        }
+    }
+
+    /// Advances delay-slot bookkeeping by one decoded instruction. Call once
+    /// per instruction *after* it has been relocated.
+    pub fn tick(&mut self) {
+        if let Some(p) = &mut self.pending {
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                let value = p.value;
+                self.pending = None;
+                self.apply(value);
+            }
+        }
+    }
+
+    fn apply(&mut self, value: u32) {
+        let reg_mask = u32::from(self.num_registers) - 1;
+        self.masks[0] = Rrm::from_raw((value & reg_mask) as u16);
+        if self.multi_rrm {
+            // A single LDRRM loads every mask from bit-fields of the source
+            // register (paper section 5.3).
+            let shift = u32::from(self.num_registers).trailing_zeros();
+            self.masks[1] = Rrm::from_raw(((value >> shift) & reg_mask) as u16);
+        }
+    }
+
+    /// Sets a mask directly, bypassing delay slots. Intended for test setup
+    /// and for the discrete-event simulator, which models `LDRRM` cost
+    /// symbolically.
+    pub fn set_mask(&mut self, sel: usize, mask: Rrm) {
+        self.masks[sel.min(1)] = mask;
+    }
+
+    /// Relocates one operand: the decode-stage OR.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::OperandExceedsWidth`] if the operand does not fit
+    ///   the machine's effective operand width.
+    /// * [`MachineError::ContextBoundsViolation`] in MUX mode, if the operand
+    ///   reaches outside the capacity implied by the mask's alignment.
+    /// * [`MachineError::RegisterOutOfRange`] if the relocated register is
+    ///   outside the file (possible only with a malformed mask).
+    pub fn relocate(&self, op: ContextReg) -> Result<AbsReg, MachineError> {
+        let too_wide = |operand: u8| MachineError::OperandExceedsWidth {
+            operand,
+            width: self.operand_width,
+        };
+        let (mask, payload) = if self.multi_rrm {
+            // With multi-RRM the *machine's* high operand bit is the
+            // selector, not the encoding's bit 5; the assembler syntax
+            // `c1.rN` sets encoding bit 5, which is accepted as a selector
+            // for any machine width.
+            let sel_bit = self.operand_width - 1;
+            let encoded_sel = op.selector(); // encoding's high bit (bit 5)
+            let low = op.number() & !(1u8 << (rr_isa::OPERAND_BITS - 1));
+            if u32::from(low) >= (1 << self.operand_width) {
+                return Err(too_wide(op.number()));
+            }
+            let sel = if encoded_sel == 1 { 1 } else { usize::from((low >> sel_bit) & 1) };
+            let payload = low & ((1u8 << sel_bit) - 1);
+            (self.masks[sel], payload)
+        } else {
+            if u32::from(op.number()) >= (1 << self.operand_width) {
+                return Err(too_wide(op.number()));
+            }
+            (self.masks[0], op.number())
+        };
+        if let BoundsMode::Mux = self.bounds {
+            let capacity = mask.natural_capacity().min(1 << self.operand_width);
+            if u32::from(payload) >= capacity {
+                return Err(MachineError::ContextBoundsViolation {
+                    operand: op.number(),
+                    capacity,
+                });
+            }
+        }
+        let abs = match self.reloc_op {
+            RelocOp::Or => AbsReg(mask.raw() | u16::from(payload)),
+            // Base-plus-offset addressing: the "mask" register holds a plain
+            // base register number.
+            RelocOp::Add => AbsReg(mask.raw().wrapping_add(u16::from(payload))),
+        };
+        if abs.0 >= self.num_registers {
+            return Err(MachineError::RegisterOutOfRange {
+                abs: abs.0,
+                num_registers: self.num_registers,
+            });
+        }
+        Ok(abs)
+    }
+
+    /// Whether an `LDRRM` is still in its delay shadow.
+    pub fn load_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(config: &MachineConfig) -> RelocationUnit {
+        RelocationUnit::new(config)
+    }
+
+    fn r(n: u8) -> ContextReg {
+        ContextReg::new(n).unwrap()
+    }
+
+    #[test]
+    fn figure_1_examples() {
+        // 128 registers, 7-bit RRM, 5-bit operands.
+        let cfg = MachineConfig::default_128();
+        let mut u = unit(&cfg);
+
+        // (a) context of size 8 at base 40: r5 -> R45.
+        u.set_mask(0, Rrm::for_context(40, 8).unwrap());
+        assert_eq!(u.relocate(r(5)).unwrap(), AbsReg(45));
+
+        // (b) context of size 16 at base 32: r14 -> R46.
+        u.set_mask(0, Rrm::for_context(32, 16).unwrap());
+        assert_eq!(u.relocate(r(14)).unwrap(), AbsReg(46));
+    }
+
+    #[test]
+    fn delay_slot_semantics() {
+        let cfg = MachineConfig::default_128();
+        let mut u = unit(&cfg);
+        u.issue_load(40);
+        // Still in the delay slot: old mask (zero) applies.
+        assert!(u.load_pending());
+        assert_eq!(u.relocate(r(5)).unwrap(), AbsReg(5));
+        u.tick();
+        // One delay slot elapsed: new mask applies.
+        assert!(!u.load_pending());
+        assert_eq!(u.relocate(r(5)).unwrap(), AbsReg(45));
+    }
+
+    #[test]
+    fn zero_delay_slots_apply_immediately() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.ldrrm_delay_slots = 0;
+        let mut u = unit(&cfg);
+        u.issue_load(40);
+        assert_eq!(u.relocate(r(5)).unwrap(), AbsReg(45));
+    }
+
+    #[test]
+    fn second_load_in_shadow_wins() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.ldrrm_delay_slots = 2;
+        let mut u = unit(&cfg);
+        u.issue_load(40);
+        u.issue_load(64);
+        u.tick();
+        u.tick();
+        assert_eq!(u.mask(0).raw(), 64);
+    }
+
+    #[test]
+    fn operand_width_enforced() {
+        let cfg = MachineConfig::default_128(); // w = 5
+        let u = unit(&cfg);
+        assert!(u.relocate(r(31)).is_ok());
+        assert!(matches!(
+            u.relocate(r(32)),
+            Err(MachineError::OperandExceedsWidth { operand: 32, width: 5 })
+        ));
+    }
+
+    #[test]
+    fn mux_bounds_checking() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.bounds = BoundsMode::Mux;
+        let mut u = unit(&cfg);
+        u.set_mask(0, Rrm::for_context(40, 8).unwrap());
+        assert_eq!(u.relocate(r(7)).unwrap(), AbsReg(47));
+        // r8 is outside the size-8 context implied by the mask alignment.
+        assert!(matches!(
+            u.relocate(r(8)),
+            Err(MachineError::ContextBoundsViolation { operand: 8, capacity: 8 })
+        ));
+    }
+
+    #[test]
+    fn or_mode_permits_out_of_context_access() {
+        // The basic mechanism does not protect contexts: r8 against a size-8
+        // mask reaches the *next* context, exactly like a wild store in
+        // memory (paper section 2.4).
+        let cfg = MachineConfig::default_128();
+        let mut u = unit(&cfg);
+        u.set_mask(0, Rrm::for_context(40, 8).unwrap());
+        assert_eq!(u.relocate(r(8)).unwrap(), AbsReg(40 | 8));
+    }
+
+    #[test]
+    fn multi_rrm_selection_and_load() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.multi_rrm = true;
+        cfg.operand_width = 5; // 4 offset bits + 1 selector bit
+        cfg.ldrrm_delay_slots = 0;
+        let mut u = unit(&cfg);
+        // Load RRM0 = 32, RRM1 = 96 from one register value: 96 << 7 | 32.
+        u.issue_load((96 << 7) | 32);
+        assert_eq!(u.mask(0).raw(), 32);
+        assert_eq!(u.mask(1).raw(), 96);
+        // c0.r3 -> 35 via machine-width selector bit 4.
+        assert_eq!(u.relocate(r(3)).unwrap(), AbsReg(35));
+        // Machine-width selector: operand 16|3 selects RRM1.
+        assert_eq!(u.relocate(r(16 | 3)).unwrap(), AbsReg(96 | 3));
+        // Assembler syntax c1.r3 sets encoding bit 5; also selects RRM1.
+        let c1r3 = ContextReg::with_selector(3, 1).unwrap();
+        assert_eq!(u.relocate(c1r3).unwrap(), AbsReg(96 | 3));
+    }
+
+    #[test]
+    fn add_relocation_serves_arbitrary_bases() {
+        // Am29000-style: a context of 13 registers at base 17 — impossible
+        // with OR — relocates r5 to absolute R22.
+        let mut cfg = MachineConfig::default_128();
+        cfg.reloc_op = RelocOp::Add;
+        let mut u = unit(&cfg);
+        u.set_mask(0, Rrm::from_raw(17));
+        assert_eq!(u.relocate(r(5)).unwrap(), AbsReg(22));
+        // And the file boundary is still enforced.
+        u.set_mask(0, Rrm::from_raw(120));
+        assert!(matches!(
+            u.relocate(r(10)),
+            Err(MachineError::RegisterOutOfRange { abs: 130, .. })
+        ));
+    }
+
+    #[test]
+    fn relocated_register_must_be_in_file() {
+        let mut cfg = MachineConfig::default_128();
+        cfg.operand_width = 6;
+        let mut u = unit(&cfg);
+        u.set_mask(0, Rrm::from_raw(127)); // malformed mask
+        assert!(u.relocate(r(0)).is_ok());
+        let mut u2 = unit(&MachineConfig { num_registers: 64, ..cfg });
+        u2.set_mask(0, Rrm::from_raw(64));
+        assert!(matches!(
+            u2.relocate(r(0)),
+            Err(MachineError::RegisterOutOfRange { abs: 64, num_registers: 64 })
+        ));
+    }
+}

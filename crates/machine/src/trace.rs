@@ -1,0 +1,166 @@
+//! Execution instrumentation: a bounded trace of retired instructions and a
+//! per-opcode histogram.
+//!
+//! The histogram is always on (32 counters); the instruction trace is
+//! opt-in via [`crate::Machine::enable_trace`] because it allocates and
+//! records per step. Both are invaluable when debugging runtime assembly —
+//! exactly the "low-level debugging of compilers and runtime system
+//! routines" the paper's section 2.4 worries about.
+
+use serde::{Deserialize, Serialize};
+
+use rr_isa::{AbsReg, Instr, Opcode};
+
+/// One retired instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Cycle count *before* the instruction executed.
+    pub cycle: u64,
+    /// Word address it was fetched from.
+    pub pc: u32,
+    /// The instruction, with relocated (absolute) operands.
+    pub instr: Instr<AbsReg>,
+}
+
+/// A bounded ring of the most recently retired instructions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    head: usize,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` entries (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer { capacity, entries: Vec::with_capacity(capacity.min(1024)), head: 0 }
+    }
+
+    /// Records one retired instruction.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<&TraceEntry> {
+        let (newer, older) = self.entries.split_at(self.head);
+        older.iter().chain(newer.iter()).collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the trace as one line per instruction.
+    pub fn render(&self) -> String {
+        self.entries()
+            .iter()
+            .map(|e| format!("{:>8}  {:>6}  {}", e.cycle, e.pc, e.instr))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Retired-instruction counts per opcode.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpcodeHistogram {
+    counts: [u64; 32],
+}
+
+impl OpcodeHistogram {
+    /// Zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps the count for `op`.
+    pub fn record(&mut self, op: Opcode) {
+        self.counts[op as usize] += 1;
+    }
+
+    /// Retired count for `op`.
+    pub fn count(&self, op: Opcode) -> u64 {
+        self.counts[op as usize]
+    }
+
+    /// Total retired instructions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Opcodes with non-zero counts, descending by count.
+    pub fn top(&self) -> Vec<(Opcode, u64)> {
+        let mut v: Vec<(Opcode, u64)> = Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.count(op)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        v.sort_by_key(|&(_, c)| core::cmp::Reverse(c));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::AbsReg;
+
+    fn entry(cycle: u64) -> TraceEntry {
+        TraceEntry { cycle, pc: cycle as u32, instr: Instr::Mfpsw { d: AbsReg(1) } }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_entries_in_order() {
+        let mut t = TraceBuffer::new(3);
+        for c in 0..5 {
+            t.record(entry(c));
+        }
+        let cycles: Vec<u64> = t.entries().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = TraceBuffer::new(0);
+        t.record(entry(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn render_is_one_line_per_entry() {
+        let mut t = TraceBuffer::new(4);
+        t.record(entry(10));
+        t.record(entry(11));
+        let r = t.render();
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("mfpsw R1"));
+    }
+
+    #[test]
+    fn histogram_counts_and_ranks() {
+        let mut h = OpcodeHistogram::new();
+        for _ in 0..3 {
+            h.record(Opcode::Add);
+        }
+        h.record(Opcode::Halt);
+        assert_eq!(h.count(Opcode::Add), 3);
+        assert_eq!(h.count(Opcode::Sub), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.top()[0], (Opcode::Add, 3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests over the machine: arbitrary programs never panic, and the
+//! relocation modes uphold their contracts under random instruction streams.
+
+use proptest::prelude::*;
+
+use rr_isa::{encode, ContextReg, Instr, Rrm};
+use rr_machine::{BoundsMode, Machine, MachineConfig, MachineError};
+
+/// Straight-line ALU instructions confined to registers `0..regs`.
+fn arb_alu_instr(regs: u8) -> impl Strategy<Value = Instr<ContextReg>> {
+    let r = move || (0..regs).prop_map(|n| ContextReg::new(n).unwrap());
+    let imm = -100i32..100;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Add { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Sub { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::And { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Or { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Xor { d, s, t }),
+        (r(), r(), r()).prop_map(|(d, s, t)| Instr::Slt { d, s, t }),
+        (r(), r(), imm.clone()).prop_map(|(d, s, imm)| Instr::Addi { d, s, imm }),
+        (r(), r(), imm.clone()).prop_map(|(d, s, imm)| Instr::Ori { d, s, imm }),
+        (r(), r(), 0u8..31).prop_map(|(d, s, shamt)| Instr::Slli { d, s, shamt }),
+        (r(), imm).prop_map(|(d, imm)| Instr::Li { d, imm }),
+        (r(), r()).prop_map(|(d, s)| Instr::Mov { d, s }),
+        Just(Instr::Nop),
+    ]
+}
+
+/// Any machine word at all — programs made of noise.
+fn arb_noise_program() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executing arbitrary bit patterns never panics: every outcome is a
+    /// clean halt, a cycle limit, or a typed MachineError.
+    #[test]
+    fn noise_programs_never_panic(words in arb_noise_program()) {
+        let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+        m.memory_mut().load_image(0, &words).unwrap();
+        m.set_pc(0);
+        match m.run(10_000) {
+            Ok(_) | Err(_) => {} // both acceptable; no panic is the property
+        }
+    }
+
+    /// Relocated straight-line code only ever writes inside its context:
+    /// with an aligned mask and in-range operands, registers outside
+    /// `[base, base+size)` keep their prior values.
+    #[test]
+    fn relocation_confines_writes(
+        k in 1u32..=5,
+        base_idx in 0u16..8,
+        instrs in prop::collection::vec(arb_alu_instr(8), 1..40),
+    ) {
+        let size = 1u32 << k;
+        prop_assume!(size >= 8); // operands are drawn from 0..8
+        let base = base_idx * size as u16;
+        prop_assume!(u32::from(base) + size <= 128);
+
+        let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+        // Paint the whole file with a sentinel.
+        for r in 0..128u16 {
+            m.write_abs(r, 0xcafe_0000 | u32::from(r)).unwrap();
+        }
+        m.set_rrm(0, Rrm::for_context(base, size).unwrap());
+        let mut words: Vec<u32> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+        words.push(encode(&Instr::Halt).unwrap());
+        m.memory_mut().load_image(0, &words).unwrap();
+        m.set_pc(0);
+        m.run_until_halt(10_000).unwrap();
+
+        for r in 0..128u16 {
+            let inside = r >= base && u32::from(r) < u32::from(base) + size;
+            if !inside {
+                prop_assert_eq!(
+                    m.read_abs(r).unwrap(),
+                    0xcafe_0000 | u32::from(r),
+                    "register R{} outside ctx[{}..{}] was touched",
+                    r, base, u32::from(base) + size
+                );
+            }
+        }
+    }
+
+    /// MUX bounds mode agrees with OR mode whenever no violation occurs,
+    /// and flags exactly the out-of-capacity operands otherwise.
+    #[test]
+    fn mux_mode_matches_or_mode_or_faults(
+        base_idx in 0u16..16,
+        instrs in prop::collection::vec(arb_alu_instr(16), 1..20),
+    ) {
+        let size = 8u32;
+        let base = base_idx * 8;
+        let run = |bounds: BoundsMode| {
+            let mut cfg = MachineConfig::default_128();
+            cfg.bounds = bounds;
+            let mut m = Machine::new(cfg).unwrap();
+            m.set_rrm(0, Rrm::for_context(base, size).unwrap());
+            let mut words: Vec<u32> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+            words.push(encode(&Instr::Halt).unwrap());
+            m.memory_mut().load_image(0, &words).unwrap();
+            m.set_pc(0);
+            let outcome = m.run_until_halt(10_000);
+            (outcome, m.registers().to_vec())
+        };
+        let (or_outcome, or_regs) = run(BoundsMode::Or);
+        let (mux_outcome, mux_regs) = run(BoundsMode::Mux);
+        // The MUX unit infers capacity from the mask's alignment: a base of
+        // 0 carries no size information, and capacity is clipped by the
+        // operand width (2^5 here).
+        let capacity = Rrm::for_context(base, size).unwrap().natural_capacity().min(32);
+        let any_out_of_ctx = instrs
+            .iter()
+            .any(|i| i.registers().iter().any(|r| u32::from(r.number()) >= capacity));
+        if any_out_of_ctx {
+            prop_assert!(
+                matches!(mux_outcome, Err(MachineError::ContextBoundsViolation { .. })),
+                "expected a bounds fault, got {mux_outcome:?}"
+            );
+        } else {
+            prop_assert!(or_outcome.is_ok());
+            prop_assert!(mux_outcome.is_ok());
+            prop_assert_eq!(or_regs, mux_regs);
+        }
+    }
+
+    /// The `li32` pseudo-instruction materializes every 32-bit constant
+    /// exactly when executed.
+    #[test]
+    fn li32_loads_any_constant(v in any::<u32>()) {
+        let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+        let src = format!("li32 r1, {v}\n halt");
+        let p = rr_isa::assemble(&src).unwrap();
+        m.load_program(&p).unwrap();
+        m.run_until_halt(20).unwrap();
+        prop_assert_eq!(m.read_abs(1).unwrap(), v);
+        prop_assert_eq!(m.cycles(), 6, "fixed 5-instruction expansion + halt");
+    }
+
+    /// Two contexts running the same code produce identical context-relative
+    /// state — the fundamental transparency property of relocation.
+    #[test]
+    fn execution_is_translation_invariant(
+        instrs in prop::collection::vec(arb_alu_instr(8), 1..40),
+    ) {
+        let mut results = Vec::new();
+        for base in [0u16, 40, 96] {
+            let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+            m.set_rrm(0, Rrm::for_context(base, 8).unwrap());
+            let mut words: Vec<u32> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+            words.push(encode(&Instr::Halt).unwrap());
+            m.memory_mut().load_image(0, &words).unwrap();
+            m.set_pc(0);
+            m.run_until_halt(10_000).unwrap();
+            let ctx_state: Vec<u32> =
+                (0..8u16).map(|r| m.read_abs(base + r).unwrap()).collect();
+            results.push(ctx_state);
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Analytical efficiency models for coarsely multithreaded processors.
+//!
+//! The paper's section 3.4 analysis (following Saavedra-Barrera, Culler &
+//! von Eicken) characterizes processor efficiency with three parameters —
+//! mean run length `R`, fault latency `L`, context switch cost `S` — and the
+//! number of resident contexts `N`:
+//!
+//! * **Saturation**: with enough resident contexts there is always runnable
+//!   work, and `E_sat = R / (R + S)`, independent of `L`.
+//! * **Linear region**: below saturation the processor idles part of each
+//!   fault, and `E_lin = N·R / (R + L + S)`.
+//! * The regimes meet at `N* = 1 + L / (R + S)`.
+//!
+//! Note on fidelity: the paper's text prints the linear-region formula as
+//! `NR/(R+SL)`, but its own saturation condition `N < 1 + L/(R+S)` — and the
+//! cited Saavedra-Barrera model — are consistent only with a denominator of
+//! `R + L + S`; we implement the latter and treat the printed form as a
+//! typographical slip. The simulator cross-validates this choice (see the
+//! `model_vs_sim` integration test and the `model_check` binary).
+
+use serde::{Deserialize, Serialize};
+
+/// The deterministic multithreading model's parameters.
+///
+/// # Example
+///
+/// ```
+/// use rr_model::ModelParams;
+///
+/// // R = 32, L = 200, S = 6: saturation needs N* ≈ 6.3 contexts.
+/// let m = ModelParams::new(32.0, 200.0, 6.0)?;
+/// assert!(m.is_linear_regime(4.0));
+/// assert!((m.efficiency(4.0) - 4.0 * 32.0 / 238.0).abs() < 1e-12);
+/// assert!((m.saturation_efficiency() - 32.0 / 38.0).abs() < 1e-12);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Mean run length between faults, in cycles.
+    pub run_length: f64,
+    /// Mean fault service latency, in cycles.
+    pub latency: f64,
+    /// Context switch cost, in cycles.
+    pub switch_cost: f64,
+}
+
+impl ModelParams {
+    /// Creates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason if any parameter is non-finite, `run_length` is not
+    /// positive, or `latency`/`switch_cost` are negative.
+    pub fn new(run_length: f64, latency: f64, switch_cost: f64) -> Result<Self, String> {
+        let all_finite =
+            run_length.is_finite() && latency.is_finite() && switch_cost.is_finite();
+        if !all_finite || run_length <= 0.0 || latency < 0.0 || switch_cost < 0.0 {
+            return Err(format!(
+                "bad model parameters: R={run_length}, L={latency}, S={switch_cost}"
+            ));
+        }
+        Ok(ModelParams { run_length, latency, switch_cost })
+    }
+
+    /// Saturation efficiency `E_sat = R / (R + S)` — the ceiling no amount
+    /// of multithreading can exceed.
+    pub fn saturation_efficiency(&self) -> f64 {
+        self.run_length / (self.run_length + self.switch_cost)
+    }
+
+    /// Linear-region efficiency `E_lin = N·R / (R + L + S)` for `n` resident
+    /// contexts.
+    pub fn linear_efficiency(&self, n: f64) -> f64 {
+        n * self.run_length / (self.run_length + self.latency + self.switch_cost)
+    }
+
+    /// Efficiency with `n` resident contexts: the linear value capped at
+    /// saturation.
+    pub fn efficiency(&self, n: f64) -> f64 {
+        self.linear_efficiency(n).min(self.saturation_efficiency())
+    }
+
+    /// The number of resident contexts at which the processor saturates:
+    /// `N* = 1 + L / (R + S)`.
+    pub fn saturation_contexts(&self) -> f64 {
+        1.0 + self.latency / (self.run_length + self.switch_cost)
+    }
+
+    /// Whether `n` contexts leave the processor in the linear regime.
+    pub fn is_linear_regime(&self, n: f64) -> bool {
+        n < self.saturation_contexts()
+    }
+}
+
+impl ModelParams {
+    /// The largest latency `L` that `n` resident contexts can tolerate while
+    /// keeping efficiency at least `target` — the paper's headline framing
+    /// ("more contexts ... allows applications to tolerate ... longer
+    /// latencies"), inverted from `E_lin`.
+    ///
+    /// Returns `None` when the target is unreachable even at zero latency
+    /// (i.e. `target > E_sat` or out of `(0, 1]`).
+    pub fn max_tolerable_latency(&self, n: f64, target: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&target) || target <= 0.0 {
+            return None;
+        }
+        if target > self.saturation_efficiency() {
+            return None;
+        }
+        // E = N·R / (R + L + S) >= target  ⇔  L <= N·R/target - R - S.
+        let l = n * self.run_length / target - self.run_length - self.switch_cost;
+        (l >= 0.0).then_some(l)
+    }
+
+    /// The number of resident contexts needed to reach efficiency `target`
+    /// at these parameters (∞ when the target exceeds `E_sat`).
+    pub fn contexts_needed(&self, target: f64) -> f64 {
+        if target <= 0.0 {
+            return 0.0;
+        }
+        if target > self.saturation_efficiency() {
+            return f64::INFINITY;
+        }
+        // In the linear regime N = E·(R+L+S)/R; at E = E_sat this is the
+        // saturation count.
+        target * (self.run_length + self.latency + self.switch_cost) / self.run_length
+    }
+}
+
+/// Predicted efficiency ratio between two context counts at the same
+/// parameters — the model's headline explanation of why register relocation
+/// wins: in the linear regime, efficiency is proportional to resident
+/// contexts.
+pub fn resident_context_leverage(params: &ModelParams, n_fixed: f64, n_flexible: f64) -> f64 {
+    let e_fixed = params.efficiency(n_fixed);
+    if e_fixed == 0.0 {
+        return f64::INFINITY;
+    }
+    params.efficiency(n_flexible) / e_fixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(r: f64, l: f64, s: f64) -> ModelParams {
+        ModelParams::new(r, l, s).unwrap()
+    }
+
+    #[test]
+    fn saturation_matches_hand_calculation() {
+        // R = 100, S = 6: E_sat = 100/106.
+        let m = p(100.0, 50.0, 6.0);
+        assert!((m.saturation_efficiency() - 100.0 / 106.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_region_is_linear_in_n() {
+        let m = p(32.0, 200.0, 6.0);
+        let e1 = m.linear_efficiency(1.0);
+        let e3 = m.linear_efficiency(3.0);
+        assert!((e3 - 3.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_caps_at_saturation() {
+        let m = p(32.0, 200.0, 6.0);
+        let n_star = m.saturation_contexts();
+        assert!(m.efficiency(n_star * 4.0) <= m.saturation_efficiency() + 1e-12);
+        assert!(m.efficiency(n_star / 2.0) < m.saturation_efficiency());
+    }
+
+    #[test]
+    fn regimes_meet_at_n_star() {
+        let m = p(32.0, 200.0, 6.0);
+        let n_star = m.saturation_contexts();
+        let lin = m.linear_efficiency(n_star);
+        let sat = m.saturation_efficiency();
+        assert!((lin - sat).abs() < 1e-9, "lin {lin} vs sat {sat}");
+        assert!(m.is_linear_regime(n_star - 0.1));
+        assert!(!m.is_linear_regime(n_star + 0.1));
+    }
+
+    #[test]
+    fn paper_trend_short_runs_long_latency_need_many_contexts() {
+        // "We expect R to decrease and L to increase, requiring a large
+        // number of contexts before processor efficiency saturates."
+        let easy = p(128.0, 50.0, 6.0);
+        let hard = p(8.0, 1000.0, 6.0);
+        assert!(hard.saturation_contexts() > 10.0 * easy.saturation_contexts());
+    }
+
+    #[test]
+    fn leverage_is_ratio_of_context_counts_in_linear_regime() {
+        // Deep in the linear regime, 2x contexts = 2x efficiency — the
+        // "factor of two for many workloads" claim.
+        let m = p(16.0, 2000.0, 6.0);
+        let lev = resident_context_leverage(&m, 4.0, 8.0);
+        assert!((lev - 2.0).abs() < 1e-9, "got {lev}");
+    }
+
+    #[test]
+    fn leverage_saturates() {
+        let m = p(128.0, 50.0, 6.0);
+        // Both counts beyond saturation: no leverage left.
+        let lev = resident_context_leverage(&m, 4.0, 16.0);
+        assert!((lev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_context_edge() {
+        let m = p(32.0, 100.0, 6.0);
+        assert_eq!(m.efficiency(0.0), 0.0);
+        assert_eq!(resident_context_leverage(&m, 0.0, 4.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn latency_tolerance_inverts_the_linear_formula() {
+        let m = p(32.0, 0.0, 6.0); // latency filled in by the query
+        for (n, target) in [(4.0, 0.5), (8.0, 0.25), (16.0, 0.8)] {
+            let l = m.max_tolerable_latency(n, target).unwrap();
+            let check = ModelParams::new(32.0, l, 6.0).unwrap().efficiency(n);
+            assert!((check - target).abs() < 1e-9, "n={n} target={target}: {check}");
+        }
+    }
+
+    #[test]
+    fn more_contexts_tolerate_more_latency() {
+        // The paper's core quantitative story: doubling resident contexts
+        // more than doubles the tolerable latency at fixed efficiency.
+        let m = p(32.0, 0.0, 6.0);
+        let l4 = m.max_tolerable_latency(4.0, 0.5).unwrap();
+        let l8 = m.max_tolerable_latency(8.0, 0.5).unwrap();
+        assert!(l8 > 2.0 * l4, "{l4} -> {l8}");
+    }
+
+    #[test]
+    fn unreachable_targets_are_none_or_infinite() {
+        let m = p(32.0, 200.0, 6.0);
+        assert!(m.max_tolerable_latency(4.0, 0.95).is_none()); // > E_sat
+        assert!(m.max_tolerable_latency(4.0, 0.0).is_none());
+        assert!(m.max_tolerable_latency(4.0, 1.5).is_none());
+        assert_eq!(m.contexts_needed(0.95), f64::INFINITY);
+        assert_eq!(m.contexts_needed(0.0), 0.0);
+    }
+
+    #[test]
+    fn contexts_needed_round_trips_with_efficiency() {
+        let m = p(32.0, 400.0, 6.0);
+        for target in [0.1, 0.3, 0.6] {
+            let n = m.contexts_needed(target);
+            assert!((m.efficiency(n) - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ModelParams::new(0.0, 1.0, 1.0).is_err());
+        assert!(ModelParams::new(1.0, -1.0, 1.0).is_err());
+        assert!(ModelParams::new(1.0, 1.0, -1.0).is_err());
+        assert!(ModelParams::new(f64::NAN, 1.0, 1.0).is_err());
+        assert!(ModelParams::new(8.0, 0.0, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,214 @@
+//! Context load/unload routines with multiple entry points (paper §2.5).
+//!
+//! The compiler reports how many registers each thread actually uses, and the
+//! runtime saves/restores exactly that many: a single unload routine stores
+//! registers from the highest down to `r0` with one entry point per possible
+//! count, and a matching load routine restores them. Cost is therefore one
+//! cycle per register *used*, not per register *allocated* — the accounting
+//! the paper applies to both architectures.
+//!
+//! Calling convention (see [`crate::switch_code`] for the register map):
+//! enter with the victim context's relocation mask active, `r3` = word
+//! address of the save area, `r4` = return address. `r3`/`r4` are
+//! runtime-reserved scratch (the MIPS `k0`/`k1` idiom the paper alludes to
+//! when noting registers "reserved for the operating system"), so the load
+//! routine skips their save slots.
+
+use rr_isa::{Program, MAX_CONTEXT_SIZE};
+
+/// Registers reserved for the runtime and excluded from load: the save-area
+/// pointer and the return address.
+pub const RESERVED_REGS: [u32; 2] = [3, 4];
+
+/// Generates the unload routine: entry point `unload_k` stores registers
+/// `r(k-1)` down to `r0` at `k` consecutive words from `r3`, then returns
+/// through `r4`. `k` ranges over `1..=max_regs`.
+pub fn unload_routine_source(max_regs: u32) -> String {
+    assert!(
+        (1..=MAX_CONTEXT_SIZE).contains(&max_regs),
+        "max_regs must be in 1..={MAX_CONTEXT_SIZE}"
+    );
+    let mut src = String::new();
+    src.push_str("; context unload: one entry point per register count (paper 2.5)\n");
+    for i in (0..max_regs).rev() {
+        src.push_str(&format!("unload_{}:\n", i + 1));
+        src.push_str(&format!("    sw r{i}, {i}(r3)\n"));
+    }
+    src.push_str("unload_done:\n    jr r4\n");
+    src
+}
+
+/// Generates the load routine: entry point `load_k` restores registers
+/// `r(k-1)` down to `r0` from `k` consecutive words at `r3`, skipping the
+/// runtime-reserved `r3`/`r4`, then returns through `r4`.
+pub fn load_routine_source(max_regs: u32) -> String {
+    assert!(
+        (1..=MAX_CONTEXT_SIZE).contains(&max_regs),
+        "max_regs must be in 1..={MAX_CONTEXT_SIZE}"
+    );
+    let mut src = String::new();
+    src.push_str("; context load: one entry point per register count (paper 2.5)\n");
+    for i in (0..max_regs).rev() {
+        src.push_str(&format!("load_{}:\n", i + 1));
+        if RESERVED_REGS.contains(&i) {
+            src.push_str(&format!("    nop                 ; r{i} is runtime scratch\n"));
+        } else {
+            src.push_str(&format!("    lw r{i}, {i}(r3)\n"));
+        }
+    }
+    src.push_str("load_done:\n    jr r4\n");
+    src
+}
+
+/// Assembles both routines into one image: unload first, load after.
+///
+/// # Errors
+///
+/// Returns an assembly error only on a generator bug.
+pub fn loader_program(max_regs: u32, origin: u32) -> Result<Program, rr_isa::AsmError> {
+    let mut src = unload_routine_source(max_regs);
+    src.push_str(&load_routine_source(max_regs));
+    rr_isa::assemble_at(&src, origin)
+}
+
+/// Cycles the unload routine takes for a thread using `regs_used` registers:
+/// one store per register plus the return jump.
+pub fn unload_cycles(regs_used: u32) -> u64 {
+    u64::from(regs_used) + 1
+}
+
+/// Cycles the load routine takes: one load per register (reserved slots are
+/// `nop`s of the same cost) plus the return jump.
+pub fn load_cycles(regs_used: u32) -> u64 {
+    u64::from(regs_used) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_alloc::{BitmapAllocator, ContextAllocator};
+    use rr_isa::Rrm;
+    use rr_machine::{Machine, MachineConfig};
+
+    const SAVE_AREA: u32 = 4096;
+    const HALT_PC: u32 = 0;
+
+    /// Builds a machine with `halt` at 0 and the loader image at 16.
+    fn machine_with_loaders(max_regs: u32) -> (Machine, Program) {
+        let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+        let halt = rr_isa::assemble("halt").unwrap();
+        m.load_program(&halt).unwrap();
+        let p = loader_program(max_regs, 16).unwrap();
+        m.memory_mut().load_image(p.origin(), p.words()).unwrap();
+        (m, p)
+    }
+
+    fn enter(m: &mut Machine, ctx_base: u16, pc: u32) {
+        m.set_rrm(0, Rrm::from_raw(ctx_base));
+        // r3 = save area, r4 = return to halt.
+        m.write_abs(ctx_base + 3, SAVE_AREA).unwrap();
+        m.write_abs(ctx_base + 4, HALT_PC).unwrap();
+        m.set_pc(pc);
+    }
+
+    #[test]
+    fn unload_then_load_round_trips_thread_state() {
+        let (mut m, p) = machine_with_loaders(32);
+        let mut alloc = BitmapAllocator::new(128).unwrap();
+        let ctx = alloc.alloc(24).unwrap();
+        let regs_used = 24u32;
+
+        // Fill the context with a recognizable pattern.
+        for i in 0..regs_used {
+            m.write_abs(ctx.base() + i as u16, 0xa000 + i).unwrap();
+        }
+        enter(&mut m, ctx.base(), p.label(&format!("unload_{regs_used}")).unwrap());
+        m.run_until_halt(1000).unwrap();
+
+        // The save area holds the pattern (reserved slots hold the runtime
+        // values, which is fine — they are scratch).
+        for i in 0..regs_used {
+            if RESERVED_REGS.contains(&i) {
+                continue;
+            }
+            assert_eq!(
+                m.memory().load(i64::from(SAVE_AREA + i)).unwrap(),
+                0xa000 + i,
+                "slot {i}"
+            );
+        }
+
+        // Clobber the registers, then load back.
+        for i in 0..regs_used {
+            m.write_abs(ctx.base() + i as u16, 0xdead).unwrap();
+        }
+        enter(&mut m, ctx.base(), p.label(&format!("load_{regs_used}")).unwrap());
+        m.run_until_halt(1000).unwrap();
+        for i in 0..regs_used {
+            if RESERVED_REGS.contains(&i) {
+                continue;
+            }
+            assert_eq!(m.read_abs(ctx.base() + i as u16).unwrap(), 0xa000 + i, "r{i}");
+        }
+    }
+
+    #[test]
+    fn cost_is_one_cycle_per_register_used() {
+        let (mut m, p) = machine_with_loaders(32);
+        for regs_used in [6u32, 16, 24, 32] {
+            let before = m.cycles();
+            enter(&mut m, 64, p.label(&format!("unload_{regs_used}")).unwrap());
+            m.run_until_halt(1000).unwrap();
+            // +1 for the final halt instruction itself.
+            assert_eq!(m.cycles() - before, unload_cycles(regs_used) + 1);
+
+            let before = m.cycles();
+            enter(&mut m, 64, p.label(&format!("load_{regs_used}")).unwrap());
+            m.run_until_halt(1000).unwrap();
+            assert_eq!(m.cycles() - before, load_cycles(regs_used) + 1);
+        }
+    }
+
+    #[test]
+    fn every_entry_point_exists() {
+        let p = loader_program(32, 0).unwrap();
+        for k in 1..=32 {
+            assert!(p.label(&format!("unload_{k}")).is_some(), "unload_{k}");
+            assert!(p.label(&format!("load_{k}")).is_some(), "load_{k}");
+        }
+        // Entry points are consecutive: unload_k is one instruction before
+        // unload_{k+1}'s... i.e. one after unload_{k+1}.
+        for k in 1..32 {
+            assert_eq!(
+                p.label(&format!("unload_{k}")).unwrap(),
+                p.label(&format!("unload_{}", k + 1)).unwrap() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_counts_save_prefixes() {
+        // unload_6 touches exactly words 0..6 of the save area.
+        let (mut m, p) = machine_with_loaders(32);
+        for i in 0..32u32 {
+            m.write_abs(64 + i as u16, 7).unwrap();
+        }
+        enter(&mut m, 64, p.label("unload_6").unwrap());
+        m.run_until_halt(100).unwrap();
+        for i in 0..6u32 {
+            if RESERVED_REGS.contains(&i) {
+                continue;
+            }
+            assert_eq!(m.memory().load(i64::from(SAVE_AREA + i)).unwrap(), 7);
+        }
+        assert_eq!(m.memory().load(i64::from(SAVE_AREA + 6)).unwrap(), 0);
+    }
+
+    #[test]
+    fn generator_rejects_bad_sizes() {
+        let r = std::panic::catch_unwind(|| unload_routine_source(0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| load_routine_source(65));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Context unloading policies (paper section 3.3).
+//!
+//! When a resident context blocks on a long-latency event, the runtime must
+//! decide whether to keep it resident (hoping it wakes soon) or to unload it
+//! and free its registers for another thread. The paper uses "a competitive,
+//! two-phase algorithm" (Lim & Agarwal): keep attempting to resume the
+//! context until the accumulated cost of failed attempts equals the cost of
+//! unloading and blocking it, then unload — the classic ski-rental bound that
+//! guarantees at most twice the offline-optimal cost.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// What to do with a blocked resident context after a failed resume attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnloadDecision {
+    /// Leave the context resident.
+    Keep,
+    /// Unload the context now.
+    Unload,
+}
+
+/// Which unloading policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UnloadPolicyKind {
+    /// Never unload (the cache-fault experiments of section 3.2, which avoid
+    /// "effects due to the selection of a particular thread unloading
+    /// policy").
+    Never,
+    /// Unload on the first failed attempt — the eager extreme, included for
+    /// ablations.
+    Immediate,
+    /// Two-phase competitive: unload when accumulated failed-attempt cost
+    /// reaches `factor ×` the unload cost. `factor = 1.0` is the paper's
+    /// break-even rule.
+    TwoPhase {
+        /// Multiplier on the unload cost used as the spin budget.
+        factor: f64,
+    },
+}
+
+impl UnloadPolicyKind {
+    /// The paper's two-phase policy with the break-even budget.
+    pub const fn two_phase() -> Self {
+        UnloadPolicyKind::TwoPhase { factor: 1.0 }
+    }
+}
+
+/// Per-context state for an unloading policy.
+///
+/// The governor tracks the accumulated cost of failed resume attempts for
+/// each blocked resident context, which is exactly the bookkeeping the
+/// paper's extra two cycles of context-switch cost (S = 8 vs 6) pay for.
+///
+/// # Example
+///
+/// ```
+/// use rr_runtime::{UnloadDecision, UnloadGovernor, UnloadPolicyKind};
+///
+/// let mut g = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+/// // 8-cycle failed attempts against a 20-cycle unload cost:
+/// assert_eq!(g.failed_attempt(0, 8, 20), UnloadDecision::Keep);
+/// assert_eq!(g.failed_attempt(0, 8, 20), UnloadDecision::Keep);
+/// assert_eq!(g.failed_attempt(0, 8, 20), UnloadDecision::Unload); // 24 >= 20
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnloadGovernor {
+    kind: UnloadPolicyKind,
+    spin_cost: HashMap<usize, u64>,
+}
+
+impl UnloadGovernor {
+    /// Creates a governor running `kind`.
+    pub fn new(kind: UnloadPolicyKind) -> Self {
+        UnloadGovernor { kind, spin_cost: HashMap::new() }
+    }
+
+    /// The policy in force.
+    pub fn kind(&self) -> UnloadPolicyKind {
+        self.kind
+    }
+
+    /// Records a failed attempt to resume blocked `thread` that wasted
+    /// `attempt_cost` cycles, and decides whether to unload it given that
+    /// unloading would cost `unload_cost` cycles.
+    pub fn failed_attempt(
+        &mut self,
+        thread: usize,
+        attempt_cost: u64,
+        unload_cost: u64,
+    ) -> UnloadDecision {
+        match self.kind {
+            UnloadPolicyKind::Never => UnloadDecision::Keep,
+            UnloadPolicyKind::Immediate => UnloadDecision::Unload,
+            UnloadPolicyKind::TwoPhase { factor } => {
+                let acc = self.spin_cost.entry(thread).or_insert(0);
+                *acc += attempt_cost;
+                if *acc as f64 >= factor * unload_cost as f64 {
+                    UnloadDecision::Unload
+                } else {
+                    UnloadDecision::Keep
+                }
+            }
+        }
+    }
+
+    /// Accumulated failed-attempt cost for `thread`.
+    pub fn accumulated(&self, thread: usize) -> u64 {
+        self.spin_cost.get(&thread).copied().unwrap_or(0)
+    }
+
+    /// Clears `thread`'s accumulator — call when it resumes successfully or
+    /// is unloaded.
+    pub fn clear(&mut self, thread: usize) {
+        self.spin_cost.remove(&thread);
+    }
+
+    /// Clears all accumulators.
+    pub fn reset(&mut self) {
+        self.spin_cost.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_policy_never_unloads() {
+        let mut g = UnloadGovernor::new(UnloadPolicyKind::Never);
+        for _ in 0..1000 {
+            assert_eq!(g.failed_attempt(1, 8, 16), UnloadDecision::Keep);
+        }
+    }
+
+    #[test]
+    fn immediate_policy_unloads_at_once() {
+        let mut g = UnloadGovernor::new(UnloadPolicyKind::Immediate);
+        assert_eq!(g.failed_attempt(1, 8, 1000), UnloadDecision::Unload);
+    }
+
+    #[test]
+    fn two_phase_breaks_even() {
+        // Unload cost 34 (24 registers + 10 overhead), attempts of 8 cycles:
+        // keep after 8, 16, 24, 32; unload at 40 >= 34.
+        let mut g = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+        for expected_acc in [8u64, 16, 24, 32] {
+            assert_eq!(g.failed_attempt(7, 8, 34), UnloadDecision::Keep);
+            assert_eq!(g.accumulated(7), expected_acc);
+        }
+        assert_eq!(g.failed_attempt(7, 8, 34), UnloadDecision::Unload);
+    }
+
+    #[test]
+    fn two_phase_total_spin_bounded_by_twice_unload_cost() {
+        // The competitive guarantee: spin cost never exceeds
+        // unload_cost + one attempt.
+        let mut g = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+        let unload_cost = 30u64;
+        let attempt = 8u64;
+        let mut spent = 0;
+        loop {
+            spent += attempt;
+            if g.failed_attempt(3, attempt, unload_cost) == UnloadDecision::Unload {
+                break;
+            }
+        }
+        assert!(spent < unload_cost + attempt + 1, "spent {spent}");
+        assert!(spent >= unload_cost, "stopped early at {spent}");
+    }
+
+    #[test]
+    fn accumulators_are_per_thread_and_clearable() {
+        let mut g = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+        g.failed_attempt(1, 8, 100);
+        g.failed_attempt(2, 8, 100);
+        g.failed_attempt(1, 8, 100);
+        assert_eq!(g.accumulated(1), 16);
+        assert_eq!(g.accumulated(2), 8);
+        g.clear(1);
+        assert_eq!(g.accumulated(1), 0);
+        assert_eq!(g.accumulated(2), 8);
+        g.reset();
+        assert_eq!(g.accumulated(2), 0);
+    }
+
+    #[test]
+    fn factor_scales_the_budget() {
+        let mut patient = UnloadGovernor::new(UnloadPolicyKind::TwoPhase { factor: 2.0 });
+        let mut count = 0;
+        while patient.failed_attempt(1, 10, 50) == UnloadDecision::Keep {
+            count += 1;
+        }
+        // factor 2.0: unload at accumulated 100 (10 attempts), so 9 keeps.
+        assert_eq!(count, 9);
+    }
+}

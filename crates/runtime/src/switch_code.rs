@@ -1,0 +1,205 @@
+//! The paper's Figure 3 context-switch code, executable on [`rr_machine`].
+//!
+//! Context-relative register conventions (Figure 3 of the paper):
+//!
+//! | register | holds |
+//! |---|---|
+//! | `r0` | thread program counter (PC) |
+//! | `r1` | processor status word (PSW) |
+//! | `r2` | relocation mask of the next thread (`NextRRM`) |
+//! | `r3`, `r4` | reserved for the runtime (like MIPS `k0`/`k1`) |
+//! | `r5`… | thread data |
+//!
+//! The scheduler ready queue is the circular linked list formed by each
+//! resident context's `NextRRM`; transferring control is the 5-cycle `yield`
+//! sequence below (one `LDRRM` delay slot), within the paper's "approximately
+//! 4 to 6 RISC cycles".
+
+use rr_alloc::ContextHandle;
+use rr_isa::{Program, Rrm};
+use rr_machine::{Machine, MachineError};
+
+/// The Figure 3 `yield` routine. Enter with `jal r0, yield` so the thread's
+/// continuation PC lands in its `r0`.
+///
+/// ```text
+/// yield:
+///     ldrrm r2        ; install new relocation mask (1 delay slot)
+///     mfpsw r1        ; save old status register (still the old context)
+///     mtpsw r1        ; restore new context's status register
+///     jr r0           ; execute code in new context
+/// ```
+pub const YIELD_SRC: &str = r#"
+yield:
+    ldrrm r2        ; install new relocation mask, 1 delay slot
+    mfpsw r1        ; save old PSW into the outgoing context (delay slot)
+    mtpsw r1        ; restore the incoming context's PSW
+    jr r0           ; jump to the incoming thread's saved PC
+"#;
+
+/// Cycles from the `jal r0, yield` in one thread to control reaching the next
+/// thread's code: `jal` + `ldrrm` + `mfpsw` + `mtpsw` + `jr` = 5.
+pub const SWITCH_CYCLES: u64 = 5;
+
+/// Builds a complete round-robin demo program: the `yield` routine plus a
+/// thread body that performs `work_units` cycles of work (unit `addi`s on
+/// `r5`) and yields, forever.
+///
+/// Every context runs the *same* code — the relocation hardware is what
+/// gives each thread its own registers.
+pub fn round_robin_source(work_units: u32) -> String {
+    let mut src = String::from(YIELD_SRC);
+    src.push_str("thread_entry:\n");
+    for _ in 0..work_units {
+        src.push_str("    addi r5, r5, 1      ; one unit of useful work\n");
+    }
+    src.push_str("    jal r0, yield       ; save continuation PC, switch\n");
+    src.push_str("    jmp thread_entry\n");
+    src
+}
+
+/// Installs a ring of resident contexts into a machine: each context's `r0`
+/// is pointed at `entry_pc`, its `r1` (PSW) zeroed, and its `r2` (`NextRRM`)
+/// linked to the next context, circularly. The machine's RRM and PC are set
+/// so the first context starts executing at `entry_pc`.
+///
+/// This mirrors what a runtime does when it loads contexts (paper section
+/// 2.5); the test harness plays the role of the loader so the measured
+/// steady-state switching cost is isolated.
+///
+/// # Errors
+///
+/// Propagates register-write failures (a context extending past the file).
+///
+/// # Panics
+///
+/// Panics if `contexts` is empty.
+pub fn install_ring(
+    machine: &mut Machine,
+    contexts: &[ContextHandle],
+    entry_pc: u32,
+) -> Result<(), MachineError> {
+    assert!(!contexts.is_empty(), "a ring needs at least one context");
+    for (i, ctx) in contexts.iter().enumerate() {
+        let next = contexts[(i + 1) % contexts.len()];
+        machine.write_abs(ctx.base(), entry_pc)?; // r0: PC
+        machine.write_abs(ctx.base() + 1, 0)?; // r1: PSW
+        machine.write_abs(ctx.base() + 2, u32::from(next.rrm().raw()))?; // r2: NextRRM
+    }
+    machine.set_rrm(0, Rrm::from_raw(contexts[0].rrm().raw()));
+    machine.set_pc(entry_pc);
+    Ok(())
+}
+
+/// Assembles the round-robin demo and returns it with the entry label
+/// resolved.
+///
+/// # Errors
+///
+/// Returns an assembly error only if the generated source is malformed,
+/// which would be a bug in this crate.
+pub fn round_robin_program(work_units: u32) -> Result<(Program, u32), rr_isa::AsmError> {
+    let p = rr_isa::assemble(&round_robin_source(work_units))?;
+    let entry = p.label("thread_entry").expect("generated source defines thread_entry");
+    Ok((p, entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_alloc::{BitmapAllocator, ContextAllocator};
+    use rr_machine::MachineConfig;
+
+    fn setup(num_threads: usize, ctx_size: u32, work_units: u32) -> (Machine, Vec<ContextHandle>) {
+        let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+        let (p, entry) = round_robin_program(work_units).unwrap();
+        m.load_program(&p).unwrap();
+        let mut alloc = BitmapAllocator::new(128).unwrap();
+        let contexts: Vec<ContextHandle> =
+            (0..num_threads).map(|_| alloc.alloc(ctx_size).unwrap()).collect();
+        install_ring(&mut m, &contexts, entry).unwrap();
+        (m, contexts)
+    }
+
+    #[test]
+    fn all_threads_make_equal_progress() {
+        let (mut m, contexts) = setup(4, 8, 3);
+        m.run(4 * 50 * (3 + 6)).unwrap();
+        let counters: Vec<u32> =
+            contexts.iter().map(|c| m.read_abs(c.base() + 5).unwrap()).collect();
+        assert!(counters.iter().all(|&c| c > 0), "all threads ran: {counters:?}");
+        let max = counters.iter().max().unwrap();
+        let min = counters.iter().min().unwrap();
+        // A thread can be at most one visit (work_units increments) ahead,
+        // since the simulation may stop mid-visit.
+        assert!(max - min <= 3, "round-robin fairness: {counters:?}");
+    }
+
+    #[test]
+    fn per_visit_cost_is_work_plus_six_cycles() {
+        // With one work unit a steady-state visit is jmp + addi + jal +
+        // ldrrm + mfpsw + mtpsw + jr = 7 cycles; each thread's *first* visit
+        // starts at thread_entry and skips the jmp (6 cycles). The switch
+        // portion is 5 cycles of instructions plus the loop jump — the
+        // paper's S = 6 context switch cost.
+        let n = 3u64;
+        let (mut m, contexts) = setup(n as usize, 8, 1);
+        let total_cycles = 6 * n + 7 * n * 100;
+        m.run(total_cycles).unwrap();
+        let increments: u64 = contexts
+            .iter()
+            .map(|c| u64::from(m.read_abs(c.base() + 5).unwrap()))
+            .sum();
+        // n first visits at 6 cycles, then 7 cycles per visit.
+        let expected = n + (total_cycles - 6 * n) / 7;
+        assert!(
+            increments.abs_diff(expected) <= n + 1,
+            "got {increments}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn work_units_show_up_in_the_counters() {
+        let (mut m, contexts) = setup(2, 16, 5);
+        // Each visit: 5 work + 6 overhead = 11 cycles; run 2 threads × 10
+        // visits. The first visit of the first thread costs 10 (no jmp).
+        m.run(2 * 10 * 11).unwrap();
+        for c in &contexts {
+            let counter = m.read_abs(c.base() + 5).unwrap();
+            assert!(counter >= 5 * 9, "thread made progress: {counter}");
+        }
+    }
+
+    #[test]
+    fn psw_travels_with_each_context() {
+        // Give each thread a distinct PSW via its r1 and check they never
+        // bleed into each other.
+        let (mut m, contexts) = setup(3, 8, 1);
+        for (i, c) in contexts.iter().enumerate() {
+            m.write_abs(c.base() + 1, 100 + i as u32).unwrap();
+        }
+        // Context 0 is the running context, so its PSW lives in the hardware
+        // register until its first yield saves it back into its r1.
+        m.set_psw(100);
+        m.run(200).unwrap();
+        for (i, c) in contexts.iter().enumerate() {
+            assert_eq!(m.read_abs(c.base() + 1).unwrap(), 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn single_context_ring_switches_to_itself() {
+        let (mut m, contexts) = setup(1, 8, 2);
+        m.run(80).unwrap();
+        assert!(m.read_abs(contexts[0].base() + 5).unwrap() >= 10);
+    }
+
+    #[test]
+    fn yield_source_matches_figure_3_shape() {
+        // Four instructions: ldrrm, mfpsw, mtpsw, jr.
+        let p = rr_isa::assemble(YIELD_SRC).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.label("yield"), Some(0));
+        assert_eq!(SWITCH_CYCLES, 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Adaptive limiting of resident contexts (paper section 5.2).
+//!
+//! With cache interference, more resident contexts is not always better:
+//! utilization gains compete with shrinking run lengths, "analogous to the
+//! problem of controlling the degree of multiprogramming to improve virtual
+//! memory performance". The paper lists runtime methods for adaptively
+//! limiting residency as ongoing work; this module provides the natural
+//! first implementation: measure efficiency at candidate limits and
+//! hill-climb to the best one.
+
+use rr_alloc::ContextAllocator;
+use rr_runtime::{SchedCosts, UnloadPolicyKind};
+use rr_workload::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::options::SimOptions;
+
+/// Efficiency measured at one candidate residency limit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LimitSample {
+    /// The resident-context cap (`None` = unlimited).
+    pub limit: Option<usize>,
+    /// Steady-state efficiency at that cap.
+    pub efficiency: f64,
+    /// Time-averaged resident contexts observed.
+    pub avg_resident: f64,
+}
+
+/// Sweeps candidate residency limits and returns the per-limit efficiencies
+/// plus the best limit found.
+///
+/// `make_alloc` supplies a fresh allocator per trial (each trial must start
+/// from an empty register file).
+///
+/// # Errors
+///
+/// Propagates engine-construction failures.
+pub fn sweep_limits(
+    mut make_alloc: impl FnMut() -> Box<dyn ContextAllocator>,
+    sched: SchedCosts,
+    policy: UnloadPolicyKind,
+    workload: &Workload,
+    base_opts: &SimOptions,
+    limits: &[Option<usize>],
+) -> Result<(LimitSample, Vec<LimitSample>), String> {
+    if limits.is_empty() {
+        return Err("sweep needs at least one candidate limit".into());
+    }
+    let mut samples = Vec::with_capacity(limits.len());
+    for &limit in limits {
+        let opts = SimOptions { resident_limit: limit, ..base_opts.clone() };
+        let stats =
+            Engine::new(make_alloc(), sched, policy, workload.clone(), opts)?.run();
+        samples.push(LimitSample {
+            limit,
+            efficiency: stats.efficiency(),
+            avg_resident: stats.avg_resident,
+        });
+    }
+    let best = *samples
+        .iter()
+        .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
+        .expect("non-empty");
+    Ok((best, samples))
+}
+
+/// Hill-climbs the residency limit starting from `start`, doubling or
+/// halving toward better efficiency until a local optimum.
+///
+/// # Errors
+///
+/// Propagates engine-construction failures.
+pub fn hill_climb(
+    mut make_alloc: impl FnMut() -> Box<dyn ContextAllocator>,
+    sched: SchedCosts,
+    policy: UnloadPolicyKind,
+    workload: &Workload,
+    base_opts: &SimOptions,
+    start: usize,
+) -> Result<(LimitSample, Vec<LimitSample>), String> {
+    let mut measure = |limit: usize| -> Result<LimitSample, String> {
+        let opts = SimOptions { resident_limit: Some(limit), ..base_opts.clone() };
+        let stats =
+            Engine::new(make_alloc(), sched, policy, workload.clone(), opts)?.run();
+        Ok(LimitSample {
+            limit: Some(limit),
+            efficiency: stats.efficiency(),
+            avg_resident: stats.avg_resident,
+        })
+    };
+    let mut history = Vec::new();
+    let mut current = measure(start.max(1))?;
+    history.push(current);
+    loop {
+        let here = current.limit.expect("hill climb always uses Some");
+        let candidates = [here / 2, here * 2];
+        let mut improved = false;
+        for cand in candidates {
+            if cand == 0 || history.iter().any(|s| s.limit == Some(cand)) {
+                continue;
+            }
+            let s = measure(cand)?;
+            history.push(s);
+            if s.efficiency > current.efficiency {
+                current = s;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok((current, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceModel;
+    use rr_alloc::BitmapAllocator;
+    use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
+
+    fn workload() -> Workload {
+        WorkloadBuilder::new()
+            .threads(32)
+            .run_length(Dist::Geometric { mean: 64.0 })
+            // Latency short enough that a modest number of contexts
+            // saturates the processor; beyond that, interference-shortened
+            // run lengths only add switch overhead.
+            .latency(Dist::Constant(100))
+            .context_size(ContextSizeDist::Fixed(8))
+            .work_per_thread(20_000)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    fn opts_with_interference(alpha: f64) -> SimOptions {
+        SimOptions {
+            interference: Some(InterferenceModel::new(alpha).unwrap()),
+            ..SimOptions::cache_experiments()
+        }
+    }
+
+    #[test]
+    fn sweep_finds_an_interior_optimum_under_heavy_interference() {
+        // With strong interference, unlimited residency is suboptimal.
+        let w = workload();
+        let opts = opts_with_interference(1.0);
+        let limits = [Some(1), Some(2), Some(4), Some(8), Some(16), None];
+        let (best, samples) = sweep_limits(
+            || Box::new(BitmapAllocator::new(128).unwrap()),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            &w,
+            &opts,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(samples.len(), limits.len());
+        let unlimited = samples.last().unwrap();
+        assert!(
+            best.efficiency >= unlimited.efficiency,
+            "best {best:?} vs unlimited {unlimited:?}"
+        );
+        assert!(best.limit.is_some() && best.limit.unwrap() < 16, "best {best:?}");
+    }
+
+    #[test]
+    fn without_interference_more_contexts_never_hurts_much() {
+        let w = workload();
+        let opts = SimOptions::cache_experiments();
+        let (_best, samples) = sweep_limits(
+            || Box::new(BitmapAllocator::new(128).unwrap()),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            &w,
+            &opts,
+            &[Some(2), Some(8), None],
+        )
+        .unwrap();
+        assert!(samples[2].efficiency >= samples[0].efficiency - 0.01);
+    }
+
+    #[test]
+    fn hill_climb_converges() {
+        let w = workload();
+        let opts = opts_with_interference(1.0);
+        let (best, history) = hill_climb(
+            || Box::new(BitmapAllocator::new(128).unwrap()),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            &w,
+            &opts,
+            8,
+        )
+        .unwrap();
+        assert!(!history.is_empty());
+        assert!(history.iter().all(|s| s.efficiency <= best.efficiency));
+    }
+
+    #[test]
+    fn empty_sweep_is_an_error() {
+        let w = workload();
+        let r = sweep_limits(
+            || Box::new(BitmapAllocator::new(128).unwrap()),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            &w,
+            &SimOptions::default(),
+            &[],
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,703 @@
+//! The coarse-multithreading simulation engine.
+//!
+//! One processor, one register file, a supply of synthetic threads. The
+//! processor runs a thread until it faults (geometric run lengths), switches
+//! contexts in software (Figure 3 costs), and hides the fault latency behind
+//! other resident contexts. Context allocation, loading, unloading, and
+//! queueing are charged per the paper's Figure 4; all policy differences
+//! between the *Flexible* (register relocation) and *Fixed* (hardware
+//! windows) architectures enter through the [`ContextAllocator`] and the
+//! cost tables it carries.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rr_alloc::ContextAllocator;
+use rr_runtime::{ReadyRing, SchedCosts, UnloadDecision, UnloadGovernor, UnloadPolicyKind};
+use rr_workload::Workload;
+
+use crate::options::SimOptions;
+use crate::stats::SimStats;
+use crate::thread::{Phase, ThreadRt};
+
+/// Result of a load attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadOutcome {
+    /// A context was allocated and loaded.
+    Loaded,
+    /// A runnable thread is waiting but residency or registers block it.
+    NeedSpace,
+    /// The software queue is empty.
+    NothingToLoad,
+}
+
+/// Which accounting bucket a cycle charge lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    Busy,
+    Switch,
+    Spin,
+    Alloc,
+    Dealloc,
+    Load,
+    Unload,
+    Queue,
+    Idle,
+}
+
+/// The discrete-event simulator for one multithreaded processor node.
+pub struct Engine {
+    alloc: Box<dyn ContextAllocator>,
+    sched: SchedCosts,
+    governor: UnloadGovernor,
+    workload: Workload,
+    opts: SimOptions,
+    rng: SmallRng,
+
+    threads: Vec<ThreadRt>,
+    /// Resident contexts, in `NextRRM` ring order.
+    ring: ReadyRing,
+    /// Software queue of unloaded runnable threads (FIFO).
+    supply: VecDeque<usize>,
+    /// Outstanding fault completions: (wake cycle, thread).
+    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// While `Some(tid)`, allocation for the queue head `tid` is known to
+    /// fail until some context is deallocated; avoids charging the same
+    /// failed attempt every scheduling decision.
+    alloc_blocked_for: Option<usize>,
+
+    now: u64,
+    stats: SimStats,
+    resident_integral: u128,
+    next_checkpoint: u64,
+    /// Last cycle at which the supply queue held a runnable thread.
+    last_pressure: u64,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason if the options are invalid or any
+    /// thread could never fit the allocator (e.g. a 40-register thread on
+    /// 32-register fixed windows).
+    pub fn new(
+        alloc: Box<dyn ContextAllocator>,
+        sched: SchedCosts,
+        policy: UnloadPolicyKind,
+        workload: Workload,
+        opts: SimOptions,
+    ) -> Result<Self, String> {
+        opts.validate()?;
+        for t in &workload.threads {
+            if !alloc.can_ever_fit(t.regs_needed) {
+                return Err(format!(
+                    "thread {} needs {} registers, which allocator `{}` can never satisfy",
+                    t.id,
+                    t.regs_needed,
+                    alloc.strategy_name()
+                ));
+            }
+        }
+        let threads: Vec<ThreadRt> = workload.threads.iter().map(|s| ThreadRt::new(*s)).collect();
+        let supply = (0..threads.len()).collect();
+        let rng = SmallRng::seed_from_u64(workload.seed);
+        let checkpoint = opts.checkpoint_interval;
+        let trim = opts.transient_trim;
+        Ok(Engine {
+            alloc,
+            sched,
+            governor: UnloadGovernor::new(policy),
+            workload,
+            opts,
+            rng,
+            threads,
+            ring: ReadyRing::new(),
+            supply,
+            events: BinaryHeap::new(),
+            alloc_blocked_for: None,
+            now: 0,
+            stats: SimStats { transient_trim: trim, ..SimStats::default() },
+            resident_integral: 0,
+            next_checkpoint: checkpoint,
+            last_pressure: 0,
+        })
+    }
+
+    /// Runs to completion (or the cycle horizon) and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        loop {
+            self.drain_events();
+            if !self.supply.is_empty() {
+                self.last_pressure = self.now;
+            }
+            if self.stats.completed_threads == self.threads.len() {
+                break;
+            }
+            if self.now >= self.opts.max_cycles {
+                break;
+            }
+            if let Some(tid) = self.dispatch_ready() {
+                self.run_thread(tid);
+                continue;
+            }
+            match self.try_load() {
+                LoadOutcome::Loaded => continue,
+                LoadOutcome::NeedSpace => {
+                    // Register pressure: a runnable thread is waiting and the
+                    // allocator cannot serve it. With an unloading policy,
+                    // spin over the blocked residents (two-phase); the spin
+                    // charges advance time until an eviction or a wakeup.
+                    if self.spin_sweep() {
+                        continue;
+                    }
+                }
+                LoadOutcome::NothingToLoad => {}
+            }
+            if !self.idle_until_next_event() {
+                break;
+            }
+        }
+        self.stats.total_cycles = self.now;
+        self.stats.avg_resident = if self.now == 0 {
+            0.0
+        } else {
+            self.resident_integral as f64 / self.now as f64
+        };
+        self.stats.supply_drained_at = Some(self.last_pressure);
+        self.stats
+    }
+
+    /// Charges `dt` cycles to `bucket`, advancing time and bookkeeping.
+    fn spend(&mut self, dt: u64, bucket: Bucket) {
+        if dt == 0 {
+            return;
+        }
+        self.now += dt;
+        self.resident_integral += self.ring.len() as u128 * u128::from(dt);
+        let b = &mut self.stats;
+        *match bucket {
+            Bucket::Busy => &mut b.busy_cycles,
+            Bucket::Switch => &mut b.switch_cycles,
+            Bucket::Spin => &mut b.spin_cycles,
+            Bucket::Alloc => &mut b.alloc_cycles,
+            Bucket::Dealloc => &mut b.dealloc_cycles,
+            Bucket::Load => &mut b.load_cycles,
+            Bucket::Unload => &mut b.unload_cycles,
+            Bucket::Queue => &mut b.queue_cycles,
+            Bucket::Idle => &mut b.idle_cycles,
+        } += dt;
+        while self.now >= self.next_checkpoint {
+            self.stats.checkpoints.push((self.now, self.stats.busy_cycles));
+            self.next_checkpoint += self.opts.checkpoint_interval;
+        }
+    }
+
+    /// Applies every fault completion that has come due.
+    fn drain_events(&mut self) {
+        while let Some(&Reverse((wake, tid))) = self.events.peek() {
+            if wake > self.now {
+                break;
+            }
+            self.events.pop();
+            match self.threads[tid].phase {
+                Phase::ResidentBlocked { wake: w } if w <= self.now => {
+                    self.threads[tid].phase = Phase::ResidentReady;
+                    self.governor.clear(tid);
+                }
+                Phase::BlockedUnloaded { wake: w } if w <= self.now => {
+                    self.threads[tid].phase = Phase::ReadyUnloaded;
+                    self.supply.push_back(tid);
+                }
+                // Stale event (the thread was unloaded and re-queued, or
+                // already handled); each fault pushes exactly one event, so
+                // mismatches are ignorable.
+                _ => {}
+            }
+        }
+    }
+
+    /// Finds and switches to the next runnable resident context in
+    /// `NextRRM` ring order, for a single context-switch charge `S`.
+    ///
+    /// `S` already differs between the experiment families (6 for cache, 8
+    /// for synchronization — the extra two cycles covering the unloading
+    /// policy's bookkeeping), so dispatch itself is charged identically.
+    fn dispatch_ready(&mut self) -> Option<usize> {
+        let now = self.now;
+        let tid = self
+            .ring
+            .sweep()
+            .find(|&t| self.threads[t].is_ready_at(now))?;
+        self.ring.focus(tid);
+        self.spend(u64::from(self.sched.context_switch), Bucket::Switch);
+        self.threads[tid].phase = Phase::ResidentReady;
+        self.governor.clear(tid);
+        Some(tid)
+    }
+
+    /// One spinning pass over the blocked residents, made only under
+    /// register pressure: each visit is a failed resume attempt costing `S`,
+    /// feeding the two-phase competitive policy. Stops early when a context
+    /// turns out to have woken (the next loop iteration dispatches it) or
+    /// when the policy evicts one (the next iteration retries allocation).
+    ///
+    /// Returns whether progress is possible without idling (always true for
+    /// a non-`Never` policy with blocked residents; spinning itself advances
+    /// time, so the loop converges).
+    fn spin_sweep(&mut self) -> bool {
+        if self.governor.kind() == UnloadPolicyKind::Never {
+            return false;
+        }
+        let order: Vec<usize> = self.ring.sweep().collect();
+        if order.is_empty() {
+            return false;
+        }
+        let s = u64::from(self.sched.context_switch);
+        for tid in order {
+            if self.threads[tid].is_ready_at(self.now) {
+                return true; // a wakeup beat the sweep; dispatch it instead
+            }
+            self.spend(s, Bucket::Spin);
+            let unload_cost = self.sched.unload_cost(self.threads[tid].spec.regs_needed);
+            if self.governor.failed_attempt(tid, s, unload_cost) == UnloadDecision::Unload {
+                self.unload(tid);
+                return true;
+            }
+        }
+        true
+    }
+
+    /// Unloads a blocked resident context, freeing its registers.
+    fn unload(&mut self, tid: usize) {
+        let regs = self.threads[tid].spec.regs_needed;
+        self.spend(self.sched.unload_cost(regs), Bucket::Unload);
+        self.spend(u64::from(self.sched.queue_op), Bucket::Queue);
+        let costs = self.alloc.costs();
+        self.spend(u64::from(costs.dealloc), Bucket::Dealloc);
+        let ctx = self.threads[tid].ctx.take().expect("resident thread has a context");
+        self.alloc.dealloc(ctx).expect("live context deallocates");
+        self.alloc_blocked_for = None;
+        self.ring.remove(tid);
+        self.governor.clear(tid);
+        self.stats.unloads += 1;
+        let wake = match self.threads[tid].phase {
+            Phase::ResidentBlocked { wake } => wake,
+            other => unreachable!("unloading a non-blocked context: {other:?}"),
+        };
+        if wake <= self.now {
+            self.threads[tid].phase = Phase::ReadyUnloaded;
+            self.supply.push_back(tid);
+        } else {
+            self.threads[tid].phase = Phase::BlockedUnloaded { wake };
+        }
+    }
+
+    /// Tries to allocate and load the thread at the head of the software
+    /// queue.
+    ///
+    /// Loading is *lazy*: it happens only when no resident context is ready,
+    /// as in a runtime whose idle/scheduler loop admits new threads. A
+    /// saturated rotation therefore never grows its resident set — harmless
+    /// for throughput (saturation efficiency is independent of N) but worth
+    /// knowing when interpreting `avg_resident` on saturated workloads.
+    fn try_load(&mut self) -> LoadOutcome {
+        let Some(&tid) = self.supply.front() else {
+            return LoadOutcome::NothingToLoad;
+        };
+        if let Some(limit) = self.opts.resident_limit {
+            if self.ring.len() >= limit {
+                return LoadOutcome::NeedSpace;
+            }
+        }
+        // A failed allocation for this head thread cannot start succeeding
+        // until some context is deallocated; don't re-charge the attempt.
+        if self.alloc_blocked_for == Some(tid) {
+            return LoadOutcome::NeedSpace;
+        }
+        let regs = self.threads[tid].spec.regs_needed;
+        let costs = self.alloc.costs();
+        match self.alloc.alloc(regs) {
+            Some(ctx) => {
+                self.spend(u64::from(costs.alloc_success), Bucket::Alloc);
+                self.spend(u64::from(self.sched.queue_op), Bucket::Queue);
+                self.spend(self.sched.load_cost(regs), Bucket::Load);
+                self.supply.pop_front();
+                self.threads[tid].ctx = Some(ctx);
+                self.threads[tid].phase = Phase::ResidentReady;
+                self.ring.insert(tid);
+                self.stats.allocs += 1;
+                self.stats.loads += 1;
+                self.stats.max_resident = self.stats.max_resident.max(self.ring.len());
+                LoadOutcome::Loaded
+            }
+            None => {
+                self.spend(u64::from(costs.alloc_failure), Bucket::Alloc);
+                self.stats.alloc_failures += 1;
+                self.alloc_blocked_for = Some(tid);
+                LoadOutcome::NeedSpace
+            }
+        }
+    }
+
+    /// Runs the dispatched thread until its next fault or completion.
+    fn run_thread(&mut self, tid: usize) {
+        let mut run = self.workload.run_length.sample(&mut self.rng);
+        if let Some(intf) = self.opts.interference {
+            run = intf.scale_run(run, self.ring.len());
+        }
+        let run = run.min(self.threads[tid].remaining);
+        self.spend(run, Bucket::Busy);
+        self.threads[tid].remaining -= run;
+        if self.threads[tid].remaining == 0 {
+            self.complete(tid);
+        } else {
+            let latency = self.workload.latency.sample(&mut self.rng);
+            let wake = self.now + latency;
+            self.threads[tid].phase = Phase::ResidentBlocked { wake };
+            self.events.push(Reverse((wake, tid)));
+            self.stats.faults += 1;
+        }
+    }
+
+    /// Retires a completed thread, freeing its context.
+    fn complete(&mut self, tid: usize) {
+        let costs = self.alloc.costs();
+        self.spend(u64::from(costs.dealloc), Bucket::Dealloc);
+        let ctx = self.threads[tid].ctx.take().expect("running thread has a context");
+        self.alloc.dealloc(ctx).expect("live context deallocates");
+        self.alloc_blocked_for = None;
+        self.ring.remove(tid);
+        self.governor.clear(tid);
+        self.threads[tid].phase = Phase::Done;
+        self.stats.completed_threads += 1;
+        self.stats.completions.push((tid, self.now));
+    }
+
+    /// Advances time to the next fault completion. Returns `false` when no
+    /// event is pending (which, given the loop's invariants, means all
+    /// remaining work is unreachable — it cannot happen on a valid setup).
+    fn idle_until_next_event(&mut self) -> bool {
+        match self.events.peek() {
+            Some(&Reverse((wake, _))) if wake > self.now => {
+                let dt = wake - self.now;
+                self.spend(dt, Bucket::Idle);
+                true
+            }
+            Some(_) => true, // due event; the next drain applies it
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_alloc::{BitmapAllocator, FixedSlots};
+    use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
+
+    fn flexible(file: u32) -> Box<dyn ContextAllocator> {
+        Box::new(BitmapAllocator::new(file).unwrap())
+    }
+
+    fn fixed(file: u32) -> Box<dyn ContextAllocator> {
+        Box::new(FixedSlots::new(file).unwrap())
+    }
+
+    fn cache_engine(
+        alloc: Box<dyn ContextAllocator>,
+        threads: usize,
+        r: f64,
+        l: u64,
+        work: u64,
+    ) -> Engine {
+        let w = WorkloadBuilder::new()
+            .threads(threads)
+            .run_length(Dist::Geometric { mean: r })
+            .latency(Dist::Constant(l))
+            .context_size(ContextSizeDist::PAPER_UNIFORM)
+            .work_per_thread(work)
+            .seed(42)
+            .build()
+            .unwrap();
+        Engine::new(
+            alloc,
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            SimOptions::cache_experiments(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completes_all_threads_and_accounts_every_cycle() {
+        let stats = cache_engine(flexible(128), 16, 16.0, 100, 5_000).run();
+        assert_eq!(stats.completed_threads, 16);
+        assert_eq!(stats.accounted_cycles(), stats.total_cycles);
+        assert_eq!(stats.busy_cycles, 16 * 5_000);
+        assert!(stats.efficiency() > 0.0 && stats.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = cache_engine(flexible(128), 8, 16.0, 100, 5_000).run();
+        let b = cache_engine(flexible(128), 8, 16.0, 100, 5_000).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_efficiency_matches_analytics() {
+        // One thread, deterministic run length: steady-state cycle is
+        // S + R + (L - R... ) — precisely: switch 6, run 100, then idle
+        // until wake at fault+100: the fault latency overlaps nothing, so
+        // period = S + R + L and efficiency = R / (R + S + L).
+        let w = WorkloadBuilder::new()
+            .threads(1)
+            .run_length(Dist::Constant(100))
+            .latency(Dist::Constant(50))
+            .context_size(ContextSizeDist::Fixed(8))
+            .work_per_thread(200_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        let stats = Engine::new(
+            flexible(128),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            SimOptions::cache_experiments(),
+        )
+        .unwrap()
+        .run();
+        let expected = 100.0 / (100.0 + 6.0 + 50.0);
+        assert!(
+            (stats.efficiency() - expected).abs() < 0.01,
+            "got {}, expected {expected}",
+            stats.efficiency()
+        );
+    }
+
+    #[test]
+    fn saturated_processor_efficiency_is_r_over_r_plus_s() {
+        // Plenty of contexts: latency fully hidden, E_sat = R/(R+S).
+        let w = WorkloadBuilder::new()
+            .threads(12)
+            .run_length(Dist::Constant(100))
+            .latency(Dist::Constant(50))
+            .context_size(ContextSizeDist::Fixed(8))
+            .work_per_thread(100_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        let stats = Engine::new(
+            flexible(128),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            SimOptions::cache_experiments(),
+        )
+        .unwrap()
+        .run();
+        let expected = 100.0 / 106.0;
+        assert!(
+            (stats.efficiency() - expected).abs() < 0.02,
+            "got {}, expected {expected}",
+            stats.efficiency()
+        );
+    }
+
+    #[test]
+    fn flexible_keeps_more_contexts_resident_than_fixed() {
+        // C = 8 on a 128-register file: fixed fits 4 windows, register
+        // relocation fits 16 contexts.
+        let mk = |alloc: Box<dyn ContextAllocator>| {
+            let w = WorkloadBuilder::new()
+                .threads(32)
+                .run_length(Dist::Geometric { mean: 16.0 })
+                .latency(Dist::Constant(200))
+                .context_size(ContextSizeDist::Fixed(8))
+                .work_per_thread(10_000)
+                .seed(3)
+                .build()
+                .unwrap();
+            Engine::new(
+                alloc,
+                SchedCosts::cache_experiments(),
+                UnloadPolicyKind::Never,
+                w,
+                SimOptions::cache_experiments(),
+            )
+            .unwrap()
+            .run()
+        };
+        let flex = mk(flexible(128));
+        let fix = mk(fixed(128));
+        assert_eq!(fix.max_resident, 4);
+        assert_eq!(flex.max_resident, 16);
+        assert!(
+            flex.efficiency() > fix.efficiency() * 1.5,
+            "flex {} vs fixed {}",
+            flex.efficiency(),
+            fix.efficiency()
+        );
+    }
+
+    #[test]
+    fn completions_are_recorded_and_spread_fairly() {
+        let stats = cache_engine(flexible(128), 16, 16.0, 100, 5_000).run();
+        assert_eq!(stats.completions.len(), 16);
+        let mut tids: Vec<usize> = stats.completions.iter().map(|&(t, _)| t).collect();
+        tids.sort_unstable();
+        assert_eq!(tids, (0..16).collect::<Vec<_>>(), "each thread completes once");
+        // Cycles are nondecreasing in completion order and end the run.
+        let cycles: Vec<u64> = stats.completions.iter().map(|&(_, c)| c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cycles.last().unwrap(), stats.total_cycles);
+        // Round-robin with equal work: concurrent threads finish within a
+        // couple of scheduling quanta of each other. With 16 threads on a
+        // file holding ~6 contexts, the first wave completes well before
+        // the last.
+        assert!(cycles[0] < cycles[15]);
+    }
+
+    #[test]
+    fn never_policy_never_unloads() {
+        let stats = cache_engine(flexible(64), 32, 8.0, 500, 2_000).run();
+        assert_eq!(stats.unloads, 0);
+    }
+
+    #[test]
+    fn two_phase_unloads_under_pressure() {
+        // Small file, long exponential waits, short runs: the two-phase
+        // policy must recycle registers.
+        let w = WorkloadBuilder::new()
+            .threads(32)
+            .run_length(Dist::Geometric { mean: 32.0 })
+            .latency(Dist::Exponential { mean: 2000.0 })
+            .context_size(ContextSizeDist::PAPER_UNIFORM)
+            .work_per_thread(5_000)
+            .seed(5)
+            .build()
+            .unwrap();
+        let stats = Engine::new(
+            flexible(64),
+            SchedCosts::sync_experiments(),
+            UnloadPolicyKind::two_phase(),
+            w,
+            SimOptions::sync_experiments(),
+        )
+        .unwrap()
+        .run();
+        assert!(stats.unloads > 0, "expected unloads, got {stats:?}");
+        assert!(stats.spin_cycles > 0);
+        assert_eq!(stats.completed_threads, 32);
+        assert_eq!(stats.accounted_cycles(), stats.total_cycles);
+    }
+
+    #[test]
+    fn resident_limit_is_respected() {
+        let w = WorkloadBuilder::new()
+            .threads(16)
+            .context_size(ContextSizeDist::Fixed(8))
+            .work_per_thread(5_000)
+            .seed(2)
+            .build()
+            .unwrap();
+        let opts = SimOptions { resident_limit: Some(3), ..SimOptions::cache_experiments() };
+        let stats = Engine::new(
+            flexible(128),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(stats.max_resident <= 3);
+        assert_eq!(stats.completed_threads, 16);
+    }
+
+    #[test]
+    fn cycle_horizon_stops_the_run() {
+        let w = WorkloadBuilder::new()
+            .threads(4)
+            .work_per_thread(1_000_000)
+            .seed(2)
+            .build()
+            .unwrap();
+        let opts = SimOptions { max_cycles: 10_000, ..SimOptions::cache_experiments() };
+        let stats = Engine::new(
+            flexible(128),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(stats.completed_threads < 4);
+        assert!(stats.total_cycles >= 10_000);
+        assert!(stats.total_cycles < 20_000, "should stop promptly");
+    }
+
+    #[test]
+    fn oversized_threads_are_rejected_at_construction() {
+        let w = WorkloadBuilder::new()
+            .threads(2)
+            .context_size(ContextSizeDist::Fixed(40))
+            .build()
+            .unwrap();
+        let err = Engine::new(
+            fixed(128),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            SimOptions::default(),
+        )
+        .err()
+        .unwrap();
+        assert!(err.contains("never satisfy"), "{err}");
+    }
+
+    #[test]
+    fn interference_reduces_efficiency() {
+        let mk = |alpha: Option<f64>| {
+            let w = WorkloadBuilder::new()
+                .threads(32)
+                .run_length(Dist::Geometric { mean: 64.0 })
+                .latency(Dist::Constant(100))
+                .context_size(ContextSizeDist::Fixed(8))
+                .work_per_thread(20_000)
+                .seed(4)
+                .build()
+                .unwrap();
+            let opts = SimOptions {
+                interference: alpha
+                    .map(|a| crate::interference::InterferenceModel::new(a).unwrap()),
+                ..SimOptions::cache_experiments()
+            };
+            Engine::new(
+                flexible(128),
+                SchedCosts::cache_experiments(),
+                UnloadPolicyKind::Never,
+                w,
+                opts,
+            )
+            .unwrap()
+            .run()
+        };
+        let clean = mk(None);
+        let noisy = mk(Some(0.3));
+        assert!(
+            noisy.efficiency() < clean.efficiency(),
+            "interference should hurt: {} vs {}",
+            noisy.efficiency(),
+            clean.efficiency()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Cache-interference modelling (paper section 5.2).
+//!
+//! Threads sharing a cache mostly interfere destructively, raising the miss
+//! ratio — i.e. *shortening run lengths* — as the number of resident contexts
+//! grows. The paper leaves this as ongoing work; this module implements the
+//! simple first-order model the cited studies suggest: the mean run length
+//! with `n` resident contexts is
+//!
+//! ```text
+//! R_eff(n) = R / (1 + alpha * (n - 1))
+//! ```
+//!
+//! `alpha` is the marginal miss-rate inflation per additional resident
+//! context (0 recovers the interference-free experiments). A floor keeps the
+//! run length at least one cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order destructive cache-interference model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Marginal miss-rate inflation per extra resident context.
+    pub alpha: f64,
+}
+
+impl InterferenceModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alpha` is negative or not finite.
+    pub fn new(alpha: f64) -> Result<Self, String> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(format!("interference alpha {alpha} must be finite and >= 0"));
+        }
+        Ok(InterferenceModel { alpha })
+    }
+
+    /// Scales a sampled run length for `residents` co-resident contexts.
+    pub fn scale_run(&self, run: u64, residents: usize) -> u64 {
+        if residents <= 1 || self.alpha == 0.0 {
+            return run.max(1);
+        }
+        let factor = 1.0 + self.alpha * (residents as f64 - 1.0);
+        ((run as f64 / factor).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_is_identity() {
+        let m = InterferenceModel::new(0.0).unwrap();
+        assert_eq!(m.scale_run(100, 8), 100);
+        let m = InterferenceModel::new(0.5).unwrap();
+        assert_eq!(m.scale_run(100, 1), 100);
+    }
+
+    #[test]
+    fn run_lengths_shrink_monotonically_with_residents() {
+        let m = InterferenceModel::new(0.25).unwrap();
+        let mut prev = u64::MAX;
+        for n in 1..=16 {
+            let r = m.scale_run(1000, n);
+            assert!(r <= prev, "n={n}");
+            prev = r;
+        }
+        assert_eq!(m.scale_run(1000, 5), 500);
+    }
+
+    #[test]
+    fn floor_of_one_cycle() {
+        let m = InterferenceModel::new(10.0).unwrap();
+        assert_eq!(m.scale_run(1, 64), 1);
+        assert_eq!(m.scale_run(0, 1), 1);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(InterferenceModel::new(-0.1).is_err());
+        assert!(InterferenceModel::new(f64::NAN).is_err());
+        assert!(InterferenceModel::new(0.3).is_ok());
+    }
+}

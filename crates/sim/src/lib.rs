@@ -1,0 +1,55 @@
+//! Discrete-event simulator for a coarsely multithreaded processor node.
+//!
+//! This crate stands in for the authors' modified PROTEUS simulator: it
+//! executes the stochastic experiments of the paper's section 3 on a single
+//! multiprocessor node. The processor is coarsely multithreaded in the style
+//! of APRIL — it switches contexts only when a running thread takes a
+//! high-latency fault (remote cache miss or synchronization wait) — and all
+//! context management is charged at the cycle costs of the paper's Figure 4,
+//! which the ISA-level artifacts in [`rr_runtime`] validate by execution.
+//!
+//! The engine is deterministic given the workload seed, so every figure in
+//! the reproduction is exactly replayable.
+//!
+//! # Example
+//!
+//! One Figure 5-style point: flexible (register relocation) contexts on a
+//! 128-register file, cache faults of 200 cycles, mean run length 32.
+//!
+//! ```
+//! use rr_sim::{Engine, SimOptions};
+//! use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
+//! use rr_alloc::BitmapAllocator;
+//! use rr_runtime::{SchedCosts, UnloadPolicyKind};
+//!
+//! let workload = WorkloadBuilder::new()
+//!     .threads(32)
+//!     .run_length(Dist::Geometric { mean: 32.0 })
+//!     .latency(Dist::Constant(200))
+//!     .context_size(ContextSizeDist::PAPER_UNIFORM)
+//!     .work_per_thread(20_000)
+//!     .seed(7)
+//!     .build()?;
+//! let engine = Engine::new(
+//!     Box::new(BitmapAllocator::new(128).map_err(|e| e.to_string())?),
+//!     SchedCosts::cache_experiments(),
+//!     UnloadPolicyKind::Never,
+//!     workload,
+//!     SimOptions::default(),
+//! )?;
+//! let stats = engine.run();
+//! assert!(stats.efficiency() > 0.0 && stats.efficiency() <= 1.0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod adaptive;
+pub mod engine;
+pub mod interference;
+pub mod options;
+pub mod stats;
+pub mod thread;
+
+pub use engine::Engine;
+pub use interference::InterferenceModel;
+pub use options::{DispatchMode, SimOptions};
+pub use stats::SimStats;

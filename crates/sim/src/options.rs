@@ -1,0 +1,118 @@
+//! Simulation options.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interference::InterferenceModel;
+
+/// How the scheduler finds the next runnable resident context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DispatchMode {
+    /// The scheduler knows which resident contexts are ready (a per-context
+    /// ready flag set by the memory system, as on APRIL) and switches
+    /// straight to one for a single context-switch charge `S`. Used by the
+    /// cache-fault experiments (section 3.2, `S` = 6).
+    #[default]
+    DirectReady,
+    /// The scheduler walks the `NextRRM` ring testing each context; every
+    /// visit to a still-blocked context costs `S` and counts as a failed
+    /// resume attempt for the unloading policy. Used by the synchronization
+    /// experiments (section 3.3, `S` = 8, which includes the test-and-branch
+    /// bookkeeping). The walk — and its failed-attempt accounting — only
+    /// happens under *load pressure* (an unloaded thread is waiting for
+    /// registers); with nothing to load, spinning has no opportunity cost
+    /// and the processor idle-waits for the next wakeup instead.
+    RingWalk,
+}
+
+/// Knobs for a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Hard horizon in cycles; the run stops here even if threads remain.
+    pub max_cycles: u64,
+    /// Scheduler dispatch behaviour.
+    pub dispatch: DispatchMode,
+    /// Cap on simultaneously resident contexts (`None` = registers are the
+    /// only limit). Used by the section 5.2 adaptive-limiting extension.
+    pub resident_limit: Option<usize>,
+    /// Optional cache-interference model (section 5.2): run lengths shrink
+    /// as more contexts share the cache.
+    pub interference: Option<InterferenceModel>,
+    /// Cycle spacing of the efficiency checkpoints used for transient
+    /// exclusion.
+    pub checkpoint_interval: u64,
+    /// Fraction of the run trimmed from each end when computing the
+    /// steady-state efficiency (the paper excludes "transient startup and
+    /// completion effects").
+    pub transient_trim: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_cycles: 50_000_000,
+            dispatch: DispatchMode::DirectReady,
+            resident_limit: None,
+            interference: None,
+            checkpoint_interval: 1024,
+            transient_trim: 0.1,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options for the paper's cache-fault experiments.
+    pub fn cache_experiments() -> Self {
+        SimOptions { dispatch: DispatchMode::DirectReady, ..Self::default() }
+    }
+
+    /// Options for the paper's synchronization-fault experiments.
+    pub fn sync_experiments() -> Self {
+        SimOptions { dispatch: DispatchMode::RingWalk, ..Self::default() }
+    }
+
+    /// Validates option values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for out-of-range values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_cycles == 0 {
+            return Err("max_cycles must be positive".into());
+        }
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint_interval must be positive".into());
+        }
+        if !(0.0..0.5).contains(&self.transient_trim) {
+            return Err(format!("transient_trim {} must be in [0, 0.5)", self.transient_trim));
+        }
+        if self.resident_limit == Some(0) {
+            return Err("resident_limit of zero would deadlock".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(SimOptions::default().validate().is_ok());
+        assert!(SimOptions::cache_experiments().validate().is_ok());
+        assert_eq!(SimOptions::sync_experiments().dispatch, DispatchMode::RingWalk);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let mut o = SimOptions::default();
+        o.max_cycles = 0;
+        assert!(o.validate().is_err());
+        let mut o = SimOptions::default();
+        o.transient_trim = 0.5;
+        assert!(o.validate().is_err());
+        let mut o = SimOptions::default();
+        o.resident_limit = Some(0);
+        assert!(o.validate().is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Cycle accounting and efficiency statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Complete cycle accounting for one simulation run.
+///
+/// Every simulated cycle lands in exactly one bucket, so
+/// [`SimStats::accounted_cycles`] always equals [`SimStats::total_cycles`] —
+/// an invariant the test suite checks after every run.
+///
+/// # Example
+///
+/// ```
+/// use rr_sim::SimStats;
+///
+/// let stats = SimStats {
+///     total_cycles: 1000,
+///     busy_cycles: 600,
+///     switch_cycles: 100,
+///     idle_cycles: 300,
+///     ..SimStats::default()
+/// };
+/// assert_eq!(stats.efficiency_full(), 0.6);
+/// assert_eq!(stats.overhead_cycles(), 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Useful work cycles (the numerator of efficiency).
+    pub busy_cycles: u64,
+    /// Successful context-switch charges (`S` per dispatch).
+    pub switch_cycles: u64,
+    /// Failed resume attempts during ring walks (`S` each) — the spinning
+    /// the two-phase policy bounds.
+    pub spin_cycles: u64,
+    /// Context allocation charges, successful and failed.
+    pub alloc_cycles: u64,
+    /// Context deallocation charges.
+    pub dealloc_cycles: u64,
+    /// Context load charges (registers used + blocking overhead).
+    pub load_cycles: u64,
+    /// Context unload charges.
+    pub unload_cycles: u64,
+    /// Thread queue insert/remove charges.
+    pub queue_cycles: u64,
+    /// Cycles with nothing to run.
+    pub idle_cycles: u64,
+
+    /// Faults taken by running threads.
+    pub faults: u64,
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Failed allocations.
+    pub alloc_failures: u64,
+    /// Context loads.
+    pub loads: u64,
+    /// Context unloads (excluding completions).
+    pub unloads: u64,
+    /// Threads that ran to completion.
+    pub completed_threads: usize,
+    /// Peak simultaneously resident contexts.
+    pub max_resident: usize,
+    /// Time-averaged resident contexts.
+    pub avg_resident: f64,
+
+    /// (cycle, cumulative busy) checkpoints for transient exclusion.
+    pub checkpoints: Vec<(u64, u64)>,
+    /// Fraction trimmed from each end for the steady-state window.
+    pub transient_trim: f64,
+    /// The last cycle at which the software thread queue held work. After
+    /// this point the machine is draining its final residents — the
+    /// "completion effects" the paper excludes from its statistics.
+    pub supply_drained_at: Option<u64>,
+    /// `(thread id, cycle)` completion records, in completion order.
+    pub completions: Vec<(usize, u64)>,
+}
+
+impl SimStats {
+    /// Sum of all accounting buckets; must equal [`Self::total_cycles`].
+    pub fn accounted_cycles(&self) -> u64 {
+        self.busy_cycles
+            + self.switch_cycles
+            + self.spin_cycles
+            + self.alloc_cycles
+            + self.dealloc_cycles
+            + self.load_cycles
+            + self.unload_cycles
+            + self.queue_cycles
+            + self.idle_cycles
+    }
+
+    /// Whole-run efficiency: useful cycles over all cycles.
+    pub fn efficiency_full(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Steady-state efficiency over the middle of the run, excluding
+    /// startup and completion transients (the paper's methodology; its
+    /// footnote notes full-run statistics "differed only slightly", which
+    /// [`Self::efficiency_full`] lets callers confirm).
+    ///
+    /// The window runs from `transient_trim` of the way in until the
+    /// earlier of `1 - transient_trim` and the point where the thread
+    /// supply drained (after which residency thins out as the final
+    /// threads complete). Degenerate windows fall back to the full-run
+    /// figure.
+    pub fn efficiency(&self) -> f64 {
+        let t = self.total_cycles;
+        if t == 0 {
+            return 0.0;
+        }
+        let lo_target = (t as f64 * self.transient_trim) as u64;
+        let hi_target = ((t as f64 * (1.0 - self.transient_trim)) as u64)
+            .min(self.supply_drained_at.unwrap_or(t));
+        let lo = self.checkpoints.iter().find(|(c, _)| *c >= lo_target);
+        let hi = self.checkpoints.iter().rev().find(|(c, _)| *c <= hi_target);
+        match (lo, hi) {
+            (Some(&(t1, b1)), Some(&(t2, b2))) if t2 > t1 => {
+                (b2 - b1) as f64 / (t2 - t1) as f64
+            }
+            _ => self.efficiency_full(),
+        }
+    }
+
+    /// Total scheduling overhead (everything that is neither useful work nor
+    /// idle).
+    pub fn overhead_cycles(&self) -> u64 {
+        self.accounted_cycles() - self.busy_cycles - self.idle_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(total: u64, busy: u64, checkpoints: Vec<(u64, u64)>) -> SimStats {
+        SimStats {
+            total_cycles: total,
+            busy_cycles: busy,
+            idle_cycles: total - busy,
+            checkpoints,
+            transient_trim: 0.1,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn full_efficiency() {
+        let s = stats_with(1000, 600, vec![]);
+        assert!((s.efficiency_full() - 0.6).abs() < 1e-12);
+        assert_eq!(SimStats::default().efficiency_full(), 0.0);
+    }
+
+    #[test]
+    fn windowed_efficiency_excludes_transients() {
+        // Busy only between cycles 200 and 800: the middle window sees a
+        // higher efficiency than the full run.
+        let checkpoints = (0..=10)
+            .map(|i| {
+                let t = i * 100;
+                let b = t.clamp(200, 800) - 200;
+                (t, b)
+            })
+            .collect();
+        let s = stats_with(1000, 600, checkpoints);
+        assert!(s.efficiency() > s.efficiency_full());
+        assert!((s.efficiency() - 600.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_checkpoints_fall_back_to_full() {
+        let s = stats_with(1000, 600, vec![(500, 300)]);
+        assert_eq!(s.efficiency(), s.efficiency_full());
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let mut s = stats_with(100, 40, vec![]);
+        s.switch_cycles = 10;
+        s.idle_cycles = 50;
+        assert_eq!(s.accounted_cycles(), 100);
+        assert_eq!(s.overhead_cycles(), 10);
+    }
+}

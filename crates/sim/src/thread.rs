@@ -1,0 +1,93 @@
+//! Per-thread runtime state inside the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use rr_alloc::ContextHandle;
+use rr_workload::ThreadSpec;
+
+/// Where a thread is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Never run; waiting in the supply queue.
+    Unstarted,
+    /// Unloaded and runnable; waiting in the software ready queue.
+    ReadyUnloaded,
+    /// Unloaded while its fault is still outstanding; wakes at the stored
+    /// cycle and then joins the ready queue.
+    BlockedUnloaded {
+        /// Absolute cycle at which the fault completes.
+        wake: u64,
+    },
+    /// Resident and runnable.
+    ResidentReady,
+    /// Resident with an outstanding fault.
+    ResidentBlocked {
+        /// Absolute cycle at which the fault completes.
+        wake: u64,
+    },
+    /// Completed all its work.
+    Done,
+}
+
+/// A thread's dynamic state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadRt {
+    /// The static specification.
+    pub spec: ThreadSpec,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// The context currently holding the thread's registers, when resident.
+    pub ctx: Option<ContextHandle>,
+    /// Useful cycles still to execute.
+    pub remaining: u64,
+}
+
+impl ThreadRt {
+    /// Fresh state for a specification.
+    pub fn new(spec: ThreadSpec) -> Self {
+        ThreadRt { remaining: spec.total_work, spec, phase: Phase::Unstarted, ctx: None }
+    }
+
+    /// Whether the thread is resident (ready or blocked).
+    pub fn is_resident(&self) -> bool {
+        matches!(self.phase, Phase::ResidentReady | Phase::ResidentBlocked { .. })
+    }
+
+    /// Whether a resident thread can run now.
+    pub fn is_ready_at(&self, now: u64) -> bool {
+        match self.phase {
+            Phase::ResidentReady => true,
+            Phase::ResidentBlocked { wake } => wake <= now,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ThreadSpec {
+        ThreadSpec { id: 0, regs_needed: 8, total_work: 100 }
+    }
+
+    #[test]
+    fn fresh_thread_state() {
+        let t = ThreadRt::new(spec());
+        assert_eq!(t.phase, Phase::Unstarted);
+        assert_eq!(t.remaining, 100);
+        assert!(!t.is_resident());
+        assert!(!t.is_ready_at(0));
+    }
+
+    #[test]
+    fn readiness_tracks_wake_time() {
+        let mut t = ThreadRt::new(spec());
+        t.phase = Phase::ResidentBlocked { wake: 50 };
+        assert!(t.is_resident());
+        assert!(!t.is_ready_at(49));
+        assert!(t.is_ready_at(50));
+        t.phase = Phase::ResidentReady;
+        assert!(t.is_ready_at(0));
+    }
+}

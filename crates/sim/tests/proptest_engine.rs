@@ -1,0 +1,183 @@
+//! Property tests over the discrete-event engine: accounting identities,
+//! determinism, capacity limits, and policy invariants under randomized
+//! workloads and architectures.
+
+use proptest::prelude::*;
+
+use rr_alloc::{BitmapAllocator, ContextAllocator, FixedSlots};
+use rr_runtime::{SchedCosts, UnloadPolicyKind};
+use rr_sim::{Engine, SimOptions, SimStats};
+use rr_workload::{ContextSizeDist, Dist, Workload, WorkloadBuilder};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    file_size: u32,
+    fixed: bool,
+    sync: bool,
+    threads: usize,
+    run_mean: f64,
+    latency: u64,
+    ctx: ContextSizeDist,
+    work: u64,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop_oneof![Just(64u32), Just(128), Just(256)],
+        any::<bool>(),
+        any::<bool>(),
+        1usize..32,
+        2.0f64..128.0,
+        1u64..2000,
+        prop_oneof![
+            Just(ContextSizeDist::PAPER_UNIFORM),
+            (2u32..=32).prop_map(ContextSizeDist::Fixed),
+            (1u32..=8).prop_flat_map(|lo| (lo..=24).prop_map(move |hi| {
+                ContextSizeDist::Uniform { lo, hi }
+            })),
+        ],
+        100u64..5000,
+        0u64..1000,
+    )
+        .prop_map(
+            |(file_size, fixed, sync, threads, run_mean, latency, ctx, work, seed)| Scenario {
+                file_size,
+                fixed,
+                sync,
+                threads,
+                run_mean,
+                latency,
+                ctx,
+                work,
+                seed,
+            },
+        )
+}
+
+fn build(s: &Scenario) -> Result<(Workload, Box<dyn ContextAllocator>, SchedCosts, UnloadPolicyKind, SimOptions), String> {
+    let latency_dist = if s.sync {
+        Dist::Exponential { mean: s.latency as f64 }
+    } else {
+        Dist::Constant(s.latency)
+    };
+    let workload = WorkloadBuilder::new()
+        .threads(s.threads)
+        .run_length(Dist::Geometric { mean: s.run_mean })
+        .latency(latency_dist)
+        .context_size(s.ctx)
+        .work_per_thread(s.work)
+        .seed(s.seed)
+        .build()?;
+    let alloc: Box<dyn ContextAllocator> = if s.fixed {
+        Box::new(FixedSlots::new(s.file_size).map_err(|e| e.to_string())?)
+    } else {
+        Box::new(BitmapAllocator::new(s.file_size).map_err(|e| e.to_string())?)
+    };
+    let (sched, policy, opts) = if s.sync {
+        (
+            SchedCosts::sync_experiments(),
+            UnloadPolicyKind::two_phase(),
+            SimOptions { max_cycles: 3_000_000, ..SimOptions::sync_experiments() },
+        )
+    } else {
+        (
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            SimOptions { max_cycles: 3_000_000, ..SimOptions::cache_experiments() },
+        )
+    };
+    Ok((workload, alloc, sched, policy, opts))
+}
+
+fn run(s: &Scenario) -> Option<SimStats> {
+    let (workload, alloc, sched, policy, opts) = build(s).ok()?;
+    Engine::new(alloc, sched, policy, workload, opts).ok().map(Engine::run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every simulated cycle lands in exactly one accounting bucket.
+    #[test]
+    fn accounting_identity(s in arb_scenario()) {
+        if let Some(stats) = run(&s) {
+            prop_assert_eq!(stats.accounted_cycles(), stats.total_cycles);
+        }
+    }
+
+    /// Efficiency figures stay in [0, 1] and busy cycles never exceed the
+    /// workload's total useful work.
+    #[test]
+    fn efficiency_bounds(s in arb_scenario()) {
+        if let Some(stats) = run(&s) {
+            prop_assert!((0.0..=1.0).contains(&stats.efficiency_full()));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&stats.efficiency()));
+            prop_assert!(stats.busy_cycles <= s.work * s.threads as u64);
+        }
+    }
+
+    /// Completion means every thread's useful work was executed exactly.
+    #[test]
+    fn completed_runs_execute_all_work(s in arb_scenario()) {
+        if let Some(stats) = run(&s) {
+            if stats.completed_threads == s.threads {
+                prop_assert_eq!(stats.busy_cycles, s.work * s.threads as u64);
+            } else {
+                // Only the horizon stops an engine early.
+                prop_assert!(stats.total_cycles >= 3_000_000);
+            }
+        }
+    }
+
+    /// Bit-for-bit determinism under a fixed seed.
+    #[test]
+    fn determinism(s in arb_scenario()) {
+        let a = run(&s);
+        let b = run(&s);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Residency never exceeds what the register file can hold.
+    #[test]
+    fn residency_respects_capacity(s in arb_scenario()) {
+        if let Some(stats) = run(&s) {
+            let min_ctx = if s.fixed { 32 } else { 4 };
+            prop_assert!(stats.max_resident as u32 <= s.file_size / min_ctx);
+            prop_assert!(stats.avg_resident <= stats.max_resident as f64 + 1e-9);
+        }
+    }
+
+    /// The never-unload policy really never unloads, and the cache
+    /// experiments therefore perform exactly one load per thread started.
+    #[test]
+    fn cache_mode_never_unloads(s in arb_scenario()) {
+        let s = Scenario { sync: false, ..s };
+        if let Some(stats) = run(&s) {
+            prop_assert_eq!(stats.unloads, 0);
+            prop_assert_eq!(stats.spin_cycles, 0);
+            prop_assert!(stats.loads as usize <= s.threads);
+        }
+    }
+
+    /// Loads and unloads balance: every unload is a load that happened, and
+    /// every load beyond the first per thread must follow an unload.
+    #[test]
+    fn load_unload_ledger(s in arb_scenario()) {
+        if let Some(stats) = run(&s) {
+            prop_assert!(stats.unloads <= stats.loads);
+            prop_assert!(stats.loads <= s.threads as u64 + stats.unloads);
+            prop_assert_eq!(stats.allocs, stats.loads);
+        }
+    }
+
+    /// The fixed baseline is never charged allocation cycles.
+    #[test]
+    fn fixed_arch_pays_no_alloc_cycles(s in arb_scenario()) {
+        let s = Scenario { fixed: true, ..s };
+        if let Some(stats) = run(&s) {
+            prop_assert_eq!(stats.alloc_cycles, 0);
+            prop_assert_eq!(stats.dealloc_cycles, 0);
+        }
+    }
+}

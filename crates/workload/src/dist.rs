@@ -1,0 +1,350 @@
+//! The stochastic distributions used by the paper's experiments.
+//!
+//! The inverse-CDF sampling code is written out here rather than pulled from
+//! a distributions crate so that the exact distributional assumptions of the
+//! experiments are visible and unit-testable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over positive cycle counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always `value` cycles (the paper's cache-fault latency: "network
+    /// response time is uniform, which is reasonable for lightly loaded
+    /// networks").
+    Constant(u64),
+    /// Geometric with the given mean: a fixed probability `1/mean` of the
+    /// event on each cycle (the paper's run-length model). Support is
+    /// `1, 2, 3, ...`.
+    Geometric {
+        /// Mean in cycles; must be at least 1.
+        mean: f64,
+    },
+    /// Exponential with the given mean, rounded up to at least one cycle
+    /// (the paper's synchronization-wait model).
+    Exponential {
+        /// Mean in cycles; must be positive.
+        mean: f64,
+    },
+    /// Uniform over `lo..=hi`.
+    UniformInt {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// A mixture of the two fault-latency processes of the paper's section
+    /// 3: with probability `p_cache` the fault is a remote cache miss
+    /// (constant latency), otherwise a synchronization wait (exponential).
+    /// Used by the "experiments involving both types of faults".
+    CacheSyncMix {
+        /// Probability a fault is a cache miss.
+        p_cache: f64,
+        /// Constant cache-miss latency in cycles.
+        cache_latency: u64,
+        /// Mean synchronization wait in cycles.
+        sync_mean: f64,
+    },
+}
+
+impl Dist {
+    /// Draws one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's parameters are invalid (non-positive
+    /// mean, `lo > hi`); construct-time validation is the caller's job via
+    /// [`Dist::validate`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Geometric { mean } => {
+                assert!(mean >= 1.0, "geometric mean must be >= 1");
+                if mean == 1.0 {
+                    return 1;
+                }
+                // P(fault on a cycle) = 1/mean; support {1, 2, ...} with
+                // E[X] = mean. Inverse CDF: X = ceil(ln(1-u) / ln(1-p)).
+                let p = 1.0 / mean;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+                (x as u64).max(1)
+            }
+            Dist::Exponential { mean } => {
+                assert!(mean > 0.0, "exponential mean must be positive");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = -mean * (1.0 - u).ln();
+                (x.round() as u64).max(1)
+            }
+            Dist::UniformInt { lo, hi } => {
+                assert!(lo <= hi, "uniform bounds out of order");
+                rng.gen_range(lo..=hi)
+            }
+            Dist::CacheSyncMix { p_cache, cache_latency, sync_mean } => {
+                assert!((0.0..=1.0).contains(&p_cache), "mixture weight out of range");
+                if rng.gen_range(0.0..1.0) < p_cache {
+                    cache_latency
+                } else {
+                    Dist::Exponential { mean: sync_mean }.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v as f64,
+            Dist::Geometric { mean } | Dist::Exponential { mean } => mean,
+            Dist::UniformInt { lo, hi } => (lo + hi) as f64 / 2.0,
+            Dist::CacheSyncMix { p_cache, cache_latency, sync_mean } => {
+                p_cache * cache_latency as f64 + (1.0 - p_cache) * sync_mean
+            }
+        }
+    }
+
+    /// Checks parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when parameters are out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Dist::Constant(_) => Ok(()),
+            Dist::Geometric { mean } if mean >= 1.0 => Ok(()),
+            Dist::Geometric { mean } => Err(format!("geometric mean {mean} must be >= 1")),
+            Dist::Exponential { mean } if mean > 0.0 => Ok(()),
+            Dist::Exponential { mean } => Err(format!("exponential mean {mean} must be > 0")),
+            Dist::UniformInt { lo, hi } if lo <= hi => Ok(()),
+            Dist::UniformInt { lo, hi } => Err(format!("uniform bounds {lo}..={hi} out of order")),
+            Dist::CacheSyncMix { p_cache, sync_mean, .. } => {
+                if !(0.0..=1.0).contains(&p_cache) {
+                    Err(format!("mixture weight {p_cache} must be in [0, 1]"))
+                } else if sync_mean <= 0.0 {
+                    Err(format!("mixture sync mean {sync_mean} must be > 0"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The paper's context-size (`C`) distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContextSizeDist {
+    /// `C` uniform over `lo..=hi` registers (the headline experiments use
+    /// 6..=24, which the paper notes is biased toward large power-of-two
+    /// contexts).
+    Uniform {
+        /// Inclusive lower bound in registers.
+        lo: u32,
+        /// Inclusive upper bound in registers.
+        hi: u32,
+    },
+    /// Homogeneous `C` (the section 3.4 experiments use 8 and 16).
+    Fixed(u32),
+    /// A mix of coarse and fine-grained threads (the flexibility case of
+    /// paper section 2: the register file "divided ... into different
+    /// combinations of context sizes, supporting a mix of both coarse and
+    /// fine-grained threads").
+    Bimodal {
+        /// Register count of fine-grained threads.
+        small: u32,
+        /// Register count of coarse-grained threads.
+        large: u32,
+        /// Probability a thread is fine-grained.
+        p_small: f64,
+    },
+}
+
+impl ContextSizeDist {
+    /// The paper's headline distribution: `C ~ U(6, 24)`.
+    pub const PAPER_UNIFORM: ContextSizeDist = ContextSizeDist::Uniform { lo: 6, hi: 24 };
+
+    /// Draws a context size in registers.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            ContextSizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            ContextSizeDist::Fixed(c) => c,
+            ContextSizeDist::Bimodal { small, large, p_small } => {
+                if rng.gen_range(0.0..1.0) < p_small {
+                    small
+                } else {
+                    large
+                }
+            }
+        }
+    }
+
+    /// The mean context size in registers.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ContextSizeDist::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            ContextSizeDist::Fixed(c) => c as f64,
+            ContextSizeDist::Bimodal { small, large, p_small } => {
+                p_small * small as f64 + (1.0 - p_small) * large as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: Dist, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(Dist::Constant(7).sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn geometric_empirical_mean_close() {
+        for mean in [2.0, 8.0, 32.0, 128.0] {
+            let m = mean_of(Dist::Geometric { mean }, 200_000);
+            assert!((m - mean).abs() / mean < 0.03, "mean {mean}: got {m}");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_one_is_always_one() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(Dist::Geometric { mean: 1.0 }.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn exponential_empirical_mean_close() {
+        for mean in [10.0, 100.0, 1000.0] {
+            let m = mean_of(Dist::Exponential { mean }, 200_000);
+            assert!((m - mean).abs() / mean < 0.03, "mean {mean}: got {m}");
+        }
+    }
+
+    #[test]
+    fn exponential_memorylessness_rough() {
+        // P(X > 2L) should be about e^-2 of P(X > L) relative to total.
+        let d = Dist::Exponential { mean: 100.0 };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let above_l = samples.iter().filter(|&&x| x > 100).count() as f64 / n as f64;
+        assert!((above_l - (-1.0f64).exp()).abs() < 0.02, "got {above_l}");
+    }
+
+    #[test]
+    fn uniform_covers_bounds() {
+        let d = Dist::UniformInt { lo: 6, hi: 24 };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((6..=24).contains(&x));
+            seen_lo |= x == 6;
+            seen_hi |= x == 24;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn samples_are_always_positive() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for d in [
+            Dist::Geometric { mean: 1.5 },
+            Dist::Exponential { mean: 0.5 },
+            Dist::Constant(1),
+        ] {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dist::Geometric { mean: 0.5 }.validate().is_err());
+        assert!(Dist::Exponential { mean: 0.0 }.validate().is_err());
+        assert!(Dist::UniformInt { lo: 5, hi: 4 }.validate().is_err());
+        assert!(Dist::Geometric { mean: 8.0 }.validate().is_ok());
+        assert!(Dist::CacheSyncMix { p_cache: 1.5, cache_latency: 10, sync_mean: 10.0 }
+            .validate()
+            .is_err());
+        assert!(Dist::CacheSyncMix { p_cache: 0.5, cache_latency: 10, sync_mean: 0.0 }
+            .validate()
+            .is_err());
+        assert!(Dist::CacheSyncMix { p_cache: 0.5, cache_latency: 10, sync_mean: 10.0 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn mixture_mean_and_composition() {
+        let d = Dist::CacheSyncMix { p_cache: 0.75, cache_latency: 100, sync_mean: 1000.0 };
+        assert!((d.mean() - (0.75 * 100.0 + 0.25 * 1000.0)).abs() < 1e-12);
+        let m = mean_of(d, 200_000);
+        assert!((m - d.mean()).abs() / d.mean() < 0.05, "got {m}");
+        // Degenerate weights collapse to the pure processes.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let pure_cache =
+            Dist::CacheSyncMix { p_cache: 1.0, cache_latency: 42, sync_mean: 9.0 };
+        for _ in 0..100 {
+            assert_eq!(pure_cache.sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn context_size_dists() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(ContextSizeDist::Fixed(8).sample(&mut rng), 8);
+        assert_eq!(ContextSizeDist::PAPER_UNIFORM.mean(), 15.0);
+        for _ in 0..100 {
+            let c = ContextSizeDist::PAPER_UNIFORM.sample(&mut rng);
+            assert!((6..=24).contains(&c));
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes_coarse_and_fine() {
+        let d = ContextSizeDist::Bimodal { small: 4, large: 32, p_small: 0.75 };
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut smalls = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            match d.sample(&mut rng) {
+                4 => smalls += 1,
+                32 => {}
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        let frac = smalls as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "got {frac}");
+        assert!((d.mean() - (0.75 * 4.0 + 0.25 * 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Dist::Geometric { mean: 32.0 };
+        let a: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

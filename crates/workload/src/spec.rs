@@ -1,0 +1,236 @@
+//! Thread specifications and workload construction.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{ContextSizeDist, Dist};
+
+/// One synthetic thread: how many registers it needs and how much useful
+/// work it performs before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Thread identifier, dense from 0.
+    pub id: usize,
+    /// Required context size `C` in registers — the number the compiler
+    /// reports to the runtime (paper section 2.4), and the number of
+    /// registers actually saved/restored on load/unload (section 2.5).
+    pub regs_needed: u32,
+    /// Total useful cycles the thread executes before completing.
+    pub total_work: u64,
+}
+
+/// A complete experiment workload: the thread supply plus the fault
+/// processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The synthetic thread supply.
+    pub threads: Vec<ThreadSpec>,
+    /// Run length between faults (`R`), sampled per run.
+    pub run_length: Dist,
+    /// Fault service latency (`L`), sampled per fault.
+    pub latency: Dist,
+    /// Seed for the simulation's fault-process randomness.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Mean `R` of the run-length process.
+    pub fn mean_run_length(&self) -> f64 {
+        self.run_length.mean()
+    }
+
+    /// Mean `L` of the latency process.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Total useful work across all threads.
+    pub fn total_work(&self) -> u64 {
+        self.threads.iter().map(|t| t.total_work).sum()
+    }
+}
+
+/// Builder for [`Workload`], with the paper's defaults.
+///
+/// # Example
+///
+/// A Figure 5-style workload: geometric run lengths with mean 32, constant
+/// cache-fault latency 200, context sizes uniform over 6..=24.
+///
+/// ```
+/// use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new()
+///     .threads(64)
+///     .run_length(Dist::Geometric { mean: 32.0 })
+///     .latency(Dist::Constant(200))
+///     .context_size(ContextSizeDist::PAPER_UNIFORM)
+///     .work_per_thread(50_000)
+///     .seed(1)
+///     .build()?;
+/// assert_eq!(w.threads.len(), 64);
+/// assert!(w.threads.iter().all(|t| (6..=24).contains(&t.regs_needed)));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    num_threads: usize,
+    run_length: Dist,
+    latency: Dist,
+    context_size: ContextSizeDist,
+    work_per_thread: u64,
+    seed: u64,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadBuilder {
+    /// A builder with paper-like defaults: 64 threads, `R`=32 geometric,
+    /// `L`=100 constant, `C ~ U(6,24)`, 50 000 cycles of work per thread.
+    pub fn new() -> Self {
+        WorkloadBuilder {
+            num_threads: 64,
+            run_length: Dist::Geometric { mean: 32.0 },
+            latency: Dist::Constant(100),
+            context_size: ContextSizeDist::PAPER_UNIFORM,
+            work_per_thread: 50_000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the thread-supply size.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the run-length distribution (`R`).
+    pub fn run_length(mut self, d: Dist) -> Self {
+        self.run_length = d;
+        self
+    }
+
+    /// Sets the fault-latency distribution (`L`).
+    pub fn latency(mut self, d: Dist) -> Self {
+        self.latency = d;
+        self
+    }
+
+    /// Sets the context-size distribution (`C`).
+    pub fn context_size(mut self, d: ContextSizeDist) -> Self {
+        self.context_size = d;
+        self
+    }
+
+    /// Sets the useful work per thread, in cycles.
+    pub fn work_per_thread(mut self, cycles: u64) -> Self {
+        self.work_per_thread = cycles;
+        self
+    }
+
+    /// Sets the seed for both thread-supply generation and the simulation's
+    /// fault processes.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason if a distribution parameter is
+    /// invalid, the thread supply is empty, or threads have no work.
+    pub fn build(self) -> Result<Workload, String> {
+        self.run_length.validate()?;
+        self.latency.validate()?;
+        if self.num_threads == 0 {
+            return Err("workload needs at least one thread".to_string());
+        }
+        if self.work_per_thread == 0 {
+            return Err("threads need positive work".to_string());
+        }
+        // Thread attributes come from a dedicated RNG stream so that adding
+        // threads does not perturb the fault processes.
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let threads = (0..self.num_threads)
+            .map(|id| ThreadSpec {
+                id,
+                regs_needed: self.context_size.sample(&mut rng),
+                total_work: self.work_per_thread,
+            })
+            .collect();
+        Ok(Workload {
+            threads,
+            run_length: self.run_length,
+            latency: self.latency,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_build() {
+        let w = WorkloadBuilder::new().build().unwrap();
+        assert_eq!(w.threads.len(), 64);
+        assert_eq!(w.total_work(), 64 * 50_000);
+        assert_eq!(w.mean_run_length(), 32.0);
+    }
+
+    #[test]
+    fn context_sizes_follow_distribution() {
+        let w = WorkloadBuilder::new()
+            .threads(1000)
+            .context_size(ContextSizeDist::PAPER_UNIFORM)
+            .build()
+            .unwrap();
+        let mean: f64 =
+            w.threads.iter().map(|t| t.regs_needed as f64).sum::<f64>() / 1000.0;
+        assert!((mean - 15.0).abs() < 1.0, "got {mean}");
+        let w8 = WorkloadBuilder::new()
+            .threads(10)
+            .context_size(ContextSizeDist::Fixed(8))
+            .build()
+            .unwrap();
+        assert!(w8.threads.iter().all(|t| t.regs_needed == 8));
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = WorkloadBuilder::new().seed(7).build().unwrap();
+        let b = WorkloadBuilder::new().seed(7).build().unwrap();
+        assert_eq!(a, b);
+        let c = WorkloadBuilder::new().seed(8).build().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(WorkloadBuilder::new().threads(0).build().is_err());
+        assert!(WorkloadBuilder::new().work_per_thread(0).build().is_err());
+        assert!(WorkloadBuilder::new()
+            .run_length(Dist::Geometric { mean: 0.0 })
+            .build()
+            .is_err());
+        assert!(WorkloadBuilder::new()
+            .latency(Dist::Exponential { mean: -1.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn thread_ids_are_dense() {
+        let w = WorkloadBuilder::new().threads(5).build().unwrap();
+        let ids: Vec<usize> = w.threads.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The complete software stack in one session: an executive that spawns,
+//! schedules, and retires threads on the cycle-level machine, with every
+//! context operation performed by the runtime's own assembly (Appendix A
+//! allocation, section 2.5 loading, Figure 3 switching).
+//!
+//! Run with: `cargo run --example executive`
+
+use register_relocation::runtime::{ExecError, Executive};
+
+fn main() -> Result<(), ExecError> {
+    let mut exec = Executive::boot()?;
+    println!(
+        "Booted: OS reserved registers 0..32, {} cycles of boot-time assembly.",
+        exec.os_cycles()
+    );
+
+    let body = Executive::standard_body(3)?;
+    exec.install_body(&body)?;
+    let entry = body.label("entry").unwrap();
+
+    println!("\nSpawning a mixed workload (each spawn runs the Appendix A allocator):");
+    let mut tids = Vec::new();
+    for regs in [8u32, 12, 24, 8, 16] {
+        match exec.spawn(entry, regs) {
+            Ok(tid) => {
+                let tcb = *exec.threads().iter().find(|t| t.tid == tid).unwrap();
+                println!(
+                    "  thread {tid}: {regs:>2} registers -> {:>2}-register context at base {:>3}",
+                    tcb.size, tcb.base
+                );
+                tids.push(tid);
+            }
+            Err(e) => println!("  spawn({regs} regs) failed: {e}"),
+        }
+    }
+
+    let consumed = exec.run(2_000)?;
+    println!("\nRan {consumed} cycles of multithreaded execution:");
+    for &tid in &tids {
+        println!("  thread {tid}: {} work units", exec.read_thread_reg(tid, 5)?);
+    }
+
+    // Retire a thread that is not holding the processor; its context is
+    // unloaded to memory and its registers recycled.
+    let victim = tids
+        .iter()
+        .copied()
+        .find(|&t| {
+            let tcb = exec.threads().iter().find(|x| x.tid == t).unwrap();
+            exec.machine().rrm(0).raw() != tcb.base
+        })
+        .expect("some thread is not running");
+    let tcb = exec.retire(victim)?;
+    println!(
+        "\nRetired thread {victim}; final r5 = {} persisted at save area {}.",
+        exec.machine().memory().load(i64::from(tcb.save_area + 5)).unwrap(),
+        tcb.save_area
+    );
+    let fresh = exec.spawn(entry, 10)?;
+    println!("Spawned thread {fresh} into the recycled registers at base {}.", {
+        exec.threads().iter().find(|t| t.tid == fresh).unwrap().base
+    });
+
+    exec.run(1_000)?;
+    println!("\nAfter another 1000 cycles:");
+    for t in exec.threads() {
+        println!(
+            "  thread {} (base {:>3}): {} work units",
+            t.tid,
+            t.base,
+            exec.read_thread_reg(t.tid, 5)?
+        );
+    }
+    println!(
+        "\nTotals: {} machine cycles, of which {} were OS assembly (spawn/retire).",
+        exec.cycles(),
+        exec.os_cycles()
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The software-only approach (paper section 5.1): multiple code versions
+//! over disjoint register subsets — register relocation at compile time,
+//! needing *no* hardware support at all.
+//!
+//! Run with: `cargo run --example software_only`
+
+use register_relocation::isa::{assemble, decode};
+use register_relocation::machine::{Machine, MachineConfig};
+use register_relocation::software_only::{compile_versions, SoftwareOnlyError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A thread body written for registers 0..16.
+    let body = assemble(
+        r#"
+        addi r5, r5, 1
+        addi r6, r6, 2
+        add r7, r5, r6
+        "#,
+    )?;
+    println!("Original thread body (compiled for a 16-register context):");
+    for w in body.words() {
+        println!("    {}", decode(*w)?);
+    }
+
+    // "The compiler" emits one version per context, registers rewritten.
+    let versions = compile_versions(&body, 4, 16, 0)?;
+    println!("\nFour compile-time-relocated versions:");
+    for v in &versions {
+        let first = decode(v.words[0])?;
+        println!("  registers {:>2}..{:<2}  first instr: {first}", v.base, {
+            v.base + v.size as u16 - 1
+        });
+    }
+
+    // Chain the versions with jumps and run them on a 64-register machine
+    // whose RRM stays zero the whole time.
+    let mut cfg = MachineConfig::default_128();
+    cfg.num_registers = 64;
+    cfg.operand_width = 6;
+    let mut m = Machine::new(cfg)?;
+    let mut image = Vec::new();
+    for (i, v) in versions.iter().enumerate() {
+        image.extend(&v.words);
+        if i + 1 == versions.len() {
+            image.push(assemble("halt")?.words()[0]);
+        } else {
+            let next = (i + 1) * 4;
+            image.extend(assemble(&format!("jmp {next}"))?.words());
+        }
+    }
+    m.memory_mut().load_image(0, &image)?;
+    m.set_pc(0);
+    m.run_until_halt(1_000)?;
+
+    println!("\nAfter running all versions (hardware RRM = {:#x} throughout):", m.rrm(0).raw());
+    for v in &versions {
+        println!(
+            "  context at {:>2}: r5 = {}, r6 = {}, r7 = {}",
+            v.base,
+            m.read_abs(v.base + 5)?,
+            m.read_abs(v.base + 6)?,
+            m.read_abs(v.base + 7)?
+        );
+    }
+    println!(
+        "\nCode expansion: {} versions x {} words = {} words (the scheme's cost).",
+        versions.len(),
+        body.len(),
+        versions.len() * body.len()
+    );
+
+    // And the limitation the paper hit on the 32-register MIPS: the operand
+    // field bounds the total register space.
+    match compile_versions(&body, 5, 16, 0) {
+        Err(SoftwareOnlyError::ExceedsOperandField { base, size }) => println!(
+            "A fifth context at base {base} (+{size}) exceeds the operand field — \
+             exactly the MIPS limitation the paper reports."
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Integration: the `rr` toolchain binary end to end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn rr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rr"))
+}
+
+fn demo_source() -> tempfile::NamedFile {
+    let mut f = tempfile::NamedFile::new("demo.s");
+    writeln!(
+        f.file,
+        "li r0, 40\n ldrrm r0\n nop\n li r5, 99\n add r6, r5, r5\n halt"
+    )
+    .unwrap();
+    f
+}
+
+/// Minimal self-cleaning temp file (no external crate).
+mod tempfile {
+    use std::fs::File;
+    use std::path::PathBuf;
+
+    pub struct NamedFile {
+        pub file: File,
+        pub path: PathBuf,
+    }
+
+    impl NamedFile {
+        pub fn new(name: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!("rr-test-{}-{}", std::process::id(), name));
+            NamedFile { file: File::create(&path).unwrap(), path }
+        }
+    }
+
+    impl Drop for NamedFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn asm_then_dis_round_trips() {
+    let src = demo_source();
+    let asm = rr().arg("asm").arg(&src.path).output().unwrap();
+    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    let hex = String::from_utf8(asm.stdout).unwrap();
+    assert_eq!(hex.lines().count(), 6);
+
+    let mut hexfile = tempfile::NamedFile::new("demo.hex");
+    std::io::Write::write_all(&mut hexfile.file, hex.as_bytes()).unwrap();
+    let dis = rr().arg("dis").arg(&hexfile.path).output().unwrap();
+    assert!(dis.status.success());
+    let text = String::from_utf8(dis.stdout).unwrap();
+    assert!(text.contains("ldrrm r0"));
+    assert!(text.contains("add r6, r5, r5"));
+}
+
+#[test]
+fn run_executes_with_relocation() {
+    let src = demo_source();
+    let out = rr().arg("run").arg(&src.path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Halted"), "{text}");
+    assert!(text.contains("R45"), "relocated write visible: {text}");
+    assert!(text.contains("(99)"), "{text}");
+}
+
+#[test]
+fn check_reports_violations_with_nonzero_exit() {
+    let src = demo_source();
+    let ok = rr().arg("check").arg(&src.path).args(["--size", "8"]).output().unwrap();
+    assert!(ok.status.success());
+
+    let bad = rr().arg("check").arg(&src.path).args(["--size", "4"]).output().unwrap();
+    assert!(!bad.status.success());
+    let err = String::from_utf8(bad.stderr).unwrap();
+    assert!(err.contains("outside the declared 4-register context"), "{err}");
+}
+
+#[test]
+fn demand_reports_context_sizing() {
+    let src = demo_source();
+    let out = rr().arg("demand").arg(&src.path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("demand 7 registers"), "{text}");
+    assert!(text.contains("context size needed: 8"), "{text}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = rr().arg("asm").arg("/nonexistent/file.s").output().unwrap();
+    assert!(!out.status.success());
+    let out = rr().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = rr().output().unwrap();
+    assert!(out.status.success(), "bare invocation prints usage");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("toolchain"));
+}

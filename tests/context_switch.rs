@@ -1,0 +1,102 @@
+//! Integration: the paper's Figure 3 context switch executing on the
+//! cycle-level machine, across contexts allocated by the software allocator.
+
+use register_relocation::alloc::{BitmapAllocator, ContextAllocator, ContextHandle};
+use register_relocation::machine::{Machine, MachineConfig};
+use register_relocation::runtime::switch_code::{
+    install_ring, round_robin_program, SWITCH_CYCLES,
+};
+
+fn build(num: usize, sizes: &[u32], work: u32, file: u32) -> (Machine, Vec<ContextHandle>) {
+    let mut m = Machine::new(MachineConfig {
+        num_registers: file as u16,
+        ..MachineConfig::default_128()
+    })
+    .unwrap();
+    let (p, entry) = round_robin_program(work).unwrap();
+    m.load_program(&p).unwrap();
+    let mut alloc = BitmapAllocator::new(file).unwrap();
+    let contexts: Vec<ContextHandle> =
+        (0..num).map(|i| alloc.alloc(sizes[i % sizes.len()]).unwrap()).collect();
+    install_ring(&mut m, &contexts, entry).unwrap();
+    (m, contexts)
+}
+
+#[test]
+fn sixteen_fine_grained_threads_share_a_128_register_file() {
+    // The configuration the paper's abstract motivates: fixed 32-register
+    // hardware contexts fit 4 threads in a 128-register file; register
+    // relocation fits 16 size-8 contexts.
+    let (mut m, contexts) = build(16, &[8], 2, 128);
+    assert_eq!(contexts.len(), 16);
+    m.run(16 * 20 * 8).unwrap();
+    for c in &contexts {
+        let counter = m.read_abs(c.base() + 5).unwrap();
+        assert!(counter >= 15, "context at {} ran {counter} work units", c.base());
+    }
+}
+
+#[test]
+fn mixed_size_contexts_coexist_in_one_ring() {
+    // Coarse and fine threads together — the flexibility argument of
+    // section 2: one ring holding 32-, 16- and 8-register contexts.
+    let (mut m, contexts) = build(6, &[32, 16, 8], 4, 128);
+    let total: u32 = 32 + 16 + 8 + 32 + 16 + 8;
+    assert!(total <= 128);
+    m.run(6 * 30 * 10).unwrap();
+    let counters: Vec<u32> =
+        contexts.iter().map(|c| m.read_abs(c.base() + 5).unwrap()).collect();
+    let min = counters.iter().min().unwrap();
+    let max = counters.iter().max().unwrap();
+    assert!(*min > 0, "every thread ran: {counters:?}");
+    assert!(max - min <= 4, "round robin is size-blind: {counters:?}");
+}
+
+#[test]
+fn switch_cost_is_within_the_papers_4_to_6_cycle_claim() {
+    // Steady-state arithmetic: with w work units per visit, k threads and
+    // first visits 1 cycle shorter, total cycles = sum of visits. Solve for
+    // the per-visit overhead and check it equals SWITCH_CYCLES + 1 (the
+    // loop jump).
+    let work = 4u64;
+    let n = 4u64;
+    let (mut m, contexts) = build(n as usize, &[8], work as u32, 128);
+    let budget = 5_000u64;
+    m.run(budget).unwrap();
+    let total_work: u64 = contexts
+        .iter()
+        .map(|c| u64::from(m.read_abs(c.base() + 5).unwrap()))
+        .sum();
+    let visits = total_work as f64 / work as f64;
+    let overhead_per_visit = (m.cycles() as f64 - total_work as f64) / visits;
+    let expected = (SWITCH_CYCLES + 1) as f64; // jal..jr plus the loop jmp
+    assert!(
+        (overhead_per_visit - expected).abs() < 0.2,
+        "measured {overhead_per_visit:.2} cycles of switch overhead per visit"
+    );
+    // The instruction sequence itself is 5 cycles: within "4 to 6".
+    assert!((4..=6).contains(&SWITCH_CYCLES));
+}
+
+#[test]
+fn ring_order_follows_next_rrm_masks() {
+    // Verify control really moves through the NextRRM chain: give each
+    // thread one work unit and stop mid-round; counters must be a prefix
+    // pattern in ring order.
+    let (mut m, contexts) = build(5, &[8], 1, 128);
+    // Run exactly 3 visits; every *first* visit enters at thread_entry and
+    // costs 1 (work) + 5 (switch) = 6 cycles.
+    m.run(6 * 3).unwrap();
+    let counters: Vec<u32> =
+        contexts.iter().map(|c| m.read_abs(c.base() + 5).unwrap()).collect();
+    assert_eq!(counters, vec![1, 1, 1, 0, 0]);
+}
+
+#[test]
+fn works_on_a_256_register_file_too() {
+    let (mut m, contexts) = build(8, &[16], 3, 256);
+    m.run(8 * 10 * 9).unwrap();
+    for c in &contexts {
+        assert!(m.read_abs(c.base() + 5).unwrap() > 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Integration: miniature versions of every paper experiment, asserting the
+//! qualitative *shapes* the full bench binaries regenerate:
+//!
+//! * Figure 5: flexible ≥ fixed across the cache-fault grid; gaps grow with
+//!   latency and shrink with run length.
+//! * Figure 6: flexible wins broadly; the one place fixed can edge ahead is
+//!   the small-file/long-latency corner (6a).
+//! * Section 3.3 ablation: cheaper allocation recovers the 6(a) corner.
+//! * Section 3.4: homogeneous small contexts widen the flexible advantage.
+
+use register_relocation::experiments::{compare, Arch, ExperimentSpec, FaultKind};
+use register_relocation::workload::ContextSizeDist;
+
+fn quick(spec: ExperimentSpec) -> ExperimentSpec {
+    ExperimentSpec { threads: 32, work_per_thread: 8_000, ..spec }
+}
+
+#[test]
+fn figure5_shape_flexible_dominates_cache_faults() {
+    for file_size in [64u32, 128, 256] {
+        for (r, l) in [(8.0, 100u64), (32.0, 200), (128.0, 400)] {
+            let spec = quick(ExperimentSpec {
+                file_size,
+                run_length: r,
+                fault: FaultKind::Cache { latency: l },
+                ..ExperimentSpec::default()
+            });
+            let p = compare(&spec).unwrap();
+            assert!(
+                p.speedup() >= 0.98,
+                "F={file_size} R={r} L={l}: flexible {:.3} vs fixed {:.3}",
+                p.flexible_efficiency,
+                p.fixed_efficiency
+            );
+        }
+    }
+}
+
+#[test]
+fn figure5_shape_gap_grows_with_latency_at_short_run_lengths() {
+    let at = |l: u64| {
+        let spec = quick(ExperimentSpec {
+            file_size: 128,
+            run_length: 8.0,
+            fault: FaultKind::Cache { latency: l },
+            ..ExperimentSpec::default()
+        });
+        compare(&spec).unwrap().speedup()
+    };
+    let short = at(25);
+    let long = at(800);
+    assert!(
+        long > short,
+        "speedup should grow with L: {short:.2} at L=25 vs {long:.2} at L=800"
+    );
+    // With C ~ U(6,24) the flexible file holds ~6 contexts against the
+    // fixed 4, capping leverage near 1.5; the paper's larger factors come
+    // from smaller/homogeneous contexts (section 3.4, tested below).
+    assert!(long > 1.3, "deep linear regime should show a large gap: {long:.2}");
+}
+
+#[test]
+fn figure5_shape_saturation_erases_the_gap_at_long_run_lengths() {
+    // R = 128, L = 20: even 2 contexts saturate; both architectures sit at
+    // E_sat = R/(R+S).
+    let spec = quick(ExperimentSpec {
+        file_size: 256,
+        run_length: 128.0,
+        fault: FaultKind::Cache { latency: 20 },
+        ..ExperimentSpec::default()
+    });
+    let p = compare(&spec).unwrap();
+    assert!((p.speedup() - 1.0).abs() < 0.05, "saturated: {:?}", p);
+    assert!(p.fixed_efficiency > 0.9);
+}
+
+#[test]
+fn figure6_shape_flexible_wins_sync_faults_broadly() {
+    for file_size in [128u32, 256] {
+        for (r, l) in [(32.0, 500.0), (128.0, 1000.0), (512.0, 2500.0)] {
+            let spec = quick(ExperimentSpec {
+                file_size,
+                run_length: r,
+                fault: FaultKind::Sync { mean_latency: l },
+                ..ExperimentSpec::default()
+            });
+            let p = compare(&spec).unwrap();
+            assert!(
+                p.speedup() >= 0.95,
+                "F={file_size} R={r} L={l}: {:?}",
+                p
+            );
+        }
+    }
+}
+
+#[test]
+fn figure6a_corner_allocation_overhead_can_favour_fixed() {
+    // F = 64, short runs, very long waits: large contexts churn through a
+    // small file, and the flexible architecture pays 25 cycles per
+    // allocation while fixed pays nothing. The paper reports fixed
+    // "marginally" ahead here. We assert only the *direction of motion*:
+    // flexible's edge shrinks as L grows.
+    let at = |l: f64| {
+        let spec = quick(ExperimentSpec {
+            file_size: 64,
+            run_length: 32.0,
+            fault: FaultKind::Sync { mean_latency: l },
+            ..ExperimentSpec::default()
+        });
+        compare(&spec).unwrap().speedup()
+    };
+    let short = at(250.0);
+    let long = at(4000.0);
+    assert!(
+        long <= short + 0.02,
+        "the flexible advantage should not grow in the 6(a) corner: {short:.3} -> {long:.3}"
+    );
+}
+
+#[test]
+fn figure6a_ablation_cheap_allocation_recovers_the_corner() {
+    // Re-run the 6(a) corner with the lookup-table allocator: the paper's
+    // explanation predicts flexible recovers when allocation is cheap.
+    let spec = quick(ExperimentSpec {
+        file_size: 64,
+        run_length: 32.0,
+        fault: FaultKind::Sync { mean_latency: 4000.0 },
+        ..ExperimentSpec::default()
+    });
+    let expensive = spec.run().unwrap().efficiency();
+    let cheap = spec.with_arch(Arch::FlexibleLookup).run().unwrap().efficiency();
+    assert!(
+        cheap >= expensive - 0.005,
+        "cheap allocation should not be worse: {expensive:.3} vs {cheap:.3}"
+    );
+}
+
+#[test]
+fn section34_homogeneous_small_contexts_amplify_the_gain() {
+    let speedup_with = |c: ContextSizeDist| {
+        let spec = quick(ExperimentSpec {
+            file_size: 128,
+            run_length: 16.0,
+            fault: FaultKind::Cache { latency: 400 },
+            context_size: c,
+            ..ExperimentSpec::default()
+        });
+        compare(&spec).unwrap().speedup()
+    };
+    let mixed = speedup_with(ContextSizeDist::PAPER_UNIFORM);
+    let small = speedup_with(ContextSizeDist::Fixed(8));
+    assert!(
+        small > mixed,
+        "C=8 should beat C~U(6,24) in relative gain: {small:.2} vs {mixed:.2}"
+    );
+    assert!(small > 2.0, "the factor-of-two claim at C=8: {small:.2}");
+}
+
+#[test]
+fn coarse_and_fine_threads_share_the_file() {
+    // Section 2's flexibility story: "a mix of both coarse and fine-grained
+    // threads". Fixed windows serve the coarse threads fine but waste 3/4 of
+    // each window on the fine ones; relocation packs the fine threads
+    // densely alongside the coarse ones.
+    let spec = quick(ExperimentSpec {
+        file_size: 128,
+        run_length: 16.0,
+        fault: FaultKind::Cache { latency: 400 },
+        context_size: ContextSizeDist::Bimodal { small: 8, large: 32, p_small: 0.75 },
+        ..ExperimentSpec::default()
+    });
+    let p = compare(&spec).unwrap();
+    assert!(
+        p.flexible_avg_resident > p.fixed_avg_resident * 1.4,
+        "flexible residents {:.1} vs fixed {:.1}",
+        p.flexible_avg_resident,
+        p.fixed_avg_resident
+    );
+    assert!(p.speedup() > 1.3, "mixed-granularity speedup {:.2}", p.speedup());
+}
+
+#[test]
+fn add_relocation_dominates_at_the_17_register_cliff() {
+    // Related Work (Am29000 ADD): at C = 17, OR rounds every context to 32
+    // registers and collapses to the fixed baseline; ADD keeps exact sizes.
+    let spec = quick(ExperimentSpec {
+        file_size: 128,
+        run_length: 16.0,
+        fault: FaultKind::Cache { latency: 600 },
+        context_size: ContextSizeDist::Fixed(17),
+        ..ExperimentSpec::default()
+    });
+    let fixed = spec.with_arch(Arch::Fixed).run().unwrap();
+    let or = spec.run().unwrap();
+    let add = spec.with_arch(Arch::FlexibleAdd).run().unwrap();
+    assert!(
+        (or.efficiency() - fixed.efficiency()).abs() < 0.02,
+        "OR at the cliff degenerates to fixed: {:.3} vs {:.3}",
+        or.efficiency(),
+        fixed.efficiency()
+    );
+    assert!(
+        add.efficiency() > or.efficiency() * 1.3,
+        "ADD escapes the cliff: {:.3} vs {:.3}",
+        add.efficiency(),
+        or.efficiency()
+    );
+}
+
+#[test]
+fn quarter_size_flexible_file_matches_fixed() {
+    // Section 1's area argument: with C = 8 threads, a 64-register flexible
+    // file delivers a 256-register fixed file's efficiency.
+    let at = |file_size: u32, arch: Arch| {
+        let spec = quick(ExperimentSpec {
+            file_size,
+            arch,
+            run_length: 16.0,
+            fault: FaultKind::Cache { latency: 400 },
+            context_size: ContextSizeDist::Fixed(8),
+            ..ExperimentSpec::default()
+        });
+        spec.run().unwrap().efficiency()
+    };
+    let flexible_small = at(64, Arch::Flexible);
+    let fixed_large = at(256, Arch::Fixed);
+    assert!(
+        flexible_small >= fixed_large * 0.95,
+        "flexible-64 {flexible_small:.3} vs fixed-256 {fixed_large:.3}"
+    );
+}
+
+#[test]
+fn resident_context_counts_explain_the_wins() {
+    // The mechanism's whole story: more resident contexts. Check the
+    // intermediate quantity, not just the headline.
+    let spec = quick(ExperimentSpec {
+        file_size: 128,
+        run_length: 16.0,
+        fault: FaultKind::Cache { latency: 400 },
+        ..ExperimentSpec::default()
+    });
+    let p = compare(&spec).unwrap();
+    assert!(p.fixed_avg_resident <= 4.01, "fixed: 4 windows of 32");
+    // C ~ U(6,24) rounds to contexts of mean ~21.5 registers: about 6 fit
+    // in 128 registers against the fixed 4.
+    assert!(
+        p.flexible_avg_resident > p.fixed_avg_resident * 1.3,
+        "flexible residents {:.1} vs fixed {:.1}",
+        p.flexible_avg_resident,
+        p.fixed_avg_resident
+    );
+}

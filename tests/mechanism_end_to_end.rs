@@ -1,0 +1,255 @@
+//! Integration: the full mechanism working together — software allocation
+//! (in assembly), context loading, relocated execution, multi-RRM
+//! inter-context operations, and MUX bounds checking.
+
+use register_relocation::alloc::appendix_a::AppendixA;
+use register_relocation::isa::{assemble, ContextReg, Rrm};
+use register_relocation::machine::{BoundsMode, Machine, MachineConfig, MachineError};
+use register_relocation::runtime::alloc_asm::allocator_program;
+use register_relocation::runtime::loader_asm::loader_program;
+
+/// A miniature runtime session: the *assembly* allocator hands out two
+/// contexts; threads are loaded from memory images by the *assembly* loader;
+/// each thread then runs relocated code; finally one context is unloaded and
+/// its memory image checked.
+#[test]
+fn allocate_load_run_unload_in_assembly() {
+    let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+    // Memory layout: halt stub at 0, allocator at 16, loaders at 128,
+    // thread code at 512, save areas at 4096+.
+    m.load_program(&assemble("halt").unwrap()).unwrap();
+    let alloc_p = allocator_program(16).unwrap();
+    m.memory_mut().load_image(alloc_p.origin(), alloc_p.words()).unwrap();
+    let loader_p = loader_program(16, 128).unwrap();
+    m.memory_mut().load_image(loader_p.origin(), loader_p.words()).unwrap();
+    let thread_p = assemble_at_512();
+    m.memory_mut().load_image(512, thread_p.words()).unwrap();
+
+    let call = |m: &mut Machine, pc: u32| {
+        m.write_abs(9, 0).unwrap();
+        m.set_pc(pc);
+        m.run_until_halt(10_000).unwrap();
+    };
+
+    // Initialize the allocator runtime.
+    call(&mut m, alloc_p.label("alloc_init").unwrap());
+
+    // Allocate two 16-register contexts from assembly; mirror in Rust.
+    let mut mirror = AppendixA::new();
+    let mut bases = Vec::new();
+    for _ in 0..2 {
+        call(&mut m, alloc_p.label("context_alloc_16").unwrap());
+        assert_eq!(m.read_abs(13).unwrap(), 1, "allocation succeeded");
+        let base = m.read_abs(11).unwrap() as u16;
+        assert_eq!(base, mirror.context_alloc_16().unwrap().rrm);
+        bases.push(base);
+    }
+    assert_eq!(bases, vec![0, 16]);
+
+    // Prepare two thread images in memory and load them with the assembly
+    // loader (10 registers each).
+    for (t, &base) in bases.iter().enumerate() {
+        let area = 4096 + (t as u32) * 64;
+        for reg in 0..10u32 {
+            m.memory_mut()
+                .store(i64::from(area + reg), 1000 * (t as u32 + 1) + reg)
+                .unwrap();
+        }
+        m.set_rrm(0, Rrm::from_raw(base));
+        m.write_abs(base + 3, area).unwrap(); // r3: save area
+        m.write_abs(base + 4, 0).unwrap(); // r4: return to halt
+        call(&mut m, loader_p.label("load_10").unwrap());
+        // Registers r0..r2, r5..r9 now hold the image (r3/r4 are scratch).
+        for reg in [0u32, 1, 2, 5, 6, 7, 8, 9] {
+            assert_eq!(
+                m.read_abs(base + reg as u16).unwrap(),
+                1000 * (t as u32 + 1) + reg,
+                "thread {t} r{reg}"
+            );
+        }
+    }
+
+    // Run relocated thread code in each context: r7 = r5 + r6.
+    for &base in &bases {
+        m.set_rrm(0, Rrm::from_raw(base));
+        m.set_pc(512);
+        m.run_until_halt(100).unwrap();
+    }
+    assert_eq!(
+        m.read_abs(bases[0] + 7).unwrap(),
+        m.read_abs(bases[0] + 5).unwrap() + m.read_abs(bases[0] + 6).unwrap()
+    );
+    assert_eq!(
+        m.read_abs(bases[1] + 7).unwrap(),
+        m.read_abs(bases[1] + 5).unwrap() + m.read_abs(bases[1] + 6).unwrap()
+    );
+
+    // Unload thread 1 back to its save area and verify the updated r7
+    // landed in memory.
+    let base = bases[1];
+    let area = 4096 + 64;
+    m.set_rrm(0, Rrm::from_raw(base));
+    m.write_abs(base + 3, area).unwrap();
+    m.write_abs(base + 4, 0).unwrap();
+    call(&mut m, loader_p.label("unload_10").unwrap());
+    assert_eq!(m.memory().load(i64::from(area + 7)).unwrap(), 2005 + 2006);
+
+    // Deallocate it in assembly; the bitmap must match the Rust mirror.
+    m.set_rrm(0, Rrm::ZERO);
+    let mask = 0x000fu32 << (base / 4);
+    m.write_abs(12, mask).unwrap();
+    call(&mut m, alloc_p.label("context_dealloc").unwrap());
+    mirror.context_dealloc(mask);
+    assert_eq!(m.read_abs(10).unwrap(), mirror.alloc_map());
+}
+
+fn assemble_at_512() -> register_relocation::isa::Program {
+    register_relocation::isa::assemble_at("add r7, r5, r6\n halt", 512).unwrap()
+}
+
+/// Multi-RRM (paper section 5.3): one instruction reads from two contexts.
+#[test]
+fn inter_context_add_with_two_rrms() {
+    let mut cfg = MachineConfig::default_128();
+    cfg.multi_rrm = true;
+    cfg.ldrrm_delay_slots = 1;
+    let mut m = Machine::new(cfg).unwrap();
+    // Contexts: C0 at base 32, C1 at base 96 (offset space: 4 bits each).
+    // One register value carries both masks: RRM1 << 7 | RRM0.
+    let p = assemble(
+        r#"
+        li r0, 96           ; build (96 << 7) | 32: both masks in one register
+        slli r0, r0, 7
+        ori r0, r0, 32
+        ldrrm r0
+        nop                 ; delay slot
+        add c0.r3, c0.r4, c1.r6
+        halt
+        "#,
+    )
+    .unwrap();
+    m.load_program(&p).unwrap();
+    m.write_abs(32 + 4, 40).unwrap(); // C0.r4
+    m.write_abs(96 + 6, 2).unwrap(); // C1.r6
+    m.run_until_halt(100).unwrap();
+    assert_eq!(m.read_abs(32 + 3).unwrap(), 42, "ADD C0.R3, C0.R4, C1.R6");
+}
+
+/// Multi-RRM can emulate fixed-size overlapping register windows: the
+/// "caller" context's outputs are the "callee" context's inputs.
+#[test]
+fn register_window_emulation() {
+    let mut cfg = MachineConfig::default_128();
+    cfg.multi_rrm = true;
+    cfg.ldrrm_delay_slots = 0;
+    let mut m = Machine::new(cfg).unwrap();
+    // Window A at 0, window B at 8 (the "next" window). The caller writes
+    // its outputs through C1 (the callee's window), then the callee reads
+    // them as its own C0 registers after a mask rotate.
+    let p = assemble(
+        r#"
+        li r0, 0x400        ; RRM0 = 0, RRM1 = 8
+        ldrrm r0
+        li r5, 123          ; caller-local (window A)
+        mov c1.r2, r5       ; pass argument into window B
+        li r0, 8            ; "call": rotate windows, RRM0 = 8
+        ldrrm r0
+        mov r3, r2          ; callee sees the argument as its own r2
+        halt
+        "#,
+    )
+    .unwrap();
+    m.load_program(&p).unwrap();
+    m.run_until_halt(100).unwrap();
+    assert_eq!(m.read_abs(8 + 2).unwrap(), 123, "argument landed in window B");
+    assert_eq!(m.read_abs(8 + 3).unwrap(), 123, "callee read it as r2");
+}
+
+/// MUX bounds checking (paper footnote 3) traps out-of-context operands,
+/// while the plain OR silently reaches the neighbouring context.
+#[test]
+fn mux_bounds_mode_protects_contexts() {
+    let run = |bounds: BoundsMode| -> Result<u32, MachineError> {
+        let mut cfg = MachineConfig::default_128();
+        cfg.bounds = bounds;
+        let mut m = Machine::new(cfg)?;
+        let p = assemble(
+            r#"
+            li r0, 40       ; size-8 context at base 40
+            ldrrm r0
+            nop
+            li r9, 7        ; r9 is OUTSIDE a size-8 context
+            halt
+            "#,
+        )
+        .unwrap();
+        m.load_program(&p)?;
+        m.run_until_halt(100)?;
+        m.read_abs(40 | 9)
+    };
+    // Plain OR: the write silently lands at absolute R(40|9) = R41.
+    assert_eq!(run(BoundsMode::Or).unwrap(), 7);
+    // MUX: the decode stage faults instead.
+    assert!(matches!(
+        run(BoundsMode::Mux),
+        Err(MachineError::ContextBoundsViolation { operand: 9, capacity: 8 })
+    ));
+}
+
+/// The Related Work alternative end to end: an Am29000-style ADD-relocation
+/// machine runs the same loader assembly against an *unaligned, exact-size*
+/// context handed out by the first-fit allocator — geometry impossible
+/// under OR relocation.
+#[test]
+fn add_relocation_machine_runs_unaligned_contexts() {
+    use register_relocation::alloc::{ContextAllocator, FirstFitAllocator};
+    use register_relocation::machine::RelocOp;
+    use register_relocation::runtime::loader_asm::loader_program;
+
+    let mut cfg = MachineConfig::default_128();
+    cfg.reloc_op = RelocOp::Add;
+    let mut m = Machine::new(cfg).unwrap();
+    m.load_program(&assemble("halt").unwrap()).unwrap();
+    let loader = loader_program(16, 128).unwrap();
+    m.memory_mut().load_image(loader.origin(), loader.words()).unwrap();
+
+    // First-fit: a 5-register context then a 13-register one at base 5 —
+    // neither size nor base is a power of two.
+    let mut alloc = FirstFitAllocator::new(128).unwrap();
+    let _small = alloc.alloc(5).unwrap();
+    let ctx = alloc.alloc(13).unwrap();
+    assert_eq!((ctx.base(), ctx.size()), (5, 13));
+    assert!(!ctx.is_or_relocatable());
+
+    // Prepare an image and load it through the §2.5 routine with the base
+    // register (not a mask!) installed in the relocation unit.
+    for i in 0..13u32 {
+        m.memory_mut().store(i64::from(2048 + i), 7000 + i).unwrap();
+    }
+    m.set_rrm(0, Rrm::from_raw(ctx.base()));
+    m.write_abs(ctx.base() + 3, 2048).unwrap();
+    m.write_abs(ctx.base() + 4, 0).unwrap();
+    m.set_pc(loader.label("load_13").unwrap());
+    m.run_until_halt(100).unwrap();
+    for i in [0u16, 1, 2, 5, 6, 7, 8, 9, 10, 11, 12] {
+        assert_eq!(m.read_abs(ctx.base() + i).unwrap(), 7000 + u32::from(i), "r{i}");
+    }
+
+    // Run relocated arithmetic inside the odd-shaped context.
+    let body = register_relocation::isa::assemble_at("add r7, r5, r6\n halt", 512).unwrap();
+    m.memory_mut().load_image(512, body.words()).unwrap();
+    m.set_pc(512);
+    m.run_until_halt(10).unwrap();
+    assert_eq!(m.read_abs(ctx.base() + 7).unwrap(), 7005 + 7006);
+}
+
+/// The paper's protection argument in action: an erroneous out-of-context
+/// write under plain OR corrupts a *specific, predictable* register — the
+/// OR of mask and operand — just like a wild store in shared memory.
+#[test]
+fn or_mode_overwrite_is_deterministic() {
+    let mut m = Machine::new(MachineConfig::default_128()).unwrap();
+    m.set_rrm(0, Rrm::for_context(40, 8).unwrap());
+    let victim = Rrm::for_context(40, 8).unwrap().relocate(ContextReg::new(13).unwrap());
+    assert_eq!(victim.0, 45, "40 | 13 = 45: inside the context, aliased");
+}

@@ -1,0 +1,110 @@
+//! Integration: the section 3.4 analytical model against the simulator.
+//!
+//! With deterministic run lengths and latencies (the model's assumptions),
+//! simulated efficiency must track `E = min(E_sat, E_lin)` across both
+//! regimes — which also pins down the `R + L + S` denominator we use in
+//! place of the paper's misprinted `R + SL`.
+
+use register_relocation::alloc::BitmapAllocator;
+use register_relocation::model::ModelParams;
+use register_relocation::runtime::{SchedCosts, UnloadPolicyKind};
+use register_relocation::sim::{Engine, SimOptions};
+use register_relocation::workload::{ContextSizeDist, Dist, WorkloadBuilder};
+
+/// Simulates `n` deterministic contexts and returns steady-state efficiency.
+fn simulate(n: usize, r: u64, l: u64) -> f64 {
+    let w = WorkloadBuilder::new()
+        .threads(n)
+        .run_length(Dist::Constant(r))
+        .latency(Dist::Constant(l))
+        .context_size(ContextSizeDist::Fixed(8))
+        .work_per_thread(100_000)
+        .seed(99)
+        .build()
+        .unwrap();
+    let stats = Engine::new(
+        Box::new(BitmapAllocator::new(256).unwrap()),
+        SchedCosts::cache_experiments(),
+        UnloadPolicyKind::Never,
+        w,
+        SimOptions::cache_experiments(),
+    )
+    .unwrap()
+    .run();
+    stats.efficiency()
+}
+
+#[test]
+fn linear_regime_tracks_n_r_over_r_plus_l_plus_s() {
+    let (r, l) = (50u64, 500u64);
+    let params = ModelParams::new(r as f64, l as f64, 6.0).unwrap();
+    for n in [1usize, 2, 4, 6] {
+        assert!(params.is_linear_regime(n as f64), "n={n} should be linear");
+        let sim = simulate(n, r, l);
+        let model = params.efficiency(n as f64);
+        assert!(
+            (sim - model).abs() < 0.03,
+            "n={n}: sim {sim:.3} vs model {model:.3}"
+        );
+    }
+}
+
+#[test]
+fn saturation_regime_tracks_r_over_r_plus_s() {
+    let (r, l) = (100u64, 200u64);
+    let params = ModelParams::new(r as f64, l as f64, 6.0).unwrap();
+    // N* = 1 + 200/106 < 3; use clearly saturated counts.
+    for n in [6usize, 12, 20] {
+        assert!(!params.is_linear_regime(n as f64));
+        let sim = simulate(n, r, l);
+        let sat = params.saturation_efficiency();
+        assert!(
+            (sim - sat).abs() < 0.03,
+            "n={n}: sim {sim:.3} vs E_sat {sat:.3}"
+        );
+    }
+}
+
+#[test]
+fn the_misprinted_denominator_would_not_fit_the_simulator() {
+    // E_lin with the literal printed form NR/(R+S*L) at R=50, S=6, L=500
+    // would predict efficiency 0.0166·N; the simulator (and the correct
+    // R+L+S form, 0.09·N) disagrees by far — evidence the printed formula
+    // is a typo, as documented in DESIGN.md.
+    let sim = simulate(2, 50, 500);
+    let printed_form = 2.0 * 50.0 / (50.0 + 6.0 * 500.0);
+    let corrected = 2.0 * 50.0 / (50.0 + 500.0 + 6.0);
+    assert!((sim - corrected).abs() < 0.03, "sim {sim:.3} vs corrected {corrected:.3}");
+    assert!((sim - printed_form).abs() > 0.1, "sim should reject the misprint");
+}
+
+#[test]
+fn geometric_run_lengths_still_approximate_the_deterministic_model() {
+    // The paper notes the deterministic equations "still provide a
+    // reasonable approximation" under stochastic run lengths.
+    let (r, l) = (50u64, 300u64);
+    let w = WorkloadBuilder::new()
+        .threads(3)
+        .run_length(Dist::Geometric { mean: r as f64 })
+        .latency(Dist::Constant(l))
+        .context_size(ContextSizeDist::Fixed(8))
+        .work_per_thread(200_000)
+        .seed(5)
+        .build()
+        .unwrap();
+    let stats = Engine::new(
+        Box::new(BitmapAllocator::new(256).unwrap()),
+        SchedCosts::cache_experiments(),
+        UnloadPolicyKind::Never,
+        w,
+        SimOptions::cache_experiments(),
+    )
+    .unwrap()
+    .run();
+    let model = ModelParams::new(r as f64, l as f64, 6.0).unwrap().efficiency(3.0);
+    assert!(
+        (stats.efficiency() - model).abs() < 0.06,
+        "sim {:.3} vs model {model:.3}",
+        stats.efficiency()
+    );
+}

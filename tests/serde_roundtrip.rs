@@ -1,0 +1,103 @@
+//! Integration: the public configuration and result types serialize to JSON
+//! and back without loss — experiment configs are meant to be stored and
+//! replayed.
+
+use register_relocation::experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
+use register_relocation::machine::MachineConfig;
+use register_relocation::runtime::{SchedCosts, UnloadPolicyKind};
+use register_relocation::sim::{SimOptions, SimStats};
+use register_relocation::workload::{ContextSizeDist, Dist, WorkloadBuilder};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn experiment_specs_round_trip() {
+    for fault in [
+        FaultKind::Cache { latency: 200 },
+        FaultKind::Sync { mean_latency: 500.0 },
+        FaultKind::Mixed { cache_fraction: 0.5, cache_latency: 100, sync_mean_latency: 400.0 },
+    ] {
+        for arch in [
+            Arch::Fixed,
+            Arch::Flexible,
+            Arch::FlexibleFf1,
+            Arch::FlexibleLookup,
+            Arch::FlexibleAdd,
+        ] {
+            let spec = ExperimentSpec { arch, fault, ..ExperimentSpec::default() };
+            let back: ExperimentSpec = round_trip(&spec);
+            assert_eq!(back, spec);
+        }
+    }
+}
+
+#[test]
+fn replayed_spec_reproduces_results_exactly() {
+    let spec = ExperimentSpec {
+        threads: 16,
+        work_per_thread: 4_000,
+        ..ExperimentSpec::default()
+    };
+    let original = spec.run().unwrap();
+    let replayed: ExperimentSpec = round_trip(&spec);
+    assert_eq!(replayed.run().unwrap(), original);
+}
+
+#[test]
+fn workloads_and_dists_round_trip() {
+    let w = WorkloadBuilder::new()
+        .threads(8)
+        .run_length(Dist::Geometric { mean: 32.0 })
+        .latency(Dist::CacheSyncMix { p_cache: 0.3, cache_latency: 100, sync_mean: 400.0 })
+        .context_size(ContextSizeDist::Uniform { lo: 6, hi: 24 })
+        .build()
+        .unwrap();
+    assert_eq!(round_trip(&w), w);
+}
+
+#[test]
+fn machine_configs_round_trip() {
+    let mut cfg = MachineConfig::default_256();
+    cfg.multi_rrm = true;
+    cfg.ldrrm_delay_slots = 2;
+    let back: MachineConfig = round_trip(&cfg);
+    assert_eq!(back, cfg);
+    assert!(back.validate().is_ok());
+}
+
+#[test]
+fn stats_and_results_round_trip() {
+    let spec = ExperimentSpec { threads: 8, work_per_thread: 2_000, ..ExperimentSpec::default() };
+    let stats = spec.run().unwrap();
+    let back: SimStats = round_trip(&stats);
+    assert_eq!(back, stats);
+    assert_eq!(back.efficiency(), stats.efficiency());
+
+    let point = ComparisonPoint {
+        file_size: 128,
+        run_length: 8.0,
+        latency: 100.0,
+        fixed_efficiency: 0.2,
+        flexible_efficiency: 0.4,
+        fixed_avg_resident: 4.0,
+        flexible_avg_resident: 9.0,
+    };
+    assert_eq!(round_trip(&point), point);
+}
+
+#[test]
+fn policy_and_cost_types_round_trip() {
+    assert_eq!(
+        round_trip(&UnloadPolicyKind::TwoPhase { factor: 1.5 }),
+        UnloadPolicyKind::TwoPhase { factor: 1.5 }
+    );
+    assert_eq!(round_trip(&SchedCosts::sync_experiments()), SchedCosts::sync_experiments());
+    let opts = SimOptions::sync_experiments();
+    assert_eq!(round_trip(&opts), opts);
+}
