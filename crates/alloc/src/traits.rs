@@ -9,8 +9,10 @@ use crate::handle::ContextHandle;
 /// Implementations partition the file into contexts and account for their
 /// cycle costs via [`ContextAllocator::costs`]; the discrete-event simulator
 /// drives any implementation through this trait. The trait is object-safe so
-/// experiment configurations can box the chosen strategy.
-pub trait ContextAllocator {
+/// experiment configurations can box the chosen strategy, and `Send` so a
+/// boxed allocator (and the engine owning it) can move to a sweep worker
+/// thread.
+pub trait ContextAllocator: Send {
     /// Attempts to allocate a context able to hold `regs_needed` registers.
     ///
     /// Flexible allocators round the requirement up to a power-of-two context

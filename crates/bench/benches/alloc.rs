@@ -13,11 +13,8 @@ fn storm<A: ContextAllocator>(a: &mut A) {
     let mut live = Vec::new();
     let sizes = [8u32, 16, 32, 8, 16, 8];
     let mut i = 0;
-    loop {
-        match a.alloc(sizes[i % sizes.len()]) {
-            Some(c) => live.push(c),
-            None => break,
-        }
+    while let Some(c) = a.alloc(sizes[i % sizes.len()]) {
+        live.push(c);
         i += 1;
     }
     for c in live {

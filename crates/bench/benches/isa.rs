@@ -30,7 +30,7 @@ fn bench_isa(c: &mut Criterion) {
             instrs
                 .iter()
                 .map(|i| decode(encode(i).unwrap()).unwrap())
-                .count()
+                .fold(0usize, |n, _| n + 1)
         })
     });
     g.bench_function("relocate_word_image", |b| {

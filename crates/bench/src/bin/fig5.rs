@@ -3,17 +3,23 @@
 //! fixed 32-register hardware contexts (solid curves in the paper) against
 //! register relocation (dotted curves).
 //!
-//! `cargo run --release --bin fig5 [--json]`
+//! All 54 paired points run on the parallel sweep runner; results are
+//! bit-identical for any worker count. A timing summary goes to stderr.
+//!
+//! `cargo run --release --bin fig5 [--jobs <n>] [--json]`
 
-use register_relocation::figures::{figure5_sweep, FILE_SIZES};
-use rr_bench::{emit_panel, seed};
+use register_relocation::figures::FILE_SIZES;
+use register_relocation::report::format_sweep_summary;
+use register_relocation::sweep::{SweepGrid, SweepRunner};
+use rr_bench::{emit_panel, jobs, seed};
 
 fn main() -> Result<(), String> {
     println!("Figure 5: Cache Faults — efficiency vs latency, C ~ U(6,24), S = 6");
     println!("(solid = fixed 32-register contexts, dotted = register relocation)\n");
+    let report = SweepRunner::new(jobs()).run(&SweepGrid::figure5(seed()))?;
     for (panel, &f) in ["(a)", "(b)", "(c)"].iter().zip(FILE_SIZES.iter()) {
-        let points = figure5_sweep(f, seed())?;
-        emit_panel(&format!("Figure 5{panel}: F = {f} registers"), &points);
+        emit_panel(&format!("Figure 5{panel}: F = {f} registers"), &report.panel(f));
     }
+    eprintln!("{}", format_sweep_summary(&report));
     Ok(())
 }

@@ -3,17 +3,23 @@
 //! exponentially distributed waits and the two-phase competitive unloading
 //! policy.
 //!
-//! `cargo run --release --bin fig6 [--json]`
+//! All 54 paired points run on the parallel sweep runner; results are
+//! bit-identical for any worker count. A timing summary goes to stderr.
+//!
+//! `cargo run --release --bin fig6 [--jobs <n>] [--json]`
 
-use register_relocation::figures::{figure6_sweep, FILE_SIZES};
-use rr_bench::{emit_panel, seed};
+use register_relocation::figures::FILE_SIZES;
+use register_relocation::report::format_sweep_summary;
+use register_relocation::sweep::{SweepGrid, SweepRunner};
+use rr_bench::{emit_panel, jobs, seed};
 
 fn main() -> Result<(), String> {
     println!("Figure 6: Synchronization Faults — efficiency vs latency, C ~ U(6,24), S = 8");
     println!("(solid = fixed 32-register contexts, dotted = register relocation)\n");
+    let report = SweepRunner::new(jobs()).run(&SweepGrid::figure6(seed()))?;
     for (panel, &f) in ["(a)", "(b)", "(c)"].iter().zip(FILE_SIZES.iter()) {
-        let points = figure6_sweep(f, seed())?;
-        emit_panel(&format!("Figure 6{panel}: F = {f} registers"), &points);
+        emit_panel(&format!("Figure 6{panel}: F = {f} registers"), &report.panel(f));
     }
+    eprintln!("{}", format_sweep_summary(&report));
     Ok(())
 }

@@ -6,11 +6,16 @@
 //! with lower allocation costs" restores register relocation's advantage —
 //! e.g. via the 4-bit-bitmap lookup-table allocator it sketches.
 //!
-//! `cargo run --release --bin fig6a_ablation`
+//! The 24 runs (4 architectures × 6 latencies) execute on the sweep
+//! runner's worker pool via `run_specs`; each row of the table is one
+//! architecture.
+//!
+//! `cargo run --release --bin fig6a_ablation [--jobs <n>]`
 
 use register_relocation::experiments::{Arch, ExperimentSpec, FaultKind};
 use register_relocation::figures::FIG6_EXTENDED_LATENCIES;
-use rr_bench::seed;
+use register_relocation::sweep::SweepRunner;
+use rr_bench::{jobs, seed};
 
 fn main() -> Result<(), String> {
     println!("Figure 6(a) ablation: F = 64, R = 32, sync faults, C ~ U(6,24)\n");
@@ -20,23 +25,30 @@ fn main() -> Result<(), String> {
         (Arch::FlexibleFf1, "flexible (FF1, 15-cycle alloc)"),
         (Arch::FlexibleLookup, "flexible (lookup, 6-cycle alloc)"),
     ];
-    print!("{:<34}", "L =");
-    for l in FIG6_EXTENDED_LATENCIES {
-        print!("{l:>9}");
-    }
-    println!();
-    for (arch, label) in archs {
-        print!("{label:<34}");
-        for l in FIG6_EXTENDED_LATENCIES {
-            let spec = ExperimentSpec {
+    // Row-major spec list: one row per architecture, one column per latency.
+    let specs: Vec<ExperimentSpec> = archs
+        .iter()
+        .flat_map(|&(arch, _)| {
+            FIG6_EXTENDED_LATENCIES.iter().map(move |&l| ExperimentSpec {
                 file_size: 64,
                 arch,
                 run_length: 32.0,
                 fault: FaultKind::Sync { mean_latency: l as f64 },
                 seed: seed(),
                 ..ExperimentSpec::default()
-            };
-            print!("{:>9.3}", spec.run()?.efficiency());
+            })
+        })
+        .collect();
+    let runs = SweepRunner::new(jobs()).run_specs(&specs)?;
+    print!("{:<34}", "L =");
+    for l in FIG6_EXTENDED_LATENCIES {
+        print!("{l:>9}");
+    }
+    println!();
+    for (row, (_, label)) in runs.chunks(FIG6_EXTENDED_LATENCIES.len()).zip(archs.iter()) {
+        print!("{label:<34}");
+        for traced in row {
+            print!("{:>9.3}", traced.stats.efficiency());
         }
         println!();
     }

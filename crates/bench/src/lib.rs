@@ -27,3 +27,15 @@ pub fn emit_panel(title: &str, points: &[FigurePoint]) {
 pub fn seed() -> u64 {
     std::env::var("RR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1993)
 }
+
+/// Sweep worker count: `--jobs <n>` on the command line, else the `RR_JOBS`
+/// environment variable, else 0 (one worker per hardware thread).
+pub fn jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .or_else(|| std::env::var("RR_JOBS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(0)
+}

@@ -7,15 +7,25 @@
 //! rr check  <file.s> --size <n>           static context-bounds check (section 2.4)
 //! rr run    <file.s> [--rrm <mask>] [--cycles <n>] [--regs <n>] [--trace]
 //!                                         execute on the cycle-level machine
+//! rr fig5        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+//! rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+//! rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+//!                                         regenerate figure sweeps in parallel
 //! ```
 //!
 //! Sources are the `rr-isa` assembly dialect; hex files contain one 32-bit
-//! word per line (comments after `#`).
+//! word per line (comments after `#`). The figure subcommands run the
+//! paper's sweeps on a worker pool (`--jobs 0` = one worker per hardware
+//! thread, the default) and can dump the full per-run observability record
+//! as JSON (`--json -` for stdout); results are bit-identical for every
+//! worker count.
 
 use std::process::ExitCode;
 
 use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
 use register_relocation::machine::{Machine, MachineConfig};
+use register_relocation::report::{format_panel, format_sweep_summary};
+use register_relocation::sweep::{SweepGrid, SweepRunner};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +35,9 @@ fn main() -> ExitCode {
         Some("demand") => cmd_demand(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("fig5") => cmd_sweep(&args[1..], Figure::Fig5),
+        Some("fig6") => cmd_sweep(&args[1..], Figure::Fig6),
+        Some("homogeneous") => cmd_sweep(&args[1..], Figure::Homogeneous),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -48,6 +61,13 @@ rr — register-relocation toolchain
   rr demand <file.s>                      register demand and context size
   rr check  <file.s> --size <n>           static context-bounds check
   rr run    <file.s> [--rrm <mask>] [--cycles <n>] [--regs <n>] [--trace]
+  rr fig5        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+  rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+  rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+
+Sweep flags: --jobs 0 (default) = one worker per hardware thread; --json -
+writes the full per-run report to stdout; --threads <n> / --work <n> shrink
+the workloads for quick looks (figures use 64 threads x 20000 cycles).
 ";
 
 fn read_source(args: &[String]) -> Result<(String, String), String> {
@@ -169,6 +189,83 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--trace") {
         println!("-- last instructions --\n{}", m.trace().render());
+    }
+    Ok(())
+}
+
+/// Which figure family a sweep subcommand regenerates.
+#[derive(Debug, Clone, Copy)]
+enum Figure {
+    Fig5,
+    Fig6,
+    Homogeneous,
+}
+
+fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
+    let seed = match flag_value(args, "--seed") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad seed `{v}`"))?,
+        None => std::env::var("RR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1993),
+    };
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?,
+        None => 0, // one worker per hardware thread
+    };
+    let file = flag_value(args, "--file")
+        .map(|v| parse_u32(&v, "register file size"))
+        .transpose()?;
+    let (mut grid, title) = match figure {
+        Figure::Fig5 => (
+            match file {
+                Some(f) => SweepGrid::figure5_panel(f, seed),
+                None => SweepGrid::figure5(seed),
+            },
+            "Figure 5 (cache faults)",
+        ),
+        Figure::Fig6 => (
+            match file {
+                Some(f) => SweepGrid::figure6_panel(f, seed),
+                None => SweepGrid::figure6(seed),
+            },
+            "Figure 6 (synchronization faults)",
+        ),
+        Figure::Homogeneous => {
+            let c = match flag_value(args, "--context") {
+                Some(v) => parse_u32(&v, "context size")?,
+                None => 8,
+            };
+            (
+                SweepGrid::homogeneous(file.unwrap_or(128), c, seed),
+                "Section 3.4 (homogeneous contexts)",
+            )
+        }
+    };
+    // Workload-scaling knobs for quick looks (the paper's figures use the
+    // defaults: 64 threads, 20k cycles of work each).
+    if let Some(v) = flag_value(args, "--threads") {
+        grid.base.threads =
+            v.parse::<usize>().map_err(|_| format!("bad thread count `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--work") {
+        grid.base.work_per_thread =
+            v.parse::<u64>().map_err(|_| format!("bad work amount `{v}`"))?;
+    }
+    let mut runner = SweepRunner::new(jobs);
+    if args.iter().any(|a| a == "--progress") {
+        runner = runner.with_progress(true);
+    }
+    let report = runner.run(&grid)?;
+    for &f in &grid.file_sizes {
+        println!("{}", format_panel(&format!("{title}: F = {f} registers"), &report.panel(f)));
+    }
+    eprintln!("{}", format_sweep_summary(&report));
+    if let Some(path) = flag_value(args, "--json") {
+        let json = report.to_json_pretty()?;
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote sweep report to {path}");
+        }
     }
     Ok(())
 }

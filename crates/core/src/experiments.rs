@@ -21,7 +21,7 @@ use rr_alloc::{
     LookupAllocator,
 };
 use rr_runtime::{SchedCosts, UnloadPolicyKind};
-use rr_sim::{Engine, SimOptions, SimStats};
+use rr_sim::{Engine, SimOptions, SimStats, TracedRun};
 use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
 
 /// Which architecture handles contexts.
@@ -180,6 +180,24 @@ impl ExperimentSpec {
     /// Returns a reason if the parameters are invalid for the chosen
     /// architecture (e.g. threads too large for any context).
     pub fn run(&self) -> Result<SimStats, String> {
+        Ok(self.engine()?.run())
+    }
+
+    /// Runs the experiment with host wall-clock timing (see
+    /// [`Engine::run_traced`]). The simulated statistics are bit-identical
+    /// to [`ExperimentSpec::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExperimentSpec::run`].
+    pub fn run_traced(&self) -> Result<TracedRun, String> {
+        Ok(self.engine()?.run_traced())
+    }
+
+    /// Builds the fully configured engine for this spec. Everything the run
+    /// depends on — workload, allocator, costs, seed — comes from the spec
+    /// itself, so a spec executes identically on any thread in any order.
+    fn engine(&self) -> Result<Engine, String> {
         let (latency_dist, sched, policy, mut opts) = match self.fault {
             FaultKind::Cache { latency } => (
                 Dist::Constant(latency),
@@ -214,7 +232,7 @@ impl ExperimentSpec {
             .seed(self.seed)
             .build()?;
         let alloc = self.arch.make_allocator(self.file_size)?;
-        Ok(Engine::new(alloc, sched, policy, workload, opts)?.run())
+        Engine::new(alloc, sched, policy, workload, opts)
     }
 }
 
@@ -248,6 +266,23 @@ impl ComparisonPoint {
     }
 }
 
+/// A [`ComparisonPoint`] together with the full per-run observability the
+/// sweep runner reports: both architectures' complete [`SimStats`] and their
+/// host wall-clock times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedComparison {
+    /// The plotted summary point.
+    pub point: ComparisonPoint,
+    /// Full statistics of the fixed-architecture run.
+    pub fixed: SimStats,
+    /// Full statistics of the flexible-architecture run.
+    pub flexible: SimStats,
+    /// Host wall-clock nanoseconds of the fixed run.
+    pub fixed_wall_nanos: u64,
+    /// Host wall-clock nanoseconds of the flexible run.
+    pub flexible_wall_nanos: u64,
+}
+
 /// Runs the paired comparison the paper plots: solid (fixed) vs dotted
 /// (flexible) at one `(F, R, L)` point.
 ///
@@ -255,16 +290,34 @@ impl ComparisonPoint {
 ///
 /// Propagates experiment failures.
 pub fn compare(spec: &ExperimentSpec) -> Result<ComparisonPoint, String> {
-    let fixed = spec.with_arch(Arch::Fixed).run()?;
-    let flexible = spec.with_arch(Arch::Flexible).run()?;
-    Ok(ComparisonPoint {
+    Ok(compare_traced(spec)?.point)
+}
+
+/// Like [`compare`], but keeps both runs' full [`SimStats`] and wall-clock
+/// times. `compare` delegates here, so the summary point is computed by one
+/// code path regardless of how much observability the caller wants.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn compare_traced(spec: &ExperimentSpec) -> Result<TracedComparison, String> {
+    let fixed = spec.with_arch(Arch::Fixed).run_traced()?;
+    let flexible = spec.with_arch(Arch::Flexible).run_traced()?;
+    let point = ComparisonPoint {
         file_size: spec.file_size,
         run_length: spec.run_length,
         latency: spec.fault.mean_latency(),
-        fixed_efficiency: fixed.efficiency(),
-        flexible_efficiency: flexible.efficiency(),
-        fixed_avg_resident: fixed.avg_resident,
-        flexible_avg_resident: flexible.avg_resident,
+        fixed_efficiency: fixed.stats.efficiency(),
+        flexible_efficiency: flexible.stats.efficiency(),
+        fixed_avg_resident: fixed.stats.avg_resident,
+        flexible_avg_resident: flexible.stats.avg_resident,
+    };
+    Ok(TracedComparison {
+        point,
+        fixed: fixed.stats,
+        flexible: flexible.stats,
+        fixed_wall_nanos: fixed.wall_nanos,
+        flexible_wall_nanos: flexible.wall_nanos,
     })
 }
 

@@ -6,11 +6,16 @@
 //! relocation. The paper's exact latency grids are not printed; the grids
 //! here span the same qualitative range (from latencies short enough to
 //! saturate every configuration up to latencies deep in the linear regime).
+//!
+//! These entry points run serially (one worker) through the
+//! [`crate::sweep`] runner; callers wanting parallelism and per-run
+//! observability use [`crate::sweep::SweepRunner`] directly. Either way the
+//! figure points are bit-identical.
 
 use serde::{Deserialize, Serialize};
 
-use crate::experiments::{compare, ComparisonPoint, ExperimentSpec, FaultKind};
-use rr_workload::ContextSizeDist;
+use crate::experiments::ComparisonPoint;
+use crate::sweep::{SweepGrid, SweepRunner};
 
 /// Run lengths of Figure 5 (cache faults): circles, squares, triangles.
 pub const FIG5_RUN_LENGTHS: [f64; 3] = [8.0, 32.0, 128.0];
@@ -46,14 +51,7 @@ pub struct FigurePoint {
 ///
 /// Propagates experiment failures.
 pub fn figure5_sweep(file_size: u32, seed: u64) -> Result<Vec<FigurePoint>, String> {
-    sweep(
-        file_size,
-        seed,
-        &FIG5_RUN_LENGTHS,
-        &FIG5_LATENCIES,
-        |l| FaultKind::Cache { latency: l },
-        ContextSizeDist::PAPER_UNIFORM,
-    )
+    run_serial(&SweepGrid::figure5_panel(file_size, seed))
 }
 
 /// Sweeps one panel of Figure 6 (synchronization faults) for register file
@@ -63,14 +61,7 @@ pub fn figure5_sweep(file_size: u32, seed: u64) -> Result<Vec<FigurePoint>, Stri
 ///
 /// Propagates experiment failures.
 pub fn figure6_sweep(file_size: u32, seed: u64) -> Result<Vec<FigurePoint>, String> {
-    sweep(
-        file_size,
-        seed,
-        &FIG6_RUN_LENGTHS,
-        &FIG6_LATENCIES,
-        |l| FaultKind::Sync { mean_latency: l as f64 },
-        ContextSizeDist::PAPER_UNIFORM,
-    )
+    run_serial(&SweepGrid::figure6_panel(file_size, seed))
 }
 
 /// Sweeps a panel with homogeneous context sizes (the section 3.4
@@ -84,39 +75,11 @@ pub fn homogeneous_sweep(
     context_size: u32,
     seed: u64,
 ) -> Result<Vec<FigurePoint>, String> {
-    sweep(
-        file_size,
-        seed,
-        &FIG5_RUN_LENGTHS,
-        &FIG5_LATENCIES,
-        |l| FaultKind::Cache { latency: l },
-        ContextSizeDist::Fixed(context_size),
-    )
+    run_serial(&SweepGrid::homogeneous(file_size, context_size, seed))
 }
 
-fn sweep(
-    file_size: u32,
-    seed: u64,
-    run_lengths: &[f64],
-    latencies: &[u64],
-    fault: impl Fn(u64) -> FaultKind,
-    context_size: ContextSizeDist,
-) -> Result<Vec<FigurePoint>, String> {
-    let mut out = Vec::with_capacity(run_lengths.len() * latencies.len());
-    for &r in run_lengths {
-        for &l in latencies {
-            let spec = ExperimentSpec {
-                file_size,
-                run_length: r,
-                fault: fault(l),
-                context_size,
-                seed,
-                ..ExperimentSpec::default()
-            };
-            out.push(FigurePoint { run_length: r, comparison: compare(&spec)? });
-        }
-    }
-    Ok(out)
+fn run_serial(grid: &SweepGrid) -> Result<Vec<FigurePoint>, String> {
+    Ok(SweepRunner::new(1).with_progress(false).run(grid)?.figure_points())
 }
 
 #[cfg(test)]
@@ -127,15 +90,10 @@ mod tests {
     /// full sweep path; the real grids run in the bench binaries.
     #[test]
     fn mini_sweep_has_paper_shape() {
-        let points = sweep(
-            128,
-            7,
-            &[8.0, 128.0],
-            &[50, 400],
-            |l| FaultKind::Cache { latency: l },
-            ContextSizeDist::PAPER_UNIFORM,
-        )
-        .unwrap();
+        let mut grid = SweepGrid::figure5_panel(128, 7);
+        grid.run_lengths = vec![8.0, 128.0];
+        grid.latencies = vec![50, 400];
+        let points = run_serial(&grid).unwrap();
         assert_eq!(points.len(), 4);
         // Flexible wins or ties everywhere on this grid.
         for p in &points {

@@ -24,8 +24,9 @@
 //! * [`model`] ([`rr_model`]) — the analytical efficiency model.
 //!
 //! This crate adds the experiment harness that regenerates every table and
-//! figure of the paper: see [`experiments`], [`figures`], and [`report`],
-//! plus the section 5.1 software-only variant in [`software_only`].
+//! figure of the paper: see [`experiments`], [`figures`], the parallel
+//! [`sweep`] runner, and [`report`], plus the section 5.1 software-only
+//! variant in [`software_only`].
 //!
 //! # Quickstart
 //!
@@ -51,9 +52,11 @@ pub mod experiments;
 pub mod figures;
 pub mod report;
 pub mod software_only;
+pub mod sweep;
 
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
+pub use sweep::{PointReport, SweepGrid, SweepReport, SweepRunner};
 
 /// Re-export of the ISA crate.
 pub use rr_isa as isa;

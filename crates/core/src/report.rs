@@ -1,6 +1,7 @@
 //! Text rendering of figure sweeps, in the spirit of the paper's plots.
 
 use crate::figures::FigurePoint;
+use crate::sweep::SweepReport;
 
 /// Renders one figure panel as an aligned text table: one row block per run
 /// length, columns per latency, with fixed/flexible efficiencies and their
@@ -34,6 +35,30 @@ pub fn format_panel(title: &str, points: &[FigurePoint]) -> String {
             out.push_str(&format!("{:>9.2}", p.comparison.speedup()));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// One-paragraph execution summary of a sweep: point count, worker count,
+/// wall-clock, the serial-equivalent cost the pool amortized, and the
+/// slowest point (the floor no worker count can beat).
+pub fn format_sweep_summary(report: &SweepReport) -> String {
+    let wall_s = report.total_wall_nanos as f64 / 1e9;
+    let serial_s = report.points_wall_nanos() as f64 / 1e9;
+    let mut out = format!(
+        "sweep: {} points on {} worker(s), seed {}: {wall_s:.2}s wall (serial-equivalent {serial_s:.2}s)",
+        report.points.len(),
+        report.jobs,
+        report.seed,
+    );
+    if let Some(slow) = report.slowest_point() {
+        out.push_str(&format!(
+            "; slowest point F={} R={} L={} at {:.2}s",
+            slow.file_size,
+            slow.run_length,
+            slow.latency,
+            slow.wall_nanos as f64 / 1e9,
+        ));
     }
     out
 }
@@ -87,5 +112,35 @@ mod tests {
         let s = format_jsonl(&pts);
         let back: FigurePoint = serde_json::from_str(&s).unwrap();
         assert_eq!(back, pts[0]);
+    }
+
+    #[test]
+    fn sweep_summary_names_the_bottleneck() {
+        use crate::sweep::PointReport;
+        use rr_sim::SimStats;
+
+        let slow = PointReport {
+            index: 0,
+            file_size: 64,
+            run_length: 8.0,
+            latency: 800,
+            seed: 7,
+            figure: point(8.0, 800.0, 0.2, 0.4),
+            fixed: SimStats::default(),
+            flexible: SimStats::default(),
+            fixed_wall_nanos: 1_000_000,
+            flexible_wall_nanos: 2_000_000,
+            wall_nanos: 3_500_000_000,
+        };
+        let report = SweepReport {
+            jobs: 8,
+            seed: 7,
+            total_wall_nanos: 4_000_000_000,
+            points: vec![slow],
+        };
+        let s = format_sweep_summary(&report);
+        assert!(s.contains("1 points on 8 worker(s)"), "{s}");
+        assert!(s.contains("seed 7"), "{s}");
+        assert!(s.contains("slowest point F=64 R=8 L=800"), "{s}");
     }
 }

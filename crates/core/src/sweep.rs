@@ -1,0 +1,582 @@
+//! The parallel sweep runner behind the Figure 5/6 regenerations.
+//!
+//! A figure panel is a grid — file sizes × run lengths × latencies — of
+//! *independent* paired experiments: each [`ExperimentSpec`] carries its own
+//! seed and builds its own workload, allocator, and engine, so a grid point
+//! executes identically on any thread in any order. [`SweepRunner`] exploits
+//! that: it expands a [`SweepGrid`] into a flat, deterministically ordered
+//! list of points and runs them on a small pool of scoped worker threads.
+//! Workers claim points from a shared atomic counter and write each result
+//! into that point's own pre-allocated slot, so collection is lock-free and
+//! the output order never depends on scheduling. A full three-panel figure
+//! (108 paired runs) drops from minutes to the wall-clock of its slowest
+//! points.
+//!
+//! Observability: every completed point yields a [`PointReport`] with the
+//! complete [`SimStats`] of both architectures, host wall-clock times, and
+//! the point's grid coordinates and seed; [`SweepReport`] aggregates them
+//! and serializes to JSON via the `rr fig5 --json` family of subcommands.
+//! Set `RUST_LOG` (any value containing `sweep`, `info`, `debug`, or
+//! `trace`) or [`SweepRunner::with_progress`] for a progress line per
+//! completed point.
+//!
+//! # Example
+//!
+//! ```
+//! use register_relocation::sweep::{SweepGrid, SweepRunner};
+//! use register_relocation::experiments::ExperimentSpec;
+//!
+//! // A scaled-down Figure 5 panel, run on two worker threads.
+//! let mut grid = SweepGrid::figure5_panel(64, 7);
+//! grid.run_lengths = vec![16.0];
+//! grid.latencies = vec![100];
+//! grid.base = ExperimentSpec { threads: 8, work_per_thread: 2_000, ..grid.base };
+//! let report = SweepRunner::new(2).run(&grid)?;
+//! assert_eq!(report.points.len(), 1);
+//! assert_eq!(report.points[0].fixed.accounted_cycles(),
+//!            report.points[0].fixed.total_cycles);
+//! # Ok::<(), String>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::{compare_traced, ExperimentSpec, FaultKind};
+use crate::figures::{
+    FigurePoint, FIG5_LATENCIES, FIG5_RUN_LENGTHS, FIG6_LATENCIES, FIG6_RUN_LENGTHS,
+    FILE_SIZES,
+};
+use rr_sim::SimStats;
+use rr_workload::ContextSizeDist;
+
+/// Which fault process a grid's latency axis parameterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// Constant-latency remote cache misses (Figure 5, section 3.2).
+    Cache,
+    /// Exponentially distributed synchronization waits (Figure 6,
+    /// section 3.3).
+    Sync,
+}
+
+impl FaultFamily {
+    /// Instantiates the fault at one latency grid coordinate.
+    pub fn fault(&self, latency: u64) -> FaultKind {
+        match self {
+            FaultFamily::Cache => FaultKind::Cache { latency },
+            FaultFamily::Sync => FaultKind::Sync { mean_latency: latency as f64 },
+        }
+    }
+}
+
+/// A rectangular experiment grid: the cross product of file sizes, run
+/// lengths, and latencies, under one fault family and context-size
+/// distribution.
+///
+/// `base` supplies everything a grid axis does not override — thread count,
+/// work per thread, cycle horizon, and the seed — so tests can shrink a
+/// grid's workloads without touching its shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Register file sizes `F` (outermost axis; one figure panel each).
+    pub file_sizes: Vec<u32>,
+    /// Mean run lengths `R` (middle axis; one curve each).
+    pub run_lengths: Vec<f64>,
+    /// Fault latencies `L` (innermost axis; one plotted point each).
+    pub latencies: Vec<u64>,
+    /// Fault process the latency axis parameterizes.
+    pub fault: FaultFamily,
+    /// Context-size distribution `C`.
+    pub context_size: ContextSizeDist,
+    /// Template for per-point specs (threads, work, horizon, seed).
+    pub base: ExperimentSpec,
+}
+
+impl SweepGrid {
+    /// The full Figure 5 grid: cache faults, `C ~ U(6,24)`, all three
+    /// panels.
+    pub fn figure5(seed: u64) -> Self {
+        SweepGrid {
+            file_sizes: FILE_SIZES.to_vec(),
+            run_lengths: FIG5_RUN_LENGTHS.to_vec(),
+            latencies: FIG5_LATENCIES.to_vec(),
+            fault: FaultFamily::Cache,
+            context_size: ContextSizeDist::PAPER_UNIFORM,
+            base: ExperimentSpec { seed, ..ExperimentSpec::default() },
+        }
+    }
+
+    /// One Figure 5 panel (a single register file size).
+    pub fn figure5_panel(file_size: u32, seed: u64) -> Self {
+        SweepGrid { file_sizes: vec![file_size], ..Self::figure5(seed) }
+    }
+
+    /// The full Figure 6 grid: synchronization faults, all three panels.
+    pub fn figure6(seed: u64) -> Self {
+        SweepGrid {
+            file_sizes: FILE_SIZES.to_vec(),
+            run_lengths: FIG6_RUN_LENGTHS.to_vec(),
+            latencies: FIG6_LATENCIES.to_vec(),
+            fault: FaultFamily::Sync,
+            context_size: ContextSizeDist::PAPER_UNIFORM,
+            base: ExperimentSpec { seed, ..ExperimentSpec::default() },
+        }
+    }
+
+    /// One Figure 6 panel (a single register file size).
+    pub fn figure6_panel(file_size: u32, seed: u64) -> Self {
+        SweepGrid { file_sizes: vec![file_size], ..Self::figure6(seed) }
+    }
+
+    /// The section 3.4 homogeneous-context grid: the Figure 5 axes with
+    /// every thread demanding the same context size `C`.
+    pub fn homogeneous(file_size: u32, context_size: u32, seed: u64) -> Self {
+        SweepGrid {
+            context_size: ContextSizeDist::Fixed(context_size),
+            ..Self::figure5_panel(file_size, seed)
+        }
+    }
+
+    /// The grid's seed (carried by the base spec).
+    pub fn seed(&self) -> u64 {
+        self.base.seed
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.file_sizes.len() * self.run_lengths.len() * self.latencies.len()
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into its flat, canonically ordered point list:
+    /// file sizes outermost, then run lengths, then latencies — the exact
+    /// nesting of the original serial sweep loops, so figure output is
+    /// byte-identical however many workers later execute the points.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for &file_size in &self.file_sizes {
+            for &run_length in &self.run_lengths {
+                for &latency in &self.latencies {
+                    out.push(SweepPoint {
+                        index: out.len(),
+                        file_size,
+                        run_length,
+                        latency,
+                        spec: ExperimentSpec {
+                            file_size,
+                            run_length,
+                            fault: self.fault.fault(latency),
+                            context_size: self.context_size,
+                            ..self.base
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One expanded grid point: its coordinates plus the self-contained spec
+/// that executes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Position in the grid's canonical order.
+    pub index: usize,
+    /// Register file size `F`.
+    pub file_size: u32,
+    /// Mean run length `R`.
+    pub run_length: f64,
+    /// Latency grid coordinate `L`.
+    pub latency: u64,
+    /// The experiment this point runs (both architectures, via
+    /// [`compare_traced`]).
+    pub spec: ExperimentSpec,
+}
+
+/// Everything observed while executing one grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointReport {
+    /// Position in the grid's canonical order.
+    pub index: usize,
+    /// Register file size `F`.
+    pub file_size: u32,
+    /// Mean run length `R`.
+    pub run_length: f64,
+    /// Latency grid coordinate `L`.
+    pub latency: u64,
+    /// Workload seed the point ran with.
+    pub seed: u64,
+    /// The plotted figure point (identical to the serial sweep's output).
+    pub figure: FigurePoint,
+    /// Full cycle accounting of the fixed-architecture run.
+    pub fixed: SimStats,
+    /// Full cycle accounting of the flexible-architecture run.
+    pub flexible: SimStats,
+    /// Host wall-clock nanoseconds of the fixed run alone.
+    pub fixed_wall_nanos: u64,
+    /// Host wall-clock nanoseconds of the flexible run alone.
+    pub flexible_wall_nanos: u64,
+    /// Host wall-clock nanoseconds for the whole point (both runs plus
+    /// workload construction).
+    pub wall_nanos: u64,
+}
+
+/// The aggregate result of one sweep: per-point reports in canonical grid
+/// order plus run-level metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Seed shared by every point.
+    pub seed: u64,
+    /// End-to-end host wall-clock nanoseconds for the sweep.
+    pub total_wall_nanos: u64,
+    /// Per-point results, ordered by [`PointReport::index`].
+    pub points: Vec<PointReport>,
+}
+
+impl SweepReport {
+    /// The figure points in canonical grid order — exactly what the serial
+    /// sweeps returned, for the panel renderers.
+    pub fn figure_points(&self) -> Vec<FigurePoint> {
+        self.points.iter().map(|p| p.figure.clone()).collect()
+    }
+
+    /// The figure points of one panel (one register file size), in order.
+    pub fn panel(&self, file_size: u32) -> Vec<FigurePoint> {
+        self.points
+            .iter()
+            .filter(|p| p.file_size == file_size)
+            .map(|p| p.figure.clone())
+            .collect()
+    }
+
+    /// Sum of per-point wall-clock times — the serial-equivalent cost the
+    /// worker pool amortized.
+    pub fn points_wall_nanos(&self) -> u64 {
+        self.points.iter().map(|p| p.wall_nanos).sum()
+    }
+
+    /// The slowest point, if any — the wall-clock floor no worker count can
+    /// beat.
+    pub fn slowest_point(&self) -> Option<&PointReport> {
+        self.points.iter().max_by_key(|p| p.wall_nanos)
+    }
+
+    /// Serializes the full report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_json_pretty(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+}
+
+/// Executes [`SweepGrid`]s across a pool of scoped worker threads.
+///
+/// Determinism guarantee: results are *bit-identical* for every worker
+/// count. Each point's spec is self-contained (own seed, own RNG, own
+/// engine), workers only choose *which* point to run next, and every result
+/// is written to the slot pre-assigned to its grid index.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    jobs: usize,
+    progress: bool,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` worker threads; `0` means one per available
+    /// hardware thread. Progress lines default to the `RUST_LOG`
+    /// environment convention (see [`SweepRunner::with_progress`]).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: resolve_jobs(jobs), progress: progress_from_env() }
+    }
+
+    /// Worker threads this runner will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Forces per-point progress lines on or off, overriding `RUST_LOG`.
+    #[must_use]
+    pub fn with_progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Runs every point of `grid` and collects the reports in canonical
+    /// grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by grid order) point failure.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, String> {
+        let points = grid.points();
+        let total = points.len();
+        let completed = AtomicUsize::new(0);
+        let started = Instant::now();
+        let results = parallel_map(total, self.jobs, |i| {
+            let p = &points[i];
+            let point_started = Instant::now();
+            let traced = compare_traced(&p.spec)
+                .map_err(|e| format!("point {i} (F={} R={} L={}): {e}", p.file_size, p.run_length, p.latency))?;
+            let wall_nanos =
+                u64::try_from(point_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let report = PointReport {
+                index: p.index,
+                file_size: p.file_size,
+                run_length: p.run_length,
+                latency: p.latency,
+                seed: p.spec.seed,
+                figure: FigurePoint {
+                    run_length: p.run_length,
+                    comparison: traced.point.clone(),
+                },
+                fixed: traced.fixed,
+                flexible: traced.flexible,
+                fixed_wall_nanos: traced.fixed_wall_nanos,
+                flexible_wall_nanos: traced.flexible_wall_nanos,
+                wall_nanos,
+            };
+            if self.progress {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[sweep] {done:>3}/{total} F={:<3} R={:<5} L={:<4} fixed={:.3} flexible={:.3} wall={:.1}ms",
+                    report.file_size,
+                    report.run_length,
+                    report.latency,
+                    report.figure.comparison.fixed_efficiency,
+                    report.figure.comparison.flexible_efficiency,
+                    report.wall_nanos as f64 / 1e6,
+                );
+            }
+            Ok::<PointReport, String>(report)
+        });
+        let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepReport {
+            jobs: self.jobs,
+            seed: grid.seed(),
+            total_wall_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            points,
+        })
+    }
+
+    /// Runs an arbitrary list of specs (not necessarily a rectangular grid)
+    /// across the worker pool, returning each spec's traced run in input
+    /// order. This is the low-level entry the ablation and custom
+    /// experiment binaries use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) spec failure.
+    pub fn run_specs(&self, specs: &[ExperimentSpec]) -> Result<Vec<rr_sim::TracedRun>, String> {
+        let results = parallel_map(specs.len(), self.jobs, |i| {
+            specs[i].run_traced().map_err(|e| format!("spec {i}: {e}"))
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// `0` means "use every available hardware thread".
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Whether `RUST_LOG` asks for per-point progress lines.
+fn progress_from_env() -> bool {
+    std::env::var("RUST_LOG")
+        .map(|v| {
+            let v = v.to_ascii_lowercase();
+            ["sweep", "info", "debug", "trace"].iter().any(|needle| v.contains(needle))
+        })
+        .unwrap_or(false)
+}
+
+/// Maps `f` over `0..n` on up to `jobs` scoped worker threads.
+///
+/// Work distribution is a single atomic next-index counter; collection is a
+/// pre-allocated slot per index, each written exactly once by whichever
+/// worker claimed it — no mutex, no channel, and the output order is the
+/// input order by construction.
+fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.max(1).min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                assert!(slots[i].set(value).is_ok(), "sweep slot {i} written twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every claimed slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::compare;
+    use proptest::prelude::*;
+
+    /// A grid small enough for tests: one panel, 2×2 points, light
+    /// workloads.
+    fn mini_grid(fault: FaultFamily, seed: u64) -> SweepGrid {
+        let mut grid = match fault {
+            FaultFamily::Cache => SweepGrid::figure5_panel(64, seed),
+            FaultFamily::Sync => SweepGrid::figure6_panel(64, seed),
+        };
+        grid.run_lengths = vec![8.0, 32.0];
+        grid.latencies = vec![50, 200];
+        grid.base = ExperimentSpec { threads: 12, work_per_thread: 3_000, ..grid.base };
+        grid
+    }
+
+    #[test]
+    fn expansion_is_canonically_ordered() {
+        let grid = SweepGrid::figure5(7);
+        let points = grid.points();
+        assert_eq!(points.len(), 3 * 3 * 6);
+        assert_eq!(points.len(), grid.len());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.spec.seed, 7);
+        }
+        // File size outermost, then run length, then latency.
+        assert_eq!((points[0].file_size, points[0].run_length, points[0].latency), (64, 8.0, 20));
+        assert_eq!(points[1].latency, 50);
+        assert_eq!(points[6].run_length, 32.0);
+        assert_eq!(points[18].file_size, 128);
+        let serial: Vec<_> = points.iter().map(|p| (p.file_size, p.run_length, p.latency)).collect();
+        let mut sorted = serial.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(serial, sorted, "canonical order is the sorted cross product");
+    }
+
+    #[test]
+    fn homogeneous_grid_fixes_context_size() {
+        let grid = SweepGrid::homogeneous(128, 16, 3);
+        assert_eq!(grid.context_size, ContextSizeDist::Fixed(16));
+        assert_eq!(grid.file_sizes, vec![128]);
+        assert_eq!(grid.seed(), 3);
+        assert!(!grid.is_empty());
+    }
+
+    /// The tentpole guarantee: any worker count produces bit-identical
+    /// results, and those results equal the plain serial `compare` loop.
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let grid = mini_grid(FaultFamily::Cache, 11);
+        let serial = SweepRunner::new(1).with_progress(false).run(&grid).unwrap();
+        let parallel = SweepRunner::new(4).with_progress(false).run(&grid).unwrap();
+        assert_eq!(serial.jobs, 1);
+        assert_eq!(parallel.jobs, 4);
+        assert_eq!(serial.points.len(), 4);
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            // Wall-clock fields legitimately differ; everything simulated
+            // must not.
+            assert_eq!(s.figure, p.figure);
+            assert_eq!(s.fixed, p.fixed);
+            assert_eq!(s.flexible, p.flexible);
+            assert_eq!((s.index, s.file_size, s.run_length, s.latency, s.seed),
+                       (p.index, p.file_size, p.run_length, p.latency, p.seed));
+        }
+        // And both match the pre-runner serial path.
+        for (point, report) in grid.points().iter().zip(&serial.points) {
+            assert_eq!(compare(&point.spec).unwrap(), report.figure.comparison);
+        }
+    }
+
+    #[test]
+    fn run_specs_matches_direct_runs() {
+        let specs: Vec<ExperimentSpec> = mini_grid(FaultFamily::Cache, 5)
+            .points()
+            .into_iter()
+            .map(|p| p.spec)
+            .collect();
+        let traced = SweepRunner::new(3).with_progress(false).run_specs(&specs).unwrap();
+        assert_eq!(traced.len(), specs.len());
+        for (spec, t) in specs.iter().zip(&traced) {
+            assert_eq!(spec.run().unwrap(), t.stats);
+        }
+    }
+
+    #[test]
+    fn report_slices_and_serializes() {
+        let mut grid = mini_grid(FaultFamily::Cache, 9);
+        grid.file_sizes = vec![64, 128];
+        grid.run_lengths = vec![16.0];
+        grid.latencies = vec![100];
+        let report = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
+        assert_eq!(report.figure_points().len(), 2);
+        assert_eq!(report.panel(64).len(), 1);
+        assert_eq!(report.panel(128).len(), 1);
+        assert_eq!(report.panel(256).len(), 0);
+        assert!(report.points_wall_nanos() > 0);
+        assert!(report.slowest_point().is_some());
+        let json = report.to_json_pretty().unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parallel_map_is_exhaustive_and_ordered() {
+        let squares = parallel_map(100, 7, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        for (i, v) in squares.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Every point of a randomized sweep obeys the cycle-accounting
+        /// identity on both architectures — parallel execution loses no
+        /// cycles to any bucket.
+        #[test]
+        fn every_sweep_point_accounts_all_cycles(
+            seed in 1u64..10_000,
+            sync in any::<bool>(),
+            r in prop_oneof![Just(8.0f64), Just(32.0), Just(128.0)],
+            l in prop_oneof![Just(50u64), Just(200), Just(500)],
+        ) {
+            let family = if sync { FaultFamily::Sync } else { FaultFamily::Cache };
+            let mut grid = mini_grid(family, seed);
+            grid.run_lengths = vec![r];
+            grid.latencies = vec![l, l + 25];
+            let report = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
+            prop_assert_eq!(report.points.len(), 2);
+            for p in &report.points {
+                prop_assert_eq!(p.fixed.accounted_cycles(), p.fixed.total_cycles);
+                prop_assert_eq!(p.flexible.accounted_cycles(), p.flexible.total_cycles);
+                prop_assert_eq!(p.seed, seed);
+            }
+        }
+    }
+}

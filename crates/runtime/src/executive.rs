@@ -417,7 +417,7 @@ mod tests {
         let exec = Executive::boot().unwrap();
         // The allocator bitmap must show chunks 0..8 (registers 0..32) used.
         let map = exec.machine().read_abs(10).unwrap();
-        assert_eq!(map, !0u32 & !0xff);
+        assert_eq!(map, !0xffu32);
         assert!(exec.os_cycles() > 0);
     }
 

@@ -63,11 +63,13 @@ impl ReadyRing {
             self.entries.push(thread);
             self.cursor = 0;
         } else {
+            // Invariant: a non-empty ring always has `cursor < entries.len()`
+            // (every mutation preserves it). Splicing at the cursor and then
+            // stepping over the new element therefore cannot run off the
+            // end: `cursor + 1 <= old_len < new_len`, so no wrap is needed.
             self.entries.insert(self.cursor, thread);
             self.cursor += 1;
-            if self.cursor == self.entries.len() {
-                self.cursor = 0;
-            }
+            debug_assert!(self.cursor < self.entries.len());
         }
     }
 
@@ -190,6 +192,27 @@ mod tests {
         r.advance(); // cursor on 2 (tail)
         assert!(r.remove(2));
         assert_eq!(r.current(), Some(0));
+    }
+
+    #[test]
+    fn insert_at_tail_cursor_keeps_current() {
+        // Drive the cursor onto the last slot (the maximal legal position),
+        // then insert: the spliced element lands just behind the cursor and
+        // the running context stays under it. This is the configuration the
+        // old unreachable wrap branch claimed to handle.
+        let mut r = ReadyRing::new();
+        for t in 0..3 {
+            r.insert(t);
+        }
+        assert!(r.focus(2)); // cursor on the tail element
+        r.insert(7);
+        assert_eq!(r.current(), Some(2));
+        assert_eq!(r.sweep().collect::<Vec<_>>(), vec![0, 1, 7, 2]);
+        // Repeated tail inserts never move the cursor off its element.
+        r.insert(8);
+        r.insert(9);
+        assert_eq!(r.current(), Some(2));
+        assert_eq!(r.len(), 6);
     }
 
     #[test]

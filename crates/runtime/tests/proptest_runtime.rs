@@ -82,7 +82,7 @@ impl ModelRing {
     }
     fn sweep(&self) -> Vec<usize> {
         // Everything after the cursor, ending with the cursor element.
-        let mut v: Vec<usize> = self.rot.iter().copied().collect();
+        let mut v: Vec<usize> = self.rot.to_vec();
         if !v.is_empty() {
             v.rotate_left(1);
         }

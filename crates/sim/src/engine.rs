@@ -23,6 +23,16 @@ use crate::options::SimOptions;
 use crate::stats::SimStats;
 use crate::thread::{Phase, ThreadRt};
 
+/// A run's statistics paired with the host-side wall-clock time it took —
+/// the per-run observability record the sweep runner aggregates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TracedRun {
+    /// Full cycle-accounting statistics of the run.
+    pub stats: SimStats,
+    /// Host wall-clock nanoseconds spent simulating.
+    pub wall_nanos: u64,
+}
+
 /// Result of a load attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LoadOutcome {
@@ -168,8 +178,28 @@ impl Engine {
         } else {
             self.resident_integral as f64 / self.now as f64
         };
-        self.stats.supply_drained_at = Some(self.last_pressure);
+        // The supply only "drained" if the run actually consumed it. When the
+        // cycle horizon stops a run with unstarted threads still queued, the
+        // saturated phase never ended: report None so efficiency() falls back
+        // to the full horizon instead of clamping to a bogus early timestamp.
+        self.stats.supply_drained_at = if self.supply.is_empty() {
+            Some(self.last_pressure)
+        } else {
+            None
+        };
         self.stats
+    }
+
+    /// Runs like [`Engine::run`] while timing the host-side wall clock.
+    ///
+    /// The simulated statistics are identical to `run()`'s; only the
+    /// measurement wrapper differs, so traced and untraced runs of the same
+    /// seeded configuration stay bit-identical.
+    pub fn run_traced(self) -> TracedRun {
+        let start = std::time::Instant::now();
+        let stats = self.run();
+        let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        TracedRun { stats, wall_nanos }
     }
 
     /// Charges `dt` cycles to `bucket`, advancing time and bookkeeping.
@@ -451,6 +481,22 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_matches_untraced() {
+        let plain = cache_engine(fixed(128), 8, 16.0, 100, 5_000).run();
+        let traced = cache_engine(fixed(128), 8, 16.0, 100, 5_000).run_traced();
+        assert_eq!(traced.stats, plain);
+    }
+
+    #[test]
+    fn engine_is_send() {
+        // The sweep runner moves whole engines (boxed allocator included)
+        // onto worker threads; keep that property explicit.
+        fn assert_send<T: Send>(_: &T) {}
+        let e = cache_engine(flexible(128), 4, 16.0, 100, 1_000);
+        assert_send(&e);
+    }
+
+    #[test]
     fn single_thread_efficiency_matches_analytics() {
         // One thread, deterministic run length: steady-state cycle is
         // S + R + (L - R... ) — precisely: switch 6, run 100, then idle
@@ -643,6 +689,39 @@ mod tests {
         assert!(stats.completed_threads < 4);
         assert!(stats.total_cycles >= 10_000);
         assert!(stats.total_cycles < 20_000, "should stop promptly");
+    }
+
+    #[test]
+    fn horizon_stop_with_queued_supply_reports_no_drain() {
+        // 64 threads with 1M cycles of work each cannot all start within a
+        // 10k-cycle horizon on a 64-register file: the supply queue is still
+        // populated when the run stops. supply_drained_at must then be None
+        // (the saturated phase never ended), so efficiency() measures up to
+        // the horizon instead of clamping at a meaningless early timestamp.
+        let w = WorkloadBuilder::new()
+            .threads(64)
+            .work_per_thread(1_000_000)
+            .seed(2)
+            .build()
+            .unwrap();
+        let opts = SimOptions { max_cycles: 10_000, ..SimOptions::cache_experiments() };
+        let stats = Engine::new(
+            flexible(64),
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            w,
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(stats.completed_threads < 64);
+        assert_eq!(stats.supply_drained_at, None);
+        // And a run that does consume its whole supply still reports the
+        // drain point.
+        let done = cache_engine(flexible(128), 4, 16.0, 100, 500).run();
+        assert_eq!(done.completed_threads, 4);
+        assert!(done.supply_drained_at.is_some());
+        assert!(done.supply_drained_at.unwrap() <= done.total_cycles);
     }
 
     #[test]

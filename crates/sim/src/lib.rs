@@ -49,7 +49,7 @@ pub mod options;
 pub mod stats;
 pub mod thread;
 
-pub use engine::Engine;
+pub use engine::{Engine, TracedRun};
 pub use interference::InterferenceModel;
 pub use options::{DispatchMode, SimOptions};
 pub use stats::SimStats;

@@ -105,14 +105,11 @@ mod tests {
 
     #[test]
     fn bad_options_rejected() {
-        let mut o = SimOptions::default();
-        o.max_cycles = 0;
+        let o = SimOptions { max_cycles: 0, ..SimOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = SimOptions::default();
-        o.transient_trim = 0.5;
+        let o = SimOptions { transient_trim: 0.5, ..SimOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = SimOptions::default();
-        o.resident_limit = Some(0);
+        let o = SimOptions { resident_limit: Some(0), ..SimOptions::default() };
         assert!(o.validate().is_err());
     }
 }

@@ -55,7 +55,10 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         )
 }
 
-fn build(s: &Scenario) -> Result<(Workload, Box<dyn ContextAllocator>, SchedCosts, UnloadPolicyKind, SimOptions), String> {
+/// Everything `Engine::new` consumes, derived from one scenario.
+type EngineParts = (Workload, Box<dyn ContextAllocator>, SchedCosts, UnloadPolicyKind, SimOptions);
+
+fn build(s: &Scenario) -> Result<EngineParts, String> {
     let latency_dist = if s.sync {
         Dist::Exponential { mean: s.latency as f64 }
     } else {

@@ -92,6 +92,39 @@ fn demand_reports_context_sizing() {
     assert!(text.contains("context size needed: 8"), "{text}");
 }
 
+/// The parallel sweep subcommand: panels are byte-identical for any worker
+/// count, and the JSON report round-trips with the right shape.
+#[test]
+fn fig5_sweep_is_worker_count_invariant() {
+    let json_path = tempfile::NamedFile::new("fig5.json").path.clone();
+    let sweep = |jobs: &str, json: Option<&std::path::Path>| {
+        let mut cmd = rr();
+        cmd.args(["fig5", "--file", "64", "--seed", "7", "--jobs", jobs])
+            .args(["--threads", "8", "--work", "2000"]);
+        if let Some(p) = json {
+            cmd.arg("--json").arg(p);
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let serial = sweep("1", None);
+    let parallel = sweep("4", Some(&json_path));
+    assert_eq!(serial, parallel, "panels must not depend on worker count");
+    assert!(serial.contains("Figure 5"), "{serial}");
+
+    let report: register_relocation::sweep::SweepReport =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    let _ = std::fs::remove_file(&json_path);
+    assert_eq!(report.jobs, 4);
+    assert_eq!(report.seed, 7);
+    assert_eq!(report.points.len(), 18, "3 run lengths x 6 latencies");
+    for p in &report.points {
+        assert_eq!(p.fixed.accounted_cycles(), p.fixed.total_cycles);
+        assert!(p.wall_nanos > 0);
+    }
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     let out = rr().arg("asm").arg("/nonexistent/file.s").output().unwrap();

@@ -56,22 +56,19 @@ fn allocation_charges_cover_the_measured_assembly() {
 
     let charged = AllocCosts::paper_flexible();
     let mut worst_success = 0u64;
-    let mut failure = None;
-    loop {
+    let failure = loop {
         let cycles = call(&mut m, p.label("context_alloc_16").unwrap());
         if m.read_abs(13).unwrap() == 1 {
             worst_success = worst_success.max(cycles);
         } else {
-            failure = Some(cycles);
-            break;
+            break cycles;
         }
-    }
+    };
     assert!(
         worst_success <= u64::from(charged.alloc_success),
         "measured {worst_success} > charged {}",
         charged.alloc_success
     );
-    let failure = failure.unwrap();
     assert!(
         failure <= u64::from(charged.alloc_failure),
         "measured failure {failure} > charged {}",

@@ -1,0 +1,215 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the criterion API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! with smoke-test semantics: every registered routine runs exactly once
+//! and its wall-clock time is printed. That keeps `cargo test` (which
+//! executes `harness = false` bench binaries) fast while preserving the
+//! benches as compiled, runnable probes. Statistical sampling, warm-up,
+//! and HTML reports are intentionally out of scope; the `rr` CLI's sweep
+//! timing output covers performance measurement for this repository.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver. Builder methods record their settings but do
+/// not change execution: every routine runs once.
+#[derive(Debug, Default, Clone)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl Criterion {
+    /// Records the requested sample count (ignored by the stub).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the requested warm-up time (ignored by the stub).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Records the requested measurement time (ignored by the stub).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// Units-processed annotation; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's display form.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{p}") }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput annotation (ignored by the stub).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Runs one benchmark routine (once) and prints its wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {}/{id}: {:?} (single pass)", self.name, b.elapsed);
+        self
+    }
+
+    /// Runs one parameterized benchmark routine (once).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b, input);
+        println!("bench {}/{}: {:?} (single pass)", self.name, id.id, b.elapsed);
+        self
+    }
+
+    /// Ends the group. A no-op, present for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for `iter_batched`; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Timing handle passed to benchmark routines.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times one execution of `routine` on a fresh `setup()` input.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions; both the plain and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c = $crate::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_routine_once() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut g = c.benchmark_group("demo");
+        let mut runs = 0;
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut batched = 0;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter_batched(|| x, |v| batched += v, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 3);
+        g.finish();
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` block macro, `Strategy` with `prop_map` /
+//! `prop_flat_map` / `boxed`, `Just`, `any`, integer and float range
+//! strategies, tuple strategies, `prop_oneof!` (weighted and unweighted),
+//! `prop::collection::vec`, string strategies generated from a small regex
+//! subset, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline vendor:
+//! no shrinking (a failing case reports its full input instead of a
+//! minimized one), no failure-persistence files, and deterministic seeding
+//! derived from the test thread's name so runs are reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty length range for vec strategy");
+        VecStrategy { elem, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+mod string_gen;
+
+pub mod prelude {
+    //! The items property tests conventionally glob-import.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest,
+    };
+
+    pub mod prop {
+        //! Mirror of real proptest's `prelude::prop` module shortcut.
+        pub use crate::collection;
+    }
+}
+
+/// Defines a block of property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __strategy = ($($strat,)+);
+            let mut __runner = $crate::test_runner::TestRunner::new($config);
+            __runner.run(&__strategy, |($($pat,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with its
+/// input echoed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (without counting it as run) when an input
+/// combination falls outside the property's precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject,
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+        let strat = (0u8..64).prop_map(|n| n * 2);
+        runner.run(&(strat,), |(n,)| {
+            prop_assert!(n < 128);
+            prop_assert_eq!(n % 2, 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn flat_map_respects_dependency() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+        let strat = (1u32..=8).prop_flat_map(|lo| {
+            (lo..=24).prop_map(move |hi| (lo, hi))
+        });
+        runner.run(&(strat,), |((lo, hi),)| {
+            prop_assert!(lo <= hi);
+            prop_assert!((1..=8).contains(&lo));
+            prop_assert!(hi <= 24);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_weights_skew_distribution() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let union = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..2000)
+            .filter(|_| crate::strategy::Strategy::sample(&union, &mut rng))
+            .count();
+        assert!(hits > 1500, "weight 9:1 gave only {hits}/2000 trues");
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(100));
+        let strat = crate::collection::vec(0u8..10, 1..5);
+        runner.run(&(strat,), |(v,)| {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        runner.run(&(0u32..100,), |(n,)| {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case 1 failed")]
+    fn failures_panic_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        runner.run(&(0u32..100,), |(n,)| {
+            prop_assert!(n > 1000, "n was {}", n);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The block macro compiles with config, docs, and multiple args.
+        #[test]
+        fn block_macro_works(a in 0u8..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            let _ = b;
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(s in "[a-z_]+:", t in "\\PC{0,200}") {
+            prop_assert!(s.ends_with(':'));
+            prop_assert!(s.len() >= 2);
+            prop_assert!(s[..s.len() - 1]
+                .chars()
+                .all(|c| c == '_' || c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 200);
+            prop_assert!(!t.chars().any(char::is_control));
+        }
+
+        #[test]
+        fn word_regex(s in "\\.word -?[0-9]{1,12}") {
+            prop_assert!(s.starts_with(".word "));
+        }
+
+        #[test]
+        fn alt_regex(s in "(add|lw|sw|jmp|li|ldrrm) .*") {
+            let op = s.split(' ').next().unwrap();
+            prop_assert!(["add", "lw", "sw", "jmp", "li", "ldrrm"].contains(&op));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Generation of strings from a small regex subset.
+//!
+//! Supports exactly the constructs this workspace's string strategies use:
+//! literal characters, `.` (any printable, no newline), escaped literals
+//! (`\.`), `\PC` (any non-control character), character classes with ranges
+//! (`[a-z_]`, `[0-9]`), groups with alternation (`(a|bc|d)`), and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `+`, `*` (the open-ended `+`/`*` cap at
+//! 8 repetitions).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// `.` — any printable ASCII character except newline.
+    AnyPrintable,
+    /// `\PC` — any non-control character (sampled from ASCII + a few
+    /// multi-byte code points to exercise UTF-8 handling).
+    NotControl,
+    /// `[..]` — one char uniform over the expanded alternatives.
+    Class(Vec<(char, char)>),
+    /// `(a|b|..)` — or the whole pattern; uniform arm choice.
+    Alt(Vec<Node>),
+    Seq(Vec<Node>),
+    /// `{m,n}` and friends; inclusive bounds.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax this subset does not understand — a test authoring
+/// error, not a runtime condition.
+pub fn generate(pattern: &str, rng: &mut SmallRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unparsed trailing regex at {pos} in {pattern:?}"
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut arms = vec![parse_seq(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        arms.push(parse_seq(chars, pos));
+    }
+    if arms.len() == 1 {
+        arms.pop().unwrap()
+    } else {
+        Node::Alt(arms)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+    let mut items = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos);
+        items.push(parse_quantified(atom, chars, pos));
+    }
+    if items.len() == 1 {
+        items.pop().unwrap()
+    } else {
+        Node::Seq(items)
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let inner = parse_alt(chars, pos);
+            assert_eq!(chars.get(*pos), Some(&')'), "unclosed group");
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            let mut ranges = Vec::new();
+            while let Some(&c) = chars.get(*pos) {
+                if c == ']' {
+                    break;
+                }
+                *pos += 1;
+                let lo = if c == '\\' {
+                    let escaped = chars[*pos];
+                    *pos += 1;
+                    escaped
+                } else {
+                    c
+                };
+                if chars.get(*pos) == Some(&'-')
+                    && chars.get(*pos + 1).is_some_and(|&n| n != ']')
+                {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert_eq!(chars.get(*pos), Some(&']'), "unclosed class");
+            *pos += 1;
+            Node::Class(ranges)
+        }
+        '\\' => {
+            let e = chars[*pos];
+            *pos += 1;
+            match e {
+                'P' => {
+                    // `\PC`: negated single-letter unicode class C.
+                    let class = chars[*pos];
+                    *pos += 1;
+                    assert_eq!(class, 'C', "only \\PC is supported");
+                    Node::NotControl
+                }
+                'd' => Node::Class(vec![('0', '9')]),
+                'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                'n' => Node::Lit('\n'),
+                't' => Node::Lit('\t'),
+                other => Node::Lit(other),
+            }
+        }
+        '.' => Node::AnyPrintable,
+        other => Node::Lit(other),
+    }
+}
+
+fn parse_quantified(atom: Node, chars: &[char], pos: &mut usize) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let lo = parse_number(chars, pos);
+            let hi = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                lo
+            };
+            assert_eq!(chars.get(*pos), Some(&'}'), "unclosed quantifier");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+        *pos += 1;
+    }
+    assert!(*pos > start, "expected a number in quantifier");
+    chars[start..*pos].iter().collect::<String>().parse().unwrap()
+}
+
+/// Sample pool for `\PC`: printable ASCII plus a few multi-byte characters
+/// so consumers see non-trivial UTF-8.
+const WIDE_CHARS: &[char] = &['é', 'π', 'Ω', '→', '字', '🦀'];
+
+fn emit(node: &Node, rng: &mut SmallRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyPrintable => {
+            out.push(char::from(rng.gen_range(0x20u8..=0x7e)));
+        }
+        Node::NotControl => {
+            if rng.gen_range(0u32..8) == 0 {
+                let i = rng.gen_range(0usize..WIDE_CHARS.len());
+                out.push(WIDE_CHARS[i]);
+            } else {
+                out.push(char::from(rng.gen_range(0x20u8..=0x7e)));
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u32 =
+                ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).unwrap());
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Alt(arms) => {
+            let i = rng.gen_range(0usize..arms.len());
+            emit(&arms[i], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}

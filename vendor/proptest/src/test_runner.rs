@@ -1,0 +1,104 @@
+//! Case execution: configuration, errors, and the runner loop.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration. Only `cases` is meaningful in the vendored
+/// implementation; the struct is non-exhaustive-by-convention like real
+/// proptest's (construct via `default()` or `with_cases`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required before the test passes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with everything else default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count as run.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a deterministic seed derived from the current
+    /// test thread's name, so each test gets a distinct but reproducible
+    /// stream.
+    pub fn new(config: ProptestConfig) -> Self {
+        let mut hasher = DefaultHasher::new();
+        std::thread::current().name().unwrap_or("main").hash(&mut hasher);
+        let rng = SmallRng::seed_from_u64(hasher.finish() ^ 0x5EED_1993);
+        TestRunner { config, rng }
+    }
+
+    /// Runs `test` against freshly sampled inputs until `config.cases`
+    /// cases pass, panicking (with the offending input) on the first
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, or when `prop_assume!` rejects so many
+    /// candidates that the target case count is unreachable.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.sample(&mut self.rng);
+            let repr = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    let limit = self.config.cases.saturating_mul(16) + 256;
+                    assert!(
+                        rejected <= limit,
+                        "prop_assume! rejected {rejected} inputs before \
+                         {passed}/{} cases passed; precondition too strict",
+                        self.config.cases
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {} failed: {msg}\n\
+                         input: {repr}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serde replacement sufficient for its own needs: derived
+//! `Serialize`/`Deserialize` on structs and enums (externally tagged, the
+//! serde default), round-tripped through an in-memory JSON [`Value`] tree
+//! that the companion `serde_json` vendor prints and parses.
+//!
+//! The public names mirror real serde closely enough that the workspace
+//! source is unchanged: `serde::Serialize`, `serde::Deserialize`,
+//! `serde::de::DeserializeOwned`, and `#[derive(Serialize, Deserialize)]`
+//! via the re-exported `serde_derive` macros.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON document.
+///
+/// Numbers keep their integer/float identity so that `u64` counters (cycle
+/// counts can exceed 2^53) survive round trips exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Unsigned integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers (non-finite values print as `null`).
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, insertion-ordered for deterministic printing.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {got:?}"))
+    }
+
+    /// Builds an error for an unrecognized enum variant tag.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error(format!("{ty}: unknown variant `{tag}`"))
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+///
+/// The name matches real serde's trait so `#[derive(Serialize)]` and
+/// generic bounds in downstream code compile unchanged.
+pub trait Serialize {
+    /// Converts `self` to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization trait aliases matching real serde's module layout.
+
+    /// In real serde `DeserializeOwned` is `for<'de> Deserialize<'de>`; the
+    /// vendored `Deserialize` has no borrowed variant, so the owned alias is
+    /// the trait itself.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Reads a named field out of a struct object, with a precise error.
+///
+/// # Errors
+///
+/// Returns an error if `v` is not an object, the field is missing, or the
+/// field fails to deserialize.
+pub fn field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner)
+            .map_err(|e| Error(format!("{ty}.{name}: {e}"))),
+        None => Err(Error(format!("{ty}: missing field `{name}` in {v:?}"))),
+    }
+}
+
+/// Reads the `i`-th element of a tuple (array) value.
+///
+/// # Errors
+///
+/// Returns an error on non-arrays, short arrays, or element mismatches.
+pub fn element<T: Deserialize>(v: &Value, ty: &str, i: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(items) => match items.get(i) {
+            Some(inner) => T::from_value(inner)
+                .map_err(|e| Error(format!("{ty}[{i}]: {e}"))),
+            None => Err(Error(format!("{ty}: missing tuple element {i}"))),
+        },
+        other => Err(Error::expected("array", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    ref other => return Err(Error::expected("unsigned integer", other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i128 = match *v {
+                    Value::U64(n) => n as i128,
+                    Value::I64(n) => n as i128,
+                    ref other => return Err(Error::expected("integer", other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            // serde_json prints non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($(element::<$name>(v, "tuple", $idx)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// HashMap serializes as a JSON object with stringified keys, sorted for
+/// deterministic output (real serde_json requires string-like keys too).
+impl<K, V> Serialize for HashMap<K, V>
+where
+    K: fmt::Display + Ord,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| Error(format!("bad map key `{k}`")))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn integers_feed_floats() {
+        // The JSON text `400` parses as U64; an f64 field must accept it.
+        assert_eq!(f64::from_value(&Value::U64(400)).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2u64), (3, 4)];
+        assert_eq!(Vec::<(u64, u64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<usize> = Some(9);
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&n.to_value()).unwrap(), n);
+    }
+
+    #[test]
+    fn hashmap_round_trips_sorted() {
+        let mut m = HashMap::new();
+        m.insert(3usize, 30u64);
+        m.insert(1usize, 10u64);
+        let val = m.to_value();
+        match &val {
+            Value::Object(pairs) => {
+                assert_eq!(pairs[0].0, "1");
+                assert_eq!(pairs[1].0, "3");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(HashMap::<usize, u64>::from_value(&val).unwrap(), m);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        let err = field::<u64>(&v, "Demo", "a").unwrap_err();
+        assert!(err.0.contains("Demo.a"), "{err}");
+        let err = field::<u64>(&v, "Demo", "b").unwrap_err();
+        assert!(err.0.contains("missing field `b`"), "{err}");
+    }
+}

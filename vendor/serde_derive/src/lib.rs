@@ -1,0 +1,547 @@
+//! Offline vendored derive macros for the vendored `serde` crate.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available. Instead these derives walk the raw [`proc_macro::TokenTree`]
+//! stream directly: enough to recognise the struct and enum shapes this
+//! workspace actually derives (named structs, tuple/newtype structs, unit
+//! structs, enums with unit/newtype/tuple/struct variants, and a single
+//! optional list of type parameters). `#[serde(...)]` attributes are not
+//! supported — the workspace does not use any.
+//!
+//! Generated code targets the vendored `serde` value model:
+//! `Serialize::to_value(&self) -> Value` and
+//! `Deserialize::from_value(&Value) -> Result<Self, Error>`, with serde's
+//! externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the fields of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; the payload is the arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+/// Parsed shape of the whole derive input.
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    /// Type parameter names, e.g. `["R"]` for `Instr<R>`.
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::Struct(fields) => serialize_struct_body(fields),
+        Kind::Enum(variants) => serialize_enum_body(&input.name, variants),
+    };
+    let (impl_generics, ty_generics) =
+        generics(&input.type_params, "::serde::Serialize");
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, non_shorthand_field_patterns)]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = input.name,
+    );
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::Struct(fields) => deserialize_struct_body(&input.name, fields),
+        Kind::Enum(variants) => deserialize_enum_body(&input.name, variants),
+    };
+    let (impl_generics, ty_generics) =
+        generics(&input.type_params, "::serde::Deserialize");
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = input.name,
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Renders `impl<T: Bound, ..>` and `<T, ..>` fragments (empty when the type
+/// has no parameters).
+fn generics(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let with_bounds: Vec<String> =
+        params.iter().map(|p| format!("{p}: {bound}")).collect();
+    (
+        format!("<{}>", with_bounds.join(", ")),
+        format!("<{}>", params.join(", ")),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_object(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({f:?}.to_string(), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn tuple_fields_to_value(arity: usize, access_prefix: &str) -> String {
+    if arity == 1 {
+        // Newtype: serialize transparently as the inner value.
+        return format!("::serde::Serialize::to_value(&{access_prefix}0)");
+    }
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Serialize::to_value(&{access_prefix}{i})"))
+        .collect();
+    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(arity) => tuple_fields_to_value(*arity, "self."),
+        Fields::Named(names) => named_fields_to_object(names, "self."),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string())"
+            ),
+            Fields::Tuple(arity) => {
+                let binds: Vec<String> =
+                    (0..*arity).map(|i| format!("__f{i}")).collect();
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "::serde::Value::Array(vec![{}])",
+                        elems.join(", ")
+                    )
+                };
+                format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                     ({vname:?}.to_string(), {inner})])",
+                    binds = binds.join(", "),
+                )
+            }
+            Fields::Named(fnames) => {
+                let binds = fnames.join(", ");
+                let obj = named_fields_to_object(fnames, "");
+                format!(
+                    "{name}::{vname} {{ {binds} }} => \
+                     ::serde::Value::Object(vec![({vname:?}.to_string(), {obj})])"
+                )
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn deserialize_named(
+    type_label: &str,
+    constructor: &str,
+    source: &str,
+    fields: &[String],
+) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::field({source}, {type_label:?}, {f:?})?")
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({constructor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn deserialize_tuple(
+    type_label: &str,
+    constructor: &str,
+    source: &str,
+    arity: usize,
+) -> String {
+    if arity == 1 {
+        return format!(
+            "::std::result::Result::Ok({constructor}(\
+             ::serde::Deserialize::from_value({source})?))"
+        );
+    }
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::element({source}, {type_label:?}, {i})?"))
+        .collect();
+    format!(
+        "::std::result::Result::Ok({constructor}({}))",
+        elems.join(", ")
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Fields::Tuple(arity) => deserialize_tuple(name, name, "v", *arity),
+        Fields::Named(fnames) => deserialize_named(name, name, "v", fnames),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for (vname, fields) in variants {
+        let label = format!("{name}::{vname}");
+        let constructor = format!("{name}::{vname}");
+        match fields {
+            Fields::Unit => unit_arms.push(format!(
+                "{vname:?} => ::std::result::Result::Ok({constructor})"
+            )),
+            Fields::Tuple(arity) => tagged_arms.push(format!(
+                "{vname:?} => {}",
+                deserialize_tuple(&label, &constructor, "__inner", *arity)
+            )),
+            Fields::Named(fnames) => tagged_arms.push(format!(
+                "{vname:?} => {}",
+                deserialize_named(&label, &constructor, "__inner", fnames)
+            )),
+        }
+    }
+    let unit_match = format!(
+        "match __s.as_str() {{\n{},\n__other => ::std::result::Result::Err(\
+         ::serde::Error::unknown_variant({name:?}, __other))\n}}",
+        if unit_arms.is_empty() {
+            // Keep the match well-formed even when no unit variants exist.
+            "\"\\u{0}__no_unit_variants\" => \
+             ::std::result::Result::Err(::serde::Error::unknown_variant(\
+             \"unreachable\", \"unreachable\"))"
+                .to_string()
+        } else {
+            unit_arms.join(",\n")
+        }
+    );
+    let tagged_match = format!(
+        "match __tag.as_str() {{\n{},\n__other => ::std::result::Result::Err(\
+         ::serde::Error::unknown_variant({name:?}, __other))\n}}",
+        if tagged_arms.is_empty() {
+            "\"\\u{0}__no_tagged_variants\" => \
+             ::std::result::Result::Err(::serde::Error::unknown_variant(\
+             \"unreachable\", \"unreachable\"))"
+                .to_string()
+        } else {
+            tagged_arms.join(",\n")
+        }
+    );
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(__s) => {unit_match},\n\
+             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 {tagged_match}\n\
+             }},\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::Error::expected({name:?}, __other)),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips any run of outer attributes `#[...]` (doc comments included).
+    fn skip_attrs(&mut self) {
+        while self.at_punct('#') {
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 1;
+                }
+                other => panic!(
+                    "serde_derive: expected [...] after '#', got {other:?}"
+                ),
+            }
+        }
+    }
+
+    /// Skips a visibility qualifier: `pub` or `pub(...)`.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!(
+                "serde_derive: expected identifier ({context}), got {other:?}"
+            ),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor { toks: input.into_iter().collect(), pos: 0 };
+    cur.skip_attrs();
+    cur.skip_vis();
+
+    let keyword = cur.expect_ident("struct/enum keyword");
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!(
+            "serde_derive: only structs and enums are supported, got `{other}`"
+        ),
+    };
+    let name = cur.expect_ident("type name");
+    let type_params = parse_generics(&mut cur);
+
+    if cur.at_ident("where") {
+        panic!("serde_derive: where-clauses are not supported");
+    }
+
+    let kind = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!(
+                "serde_derive: expected enum body {{...}}, got {other:?}"
+            ),
+        }
+    } else {
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Kind::Struct(Fields::Named(fields))
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis =>
+            {
+                Kind::Struct(Fields::Tuple(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Kind::Struct(Fields::Unit)
+            }
+            other => panic!(
+                "serde_derive: expected struct body, got {other:?}"
+            ),
+        }
+    };
+
+    Input { name, type_params, kind }
+}
+
+/// Parses an optional `<...>` list after the type name, returning the type
+/// parameter names. Lifetimes and const parameters are rejected — nothing in
+/// this workspace derives with them.
+fn parse_generics(cur: &mut Cursor) -> Vec<String> {
+    if !cur.at_punct('<') {
+        return Vec::new();
+    }
+    cur.pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match cur.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                '\'' => panic!(
+                    "serde_derive: lifetime parameters are not supported"
+                ),
+                _ => {}
+            },
+            Some(TokenTree::Ident(i)) => {
+                let word = i.to_string();
+                if depth == 1 && expect_param {
+                    if word == "const" {
+                        panic!(
+                            "serde_derive: const parameters are not supported"
+                        );
+                    }
+                    params.push(word);
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unterminated generic parameter list"),
+        }
+    }
+    params
+}
+
+/// Counts top-level fields of a tuple struct / tuple variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0usize;
+    let mut last_was_comma = false;
+    for t in &toks {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+/// Extracts the field names of a named-fields body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut cur = Cursor { toks: body.into_iter().collect(), pos: 0 };
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_vis();
+        fields.push(cur.expect_ident("field name"));
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive: expected ':' after field name, got {other:?}"
+            ),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut angle_depth = 0usize;
+        loop {
+            match cur.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    cur.pos += 1;
+                    match ch {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth = angle_depth.saturating_sub(1),
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => cur.pos += 1,
+            }
+        }
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut cur = Cursor { toks: body.into_iter().collect(), pos: 0 };
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        let vname = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis =>
+            {
+                let arity = tuple_arity(g.stream());
+                cur.pos += 1;
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                cur.pos += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((vname, fields));
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        loop {
+            match cur.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,474 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Prints and parses JSON text against the vendored `serde` crate's
+//! [`Value`] model. Only the entry points this workspace uses are provided:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`].
+//!
+//! Number handling is chosen so round trips preserve equality: `u64`/`i64`
+//! print as exact integers, floats print via Rust's shortest-roundtrip `{}`
+//! formatting, and a float that prints without a fractional part (for
+//! example `400`) re-parses as an integer — which the vendored `serde`
+//! float impls accept back into `f64` fields losslessly. Non-finite floats
+//! print as `null` (matching real serde_json).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` exists for
+/// signature compatibility with real serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns a message naming the first syntax error or type mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON text",
+            p.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&x.to_string());
+    } else {
+        // Real serde_json has no representation for NaN/inf either.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> Error {
+        Error(format!("{what} at byte {} of JSON text", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut s)?;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, s: &mut String) -> Result<(), Error> {
+        let b = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        match b {
+            b'"' => s.push('"'),
+            b'\\' => s.push('\\'),
+            b'/' => s.push('/'),
+            b'b' => s.push('\u{08}'),
+            b'f' => s.push('\u{0c}'),
+            b'n' => s.push('\n'),
+            b'r' => s.push('\r'),
+            b't' => s.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect \uXXXX low surrogate next.
+                    self.eat(b'\\')?;
+                    self.eat(b'u')?;
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let cp =
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp)
+                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi)
+                        .ok_or_else(|| self.err("invalid \\u escape"))?
+                };
+                s.push(c);
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let n = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    fn round_trip(v: &Value) -> Value {
+        let text = to_string(v).unwrap();
+        from_str::<Value>(&text).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip(&Value::Null), Value::Null);
+        assert_eq!(round_trip(&Value::Bool(true)), Value::Bool(true));
+        assert_eq!(round_trip(&Value::U64(u64::MAX)), Value::U64(u64::MAX));
+        assert_eq!(round_trip(&Value::I64(-42)), Value::I64(-42));
+        assert_eq!(round_trip(&Value::F64(1.5)), Value::F64(1.5));
+        // Integral floats print as integers; f64 fields re-accept them.
+        assert_eq!(to_string(&Value::F64(400.0)).unwrap(), "400");
+        assert_eq!(round_trip(&Value::F64(400.0)), Value::U64(400));
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = Value::Str("a\"b\\c\nd\te\u{08}\u{0c}\u{1}π🦀".to_string());
+        assert_eq!(round_trip(&s), s);
+        let text = to_string(&s).unwrap();
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            from_str::<Value>("\"\\u0041\\ud83e\\udd80\"").unwrap(),
+            Value::Str("A🦀".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::U64(1), Value::Null])),
+            ("b".into(), Value::Object(vec![])),
+            ("c".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(round_trip(&v), v);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[1,null],"b":{},"c":[]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = Value::Object(vec![(
+            "xs".into(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)]),
+        )]);
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"xs\": [\n    1,\n    2\n  ]\n"));
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn whitespace_and_errors() {
+        assert_eq!(
+            from_str::<Value>(" { \"k\" : [ 1 , 2 ] } ").unwrap(),
+            Value::Object(vec![(
+                "k".into(),
+                Value::Array(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+        assert!(from_str::<Value>("{\"k\":}").is_err());
+        assert!(from_str::<Value>("[1,2] trailing").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_exponents() {
+        assert_eq!(from_str::<Value>("-3").unwrap(), Value::I64(-3));
+        assert_eq!(from_str::<Value>("2.5e3").unwrap(), Value::F64(2500.0));
+        assert_eq!(
+            from_str::<Value>("-0.5").unwrap(),
+            Value::F64(-0.5)
+        );
+    }
+}
