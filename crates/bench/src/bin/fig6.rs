@@ -5,21 +5,23 @@
 //!
 //! All 54 paired points run on the parallel sweep runner; results are
 //! bit-identical for any worker count. A timing summary goes to stderr.
+//! With `--store` a warm rerun serves every point from the result store
+//! and its output byte-matches the cold run.
 //!
-//! `cargo run --release --bin fig6 [--jobs <n>] [--json]`
+//! `cargo run --release --bin fig6 [--jobs <n>] [--json] [--store [dir] | --no-store]`
 
 use register_relocation::figures::FILE_SIZES;
 use register_relocation::report::format_sweep_summary;
 use register_relocation::sweep::{SweepGrid, SweepRunner};
-use rr_bench::{emit_panel, jobs, seed};
+use rr_bench::{emit_panel, jobs, seed, store};
 
 fn main() -> Result<(), String> {
     println!("Figure 6: Synchronization Faults — efficiency vs latency, C ~ U(6,24), S = 8");
     println!("(solid = fixed 32-register contexts, dotted = register relocation)\n");
-    let report = SweepRunner::new(jobs()).run(&SweepGrid::figure6(seed()))?;
+    let run = SweepRunner::new(jobs()).with_store(store()).run(&SweepGrid::figure6(seed()))?;
     for (panel, &f) in ["(a)", "(b)", "(c)"].iter().zip(FILE_SIZES.iter()) {
-        emit_panel(&format!("Figure 6{panel}: F = {f} registers"), &report.panel(f));
+        emit_panel(&format!("Figure 6{panel}: F = {f} registers"), &run.report.panel(f));
     }
-    eprintln!("{}", format_sweep_summary(&report));
+    eprintln!("{}", format_sweep_summary(&run));
     Ok(())
 }

@@ -4,28 +4,29 @@
 //! smaller contexts mean many more of them fit the file.
 //!
 //! Each panel runs on the parallel sweep runner (bit-identical for any
-//! worker count); timing summaries go to stderr.
+//! worker count); timing summaries go to stderr. With `--store` warm
+//! reruns serve every panel from the result store.
 //!
-//! `cargo run --release --bin homogeneous [--jobs <n>] [--json]`
+//! `cargo run --release --bin homogeneous [--jobs <n>] [--json] [--store [dir] | --no-store]`
 
 use register_relocation::report::format_sweep_summary;
 use register_relocation::sweep::{SweepGrid, SweepRunner};
-use rr_bench::{emit_panel, jobs, seed};
+use rr_bench::{emit_panel, jobs, seed, store};
 
 fn main() -> Result<(), String> {
     println!("Section 3.4: homogeneous context sizes (cache faults, S = 6)\n");
-    let runner = SweepRunner::new(jobs());
+    let runner = SweepRunner::new(jobs()).with_store(store());
     for f in [64u32, 128] {
         for c in [8u32, 16] {
-            let report = runner.run(&SweepGrid::homogeneous(f, c, seed()))?;
-            emit_panel(&format!("F = {f}, C = {c} (homogeneous)"), &report.figure_points());
-            eprintln!("{}", format_sweep_summary(&report));
+            let run = runner.run(&SweepGrid::homogeneous(f, c, seed()))?;
+            emit_panel(&format!("F = {f}, C = {c} (homogeneous)"), &run.report.figure_points());
+            eprintln!("{}", format_sweep_summary(&run));
         }
     }
     println!("## Peak flexible/fixed speedup by context-size distribution (F = 128)");
-    let mixed = runner.run(&SweepGrid::figure5_panel(128, seed()))?.figure_points();
-    let c8 = runner.run(&SweepGrid::homogeneous(128, 8, seed()))?.figure_points();
-    let c16 = runner.run(&SweepGrid::homogeneous(128, 16, seed()))?.figure_points();
+    let mixed = runner.run(&SweepGrid::figure5_panel(128, seed()))?.report.figure_points();
+    let c8 = runner.run(&SweepGrid::homogeneous(128, 8, seed()))?.report.figure_points();
+    let c16 = runner.run(&SweepGrid::homogeneous(128, 16, seed()))?.report.figure_points();
     for (label, points) in [("C ~ U(6,24)", &mixed), ("C = 16", &c16), ("C = 8", &c8)] {
         let peak = points.iter().map(|p| p.comparison.speedup()).fold(0.0f64, f64::max);
         println!("  {label:<12} peak speedup {peak:.2}x");

@@ -13,7 +13,9 @@
 //! | `cargo run --release --bin adaptive` | section 5.2's adaptive context limiting |
 //! | `cargo bench` | Criterion micro/meso benchmarks of the implementation itself |
 
+use register_relocation::cache;
 use register_relocation::figures::FigurePoint;
+use rr_store::Store;
 
 /// Emits a figure panel in both human-readable and JSONL forms.
 pub fn emit_panel(title: &str, points: &[FigurePoint]) {
@@ -26,6 +28,26 @@ pub fn emit_panel(title: &str, points: &[FigurePoint]) {
 /// Standard seed for the published tables (override with `RR_SEED`).
 pub fn seed() -> u64 {
     std::env::var("RR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1993)
+}
+
+/// The result store the sweep binaries should attach, resolved from
+/// `--store [dir]` / `--no-store` on the command line and the `RR_STORE`
+/// environment variable (see [`cache::store_dir_from_args`]). A store that
+/// fails to open degrades to running without one, with a warning — figure
+/// regeneration must never die over a cache.
+pub fn store() -> Option<Store> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = cache::store_dir_from_args(&args)?;
+    match cache::open_store(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open result store at `{}`: {e}; running uncached",
+                dir.display()
+            );
+            None
+        }
+    }
 }
 
 /// Sweep worker count: `--jobs <n>` on the command line, else the `RR_JOBS`

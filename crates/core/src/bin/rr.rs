@@ -11,6 +11,8 @@
 //! rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
 //! rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
 //!                                         regenerate figure sweeps in parallel
+//! rr cache <stats|verify|gc> [--store <dir>]
+//!                                         inspect or maintain the result store
 //! ```
 //!
 //! Sources are the `rr-isa` assembly dialect; hex files contain one 32-bit
@@ -19,12 +21,21 @@
 //! thread, the default) and can dump the full per-run observability record
 //! as JSON (`--json -` for stdout); results are bit-identical for every
 //! worker count.
+//!
+//! Sweeps accept `--store [dir]` (default `.rr-store`, or the `RR_STORE`
+//! environment variable) to persist every computed point in a
+//! content-addressed store and serve it back on the next run; a warm sweep
+//! skips the simulations entirely and its `--json` output byte-matches the
+//! cold run's. `--no-store` disables caching outright.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use register_relocation::cache;
 use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
 use register_relocation::machine::{Machine, MachineConfig};
 use register_relocation::report::{format_panel, format_sweep_summary};
+use register_relocation::store::Store;
 use register_relocation::sweep::{SweepGrid, SweepRunner};
 
 fn main() -> ExitCode {
@@ -38,6 +49,7 @@ fn main() -> ExitCode {
         Some("fig5") => cmd_sweep(&args[1..], Figure::Fig5),
         Some("fig6") => cmd_sweep(&args[1..], Figure::Fig6),
         Some("homogeneous") => cmd_sweep(&args[1..], Figure::Homogeneous),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -64,10 +76,15 @@ rr — register-relocation toolchain
   rr fig5        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
   rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
   rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+  rr cache <stats|verify|gc> [--store <dir>]
 
 Sweep flags: --jobs 0 (default) = one worker per hardware thread; --json -
 writes the full per-run report to stdout; --threads <n> / --work <n> shrink
 the workloads for quick looks (figures use 64 threads x 20000 cycles).
+Caching: --store [dir] persists every computed point (default dir
+.rr-store, or $RR_STORE) and serves it back on warm runs byte-identically;
+--no-store disables the cache. rr cache stats/verify/gc inspect, integrity-
+check, and clean the store.
 ";
 
 fn read_source(args: &[String]) -> Result<(String, String), String> {
@@ -249,17 +266,17 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
         grid.base.work_per_thread =
             v.parse::<u64>().map_err(|_| format!("bad work amount `{v}`"))?;
     }
-    let mut runner = SweepRunner::new(jobs);
+    let mut runner = SweepRunner::new(jobs).with_store(resolve_store(args));
     if args.iter().any(|a| a == "--progress") {
         runner = runner.with_progress(true);
     }
-    let report = runner.run(&grid)?;
+    let run = runner.run(&grid)?;
     for &f in &grid.file_sizes {
-        println!("{}", format_panel(&format!("{title}: F = {f} registers"), &report.panel(f)));
+        println!("{}", format_panel(&format!("{title}: F = {f} registers"), &run.report.panel(f)));
     }
-    eprintln!("{}", format_sweep_summary(&report));
+    eprintln!("{}", format_sweep_summary(&run));
     if let Some(path) = flag_value(args, "--json") {
-        let json = report.to_json_pretty()?;
+        let json = run.report.to_json_pretty()?;
         if path == "-" {
             println!("{json}");
         } else {
@@ -268,4 +285,67 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Opens the result store a sweep asked for, degrading to uncached (with a
+/// warning) if the store cannot be opened — figure regeneration must never
+/// die over its cache.
+fn resolve_store(args: &[String]) -> Option<Store> {
+    let dir = cache::store_dir_from_args(args)?;
+    match cache::open_store(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("rr: warning: cannot open result store at `{}`: {e}; running uncached", dir.display());
+            None
+        }
+    }
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("cache needs an action: stats, verify, or gc")?;
+    let dir = cache::store_dir_from_args(args)
+        .unwrap_or_else(|| PathBuf::from(cache::DEFAULT_STORE_DIR));
+    let store = cache::open_store(&dir)?;
+    match action {
+        "stats" => {
+            let s = store.stats()?;
+            println!("store: {}", store.root().display());
+            println!("salt:  {}", store.salt());
+            println!("  records      {:>8}", s.records);
+            println!("  stale        {:>8}  (other code versions; `rr cache gc` reclaims)", s.stale);
+            println!("  quarantined  {:>8}", s.quarantined);
+            println!("  shards       {:>8}", s.shards);
+            println!("  payload      {:>8} bytes", s.payload_bytes);
+            println!("  on disk      {:>8} bytes", s.file_bytes);
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify()?;
+            println!("verified {} record(s): {} ok, {} quarantined",
+                report.ok + report.quarantined.len() as u64,
+                report.ok,
+                report.quarantined.len());
+            for (path, reason) in &report.quarantined {
+                eprintln!("  {}: {reason}", path.display());
+            }
+            if report.quarantined.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} corrupt record(s) moved to quarantine", report.quarantined.len()))
+            }
+        }
+        "gc" => {
+            let report = store.gc()?;
+            println!(
+                "gc: removed {} stale/corrupt record(s) and {} quarantined file(s), freed {} bytes",
+                report.removed_stale, report.removed_quarantined, report.bytes_freed
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}`; try stats, verify, or gc")),
+    }
 }

@@ -1,0 +1,169 @@
+//! Sweep-result caching: salts, point keys, and store plumbing.
+//!
+//! This module is the bridge between the domain-agnostic [`rr_store`] crate
+//! and the experiment harness: it decides *what identifies a result*. A
+//! stored point is addressed by a [`Fingerprint`] of the salt plus the
+//! spec's canonical JSON, where the salt folds in everything that can
+//! change a result without changing its spec:
+//!
+//! - [`SWEEP_SCHEMA_VERSION`] — the shape of the serialized reports,
+//! - [`rr_sim::CODE_VERSION`] — the simulator's behavioral version,
+//! - a digest of the cost-model constants ([`SchedCosts`], [`AllocCosts`],
+//!   [`SimOptions`] presets) actually used by the experiments.
+//!
+//! Change any of those and every previously stored record becomes
+//! *unreachable* (its key no longer matches any query), so a warm cache can
+//! never serve results from different physics. `rr cache gc` reclaims the
+//! orphans.
+
+use std::path::PathBuf;
+
+use rr_alloc::AllocCosts;
+use rr_runtime::SchedCosts;
+use rr_sim::SimOptions;
+use rr_store::{sha256, Fingerprint, Store, StoreError};
+
+use crate::experiments::ExperimentSpec;
+use crate::sweep::SWEEP_SCHEMA_VERSION;
+
+/// Default store directory, created next to wherever the sweep runs.
+pub const DEFAULT_STORE_DIR: &str = ".rr-store";
+
+/// Environment variable naming the store directory (CLI flags win over it).
+pub const STORE_ENV: &str = "RR_STORE";
+
+/// The salt under which this build stores and serves sweep points.
+///
+/// Human-readable on purpose — `rr cache stats` surfaces it, and a stale
+/// record's header names the version that produced it.
+pub fn store_salt() -> String {
+    format!(
+        "sweep-v{SWEEP_SCHEMA_VERSION}.sim-v{}.costs-{}",
+        rr_sim::CODE_VERSION,
+        costs_digest(),
+    )
+}
+
+/// Short digest over every cost-model constant the experiments run with.
+///
+/// The paper's results are a function of these numbers (Figure 4's cycle
+/// charges, the allocator search costs, the simulator presets); editing any
+/// of them must orphan stored results even if nobody remembers to bump
+/// [`rr_sim::CODE_VERSION`].
+fn costs_digest() -> String {
+    let parts: [(&str, String); 9] = [
+        ("sched.cache", json_of(&SchedCosts::cache_experiments())),
+        ("sched.sync", json_of(&SchedCosts::sync_experiments())),
+        ("alloc.paper_flexible", json_of(&AllocCosts::paper_flexible())),
+        ("alloc.hardware_free", json_of(&AllocCosts::hardware_free())),
+        ("alloc.ff1", json_of(&AllocCosts::ff1())),
+        ("alloc.first_fit", json_of(&AllocCosts::first_fit())),
+        ("alloc.lookup_table", json_of(&AllocCosts::lookup_table())),
+        ("sim.cache", json_of(&SimOptions::cache_experiments())),
+        ("sim.sync", json_of(&SimOptions::sync_experiments())),
+    ];
+    let mut h = sha256::Sha256::new();
+    for (name, json) in &parts {
+        h.update(&(name.len() as u64).to_le_bytes());
+        h.update(name.as_bytes());
+        h.update(&(json.len() as u64).to_le_bytes());
+        h.update(json.as_bytes());
+    }
+    sha256::to_hex(&h.finalize())[..12].to_string()
+}
+
+fn json_of<T: serde::Serialize>(value: &T) -> String {
+    // The vendored serializer is infallible for plain derived structs; an
+    // error here would mean the cost-model types stopped being serializable,
+    // which the unit tests catch.
+    serde_json::to_string(value).unwrap_or_else(|e| format!("<unserializable: {e}>"))
+}
+
+/// The content address of one experiment point under `salt`.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the spec's canonical form.
+pub fn point_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, StoreError> {
+    Ok(Fingerprint::of_bytes(salt, spec.canonical_json()?.as_bytes()))
+}
+
+/// Opens (creating if needed) the result store at `dir` under this build's
+/// [`store_salt`].
+///
+/// # Errors
+///
+/// Fails on I/O errors or a store written by an incompatible layout version.
+pub fn open_store(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+    Store::open(dir, store_salt())
+}
+
+/// Resolves the store directory from CLI args and the environment.
+///
+/// Precedence: `--no-store` (off) > `--store [dir]` (on, `dir` defaulting to
+/// [`DEFAULT_STORE_DIR`]) > `RR_STORE=<dir>` env > off.
+pub fn store_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    if args.iter().any(|a| a == "--no-store") {
+        return None;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--store") {
+        let dir = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => DEFAULT_STORE_DIR.to_string(),
+        };
+        return Some(PathBuf::from(dir));
+    }
+    std::env::var(STORE_ENV).ok().filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn salt_names_all_version_axes() {
+        let salt = store_salt();
+        assert!(salt.contains(&format!("sweep-v{SWEEP_SCHEMA_VERSION}")), "{salt}");
+        assert!(salt.contains(&format!("sim-v{}", rr_sim::CODE_VERSION)), "{salt}");
+        assert!(salt.contains("costs-"), "{salt}");
+        assert_eq!(salt, store_salt(), "salt is deterministic");
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let salt = store_salt();
+        let base = ExperimentSpec::default();
+        let key = |s: &ExperimentSpec| point_key(s, &salt).unwrap();
+        let mut other = base;
+        other.seed += 1;
+        assert_ne!(key(&base), key(&other), "seed is part of the key");
+        let mut other = base;
+        other.run_length += 1.0;
+        assert_ne!(key(&base), key(&other));
+        assert_eq!(key(&base), key(&base), "same spec, same key");
+        // A different salt (different code version) relocates every key.
+        assert_ne!(key(&base), point_key(&base, "other-salt").unwrap());
+    }
+
+    #[test]
+    fn store_dir_precedence() {
+        assert_eq!(store_dir_from_args(&args(&["--no-store", "--store", "d"])), None);
+        assert_eq!(
+            store_dir_from_args(&args(&["--store", "mydir"])),
+            Some(PathBuf::from("mydir"))
+        );
+        assert_eq!(
+            store_dir_from_args(&args(&["--store", "--json"])),
+            Some(PathBuf::from(DEFAULT_STORE_DIR)),
+            "--store with no value falls back to the default dir"
+        );
+        assert_eq!(
+            store_dir_from_args(&args(&["--store"])),
+            Some(PathBuf::from(DEFAULT_STORE_DIR))
+        );
+    }
+}

@@ -173,6 +173,21 @@ impl ExperimentSpec {
         ExperimentSpec { arch, ..*self }
     }
 
+    /// The spec's canonical byte form — what the result cache fingerprints.
+    ///
+    /// This is the compact JSON of the derived serializer, which is
+    /// canonical here: fields serialize in declaration order and floats
+    /// print in shortest-roundtrip form, so equal specs always produce
+    /// byte-equal JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (none occur for this plain struct).
+    pub fn canonical_json(&self) -> Result<String, rr_store::StoreError> {
+        serde_json::to_string(self)
+            .map_err(|e| rr_store::StoreError::json("canonicalizing experiment spec", e))
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors

@@ -79,7 +79,7 @@ pub fn homogeneous_sweep(
 }
 
 fn run_serial(grid: &SweepGrid) -> Result<Vec<FigurePoint>, String> {
-    Ok(SweepRunner::new(1).with_progress(false).run(grid)?.figure_points())
+    Ok(SweepRunner::new(1).with_progress(false).run(grid)?.report.figure_points())
 }
 
 #[cfg(test)]

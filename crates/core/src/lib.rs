@@ -25,7 +25,8 @@
 //!
 //! This crate adds the experiment harness that regenerates every table and
 //! figure of the paper: see [`experiments`], [`figures`], the parallel
-//! [`sweep`] runner, and [`report`], plus the section 5.1 software-only
+//! [`sweep`] runner (with its content-addressed result [`cache`] backed by
+//! [`rr_store`]), and [`report`], plus the section 5.1 software-only
 //! variant in [`software_only`].
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod cache;
 pub mod experiments;
 pub mod figures;
 pub mod report;
@@ -56,7 +58,10 @@ pub mod sweep;
 
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
-pub use sweep::{PointReport, SweepGrid, SweepReport, SweepRunner};
+pub use sweep::{
+    CacheSummary, PointReport, SweepGrid, SweepReport, SweepRun, SweepRunner,
+    SWEEP_SCHEMA_VERSION,
+};
 
 /// Re-export of the ISA crate.
 pub use rr_isa as isa;
@@ -72,3 +77,6 @@ pub use rr_sim as sim;
 pub use rr_workload as workload;
 /// Re-export of the analytical-model crate.
 pub use rr_model as model;
+/// Re-export of the result-store crate (see also [`cache`] for the
+/// experiment-side keying).
+pub use rr_store as store;

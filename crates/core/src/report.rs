@@ -1,7 +1,7 @@
 //! Text rendering of figure sweeps, in the spirit of the paper's plots.
 
 use crate::figures::FigurePoint;
-use crate::sweep::SweepReport;
+use crate::sweep::SweepRun;
 
 /// Renders one figure panel as an aligned text table: one row block per run
 /// length, columns per latency, with fixed/flexible efficiencies and their
@@ -40,15 +40,17 @@ pub fn format_panel(title: &str, points: &[FigurePoint]) -> String {
 }
 
 /// One-paragraph execution summary of a sweep: point count, worker count,
-/// wall-clock, the serial-equivalent cost the pool amortized, and the
-/// slowest point (the floor no worker count can beat).
-pub fn format_sweep_summary(report: &SweepReport) -> String {
-    let wall_s = report.total_wall_nanos as f64 / 1e9;
+/// wall-clock, the serial-equivalent cost the pool amortized, the slowest
+/// point (the floor no worker count can beat), and — when a result store is
+/// attached — the cache traffic of this execution.
+pub fn format_sweep_summary(run: &SweepRun) -> String {
+    let report = &run.report;
+    let wall_s = run.total_wall_nanos as f64 / 1e9;
     let serial_s = report.points_wall_nanos() as f64 / 1e9;
     let mut out = format!(
         "sweep: {} points on {} worker(s), seed {}: {wall_s:.2}s wall (serial-equivalent {serial_s:.2}s)",
         report.points.len(),
-        report.jobs,
+        run.jobs,
         report.seed,
     );
     if let Some(slow) = report.slowest_point() {
@@ -58,6 +60,16 @@ pub fn format_sweep_summary(report: &SweepReport) -> String {
             slow.run_length,
             slow.latency,
             slow.wall_nanos as f64 / 1e9,
+        ));
+    }
+    if run.cache.enabled {
+        out.push_str(&format!(
+            "; store {}/{} cached ({} computed, {} stored, {} quarantined)",
+            run.cache.hits,
+            report.points.len(),
+            run.cache.misses,
+            run.cache.stored,
+            run.cache.quarantined,
         ));
     }
     out
@@ -116,10 +128,11 @@ mod tests {
 
     #[test]
     fn sweep_summary_names_the_bottleneck() {
-        use crate::sweep::PointReport;
+        use crate::sweep::{CacheSummary, PointReport, SweepReport, SWEEP_SCHEMA_VERSION};
         use rr_sim::SimStats;
 
         let slow = PointReport {
+            schema_version: SWEEP_SCHEMA_VERSION,
             index: 0,
             file_size: 64,
             run_length: 8.0,
@@ -132,15 +145,25 @@ mod tests {
             flexible_wall_nanos: 2_000_000,
             wall_nanos: 3_500_000_000,
         };
-        let report = SweepReport {
+        let mut run = SweepRun {
+            report: SweepReport {
+                schema_version: SWEEP_SCHEMA_VERSION,
+                seed: 7,
+                points: vec![slow],
+            },
             jobs: 8,
-            seed: 7,
             total_wall_nanos: 4_000_000_000,
-            points: vec![slow],
+            cache: CacheSummary::default(),
         };
-        let s = format_sweep_summary(&report);
+        let s = format_sweep_summary(&run);
         assert!(s.contains("1 points on 8 worker(s)"), "{s}");
         assert!(s.contains("seed 7"), "{s}");
         assert!(s.contains("slowest point F=64 R=8 L=800"), "{s}");
+        assert!(!s.contains("store"), "no cache segment without a store: {s}");
+
+        run.cache =
+            CacheSummary { enabled: true, hits: 1, misses: 0, stored: 0, quarantined: 0 };
+        let s = format_sweep_summary(&run);
+        assert!(s.contains("store 1/1 cached"), "{s}");
     }
 }

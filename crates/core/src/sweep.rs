@@ -12,13 +12,23 @@
 //! (108 paired runs) drops from minutes to the wall-clock of its slowest
 //! points.
 //!
+//! The same independence makes points perfect cache entries. Attach an
+//! [`rr_store::Store`] with [`SweepRunner::with_store`] and the runner looks
+//! every point up by its content address (see [`crate::cache`]) before
+//! touching an engine: a warm sweep skips the simulation entirely and
+//! merges stored [`PointReport`]s with freshly computed ones in canonical
+//! grid order, producing *byte-identical* JSON to a cold run. Corrupt or
+//! stale records degrade to recomputation, never to errors.
+//!
 //! Observability: every completed point yields a [`PointReport`] with the
 //! complete [`SimStats`] of both architectures, host wall-clock times, and
 //! the point's grid coordinates and seed; [`SweepReport`] aggregates them
-//! and serializes to JSON via the `rr fig5 --json` family of subcommands.
-//! Set `RUST_LOG` (any value containing `sweep`, `info`, `debug`, or
-//! `trace`) or [`SweepRunner::with_progress`] for a progress line per
-//! completed point.
+//! and serializes to JSON via the `rr fig5 --json` family of subcommands,
+//! while the surrounding [`SweepRun`] carries the volatile facts of this
+//! particular execution (worker count, wall clock, cache hit counts) that
+//! must *not* appear in the replayable report. Set `RUST_LOG` (any value
+//! containing `sweep`, `info`, `debug`, or `trace`) or
+//! [`SweepRunner::with_progress`] for a progress line per completed point.
 //!
 //! # Example
 //!
@@ -31,10 +41,11 @@
 //! grid.run_lengths = vec![16.0];
 //! grid.latencies = vec![100];
 //! grid.base = ExperimentSpec { threads: 8, work_per_thread: 2_000, ..grid.base };
-//! let report = SweepRunner::new(2).run(&grid)?;
-//! assert_eq!(report.points.len(), 1);
-//! assert_eq!(report.points[0].fixed.accounted_cycles(),
-//!            report.points[0].fixed.total_cycles);
+//! let run = SweepRunner::new(2).run(&grid)?;
+//! assert_eq!(run.report.points.len(), 1);
+//! assert_eq!(run.report.points[0].fixed.accounted_cycles(),
+//!            run.report.points[0].fixed.total_cycles);
+//! assert!(!run.cache.enabled, "no store attached");
 //! # Ok::<(), String>(())
 //! ```
 
@@ -44,13 +55,23 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use crate::cache;
 use crate::experiments::{compare_traced, ExperimentSpec, FaultKind};
 use crate::figures::{
     FigurePoint, FIG5_LATENCIES, FIG5_RUN_LENGTHS, FIG6_LATENCIES, FIG6_RUN_LENGTHS,
     FILE_SIZES,
 };
 use rr_sim::SimStats;
+use rr_store::{Lookup, Store, StoreError};
 use rr_workload::ContextSizeDist;
+
+/// Version of the serialized sweep artifacts ([`SweepReport`] and
+/// [`PointReport`] JSON, including the per-point payloads in the result
+/// store). Bump on any field addition, removal, or meaning change;
+/// [`SweepReport::from_json`] and the cache decode path refuse other
+/// versions, and the store salt folds this constant in so stored points
+/// from older schemas are never even looked up.
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// Which fault process a grid's latency axis parameterizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,8 +223,15 @@ pub struct SweepPoint {
 }
 
 /// Everything observed while executing one grid point.
+///
+/// This struct is also the result store's payload format: a computed point
+/// serializes to compact JSON and is stored under its spec's fingerprint,
+/// so the exact bytes a cold run would emit — wall-clock fields included —
+/// come back on a warm run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PointReport {
+    /// [`SWEEP_SCHEMA_VERSION`] this report was produced under.
+    pub schema_version: u32,
     /// Position in the grid's canonical order.
     pub index: usize,
     /// Register file size `F`.
@@ -225,20 +253,24 @@ pub struct PointReport {
     /// Host wall-clock nanoseconds of the flexible run alone.
     pub flexible_wall_nanos: u64,
     /// Host wall-clock nanoseconds for the whole point (both runs plus
-    /// workload construction).
+    /// workload construction). For a cache hit this is the *original*
+    /// compute time, so warm reports reproduce cold ones byte for byte.
     pub wall_nanos: u64,
 }
 
-/// The aggregate result of one sweep: per-point reports in canonical grid
-/// order plus run-level metadata.
+/// The replayable result of one sweep: per-point reports in canonical grid
+/// order plus the metadata that identifies them.
+///
+/// Deliberately excluded: worker count, end-to-end wall clock, and cache
+/// statistics — anything that varies between executions of the *same*
+/// science lives on [`SweepRun`] instead, so a warm run's serialized report
+/// is byte-identical to the cold run that populated the store.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
-    /// Worker threads the sweep ran with.
-    pub jobs: usize,
+    /// [`SWEEP_SCHEMA_VERSION`] this report was produced under.
+    pub schema_version: u32,
     /// Seed shared by every point.
     pub seed: u64,
-    /// End-to-end host wall-clock nanoseconds for the sweep.
-    pub total_wall_nanos: u64,
     /// Per-point results, ordered by [`PointReport::index`].
     pub points: Vec<PointReport>,
 }
@@ -276,9 +308,69 @@ impl SweepReport {
     /// # Errors
     ///
     /// Propagates serialization failures.
-    pub fn to_json_pretty(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    pub fn to_json_pretty(&self) -> Result<String, StoreError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| StoreError::json("serializing sweep report", e))
     }
+
+    /// Parses a serialized report, refusing schema versions this build does
+    /// not speak.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Json`] on malformed JSON, [`StoreError::SchemaMismatch`]
+    /// when the report or any of its points carries a foreign
+    /// [`SWEEP_SCHEMA_VERSION`].
+    pub fn from_json(json: &str) -> Result<SweepReport, StoreError> {
+        let report: SweepReport = serde_json::from_str(json)
+            .map_err(|e| StoreError::json("parsing sweep report", e))?;
+        if report.schema_version != SWEEP_SCHEMA_VERSION {
+            return Err(StoreError::SchemaMismatch {
+                what: "sweep report",
+                found: report.schema_version,
+                expected: SWEEP_SCHEMA_VERSION,
+            });
+        }
+        for p in &report.points {
+            if p.schema_version != SWEEP_SCHEMA_VERSION {
+                return Err(StoreError::SchemaMismatch {
+                    what: "point report",
+                    found: p.schema_version,
+                    expected: SWEEP_SCHEMA_VERSION,
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// How the result store behaved during one sweep execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSummary {
+    /// Whether a store was attached at all.
+    pub enabled: bool,
+    /// Points served from the store without running an engine.
+    pub hits: usize,
+    /// Points absent from the store (computed fresh).
+    pub misses: usize,
+    /// Freshly computed points successfully persisted.
+    pub stored: usize,
+    /// Records found damaged during lookup and moved to quarantine.
+    pub quarantined: usize,
+}
+
+/// One execution of a sweep: the replayable [`SweepReport`] plus the
+/// volatile facts of *this* run that must not contaminate it.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The replayable science (what `--json` serializes).
+    pub report: SweepReport,
+    /// Worker threads this execution used.
+    pub jobs: usize,
+    /// End-to-end host wall-clock nanoseconds of this execution.
+    pub total_wall_nanos: u64,
+    /// Result-store traffic of this execution.
+    pub cache: CacheSummary,
 }
 
 /// Executes [`SweepGrid`]s across a pool of scoped worker threads.
@@ -286,19 +378,23 @@ impl SweepReport {
 /// Determinism guarantee: results are *bit-identical* for every worker
 /// count. Each point's spec is self-contained (own seed, own RNG, own
 /// engine), workers only choose *which* point to run next, and every result
-/// is written to the slot pre-assigned to its grid index.
-#[derive(Debug, Clone)]
+/// is written to the slot pre-assigned to its grid index. Attaching a store
+/// preserves the guarantee: a stored point's payload is the exact record a
+/// cold run computed.
+#[derive(Debug)]
 pub struct SweepRunner {
     jobs: usize,
     progress: bool,
+    store: Option<Store>,
 }
 
 impl SweepRunner {
     /// A runner with `jobs` worker threads; `0` means one per available
     /// hardware thread. Progress lines default to the `RUST_LOG`
-    /// environment convention (see [`SweepRunner::with_progress`]).
+    /// environment convention (see [`SweepRunner::with_progress`]). No
+    /// result store is attached by default.
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: resolve_jobs(jobs), progress: progress_from_env() }
+        SweepRunner { jobs: resolve_jobs(jobs), progress: progress_from_env(), store: None }
     }
 
     /// Worker threads this runner will use.
@@ -313,25 +409,71 @@ impl SweepRunner {
         self
     }
 
-    /// Runs every point of `grid` and collects the reports in canonical
-    /// grid order.
+    /// Attaches (or detaches, with `None`) a result store. Subsequent
+    /// [`SweepRunner::run`] calls look every point up before computing it
+    /// and persist every fresh result.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<Store>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Runs every point of `grid` — serving from the attached store where
+    /// possible — and collects the reports in canonical grid order.
     ///
     /// # Errors
     ///
-    /// Returns the first (by grid order) point failure.
-    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, String> {
+    /// Returns the first (by grid order) point failure. Store problems are
+    /// never fatal: a failed lookup or persist degrades to recomputation
+    /// (with a warning on stderr) and the sweep proceeds.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepRun, String> {
         let points = grid.points();
         let total = points.len();
         let completed = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let misses = AtomicUsize::new(0);
+        let stored = AtomicUsize::new(0);
+        let quarantined = AtomicUsize::new(0);
         let started = Instant::now();
         let results = parallel_map(total, self.jobs, |i| {
             let p = &points[i];
+            let key = self.store.as_ref().and_then(|store| {
+                match cache::point_key(&p.spec, store.salt()) {
+                    Ok(key) => Some(key),
+                    Err(e) => {
+                        eprintln!("[sweep] warning: cannot key point {i}: {e}");
+                        None
+                    }
+                }
+            });
+            if let (Some(store), Some(key)) = (self.store.as_ref(), key.as_ref()) {
+                match lookup_point(store, key, p) {
+                    PointLookup::Hit(report) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        self.progress_line(&completed, total, &report, true);
+                        return Ok(*report);
+                    }
+                    PointLookup::Quarantined => {
+                        quarantined.fetch_add(1, Ordering::Relaxed);
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    PointLookup::Miss => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let point_started = Instant::now();
             let traced = compare_traced(&p.spec)
                 .map_err(|e| format!("point {i} (F={} R={} L={}): {e}", p.file_size, p.run_length, p.latency))?;
             let wall_nanos =
                 u64::try_from(point_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let report = PointReport {
+                schema_version: SWEEP_SCHEMA_VERSION,
                 index: p.index,
                 file_size: p.file_size,
                 run_length: p.run_length,
@@ -347,33 +489,65 @@ impl SweepRunner {
                 flexible_wall_nanos: traced.flexible_wall_nanos,
                 wall_nanos,
             };
-            if self.progress {
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[sweep] {done:>3}/{total} F={:<3} R={:<5} L={:<4} fixed={:.3} flexible={:.3} wall={:.1}ms",
-                    report.file_size,
-                    report.run_length,
-                    report.latency,
-                    report.figure.comparison.fixed_efficiency,
-                    report.figure.comparison.flexible_efficiency,
-                    report.wall_nanos as f64 / 1e6,
-                );
+            if let (Some(store), Some(key)) = (self.store.as_ref(), key.as_ref()) {
+                match persist_point(store, key, &report) {
+                    Ok(()) => {
+                        stored.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("[sweep] warning: could not store point {i}: {e}");
+                    }
+                }
             }
+            self.progress_line(&completed, total, &report, false);
             Ok::<PointReport, String>(report)
         });
         let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(SweepReport {
+        Ok(SweepRun {
+            report: SweepReport {
+                schema_version: SWEEP_SCHEMA_VERSION,
+                seed: grid.seed(),
+                points,
+            },
             jobs: self.jobs,
-            seed: grid.seed(),
             total_wall_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            points,
+            cache: CacheSummary {
+                enabled: self.store.is_some(),
+                hits: hits.into_inner(),
+                misses: misses.into_inner(),
+                stored: stored.into_inner(),
+                quarantined: quarantined.into_inner(),
+            },
         })
+    }
+
+    fn progress_line(
+        &self,
+        completed: &AtomicUsize,
+        total: usize,
+        report: &PointReport,
+        cached: bool,
+    ) {
+        if !self.progress {
+            return;
+        }
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[sweep] {done:>3}/{total} F={:<3} R={:<5} L={:<4} fixed={:.3} flexible={:.3} wall={:.1}ms{}",
+            report.file_size,
+            report.run_length,
+            report.latency,
+            report.figure.comparison.fixed_efficiency,
+            report.figure.comparison.flexible_efficiency,
+            report.wall_nanos as f64 / 1e6,
+            if cached { " (cached)" } else { "" },
+        );
     }
 
     /// Runs an arbitrary list of specs (not necessarily a rectangular grid)
     /// across the worker pool, returning each spec's traced run in input
     /// order. This is the low-level entry the ablation and custom
-    /// experiment binaries use.
+    /// experiment binaries use; it bypasses the result store.
     ///
     /// # Errors
     ///
@@ -384,6 +558,70 @@ impl SweepRunner {
         });
         results.into_iter().collect()
     }
+}
+
+/// Outcome of a store lookup for one sweep point.
+enum PointLookup {
+    /// A valid stored report, index already rebased onto the current grid.
+    Hit(Box<PointReport>),
+    Miss,
+    /// The record existed but was damaged; it has been quarantined.
+    Quarantined,
+}
+
+/// Looks `p` up in the store and validates the payload semantically: schema
+/// version and grid coordinates must match the point the key was derived
+/// from. Any failure degrades to [`PointLookup::Miss`] — the caller
+/// recomputes and overwrites.
+fn lookup_point(store: &Store, key: &rr_store::Fingerprint, p: &SweepPoint) -> PointLookup {
+    let payload = match store.get(key) {
+        Ok(Lookup::Hit(bytes)) => bytes,
+        Ok(Lookup::Miss) => return PointLookup::Miss,
+        Ok(Lookup::Quarantined) => return PointLookup::Quarantined,
+        Err(e) => {
+            eprintln!("[sweep] warning: store lookup failed for point {}: {e}", p.index);
+            return PointLookup::Miss;
+        }
+    };
+    let text = match std::str::from_utf8(&payload) {
+        Ok(t) => t,
+        Err(_) => return PointLookup::Miss,
+    };
+    let mut report: PointReport = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[sweep] warning: undecodable cached point {}: {e}", p.index);
+            return PointLookup::Miss;
+        }
+    };
+    let coords_match = report.schema_version == SWEEP_SCHEMA_VERSION
+        && report.file_size == p.file_size
+        && report.latency == p.latency
+        && report.seed == p.spec.seed
+        && report.run_length.to_bits() == p.run_length.to_bits();
+    if !coords_match {
+        eprintln!(
+            "[sweep] warning: cached point {} does not match its key's coordinates; recomputing",
+            p.index
+        );
+        return PointLookup::Miss;
+    }
+    // The stored index is relative to whatever grid first computed the
+    // point (a panel sweep and a full-figure sweep share points at
+    // different offsets); rebase it onto this grid.
+    report.index = p.index;
+    PointLookup::Hit(Box::new(report))
+}
+
+/// Serializes and persists one freshly computed point.
+fn persist_point(
+    store: &Store,
+    key: &rr_store::Fingerprint,
+    report: &PointReport,
+) -> Result<(), StoreError> {
+    let payload = serde_json::to_string(report)
+        .map_err(|e| StoreError::json("serializing point report", e))?;
+    store.put(key, payload.as_bytes())
 }
 
 /// `0` means "use every available hardware thread".
@@ -495,8 +733,9 @@ mod tests {
         let parallel = SweepRunner::new(4).with_progress(false).run(&grid).unwrap();
         assert_eq!(serial.jobs, 1);
         assert_eq!(parallel.jobs, 4);
-        assert_eq!(serial.points.len(), 4);
-        for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(serial.report.points.len(), 4);
+        assert!(!serial.cache.enabled && serial.cache.hits == 0, "no store attached");
+        for (s, p) in serial.report.points.iter().zip(&parallel.report.points) {
             // Wall-clock fields legitimately differ; everything simulated
             // must not.
             assert_eq!(s.figure, p.figure);
@@ -504,9 +743,10 @@ mod tests {
             assert_eq!(s.flexible, p.flexible);
             assert_eq!((s.index, s.file_size, s.run_length, s.latency, s.seed),
                        (p.index, p.file_size, p.run_length, p.latency, p.seed));
+            assert_eq!(s.schema_version, SWEEP_SCHEMA_VERSION);
         }
         // And both match the pre-runner serial path.
-        for (point, report) in grid.points().iter().zip(&serial.points) {
+        for (point, report) in grid.points().iter().zip(&serial.report.points) {
             assert_eq!(compare(&point.spec).unwrap(), report.figure.comparison);
         }
     }
@@ -531,7 +771,8 @@ mod tests {
         grid.file_sizes = vec![64, 128];
         grid.run_lengths = vec![16.0];
         grid.latencies = vec![100];
-        let report = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
+        let run = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
+        let report = &run.report;
         assert_eq!(report.figure_points().len(), 2);
         assert_eq!(report.panel(64).len(), 1);
         assert_eq!(report.panel(128).len(), 1);
@@ -539,8 +780,42 @@ mod tests {
         assert!(report.points_wall_nanos() > 0);
         assert!(report.slowest_point().is_some());
         let json = report.to_json_pretty().unwrap();
-        let back: SweepReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, report);
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(&back, report);
+    }
+
+    #[test]
+    fn foreign_schema_versions_are_rejected() {
+        let grid = SweepGrid { latencies: vec![100], run_lengths: vec![8.0], ..mini_grid(FaultFamily::Cache, 13) };
+        let run = SweepRunner::new(1).with_progress(false).run(&grid).unwrap();
+        let json = run.report.to_json_pretty().unwrap();
+
+        let future_report = json.replacen(
+            &format!("\"schema_version\": {SWEEP_SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+            1,
+        );
+        match SweepReport::from_json(&future_report) {
+            Err(StoreError::SchemaMismatch { what: "sweep report", found: 99, .. }) => {}
+            other => panic!("expected report-level schema mismatch, got {other:?}"),
+        }
+
+        // Flip only a *point's* version (the report-level one is the first
+        // occurrence; skip past it).
+        let head = json.find(&format!("\"schema_version\": {SWEEP_SCHEMA_VERSION}")).unwrap();
+        let tail = json[head + 1..]
+            .replacen(
+                &format!("\"schema_version\": {SWEEP_SCHEMA_VERSION}"),
+                "\"schema_version\": 99",
+                1,
+            );
+        let future_point = format!("{}{}", &json[..head + 1], tail);
+        match SweepReport::from_json(&future_point) {
+            Err(StoreError::SchemaMismatch { what: "point report", found: 99, .. }) => {}
+            other => panic!("expected point-level schema mismatch, got {other:?}"),
+        }
+
+        assert!(SweepReport::from_json("not json").is_err());
     }
 
     #[test]
@@ -570,9 +845,9 @@ mod tests {
             let mut grid = mini_grid(family, seed);
             grid.run_lengths = vec![r];
             grid.latencies = vec![l, l + 25];
-            let report = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
-            prop_assert_eq!(report.points.len(), 2);
-            for p in &report.points {
+            let run = SweepRunner::new(2).with_progress(false).run(&grid).unwrap();
+            prop_assert_eq!(run.report.points.len(), 2);
+            for p in &run.report.points {
                 prop_assert_eq!(p.fixed.accounted_cycles(), p.fixed.total_cycles);
                 prop_assert_eq!(p.flexible.accounted_cycles(), p.flexible.total_cycles);
                 prop_assert_eq!(p.seed, seed);

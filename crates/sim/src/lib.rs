@@ -53,3 +53,12 @@ pub use engine::{Engine, TracedRun};
 pub use interference::InterferenceModel;
 pub use options::{DispatchMode, SimOptions};
 pub use stats::SimStats;
+
+/// Version of the simulator's *behavior*, independent of the crate version.
+///
+/// Bump this whenever a change alters the cycle-level results an
+/// [`Engine`] produces for a given spec — scheduling order, cost charging,
+/// fault timing, RNG consumption. The experiment cache keys every stored
+/// result on this constant (via its salt), so bumping it atomically orphans
+/// all previously stored points instead of silently serving stale physics.
+pub const CODE_VERSION: u32 = 1;

@@ -1,0 +1,123 @@
+//! The store's error type, shared with the experiment harness.
+//!
+//! `StoreError` is the one error enum for everything persistence-shaped in
+//! the workspace: store I/O, record corruption, schema drift, and JSON
+//! (de)serialization — `register_relocation::sweep`'s report loaders and
+//! serializers return it too, replacing the stringly-typed `Result<_,
+//! String>` they started with.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong persisting or loading experiment results.
+///
+/// Corrupt *records* never surface as errors from the read path — the store
+/// quarantines them and reports a miss — so `Corrupt` appears only from
+/// explicit integrity walks ([`crate::Store::verify`]) and internal
+/// plumbing.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, tagged with the operation and path.
+    Io {
+        /// What the store was doing (`"create"`, `"read"`, `"rename"`, ...).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// JSON (de)serialization failed.
+    Json {
+        /// What was being serialized or parsed.
+        context: String,
+        /// The underlying serde error.
+        source: serde::Error,
+    },
+    /// A record or store file failed an integrity check.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly did not hold.
+        reason: String,
+    },
+    /// A stored artifact carries a schema version this build does not speak.
+    SchemaMismatch {
+        /// What kind of artifact (store layout, sweep report, point record).
+        what: &'static str,
+        /// The version found on disk.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {op} `{}`: {source}", path.display())
+            }
+            StoreError::Json { context, source } => write!(f, "{context}: {source}"),
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt record `{}`: {reason}", path.display())
+            }
+            StoreError::SchemaMismatch { what, found, expected } => write!(
+                f,
+                "{what} has schema version {found}, this build speaks {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Json { source, .. } => Some(source),
+            StoreError::Corrupt { .. } | StoreError::SchemaMismatch { .. } => None,
+        }
+    }
+}
+
+/// The experiment binaries run in `Result<(), String>` mains; let `?`
+/// convert.
+impl From<StoreError> for String {
+    fn from(e: StoreError) -> String {
+        e.to_string()
+    }
+}
+
+impl StoreError {
+    /// Tags an [`std::io::Error`] with its operation and path.
+    pub fn io(op: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io { op, path: path.into(), source }
+    }
+
+    /// Wraps a serde error with what was being processed.
+    pub fn json(context: impl Into<String>, source: serde::Error) -> Self {
+        StoreError::Json { context: context.into(), source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let e = StoreError::io(
+            "read",
+            "/tmp/x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("read"));
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = StoreError::SchemaMismatch { what: "sweep report", found: 9, expected: 2 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("2"));
+        let s: String = e.into();
+        assert!(s.contains("sweep report"));
+        let e = StoreError::Corrupt { path: "/tmp/r.rec".into(), reason: "checksum".into() };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Content fingerprints: the store's keys.
+//!
+//! A [`Fingerprint`] is the SHA-256 of a *salt* plus a canonical byte
+//! serialization of the keyed value. The salt carries everything about the
+//! producing code that can change the meaning of a result (schema versions,
+//! simulator code version, cost-model constants); the value bytes come from
+//! the vendored `serde_json`'s compact printing, which is canonical here
+//! because the vendored `serde` derive serializes struct fields in
+//! declaration order and floats with shortest-roundtrip formatting. Domain
+//! separation between salt and value is by length prefix, so no
+//! (salt, value) pair can alias another.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::error::StoreError;
+use crate::sha256::{self, Sha256, DIGEST_LEN};
+
+/// A 256-bit content address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u8; DIGEST_LEN]);
+
+impl Fingerprint {
+    /// Fingerprints raw bytes under a salt.
+    pub fn of_bytes(salt: &str, value: &[u8]) -> Fingerprint {
+        let mut h = Sha256::new();
+        h.update(&(salt.len() as u64).to_le_bytes());
+        h.update(salt.as_bytes());
+        h.update(&(value.len() as u64).to_le_bytes());
+        h.update(value);
+        Fingerprint(h.finalize())
+    }
+
+    /// Fingerprints a serializable value under a salt, via its canonical
+    /// compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (the vendored serializer is in fact
+    /// infallible, but the signature keeps parity with real serde_json).
+    pub fn of_value<T: Serialize + ?Sized>(salt: &str, value: &T) -> Result<Fingerprint, StoreError> {
+        let json = serde_json::to_string(value)
+            .map_err(|e| StoreError::json("fingerprinting value", e))?;
+        Ok(Fingerprint::of_bytes(salt, json.as_bytes()))
+    }
+
+    /// Lower-case hex form — the on-disk record name.
+    pub fn to_hex(&self) -> String {
+        sha256::to_hex(&self.0)
+    }
+
+    /// Parses the hex form produced by [`Fingerprint::to_hex`].
+    pub fn from_hex(hex: &str) -> Option<Fingerprint> {
+        sha256::from_hex(hex).map(Fingerprint)
+    }
+
+    /// The two-character shard prefix of the sharded on-disk layout.
+    pub fn shard(&self) -> String {
+        format!("{:02x}", self.0[0])
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({})", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_and_shards() {
+        let k = Fingerprint::of_bytes("salt", b"value");
+        assert_eq!(Fingerprint::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(k.shard(), k.to_hex()[..2].to_string());
+        assert_eq!(format!("{k}"), k.to_hex());
+        assert!(format!("{k:?}").starts_with("Fingerprint("));
+    }
+
+    #[test]
+    fn salt_and_value_are_domain_separated() {
+        // Without length prefixes these two would hash identical bytes.
+        assert_ne!(
+            Fingerprint::of_bytes("ab", b"c"),
+            Fingerprint::of_bytes("a", b"bc"),
+        );
+        assert_ne!(
+            Fingerprint::of_bytes("", b"ab"),
+            Fingerprint::of_bytes("ab", b""),
+        );
+    }
+
+    #[test]
+    fn value_fingerprint_tracks_content() {
+        let a = Fingerprint::of_value("s", &[1u64, 2, 3]).unwrap();
+        let b = Fingerprint::of_value("s", &[1u64, 2, 4]).unwrap();
+        let c = Fingerprint::of_value("t", &[1u64, 2, 3]).unwrap();
+        assert_ne!(a, b, "different values, different keys");
+        assert_ne!(a, c, "different salts, different keys");
+        assert_eq!(a, Fingerprint::of_value("s", &[1u64, 2, 3]).unwrap());
+    }
+}

@@ -1,0 +1,44 @@
+//! `rr-store` — a persistent, content-addressed store for experiment
+//! results.
+//!
+//! The sweep engine in `register-relocation` turns every figure of the
+//! paper into a grid of independent, seeded experiment points. Those points
+//! are pure functions of their spec — the same spec, simulator, and cost
+//! model always produce the same [`SimStats`] — which makes them ideal
+//! cache entries: this crate stores each point's result under a
+//! [`Fingerprint`] of (salt, canonical spec bytes), where the salt encodes
+//! the producing code's schema and cost-model versions so a stale result is
+//! *unreachable*, not merely detectable.
+//!
+//! The crate is deliberately domain-agnostic: keys are fingerprints,
+//! payloads are bytes. The experiment harness owns what a spec is and how
+//! its salt is derived; `rr-store` owns durability — sharded layout,
+//! crash-safe atomic writes, per-record checksums, quarantine instead of
+//! panics, and the `stats`/`verify`/`gc` maintenance walks behind the
+//! `rr cache` subcommands.
+//!
+//! [`SimStats`]: https://docs.rs/rr-sim
+//!
+//! # Example
+//!
+//! ```
+//! use rr_store::{Fingerprint, Lookup, Store};
+//!
+//! let root = std::env::temp_dir().join(format!("rr-store-doc-{}", std::process::id()));
+//! let store = Store::open(&root, "sim-v1")?;
+//! let key = Fingerprint::of_bytes(store.salt(), b"{\"spec\":42}");
+//! assert_eq!(store.get(&key)?, Lookup::Miss);
+//! store.put(&key, b"{\"result\":0.93}")?;
+//! assert_eq!(store.get(&key)?, Lookup::Hit(b"{\"result\":0.93}".to_vec()));
+//! # std::fs::remove_dir_all(&root).ok();
+//! # Ok::<(), rr_store::StoreError>(())
+//! ```
+
+pub mod error;
+pub mod fingerprint;
+pub mod sha256;
+pub mod store;
+
+pub use error::StoreError;
+pub use fingerprint::Fingerprint;
+pub use store::{GcReport, Lookup, Store, StoreStats, VerifyReport, STORE_FORMAT_VERSION};

@@ -113,16 +113,50 @@ fn fig5_sweep_is_worker_count_invariant() {
     assert_eq!(serial, parallel, "panels must not depend on worker count");
     assert!(serial.contains("Figure 5"), "{serial}");
 
-    let report: register_relocation::sweep::SweepReport =
-        serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    let report = register_relocation::sweep::SweepReport::from_json(
+        &std::fs::read_to_string(&json_path).unwrap(),
+    )
+    .unwrap();
     let _ = std::fs::remove_file(&json_path);
-    assert_eq!(report.jobs, 4);
+    assert_eq!(report.schema_version, register_relocation::sweep::SWEEP_SCHEMA_VERSION);
     assert_eq!(report.seed, 7);
     assert_eq!(report.points.len(), 18, "3 run lengths x 6 latencies");
     for p in &report.points {
         assert_eq!(p.fixed.accounted_cycles(), p.fixed.total_cycles);
         assert!(p.wall_nanos > 0);
     }
+}
+
+/// A `--store` sweep repeated warm serves every point from the cache and
+/// emits byte-identical output (stdout panels and the `--json` report).
+#[test]
+fn fig5_warm_cache_run_is_byte_identical() {
+    let mut store_dir = std::env::temp_dir();
+    store_dir.push(format!("rr-cli-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let json_path = tempfile::NamedFile::new("fig5-cache.json").path.clone();
+    let sweep = || {
+        let out = rr()
+            .args(["fig5", "--file", "64", "--seed", "11", "--jobs", "2"])
+            .args(["--threads", "8", "--work", "2000"])
+            .arg("--store")
+            .arg(&store_dir)
+            .arg("--json")
+            .arg(&json_path)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        (String::from_utf8(out.stdout).unwrap(), String::from_utf8(out.stderr).unwrap(), json)
+    };
+    let (cold_out, cold_err, cold_json) = sweep();
+    let (warm_out, warm_err, warm_json) = sweep();
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert!(cold_err.contains("store 0/18 cached"), "{cold_err}");
+    assert!(warm_err.contains("store 18/18 cached"), "{warm_err}");
+    assert_eq!(cold_out, warm_out, "panels must not depend on cache state");
+    assert_eq!(cold_json, warm_json, "warm JSON must byte-match the cold run");
 }
 
 #[test]
