@@ -11,6 +11,8 @@
 //! rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
 //! rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
 //!                                         regenerate figure sweeps in parallel
+//! rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <t.json>] [--metrics <m.json>]
+//!                                         deep-dive one grid point with verified event tracing
 //! rr cache <stats|verify|gc> [--store <dir>]
 //!                                         inspect or maintain the result store
 //! ```
@@ -34,9 +36,10 @@ use std::process::ExitCode;
 use register_relocation::cache;
 use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
 use register_relocation::machine::{Machine, MachineConfig};
-use register_relocation::report::{format_panel, format_sweep_summary};
+use register_relocation::report::{format_panel, format_sweep_summary, format_trace_point};
 use register_relocation::store::Store;
 use register_relocation::sweep::{SweepGrid, SweepRunner};
+use register_relocation::trace::{persist_trace_metrics, TracedPoint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,9 +52,17 @@ fn main() -> ExitCode {
         Some("fig5") => cmd_sweep(&args[1..], Figure::Fig5),
         Some("fig6") => cmd_sweep(&args[1..], Figure::Fig6),
         Some("homogeneous") => cmd_sweep(&args[1..], Figure::Homogeneous),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("help") | None => {
-            print!("{}", USAGE);
+            if args.iter().any(|a| a == "--list") {
+                // Bare subcommand names, one per line, for shell completion.
+                for sub in SUBCOMMANDS {
+                    println!("{sub}");
+                }
+            } else {
+                print!("{}", USAGE);
+            }
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand `{other}`; try `rr help`")),
@@ -65,6 +76,11 @@ fn main() -> ExitCode {
     }
 }
 
+/// Every subcommand, in `rr help` order — what `rr help --list` prints for
+/// shell completion.
+const SUBCOMMANDS: &[&str] =
+    &["asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache", "help"];
+
 const USAGE: &str = "\
 rr — register-relocation toolchain
 
@@ -73,18 +89,62 @@ rr — register-relocation toolchain
   rr demand <file.s>                      register demand and context size
   rr check  <file.s> --size <n>           static context-bounds check
   rr run    <file.s> [--rrm <mask>] [--cycles <n>] [--regs <n>] [--trace]
-  rr fig5        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
-  rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
-  rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress]
+  rr fig5        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
+  rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
+  rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
+  rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <path>] [--metrics <path>]
   rr cache <stats|verify|gc> [--store <dir>]
+  rr help [--list]
 
 Sweep flags: --jobs 0 (default) = one worker per hardware thread; --json -
 writes the full per-run report to stdout; --threads <n> / --work <n> shrink
-the workloads for quick looks (figures use 64 threads x 20000 cycles).
+the workloads for quick looks (figures use 64 threads x 20000 cycles);
+--trace-out <path> re-runs the sweep's slowest point with event recording
+and writes a Perfetto-loadable Chrome trace there.
+Tracing: rr trace deep-dives one grid point — see `rr trace --help`.
 Caching: --store [dir] persists every computed point (default dir
 .rr-store, or $RR_STORE) and serves it back on warm runs byte-identically;
 --no-store disables the cache. rr cache stats/verify/gc inspect, integrity-
-check, and clean the store.
+check, and clean the store. rr help --list prints bare subcommand names,
+one per line, for shell completion.
+";
+
+const TRACE_USAGE: &str = "\
+rr trace — deep-dive one sweep point with cycle-stamped event tracing
+
+  rr trace <fig5|fig6|homogeneous> --point <F,R,L> [flags]
+
+The point runs both architectures (fixed and flexible) with full event
+recording; every stream is verified against the replay accountant (the
+events must re-derive the engine's statistics exactly) before anything is
+reported. Output: a side-by-side terminal summary, and optionally
+
+  --trace-out <path>   Chrome trace_event JSON of both runs (fixed is
+                       process 1, flexible process 2; 1 us = 1 cycle).
+                       Load in https://ui.perfetto.dev or chrome://tracing.
+  --metrics <path>     windowed metrics + histograms as JSON (--metrics -
+                       for stdout)
+
+Flags shared with the sweep subcommands: --seed <s>, --threads <n>,
+--work <n>, --context <C> (homogeneous only), --store [dir] / --no-store.
+With a store attached, the point's metric summary is persisted under a
+trace-tagged content address next to the sweep results.
+
+Coordinates: --point F,R,L — register file size, mean run length, fault
+latency, which must lie on the figure's grid (fig5: F in {64,128,256},
+R in {8,32,128}, L in {20,50,100,200,400,800}; fig6: R in {32,128,512},
+L in {25,50,100,200,350,500}).
+
+Examples
+
+  # The Figure 5 efficiency-cliff point, traced into Perfetto
+  rr trace fig5 --point 64,8,400 --trace-out cliff.json
+
+  # Quick look with a smaller workload, metrics to stdout
+  rr trace fig5 --point 64,8,100 --threads 8 --work 2000 --metrics -
+
+  # A synchronization point, persisting the metric summary in the store
+  rr trace fig6 --point 128,128,500 --store
 ";
 
 fn read_source(args: &[String]) -> Result<(String, String), String> {
@@ -218,14 +278,14 @@ enum Figure {
     Homogeneous,
 }
 
-fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
+/// Builds the grid a sweep or trace subcommand addresses, applying the
+/// shared flags: `--seed`, `--file`, `--context` (homogeneous), and the
+/// workload-scaling knobs `--threads` / `--work` (the paper's figures use
+/// the defaults: 64 threads, 20k cycles of work each).
+fn build_grid(args: &[String], figure: Figure) -> Result<(SweepGrid, &'static str), String> {
     let seed = match flag_value(args, "--seed") {
         Some(v) => v.parse::<u64>().map_err(|_| format!("bad seed `{v}`"))?,
         None => std::env::var("RR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1993),
-    };
-    let jobs = match flag_value(args, "--jobs") {
-        Some(v) => v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?,
-        None => 0, // one worker per hardware thread
     };
     let file = flag_value(args, "--file")
         .map(|v| parse_u32(&v, "register file size"))
@@ -256,8 +316,6 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
             )
         }
     };
-    // Workload-scaling knobs for quick looks (the paper's figures use the
-    // defaults: 64 threads, 20k cycles of work each).
     if let Some(v) = flag_value(args, "--threads") {
         grid.base.threads =
             v.parse::<usize>().map_err(|_| format!("bad thread count `{v}`"))?;
@@ -266,6 +324,15 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
         grid.base.work_per_thread =
             v.parse::<u64>().map_err(|_| format!("bad work amount `{v}`"))?;
     }
+    Ok((grid, title))
+}
+
+fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?,
+        None => 0, // one worker per hardware thread
+    };
+    let (grid, title) = build_grid(args, figure)?;
     let mut runner = SweepRunner::new(jobs).with_store(resolve_store(args));
     if args.iter().any(|a| a == "--progress") {
         runner = runner.with_progress(true);
@@ -283,6 +350,94 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
             std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
             eprintln!("wrote sweep report to {path}");
         }
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let slow = run
+            .report
+            .slowest_point()
+            .ok_or("cannot trace the slowest point of an empty sweep")?;
+        let point = grid
+            .point_at(slow.file_size, slow.run_length, slow.latency)
+            .ok_or("slowest point fell off its own grid (bug)")?;
+        eprintln!(
+            "tracing slowest point F={} R={} L={} ...",
+            slow.file_size, slow.run_length, slow.latency
+        );
+        let traced = TracedPoint::run(&point.spec)?;
+        std::fs::write(&path, traced.chrome_trace())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
+        if let Some(store) = runner.store() {
+            if let Err(e) = persist_trace_metrics(store, &traced) {
+                eprintln!("rr: warning: could not store trace metrics: {e}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--point F,R,L` trace coordinates.
+fn parse_point(raw: &str) -> Result<(u32, f64, u64), String> {
+    let parts: Vec<&str> = raw.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(format!("bad --point `{raw}`; expected F,R,L (e.g. 64,8,400)"));
+    }
+    let file_size = parse_u32(parts[0], "point file size")?;
+    let run_length =
+        parts[1].parse::<f64>().map_err(|_| format!("bad point run length `{}`", parts[1]))?;
+    let latency =
+        parts[2].parse::<u64>().map_err(|_| format!("bad point latency `{}`", parts[2]))?;
+    Ok((file_size, run_length, latency))
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help") {
+        print!("{}", TRACE_USAGE);
+        return Ok(());
+    }
+    let figure = match args.first().map(String::as_str) {
+        Some("fig5") => Figure::Fig5,
+        Some("fig6") => Figure::Fig6,
+        Some("homogeneous") => Figure::Homogeneous,
+        Some(other) => {
+            return Err(format!(
+                "unknown trace target `{other}`; expected fig5, fig6, or homogeneous \
+                 (see `rr trace --help`)"
+            ))
+        }
+        None => unreachable!("args checked non-empty above"),
+    };
+    let args = &args[1..];
+    let (grid, title) = build_grid(args, figure)?;
+    let raw_point =
+        flag_value(args, "--point").ok_or("trace needs --point F,R,L (see `rr trace --help`)")?;
+    let (file_size, run_length, latency) = parse_point(&raw_point)?;
+    let point = grid.point_at(file_size, run_length, latency).ok_or_else(|| {
+        format!(
+            "point F={file_size} R={run_length} L={latency} is not on the {title} grid \
+             (F in {:?}, R in {:?}, L in {:?})",
+            grid.file_sizes, grid.run_lengths, grid.latencies
+        )
+    })?;
+    let traced = TracedPoint::run(&point.spec)?;
+    println!("{}", format_trace_point(&traced));
+    if let Some(path) = flag_value(args, "--trace-out") {
+        std::fs::write(&path, traced.chrome_trace())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        let json = traced.metrics_record().to_json()?;
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote trace metrics to {path}");
+        }
+    }
+    if let Some(store) = resolve_store(args) {
+        persist_trace_metrics(&store, &traced).map_err(|e| e.to_string())?;
+        eprintln!("stored trace metrics under {}", store.root().display());
     }
     Ok(())
 }

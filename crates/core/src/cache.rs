@@ -88,6 +88,18 @@ pub fn point_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, Store
     Ok(Fingerprint::of_bytes(salt, spec.canonical_json()?.as_bytes()))
 }
 
+/// The content address of one experiment point's *trace-metrics summary*
+/// under `salt`. Domain-tagged so it can never collide with the same
+/// point's sweep result ([`point_key`]) even though both derive from the
+/// identical spec and salt.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the spec's canonical form.
+pub fn trace_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, StoreError> {
+    Ok(Fingerprint::of_domain(salt, "trace", spec.canonical_json()?.as_bytes()))
+}
+
 /// Opens (creating if needed) the result store at `dir` under this build's
 /// [`store_salt`].
 ///
@@ -147,6 +159,19 @@ mod tests {
         assert_eq!(key(&base), key(&base), "same spec, same key");
         // A different salt (different code version) relocates every key.
         assert_ne!(key(&base), point_key(&base, "other-salt").unwrap());
+    }
+
+    #[test]
+    fn trace_keys_never_collide_with_point_keys() {
+        let salt = store_salt();
+        let spec = ExperimentSpec::default();
+        let point = point_key(&spec, &salt).unwrap();
+        let trace = trace_key(&spec, &salt).unwrap();
+        assert_ne!(point, trace, "same spec, different record kinds");
+        assert_eq!(trace, trace_key(&spec, &salt).unwrap(), "deterministic");
+        let mut other = spec;
+        other.seed += 1;
+        assert_ne!(trace, trace_key(&other, &salt).unwrap());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rr_alloc::{
     AllocCosts, BitmapAllocator, ContextAllocator, FirstFitAllocator, FixedSlots,
     LookupAllocator,
 };
-use rr_runtime::{SchedCosts, UnloadPolicyKind};
+use rr_runtime::{Event, EventSink, NullSink, RecordingSink, SchedCosts, UnloadPolicyKind};
 use rr_sim::{Engine, SimOptions, SimStats, TracedRun};
 use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
 
@@ -209,10 +209,31 @@ impl ExperimentSpec {
         Ok(self.engine()?.run_traced())
     }
 
+    /// Runs the experiment with full event recording: every state
+    /// transition of the run comes back as a cycle-stamped
+    /// [`rr_runtime::Event`], alongside the usual [`SimStats`]. The stats
+    /// are bit-identical to [`ExperimentSpec::run`]'s — the recording sink
+    /// only observes, never perturbs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExperimentSpec::run`].
+    pub fn run_with_events(&self) -> Result<(SimStats, Vec<Event>), String> {
+        let (stats, sink) = self.engine_with_sink(RecordingSink::new())?.run_with_sink();
+        Ok((stats, sink.into_events()))
+    }
+
     /// Builds the fully configured engine for this spec. Everything the run
     /// depends on — workload, allocator, costs, seed — comes from the spec
     /// itself, so a spec executes identically on any thread in any order.
     fn engine(&self) -> Result<Engine, String> {
+        self.engine_with_sink(NullSink)
+    }
+
+    /// [`ExperimentSpec::engine`] with an arbitrary event sink attached.
+    /// The sink choice is monomorphized into the engine, so a [`NullSink`]
+    /// run carries no tracing overhead at all.
+    fn engine_with_sink<S: EventSink>(&self, sink: S) -> Result<Engine<S>, String> {
         let (latency_dist, sched, policy, mut opts) = match self.fault {
             FaultKind::Cache { latency } => (
                 Dist::Constant(latency),
@@ -247,7 +268,7 @@ impl ExperimentSpec {
             .seed(self.seed)
             .build()?;
         let alloc = self.arch.make_allocator(self.file_size)?;
-        Engine::new(alloc, sched, policy, workload, opts)
+        Engine::with_sink(alloc, sched, policy, workload, opts, sink)
     }
 }
 
@@ -455,6 +476,17 @@ mod tests {
             or.avg_resident
         );
         assert!(add.efficiency() > or.efficiency() * 0.98);
+    }
+
+    #[test]
+    fn event_recording_does_not_perturb_the_run() {
+        let spec = quick(ExperimentSpec::default());
+        let plain = spec.run().unwrap();
+        let (recorded, events) = spec.run_with_events().unwrap();
+        assert_eq!(plain, recorded, "recording sink must only observe");
+        assert!(!events.is_empty());
+        assert!(matches!(events.first().unwrap().kind, rr_runtime::EventKind::RunStart { .. }));
+        assert!(matches!(events.last().unwrap().kind, rr_runtime::EventKind::RunEnd { .. }));
     }
 
     #[test]

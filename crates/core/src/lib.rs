@@ -27,7 +27,8 @@
 //! figure of the paper: see [`experiments`], [`figures`], the parallel
 //! [`sweep`] runner (with its content-addressed result [`cache`] backed by
 //! [`rr_store`]), and [`report`], plus the section 5.1 software-only
-//! variant in [`software_only`].
+//! variant in [`software_only`] and the single-point deep-dive tracer in
+//! [`trace`] (verified event streams, windowed metrics, Perfetto export).
 //!
 //! # Quickstart
 //!
@@ -55,12 +56,16 @@ pub mod figures;
 pub mod report;
 pub mod software_only;
 pub mod sweep;
+pub mod trace;
 
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
 pub use sweep::{
     CacheSummary, PointReport, SweepGrid, SweepReport, SweepRun, SweepRunner,
     SWEEP_SCHEMA_VERSION,
+};
+pub use trace::{
+    trace_arch, TraceMetricsRecord, TracedArchRun, TracedPoint, TRACE_SCHEMA_VERSION,
 };
 
 /// Re-export of the ISA crate.

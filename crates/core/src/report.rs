@@ -2,6 +2,7 @@
 
 use crate::figures::FigurePoint;
 use crate::sweep::SweepRun;
+use crate::trace::{TracedArchRun, TracedPoint};
 
 /// Renders one figure panel as an aligned text table: one row block per run
 /// length, columns per latency, with fixed/flexible efficiencies and their
@@ -75,6 +76,83 @@ pub fn format_sweep_summary(run: &SweepRun) -> String {
     out
 }
 
+/// Renders one traced point as a side-by-side fixed/flexible summary with
+/// an efficiency-over-time sparkline per architecture — the `rr trace`
+/// terminal view of what the Perfetto export shows graphically.
+pub fn format_trace_point(point: &TracedPoint) -> String {
+    let spec = &point.spec;
+    let mut out = format!(
+        "## trace: F={} R={} L={} seed={}\n",
+        spec.file_size,
+        spec.run_length,
+        spec.fault.mean_latency(),
+        spec.seed,
+    );
+    let row = |label: &str, fixed: String, flexible: String| {
+        format!("  {label:<22}{fixed:>14}{flexible:>14}\n")
+    };
+    out.push_str(&row("", "fixed".into(), "flexible".into()));
+    let f = &point.fixed;
+    let x = &point.flexible;
+    out.push_str(&row(
+        "efficiency",
+        format!("{:.3}", f.stats.efficiency()),
+        format!("{:.3}", x.stats.efficiency()),
+    ));
+    out.push_str(&row(
+        "avg resident",
+        format!("{:.2}", f.stats.avg_resident),
+        format!("{:.2}", x.stats.avg_resident),
+    ));
+    out.push_str(&row(
+        "total cycles",
+        f.stats.total_cycles.to_string(),
+        x.stats.total_cycles.to_string(),
+    ));
+    out.push_str(&row("faults", f.stats.faults.to_string(), x.stats.faults.to_string()));
+    out.push_str(&row(
+        "loads / unloads",
+        format!("{} / {}", f.stats.loads, f.stats.unloads),
+        format!("{} / {}", x.stats.loads, x.stats.unloads),
+    ));
+    out.push_str(&row(
+        "events",
+        f.events.len().to_string(),
+        x.events.len().to_string(),
+    ));
+    out.push_str(&row(
+        "run length mean",
+        format!("{:.1}", f.metrics.run_lengths.mean()),
+        format!("{:.1}", x.metrics.run_lengths.mean()),
+    ));
+    out.push_str(&row(
+        "fault latency mean",
+        format!("{:.1}", f.metrics.fault_latencies.mean()),
+        format!("{:.1}", x.metrics.fault_latencies.mean()),
+    ));
+    out.push_str(&format!(
+        "  windows: {} x {} cycles\n",
+        f.metrics.windows.len(),
+        f.metrics.window,
+    ));
+    out.push_str(&format!("  fixed    |{}|\n", efficiency_sparkline(f)));
+    out.push_str(&format!("  flexible |{}|\n", efficiency_sparkline(x)));
+    out
+}
+
+/// One character per window, darker = higher in-window efficiency.
+fn efficiency_sparkline(run: &TracedArchRun) -> String {
+    const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+    run.metrics
+        .windows
+        .iter()
+        .map(|w| {
+            let eff = w.efficiency().clamp(0.0, 1.0);
+            RAMP[((eff * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+        })
+        .collect()
+}
+
 /// Renders the points as a machine-readable JSON lines block (one point per
 /// line), for EXPERIMENTS.md and downstream plotting.
 pub fn format_jsonl(points: &[FigurePoint]) -> String {
@@ -124,6 +202,29 @@ mod tests {
         let s = format_jsonl(&pts);
         let back: FigurePoint = serde_json::from_str(&s).unwrap();
         assert_eq!(back, pts[0]);
+    }
+
+    #[test]
+    fn trace_point_report_shows_both_architectures() {
+        use crate::experiments::{ExperimentSpec, FaultKind};
+
+        let spec = ExperimentSpec {
+            file_size: 64,
+            run_length: 16.0,
+            fault: FaultKind::Cache { latency: 100 },
+            threads: 10,
+            work_per_thread: 1_500,
+            ..ExperimentSpec::default()
+        };
+        let point = TracedPoint::run(&spec).unwrap();
+        let s = format_trace_point(&point);
+        assert!(s.contains("F=64 R=16 L=100"), "{s}");
+        assert!(s.contains("fixed") && s.contains("flexible"), "{s}");
+        assert!(s.contains("efficiency"), "{s}");
+        assert!(s.contains("windows:"), "{s}");
+        let sparklines: Vec<&str> =
+            s.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(sparklines.len(), 2, "one sparkline per architecture:\n{s}");
     }
 
     #[test]

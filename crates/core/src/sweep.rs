@@ -203,6 +203,18 @@ impl SweepGrid {
         }
         out
     }
+
+    /// Finds the grid point at exact coordinates `(F, R, L)`, if the grid
+    /// contains it. Run lengths compare by bit pattern, so a coordinate
+    /// parsed from user input matches iff it round-trips to the same float
+    /// the grid axis holds.
+    pub fn point_at(&self, file_size: u32, run_length: f64, latency: u64) -> Option<SweepPoint> {
+        self.points().into_iter().find(|p| {
+            p.file_size == file_size
+                && p.latency == latency
+                && p.run_length.to_bits() == run_length.to_bits()
+        })
+    }
 }
 
 /// One expanded grid point: its coordinates plus the self-contained spec
@@ -713,6 +725,17 @@ mod tests {
         let mut sorted = serial.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(serial, sorted, "canonical order is the sorted cross product");
+    }
+
+    #[test]
+    fn point_at_finds_exact_grid_coordinates() {
+        let grid = SweepGrid::figure5(7);
+        let p = grid.point_at(128, 32.0, 100).expect("on-grid point");
+        assert_eq!((p.file_size, p.run_length, p.latency), (128, 32.0, 100));
+        assert_eq!(p.spec.seed, 7);
+        assert!(grid.point_at(128, 32.0, 99).is_none(), "off-grid latency");
+        assert!(grid.point_at(96, 32.0, 100).is_none(), "off-grid file size");
+        assert!(grid.point_at(128, 16.0, 100).is_none(), "off-grid run length");
     }
 
     #[test]

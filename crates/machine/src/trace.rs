@@ -49,10 +49,16 @@ impl TraceBuffer {
         }
     }
 
-    /// The retained entries, oldest first.
-    pub fn entries(&self) -> Vec<&TraceEntry> {
+    /// The retained entries, oldest first, without allocating.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
         let (newer, older) = self.entries.split_at(self.head);
-        older.iter().chain(newer.iter()).collect()
+        older.iter().chain(newer.iter())
+    }
+
+    /// The retained entries collected into a vector, oldest first.
+    #[deprecated(note = "use the allocation-free `entries()` iterator")]
+    pub fn entries_vec(&self) -> Vec<&TraceEntry> {
+        self.entries().collect()
     }
 
     /// Number of retained entries.
@@ -68,7 +74,6 @@ impl TraceBuffer {
     /// Renders the trace as one line per instruction.
     pub fn render(&self) -> String {
         self.entries()
-            .iter()
             .map(|e| format!("{:>8}  {:>6}  {}", e.cycle, e.pc, e.instr))
             .collect::<Vec<_>>()
             .join("\n")
@@ -129,9 +134,23 @@ mod tests {
         for c in 0..5 {
             t.record(entry(c));
         }
-        let cycles: Vec<u64> = t.entries().iter().map(|e| e.cycle).collect();
+        let cycles: Vec<u64> = t.entries().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn entries_iterator_needs_no_allocation_and_shim_agrees() {
+        let mut t = TraceBuffer::new(3);
+        for c in 0..5 {
+            t.record(entry(c));
+        }
+        // The iterator is lazily consumable (no intermediate Vec).
+        assert_eq!(t.entries().count(), 3);
+        assert_eq!(t.entries().next().unwrap().cycle, 2);
+        #[allow(deprecated)]
+        let shim: Vec<u64> = t.entries_vec().iter().map(|e| e.cycle).collect();
+        assert_eq!(shim, t.entries().map(|e| e.cycle).collect::<Vec<_>>());
     }
 
     #[test]

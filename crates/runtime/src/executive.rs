@@ -28,6 +28,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::alloc_asm::allocator_program;
+use crate::events::{Event, EventKind, EventSink, NullSink, OsRoutine};
 use crate::loader_asm::loader_program;
 use crate::switch_code::YIELD_SRC;
 use rr_isa::{assemble_at, Program, Rrm};
@@ -117,6 +118,12 @@ pub struct Tcb {
 
 /// The multithreading executive: spawn, run, retire.
 ///
+/// Generic over an [`EventSink`]; the default [`NullSink`] disables
+/// observability with no residual cost. Boot with [`Executive::boot`] for
+/// the silent executive or [`Executive::boot_with_sink`] to record
+/// cycle-stamped [`EventKind::OsCall`] / thread lifecycle events whose
+/// durations come from actually executing the OS assembly.
+///
 /// # Example
 ///
 /// ```
@@ -132,7 +139,7 @@ pub struct Tcb {
 /// # Ok::<(), rr_runtime::ExecError>(())
 /// ```
 #[derive(Debug)]
-pub struct Executive {
+pub struct Executive<S: EventSink = NullSink> {
     machine: Machine,
     alloc_p: Program,
     loader_p: Program,
@@ -141,41 +148,19 @@ pub struct Executive {
     started: bool,
     /// Cycles spent inside OS calls (allocation, loading, retiring).
     os_cycles: u64,
+    sink: S,
 }
 
 impl Executive {
-    /// Boots the executive on a fresh 128-register machine: loads the
+    /// Boots the silent executive (the default [`NullSink`]): loads the
     /// runtime images, initializes the allocator, and reserves the OS
-    /// register block.
+    /// register block on a fresh 128-register machine.
     ///
     /// # Errors
     ///
     /// Propagates machine faults from boot code (a bug in this crate).
     pub fn boot() -> Result<Self, ExecError> {
-        let mut machine = Machine::new(MachineConfig::default_128())?;
-        machine.load_program(&rr_isa::assemble("halt").map_err(asm_bug)?)?;
-        let yield_p = assemble_at(YIELD_SRC, YIELD_ORIGIN).map_err(asm_bug)?;
-        machine.memory_mut().load_image(yield_p.origin(), yield_p.words())?;
-        let alloc_p = allocator_program(ALLOC_ORIGIN).map_err(asm_bug)?;
-        machine.memory_mut().load_image(alloc_p.origin(), alloc_p.words())?;
-        let loader_p = loader_program(32, LOADER_ORIGIN).map_err(asm_bug)?;
-        machine.memory_mut().load_image(loader_p.origin(), loader_p.words())?;
-        let mut exec = Executive {
-            machine,
-            alloc_p,
-            loader_p,
-            live: Vec::new(),
-            next_tid: 0,
-            started: false,
-            os_cycles: 0,
-        };
-        exec.os_call(exec.alloc_p.label("alloc_init").expect("label exists"))?;
-        // Reserve absolute registers 0..32 for the OS: the allocator's
-        // working registers must not collide with thread contexts.
-        for _ in 0..OS_RESERVED_CONTEXTS {
-            exec.asm_alloc(16)?;
-        }
-        Ok(exec)
+        Self::boot_with_sink(NullSink)
     }
 
     /// Assembles a standard cooperative thread body: `work_units` unit
@@ -194,6 +179,46 @@ impl Executive {
         src.push_str(&format!("    jal r0, {YIELD_ORIGIN}\n"));
         src.push_str("    jmp entry\n");
         assemble_at(&src, BODY_ORIGIN).map_err(asm_bug)
+    }
+}
+
+impl<S: EventSink> Executive<S> {
+    /// Boots the executive with `sink` receiving its event stream. Boot
+    /// itself emits the allocator-initialization and OS-reservation
+    /// [`EventKind::OsCall`] events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine faults from boot code (a bug in this crate).
+    pub fn boot_with_sink(sink: S) -> Result<Self, ExecError> {
+        let mut machine = Machine::new(MachineConfig::default_128())?;
+        machine.load_program(&rr_isa::assemble("halt").map_err(asm_bug)?)?;
+        let yield_p = assemble_at(YIELD_SRC, YIELD_ORIGIN).map_err(asm_bug)?;
+        machine.memory_mut().load_image(yield_p.origin(), yield_p.words())?;
+        let alloc_p = allocator_program(ALLOC_ORIGIN).map_err(asm_bug)?;
+        machine.memory_mut().load_image(alloc_p.origin(), alloc_p.words())?;
+        let loader_p = loader_program(32, LOADER_ORIGIN).map_err(asm_bug)?;
+        machine.memory_mut().load_image(loader_p.origin(), loader_p.words())?;
+        let mut exec = Executive {
+            machine,
+            alloc_p,
+            loader_p,
+            live: Vec::new(),
+            next_tid: 0,
+            started: false,
+            os_cycles: 0,
+            sink,
+        };
+        exec.os_call(
+            exec.alloc_p.label("alloc_init").expect("label exists"),
+            OsRoutine::AllocInit,
+        )?;
+        // Reserve absolute registers 0..32 for the OS: the allocator's
+        // working registers must not collide with thread contexts.
+        for _ in 0..OS_RESERVED_CONTEXTS {
+            exec.asm_alloc(16)?;
+        }
+        Ok(exec)
     }
 
     /// Installs a thread body image (any program whose yields target the
@@ -246,11 +271,21 @@ impl Executive {
         self.machine.write_abs(base + 3, save_area)?;
         self.machine.write_abs(base + 4, HALT_PC)?;
         let entry_label = format!("load_{}", regs_used.max(3));
-        self.os_call(self.loader_p.label(&entry_label).expect("loader entry exists"))?;
+        self.os_call(
+            self.loader_p.label(&entry_label).expect("loader entry exists"),
+            OsRoutine::Load,
+        )?;
         self.resume(saved);
 
         self.live.push(tcb);
         self.relink_ring()?;
+        self.emit(EventKind::ThreadSpawn { thread: tid });
+        self.emit(EventKind::ContextLoad {
+            thread: tid,
+            regs: regs_used,
+            base,
+            resident: self.live.len(),
+        });
         Ok(tid)
     }
 
@@ -301,14 +336,27 @@ impl Executive {
         self.machine.write_abs(tcb.base + 3, tcb.save_area)?;
         self.machine.write_abs(tcb.base + 4, HALT_PC)?;
         let entry_label = format!("unload_{}", tcb.regs_used.max(3));
-        self.os_call(self.loader_p.label(&entry_label).expect("loader entry exists"))?;
+        self.os_call(
+            self.loader_p.label(&entry_label).expect("loader entry exists"),
+            OsRoutine::Unload,
+        )?;
         // Deallocate through the assembly (scheduler registers, RRM = 0).
         self.machine.set_rrm(0, Rrm::ZERO);
         self.machine.write_abs(12, tcb.alloc_mask)?;
-        self.os_call(self.alloc_p.label("context_dealloc").expect("label exists"))?;
+        self.os_call(
+            self.alloc_p.label("context_dealloc").expect("label exists"),
+            OsRoutine::Dealloc,
+        )?;
         self.resume(saved);
         self.live.remove(idx);
         self.relink_ring()?;
+        self.emit(EventKind::ContextUnload {
+            thread: tid,
+            regs: tcb.regs_used,
+            base: tcb.base,
+            resident: self.live.len(),
+        });
+        self.emit(EventKind::ThreadComplete { thread: tid });
         Ok(tcb)
     }
 
@@ -346,6 +394,16 @@ impl Executive {
         &self.machine
     }
 
+    /// The event sink, for inspection (e.g. a recording sink's events).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the executive, yielding its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
     // -- internals ---------------------------------------------------------
 
     /// Saves the interrupted thread's execution state around an OS call.
@@ -358,14 +416,26 @@ impl Executive {
         self.machine.set_rrm(0, saved.1);
     }
 
+    /// Emits a cycle-stamped event if the sink is listening. With the
+    /// default `NullSink` this whole call folds away.
+    fn emit(&mut self, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.emit(Event { cycle: self.machine.cycles(), kind });
+        }
+    }
+
     /// Runs a machine-resident routine to completion (they return to the
-    /// halt stub), charging its cycles to the OS.
-    fn os_call(&mut self, pc: u32) -> Result<(), ExecError> {
+    /// halt stub), charging its cycles to the OS. The emitted `OsCall`
+    /// duration is *measured* from executing the routine's assembly, not
+    /// charged from a cost table.
+    fn os_call(&mut self, pc: u32, routine: OsRoutine) -> Result<(), ExecError> {
         self.machine.write_abs(9, HALT_PC)?;
         self.machine.set_pc(pc);
         let before = self.machine.cycles();
         self.machine.run_until_halt(100_000)?;
-        self.os_cycles += self.machine.cycles() - before;
+        let took = self.machine.cycles() - before;
+        self.os_cycles += took;
+        self.emit(EventKind::OsCall { routine, cycles: took });
         Ok(())
     }
 
@@ -378,7 +448,7 @@ impl Executive {
         };
         let saved = self.pause();
         self.machine.set_rrm(0, Rrm::ZERO);
-        self.os_call(self.alloc_p.label(label).expect("label exists"))?;
+        self.os_call(self.alloc_p.label(label).expect("label exists"), OsRoutine::Alloc)?;
         let ok = self.machine.read_abs(13)? == 1;
         let result = if ok {
             Ok((self.machine.read_abs(11)? as u16, self.machine.read_abs(12)?))
@@ -529,6 +599,51 @@ mod tests {
             exec.retire(99),
             Err(ExecError::NoSuchThread { tid: 99 })
         ));
+    }
+
+    #[test]
+    fn traced_executive_emits_measured_os_events() {
+        use crate::events::RecordingSink;
+
+        let mut exec = Executive::boot_with_sink(RecordingSink::new()).unwrap();
+        let body = Executive::standard_body(1).unwrap();
+        exec.install_body(&body).unwrap();
+        let entry = body.label("entry").unwrap();
+        let t0 = exec.spawn(entry, 8).unwrap();
+        let _t1 = exec.spawn(entry, 8).unwrap();
+        exec.run(100).unwrap();
+        let victim =
+            if exec.machine().rrm(0).raw() == exec.threads()[0].base { 1 } else { t0 };
+        exec.retire(victim).unwrap();
+
+        let os_cycles = exec.os_cycles();
+        let events = exec.into_sink().into_events();
+        // Stamps never decrease.
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // Every OS cycle is covered by exactly the emitted OsCall durations.
+        let os_from_events: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::OsCall { cycles, .. } => Some(cycles),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(os_from_events, os_cycles);
+        // Boot + 2 spawns + retire leave a full lifecycle in the stream.
+        let spawns =
+            events.iter().filter(|e| matches!(e.kind, EventKind::ThreadSpawn { .. })).count();
+        assert_eq!(spawns, 2);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::OsCall { routine: OsRoutine::AllocInit, .. }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::ContextUnload { resident: 1, .. }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ThreadComplete { thread } if thread == victim)));
     }
 
     #[test]

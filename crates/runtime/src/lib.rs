@@ -20,6 +20,7 @@
 
 pub mod alloc_asm;
 pub mod costs;
+pub mod events;
 pub mod executive;
 pub mod loader_asm;
 pub mod policy;
@@ -27,6 +28,9 @@ pub mod ready_ring;
 pub mod switch_code;
 
 pub use costs::SchedCosts;
+pub use events::{
+    CostBucket, CountingSink, Event, EventKind, EventSink, NullSink, OsRoutine, RecordingSink,
+};
 pub use executive::{ExecError, Executive, Tcb};
 pub use policy::{UnloadDecision, UnloadGovernor, UnloadPolicyKind};
 pub use ready_ring::ReadyRing;

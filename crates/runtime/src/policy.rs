@@ -105,6 +105,22 @@ impl UnloadGovernor {
         }
     }
 
+    /// The spin budget this policy allows against a context whose unload
+    /// would cost `unload_cost` cycles: accumulated failed-attempt cost at
+    /// or beyond the budget triggers an unload. `None` means unbounded
+    /// (the [`Never`](UnloadPolicyKind::Never) policy). Exposed so
+    /// observability consumers can report "spent X of budget Y" per spin
+    /// step without duplicating the policy arithmetic.
+    pub fn spin_budget(&self, unload_cost: u64) -> Option<u64> {
+        match self.kind {
+            UnloadPolicyKind::Never => None,
+            UnloadPolicyKind::Immediate => Some(0),
+            UnloadPolicyKind::TwoPhase { factor } => {
+                Some((factor * unload_cost as f64).ceil() as u64)
+            }
+        }
+    }
+
     /// Accumulated failed-attempt cost for `thread`.
     pub fn accumulated(&self, thread: usize) -> u64 {
         self.spin_cost.get(&thread).copied().unwrap_or(0)
@@ -183,6 +199,21 @@ mod tests {
         assert_eq!(g.accumulated(2), 8);
         g.reset();
         assert_eq!(g.accumulated(2), 0);
+    }
+
+    #[test]
+    fn spin_budget_matches_decision_threshold() {
+        let never = UnloadGovernor::new(UnloadPolicyKind::Never);
+        assert_eq!(never.spin_budget(34), None);
+        let eager = UnloadGovernor::new(UnloadPolicyKind::Immediate);
+        assert_eq!(eager.spin_budget(34), Some(0));
+        let mut two = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+        assert_eq!(two.spin_budget(34), Some(34));
+        // The reported budget is exactly where failed_attempt flips.
+        assert_eq!(two.failed_attempt(1, 33, 34), UnloadDecision::Keep);
+        assert_eq!(two.failed_attempt(1, 1, 34), UnloadDecision::Unload);
+        let half = UnloadGovernor::new(UnloadPolicyKind::TwoPhase { factor: 0.5 });
+        assert_eq!(half.spin_budget(33), Some(17)); // ceil(16.5)
     }
 
     #[test]

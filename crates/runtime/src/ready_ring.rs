@@ -115,6 +115,15 @@ impl ReadyRing {
         (1..=n).map(move |i| self.entries[(self.cursor + i) % n])
     }
 
+    /// Iterates one full sweep starting *at* the cursor (the running
+    /// context first), in ring order — the traversal a timeline consumer
+    /// wants when rendering residency, without the allocation a
+    /// `Vec`-returning accessor would cost.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let n = self.entries.len();
+        (0..n).map(move |i| self.entries[(self.cursor + i) % n])
+    }
+
     /// Moves the cursor onto `thread`.
     ///
     /// Returns whether the thread was present.
@@ -232,5 +241,26 @@ mod tests {
         let mut r = ReadyRing::new();
         r.insert(9);
         assert_eq!(r.sweep().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn iter_starts_at_cursor() {
+        let mut r = ReadyRing::new();
+        for t in [10, 11, 12] {
+            r.insert(t);
+        }
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 11, 12]);
+        r.advance(); // cursor on 11
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![11, 12, 10]);
+        // iter() is sweep() rotated one left: current first, not last.
+        let mut sweep: Vec<_> = r.sweep().collect();
+        sweep.rotate_right(1);
+        assert_eq!(r.iter().collect::<Vec<_>>(), sweep);
+    }
+
+    #[test]
+    fn iter_of_empty_ring_is_empty() {
+        let r = ReadyRing::new();
+        assert_eq!(r.iter().count(), 0);
     }
 }

@@ -16,11 +16,14 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use rr_alloc::ContextAllocator;
-use rr_runtime::{ReadyRing, SchedCosts, UnloadDecision, UnloadGovernor, UnloadPolicyKind};
+use rr_runtime::{
+    CostBucket, Event, EventKind, EventSink, NullSink, ReadyRing, SchedCosts, UnloadDecision,
+    UnloadGovernor, UnloadPolicyKind,
+};
 use rr_workload::Workload;
 
 use crate::options::SimOptions;
-use crate::stats::SimStats;
+use crate::stats::{decimate_checkpoints, SimStats};
 use crate::thread::{Phase, ThreadRt};
 
 /// A run's statistics paired with the host-side wall-clock time it took —
@@ -44,22 +47,14 @@ enum LoadOutcome {
     NothingToLoad,
 }
 
-/// Which accounting bucket a cycle charge lands in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Bucket {
-    Busy,
-    Switch,
-    Spin,
-    Alloc,
-    Dealloc,
-    Load,
-    Unload,
-    Queue,
-    Idle,
-}
-
 /// The discrete-event simulator for one multithreaded processor node.
-pub struct Engine {
+///
+/// Generic over an [`EventSink`]; the default [`NullSink`] reports itself
+/// disabled, so every emission site below compiles away and a plain
+/// [`Engine::new`]/[`Engine::run`] is instruction-for-instruction the
+/// unobserved simulator. Construct with [`Engine::with_sink`] and run with
+/// [`Engine::run_with_sink`] to capture the cycle-stamped event stream.
+pub struct Engine<S: EventSink = NullSink> {
     alloc: Box<dyn ContextAllocator>,
     sched: SchedCosts,
     governor: UnloadGovernor,
@@ -83,12 +78,16 @@ pub struct Engine {
     stats: SimStats,
     resident_integral: u128,
     next_checkpoint: u64,
+    /// Multiplier on `checkpoint_interval`, doubled at each decimation of
+    /// the checkpoint reservoir.
+    checkpoint_stride: u64,
     /// Last cycle at which the supply queue held a runnable thread.
     last_pressure: u64,
+    sink: S,
 }
 
 impl Engine {
-    /// Creates an engine.
+    /// Creates an unobserved engine (the default [`NullSink`]).
     ///
     /// # Errors
     ///
@@ -101,6 +100,24 @@ impl Engine {
         policy: UnloadPolicyKind,
         workload: Workload,
         opts: SimOptions,
+    ) -> Result<Self, String> {
+        Engine::with_sink(alloc, sched, policy, workload, opts, NullSink)
+    }
+}
+
+impl<S: EventSink> Engine<S> {
+    /// Creates an engine whose state transitions stream into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::new`].
+    pub fn with_sink(
+        alloc: Box<dyn ContextAllocator>,
+        sched: SchedCosts,
+        policy: UnloadPolicyKind,
+        workload: Workload,
+        opts: SimOptions,
+        sink: S,
     ) -> Result<Self, String> {
         opts.validate()?;
         for t in &workload.threads {
@@ -134,12 +151,28 @@ impl Engine {
             stats: SimStats { transient_trim: trim, ..SimStats::default() },
             resident_integral: 0,
             next_checkpoint: checkpoint,
+            checkpoint_stride: 1,
             last_pressure: 0,
+            sink,
         })
     }
 
     /// Runs to completion (or the cycle horizon) and returns the statistics.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_with_sink().0
+    }
+
+    /// Runs like [`Engine::run`] and additionally hands back the sink, so a
+    /// recording sink's event stream survives the run. The simulated
+    /// statistics are identical to `run()`'s for any sink: emission never
+    /// touches engine state.
+    pub fn run_with_sink(mut self) -> (SimStats, S) {
+        self.emit(EventKind::RunStart {
+            threads: self.threads.len(),
+            checkpoint_interval: self.opts.checkpoint_interval,
+            checkpoint_cap: self.opts.checkpoint_cap,
+            transient_trim: self.opts.transient_trim,
+        });
         loop {
             self.drain_events();
             if !self.supply.is_empty() {
@@ -187,7 +220,11 @@ impl Engine {
         } else {
             None
         };
-        self.stats
+        self.emit(EventKind::RunEnd {
+            total_cycles: self.stats.total_cycles,
+            supply_drained_at: self.stats.supply_drained_at,
+        });
+        (self.stats, self.sink)
     }
 
     /// Runs like [`Engine::run`] while timing the host-side wall clock.
@@ -202,28 +239,54 @@ impl Engine {
         TracedRun { stats, wall_nanos }
     }
 
-    /// Charges `dt` cycles to `bucket`, advancing time and bookkeeping.
-    fn spend(&mut self, dt: u64, bucket: Bucket) {
+    /// Emits a cycle-stamped event when the sink is listening. The whole
+    /// call — including construction of `kind` at every call site, which is
+    /// guarded by the same `enabled()` test — folds away for [`NullSink`].
+    fn emit(&mut self, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.emit(Event { cycle: self.now, kind });
+        }
+    }
+
+    /// Charges `dt` cycles to `bucket` on behalf of `who`, advancing time
+    /// and bookkeeping. The emitted charge is stamped at the *pre-charge*
+    /// cycle and carries the pre-charge residency (exactly what the
+    /// resident integral accrues), making the stream fully self-accounting:
+    /// consecutive charges tile the timeline with no gaps or overlaps.
+    fn spend(&mut self, dt: u64, bucket: CostBucket, who: Option<usize>) {
         if dt == 0 {
             return;
+        }
+        if self.sink.enabled() {
+            let kind = EventKind::Charge {
+                bucket,
+                cycles: dt,
+                resident: self.ring.len(),
+                thread: who,
+            };
+            self.sink.emit(Event { cycle: self.now, kind });
         }
         self.now += dt;
         self.resident_integral += self.ring.len() as u128 * u128::from(dt);
         let b = &mut self.stats;
         *match bucket {
-            Bucket::Busy => &mut b.busy_cycles,
-            Bucket::Switch => &mut b.switch_cycles,
-            Bucket::Spin => &mut b.spin_cycles,
-            Bucket::Alloc => &mut b.alloc_cycles,
-            Bucket::Dealloc => &mut b.dealloc_cycles,
-            Bucket::Load => &mut b.load_cycles,
-            Bucket::Unload => &mut b.unload_cycles,
-            Bucket::Queue => &mut b.queue_cycles,
-            Bucket::Idle => &mut b.idle_cycles,
+            CostBucket::Busy => &mut b.busy_cycles,
+            CostBucket::Switch => &mut b.switch_cycles,
+            CostBucket::Spin => &mut b.spin_cycles,
+            CostBucket::Alloc => &mut b.alloc_cycles,
+            CostBucket::Dealloc => &mut b.dealloc_cycles,
+            CostBucket::Load => &mut b.load_cycles,
+            CostBucket::Unload => &mut b.unload_cycles,
+            CostBucket::Queue => &mut b.queue_cycles,
+            CostBucket::Idle => &mut b.idle_cycles,
         } += dt;
         while self.now >= self.next_checkpoint {
             self.stats.checkpoints.push((self.now, self.stats.busy_cycles));
-            self.next_checkpoint += self.opts.checkpoint_interval;
+            self.next_checkpoint += self.opts.checkpoint_interval * self.checkpoint_stride;
+            if self.stats.checkpoints.len() >= self.opts.checkpoint_cap {
+                decimate_checkpoints(&mut self.stats.checkpoints);
+                self.checkpoint_stride *= 2;
+            }
         }
     }
 
@@ -238,10 +301,12 @@ impl Engine {
                 Phase::ResidentBlocked { wake: w } if w <= self.now => {
                     self.threads[tid].phase = Phase::ResidentReady;
                     self.governor.clear(tid);
+                    self.emit(EventKind::ThreadResume { thread: tid });
                 }
                 Phase::BlockedUnloaded { wake: w } if w <= self.now => {
                     self.threads[tid].phase = Phase::ReadyUnloaded;
                     self.supply.push_back(tid);
+                    self.emit(EventKind::ThreadRequeue { thread: tid });
                 }
                 // Stale event (the thread was unloaded and re-queued, or
                 // already handled); each fault pushes exactly one event, so
@@ -259,12 +324,14 @@ impl Engine {
     /// policy's bookkeeping), so dispatch itself is charged identically.
     fn dispatch_ready(&mut self) -> Option<usize> {
         let now = self.now;
-        let tid = self
+        let (hops, tid) = self
             .ring
             .sweep()
-            .find(|&t| self.threads[t].is_ready_at(now))?;
+            .enumerate()
+            .find(|&(_, t)| self.threads[t].is_ready_at(now))?;
         self.ring.focus(tid);
-        self.spend(u64::from(self.sched.context_switch), Bucket::Switch);
+        self.emit(EventKind::SwitchTo { thread: tid, hops });
+        self.spend(u64::from(self.sched.context_switch), CostBucket::Switch, Some(tid));
         self.threads[tid].phase = Phase::ResidentReady;
         self.governor.clear(tid);
         Some(tid)
@@ -292,9 +359,15 @@ impl Engine {
             if self.threads[tid].is_ready_at(self.now) {
                 return true; // a wakeup beat the sweep; dispatch it instead
             }
-            self.spend(s, Bucket::Spin);
+            self.spend(s, CostBucket::Spin, Some(tid));
             let unload_cost = self.sched.unload_cost(self.threads[tid].spec.regs_needed);
-            if self.governor.failed_attempt(tid, s, unload_cost) == UnloadDecision::Unload {
+            let decision = self.governor.failed_attempt(tid, s, unload_cost);
+            if self.sink.enabled() {
+                let accumulated = self.governor.accumulated(tid);
+                let budget = self.governor.spin_budget(unload_cost).unwrap_or(0);
+                self.emit(EventKind::SpinStep { thread: tid, accumulated, budget });
+            }
+            if decision == UnloadDecision::Unload {
                 self.unload(tid);
                 return true;
             }
@@ -305,16 +378,18 @@ impl Engine {
     /// Unloads a blocked resident context, freeing its registers.
     fn unload(&mut self, tid: usize) {
         let regs = self.threads[tid].spec.regs_needed;
-        self.spend(self.sched.unload_cost(regs), Bucket::Unload);
-        self.spend(u64::from(self.sched.queue_op), Bucket::Queue);
+        self.spend(self.sched.unload_cost(regs), CostBucket::Unload, Some(tid));
+        self.spend(u64::from(self.sched.queue_op), CostBucket::Queue, Some(tid));
         let costs = self.alloc.costs();
-        self.spend(u64::from(costs.dealloc), Bucket::Dealloc);
+        self.spend(u64::from(costs.dealloc), CostBucket::Dealloc, Some(tid));
         let ctx = self.threads[tid].ctx.take().expect("resident thread has a context");
+        let base = ctx.base();
         self.alloc.dealloc(ctx).expect("live context deallocates");
         self.alloc_blocked_for = None;
         self.ring.remove(tid);
         self.governor.clear(tid);
         self.stats.unloads += 1;
+        self.emit(EventKind::ContextUnload { thread: tid, regs, base, resident: self.ring.len() });
         let wake = match self.threads[tid].phase {
             Phase::ResidentBlocked { wake } => wake,
             other => unreachable!("unloading a non-blocked context: {other:?}"),
@@ -322,6 +397,7 @@ impl Engine {
         if wake <= self.now {
             self.threads[tid].phase = Phase::ReadyUnloaded;
             self.supply.push_back(tid);
+            self.emit(EventKind::ThreadRequeue { thread: tid });
         } else {
             self.threads[tid].phase = Phase::BlockedUnloaded { wake };
         }
@@ -353,9 +429,12 @@ impl Engine {
         let costs = self.alloc.costs();
         match self.alloc.alloc(regs) {
             Some(ctx) => {
-                self.spend(u64::from(costs.alloc_success), Bucket::Alloc);
-                self.spend(u64::from(self.sched.queue_op), Bucket::Queue);
-                self.spend(self.sched.load_cost(regs), Bucket::Load);
+                let first_time = matches!(self.threads[tid].phase, Phase::Unstarted);
+                let base = ctx.base();
+                self.emit(EventKind::AllocSuccess { thread: tid, regs });
+                self.spend(u64::from(costs.alloc_success), CostBucket::Alloc, Some(tid));
+                self.spend(u64::from(self.sched.queue_op), CostBucket::Queue, Some(tid));
+                self.spend(self.sched.load_cost(regs), CostBucket::Load, Some(tid));
                 self.supply.pop_front();
                 self.threads[tid].ctx = Some(ctx);
                 self.threads[tid].phase = Phase::ResidentReady;
@@ -363,10 +442,20 @@ impl Engine {
                 self.stats.allocs += 1;
                 self.stats.loads += 1;
                 self.stats.max_resident = self.stats.max_resident.max(self.ring.len());
+                if first_time {
+                    self.emit(EventKind::ThreadSpawn { thread: tid });
+                }
+                self.emit(EventKind::ContextLoad {
+                    thread: tid,
+                    regs,
+                    base,
+                    resident: self.ring.len(),
+                });
                 LoadOutcome::Loaded
             }
             None => {
-                self.spend(u64::from(costs.alloc_failure), Bucket::Alloc);
+                self.emit(EventKind::AllocFailure { thread: tid, regs });
+                self.spend(u64::from(costs.alloc_failure), CostBucket::Alloc, Some(tid));
                 self.stats.alloc_failures += 1;
                 self.alloc_blocked_for = Some(tid);
                 LoadOutcome::NeedSpace
@@ -381,7 +470,7 @@ impl Engine {
             run = intf.scale_run(run, self.ring.len());
         }
         let run = run.min(self.threads[tid].remaining);
-        self.spend(run, Bucket::Busy);
+        self.spend(run, CostBucket::Busy, Some(tid));
         self.threads[tid].remaining -= run;
         if self.threads[tid].remaining == 0 {
             self.complete(tid);
@@ -391,13 +480,14 @@ impl Engine {
             self.threads[tid].phase = Phase::ResidentBlocked { wake };
             self.events.push(Reverse((wake, tid)));
             self.stats.faults += 1;
+            self.emit(EventKind::Fault { thread: tid, latency, wake });
         }
     }
 
     /// Retires a completed thread, freeing its context.
     fn complete(&mut self, tid: usize) {
         let costs = self.alloc.costs();
-        self.spend(u64::from(costs.dealloc), Bucket::Dealloc);
+        self.spend(u64::from(costs.dealloc), CostBucket::Dealloc, Some(tid));
         let ctx = self.threads[tid].ctx.take().expect("running thread has a context");
         self.alloc.dealloc(ctx).expect("live context deallocates");
         self.alloc_blocked_for = None;
@@ -406,6 +496,7 @@ impl Engine {
         self.threads[tid].phase = Phase::Done;
         self.stats.completed_threads += 1;
         self.stats.completions.push((tid, self.now));
+        self.emit(EventKind::ThreadComplete { thread: tid });
     }
 
     /// Advances time to the next fault completion. Returns `false` when no
@@ -415,7 +506,9 @@ impl Engine {
         match self.events.peek() {
             Some(&Reverse((wake, _))) if wake > self.now => {
                 let dt = wake - self.now;
-                self.spend(dt, Bucket::Idle);
+                self.emit(EventKind::IdleStart { until: wake });
+                self.spend(dt, CostBucket::Idle, None);
+                self.emit(EventKind::IdleEnd);
                 true
             }
             Some(_) => true, // due event; the next drain applies it

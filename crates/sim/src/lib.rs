@@ -42,17 +42,23 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod accountant;
 pub mod adaptive;
 pub mod engine;
 pub mod interference;
+pub mod metrics;
 pub mod options;
 pub mod stats;
 pub mod thread;
+pub mod trace_export;
 
+pub use accountant::EventAccountant;
 pub use engine::{Engine, TracedRun};
 pub use interference::InterferenceModel;
+pub use metrics::{HistBucket, LogHistogram, MetricsReport, MetricsWindow};
 pub use options::{DispatchMode, SimOptions};
-pub use stats::SimStats;
+pub use stats::{decimate_checkpoints, SimStats};
+pub use trace_export::chrome_trace_json;
 
 /// Version of the simulator's *behavior*, independent of the crate version.
 ///
@@ -61,4 +67,9 @@ pub use stats::SimStats;
 /// fault timing, RNG consumption. The experiment cache keys every stored
 /// result on this constant (via its salt), so bumping it atomically orphans
 /// all previously stored points instead of silently serving stale physics.
-pub const CODE_VERSION: u32 = 1;
+///
+/// Version 2: checkpoint recording gained a decimating reservoir
+/// (`SimOptions::checkpoint_cap`). Default-capped runs are byte-identical
+/// to version 1, but the *possible* checkpoint shapes differ, so stored
+/// records rotate.
+pub const CODE_VERSION: u32 = 2;

@@ -40,6 +40,12 @@ pub struct SimOptions {
     /// Cycle spacing of the efficiency checkpoints used for transient
     /// exclusion.
     pub checkpoint_interval: u64,
+    /// Decimating-reservoir cap on stored checkpoints: when the count
+    /// reaches this, every second checkpoint is dropped and the effective
+    /// interval doubles, bounding memory on long horizons while keeping
+    /// even coverage. The default (65536) is above what any paper-figure
+    /// horizon produces, so default runs never decimate.
+    pub checkpoint_cap: usize,
     /// Fraction of the run trimmed from each end when computing the
     /// steady-state efficiency (the paper excludes "transient startup and
     /// completion effects").
@@ -54,6 +60,7 @@ impl Default for SimOptions {
             resident_limit: None,
             interference: None,
             checkpoint_interval: 1024,
+            checkpoint_cap: 65536,
             transient_trim: 0.1,
         }
     }
@@ -81,6 +88,12 @@ impl SimOptions {
         }
         if self.checkpoint_interval == 0 {
             return Err("checkpoint_interval must be positive".into());
+        }
+        if self.checkpoint_cap < 2 {
+            return Err(format!(
+                "checkpoint_cap {} cannot decimate; need at least 2",
+                self.checkpoint_cap
+            ));
         }
         if !(0.0..0.5).contains(&self.transient_trim) {
             return Err(format!("transient_trim {} must be in [0, 0.5)", self.transient_trim));
@@ -110,6 +123,8 @@ mod tests {
         let o = SimOptions { transient_trim: 0.5, ..SimOptions::default() };
         assert!(o.validate().is_err());
         let o = SimOptions { resident_limit: Some(0), ..SimOptions::default() };
+        assert!(o.validate().is_err());
+        let o = SimOptions { checkpoint_cap: 1, ..SimOptions::default() };
         assert!(o.validate().is_err());
     }
 }

@@ -134,6 +134,25 @@ impl SimStats {
     }
 }
 
+/// One decimation step of the checkpoint reservoir: drops every second
+/// checkpoint (keeping indices 0, 2, 4, …), halving the stored count while
+/// preserving even temporal coverage. The engine calls this whenever the
+/// vector reaches `SimOptions::checkpoint_cap` and doubles its recording
+/// stride, so memory stays bounded on arbitrarily long horizons.
+///
+/// Because `(cycle, cumulative busy)` pairs are *cumulative*, any surviving
+/// pair is still exact — decimation only coarsens the granularity at which
+/// [`SimStats::efficiency`] can place its window edges, it never biases the
+/// busy-cycle deltas between them.
+pub fn decimate_checkpoints(checkpoints: &mut Vec<(u64, u64)>) {
+    let mut i = 0usize;
+    checkpoints.retain(|_| {
+        let keep = i.is_multiple_of(2);
+        i += 1;
+        keep
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +195,43 @@ mod tests {
     fn degenerate_checkpoints_fall_back_to_full() {
         let s = stats_with(1000, 600, vec![(500, 300)]);
         assert_eq!(s.efficiency(), s.efficiency_full());
+    }
+
+    #[test]
+    fn decimation_keeps_even_indices() {
+        let mut cps: Vec<(u64, u64)> = (0..8).map(|i| (i * 100, i * 10)).collect();
+        decimate_checkpoints(&mut cps);
+        assert_eq!(cps, vec![(0, 0), (200, 20), (400, 40), (600, 60)]);
+        let mut one = vec![(5, 5)];
+        decimate_checkpoints(&mut one);
+        assert_eq!(one, vec![(5, 5)]);
+        let mut none: Vec<(u64, u64)> = vec![];
+        decimate_checkpoints(&mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn efficiency_window_survives_decimation() {
+        // Dense checkpoints vs the same run decimated twice: the steady
+        // window efficiency stays within one checkpoint of granularity.
+        let checkpoints: Vec<(u64, u64)> = (0..=100)
+            .map(|i| {
+                let t = i * 100;
+                let b = t.clamp(2000, 8000) - 2000;
+                (t, b)
+            })
+            .collect();
+        let dense = stats_with(10_000, 6000, checkpoints.clone());
+        let mut coarse_cps = checkpoints;
+        decimate_checkpoints(&mut coarse_cps);
+        decimate_checkpoints(&mut coarse_cps);
+        let coarse = stats_with(10_000, 6000, coarse_cps);
+        assert!(
+            (dense.efficiency() - coarse.efficiency()).abs() < 0.06,
+            "dense {} vs decimated {}",
+            dense.efficiency(),
+            coarse.efficiency()
+        );
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Chrome `trace_event` JSON export of event streams.
+//!
+//! Emits the subset of the [Trace Event Format] that Perfetto and
+//! `chrome://tracing` both render: complete slices (`ph:"X"`) for cycle
+//! charges, instants (`ph:"i"`) for faults and allocation failures, and
+//! duration begin/end pairs (`ph:"B"`/`"E"`) for context residency. One
+//! process per architecture run; within it, track 0 is the scheduler
+//! (idle and other unattributed charges), one track per software thread,
+//! and one track per hardware context base register showing which thread
+//! occupies it — the paper's register file, drawn over time.
+//!
+//! Timestamps are microseconds in the format; we map **1 simulated cycle to
+//! 1 µs**, so Perfetto's "µs" readout is really "cycles" (noted in
+//! `otherData`). The JSON is handcrafted (no serializer round-trip): the
+//! format is flat and append-only, and a run can emit hundreds of thousands
+//! of slices.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use rr_runtime::{Event, EventKind};
+
+/// Offset separating context-track ids from thread-track ids within a
+/// process: context base `b` renders as tid `CONTEXT_TRACK_BASE + b`.
+const CONTEXT_TRACK_BASE: u64 = 100_000;
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn meta(out: &mut Vec<String>, pid: u32, tid: u64, which: &str, name: &str) {
+    out.push(format!(
+        "{{\"name\":\"{which}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    ));
+}
+
+fn slice(out: &mut Vec<String>, pid: u32, tid: u64, name: &str, ts: u64, dur: u64, args: &str) {
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+         \"dur\":{dur}{}}}",
+        esc(name),
+        if args.is_empty() { String::new() } else { format!(",\"args\":{{{args}}}") }
+    ));
+}
+
+fn instant(out: &mut Vec<String>, pid: u32, tid: u64, name: &str, ts: u64, args: &str) {
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts}{}}}",
+        esc(name),
+        if args.is_empty() { String::new() } else { format!(",\"args\":{{{args}}}") }
+    ));
+}
+
+/// Renders the events of one process (one architecture run) into `out`.
+fn emit_process(out: &mut Vec<String>, pid: u32, name: &str, events: &[Event]) {
+    meta(out, pid, 0, "process_name", name);
+    meta(out, pid, 0, "thread_name", "scheduler");
+    let mut named_threads: Vec<usize> = Vec::new();
+    let mut named_contexts: Vec<u16> = Vec::new();
+    // thread -> context base, while resident (for closing B/E pairs).
+    let mut occupying: Vec<(usize, u16)> = Vec::new();
+
+    for e in events {
+        match e.kind {
+            EventKind::Charge { bucket, cycles, thread, .. } => {
+                let tid = match thread {
+                    Some(t) => {
+                        if !named_threads.contains(&t) {
+                            named_threads.push(t);
+                            meta(out, pid, t as u64 + 1, "thread_name", &format!("thread {t}"));
+                        }
+                        t as u64 + 1
+                    }
+                    None => 0,
+                };
+                slice(out, pid, tid, bucket.label(), e.cycle, cycles, "");
+            }
+            EventKind::Fault { thread, latency, wake } => {
+                instant(
+                    out,
+                    pid,
+                    thread as u64 + 1,
+                    "fault",
+                    e.cycle,
+                    &format!("\"latency\":{latency},\"wake\":{wake}"),
+                );
+            }
+            EventKind::AllocFailure { thread, regs } => {
+                instant(
+                    out,
+                    pid,
+                    0,
+                    "alloc failure",
+                    e.cycle,
+                    &format!("\"thread\":{thread},\"regs\":{regs}"),
+                );
+            }
+            EventKind::ContextLoad { thread, regs, base, .. } => {
+                if !named_contexts.contains(&base) {
+                    named_contexts.push(base);
+                    meta(
+                        out,
+                        pid,
+                        CONTEXT_TRACK_BASE + u64::from(base),
+                        "thread_name",
+                        &format!("context @r{base}"),
+                    );
+                }
+                occupying.push((thread, base));
+                out.push(format!(
+                    "{{\"name\":\"thread {thread}\",\"ph\":\"B\",\"pid\":{pid},\
+                     \"tid\":{},\"ts\":{},\"args\":{{\"regs\":{regs}}}}}",
+                    CONTEXT_TRACK_BASE + u64::from(base),
+                    e.cycle
+                ));
+            }
+            EventKind::ContextUnload { thread, base, .. } => {
+                occupying.retain(|&(t, _)| t != thread);
+                out.push(format!(
+                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{},\"ts\":{}}}",
+                    CONTEXT_TRACK_BASE + u64::from(base),
+                    e.cycle
+                ));
+            }
+            EventKind::ThreadComplete { thread } => {
+                // A completing thread's context frees without a
+                // ContextUnload (that event is policy eviction only).
+                if let Some(pos) = occupying.iter().position(|&(t, _)| t == thread) {
+                    let (_, base) = occupying.remove(pos);
+                    out.push(format!(
+                        "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{},\"ts\":{}}}",
+                        CONTEXT_TRACK_BASE + u64::from(base),
+                        e.cycle
+                    ));
+                }
+                instant(out, pid, thread as u64 + 1, "complete", e.cycle, "");
+            }
+            EventKind::ThreadSpawn { thread } => {
+                instant(out, pid, thread as u64 + 1, "spawn", e.cycle, "");
+            }
+            EventKind::RunEnd { total_cycles, .. } => {
+                // Close any contexts still resident at the horizon.
+                for &(_, base) in &occupying {
+                    out.push(format!(
+                        "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{},\"ts\":{total_cycles}}}",
+                        CONTEXT_TRACK_BASE + u64::from(base)
+                    ));
+                }
+                occupying.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Renders one or more processes' event streams as a Chrome
+/// `trace_event`-format JSON document. Each `(pid, name, events)` tuple
+/// becomes one process group in the Perfetto UI.
+pub fn chrome_trace_json(processes: &[(u32, &str, &[Event])]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for &(pid, name, events) in processes {
+        emit_process(&mut out, pid, name, events);
+    }
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&out.join(",\n"));
+    doc.push_str(
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\
+         \"time_unit\":\"1 us = 1 simulated cycle\"}}",
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_runtime::CostBucket;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                cycle: 0,
+                kind: EventKind::RunStart {
+                    threads: 1,
+                    checkpoint_interval: 1024,
+                    checkpoint_cap: 65536,
+                    transient_trim: 0.1,
+                },
+            },
+            Event { cycle: 0, kind: EventKind::AllocSuccess { thread: 0, regs: 8 } },
+            Event { cycle: 0, kind: EventKind::ThreadSpawn { thread: 0 } },
+            Event {
+                cycle: 0,
+                kind: EventKind::ContextLoad { thread: 0, regs: 8, base: 32, resident: 1 },
+            },
+            Event {
+                cycle: 0,
+                kind: EventKind::Charge {
+                    bucket: CostBucket::Busy,
+                    cycles: 40,
+                    resident: 1,
+                    thread: Some(0),
+                },
+            },
+            Event { cycle: 40, kind: EventKind::Fault { thread: 0, latency: 100, wake: 140 } },
+            Event {
+                cycle: 40,
+                kind: EventKind::Charge {
+                    bucket: CostBucket::Idle,
+                    cycles: 100,
+                    resident: 1,
+                    thread: None,
+                },
+            },
+            Event { cycle: 140, kind: EventKind::ThreadComplete { thread: 0 } },
+            Event {
+                cycle: 140,
+                kind: EventKind::RunEnd { total_cycles: 140, supply_drained_at: Some(0) },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_tracks() {
+        let events = sample_events();
+        let doc = chrome_trace_json(&[(1, "flexible", &events)]);
+        let parsed = serde_json::from_str::<serde::Value>(&doc).unwrap();
+        let top = match &parsed {
+            serde::Value::Object(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let trace_events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| match v {
+                serde::Value::Array(a) => a,
+                other => panic!("traceEvents must be an array, got {other:?}"),
+            })
+            .unwrap();
+        assert!(trace_events.len() >= 8, "got {}", trace_events.len());
+        // Process metadata, a busy slice on the thread track, an idle slice
+        // on the scheduler track, a fault instant, and a closed context pair.
+        let rendered = doc.as_str();
+        assert!(rendered.contains("\"process_name\""));
+        assert!(rendered.contains("\"flexible\""));
+        assert!(rendered.contains("\"context @r32\""));
+        assert!(rendered.contains("\"ph\":\"B\""));
+        assert!(rendered.contains("\"ph\":\"E\""));
+        assert!(rendered.contains("\"fault\""));
+        assert!(rendered.contains("\"run\""));
+        assert!(rendered.contains("\"idle\""));
+    }
+
+    #[test]
+    fn context_closes_at_horizon_if_still_resident() {
+        let mut events = sample_events();
+        // Drop the completion so the context is still resident at RunEnd.
+        events.retain(|e| !matches!(e.kind, EventKind::ThreadComplete { .. }));
+        let doc = chrome_trace_json(&[(1, "flexible", &events)]);
+        serde_json::from_str::<serde::Value>(&doc).unwrap();
+        let begins = doc.matches("\"ph\":\"B\"").count();
+        let ends = doc.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "every context B has a matching E");
+    }
+
+    #[test]
+    fn two_processes_use_distinct_pids() {
+        let events = sample_events();
+        let doc = chrome_trace_json(&[(1, "fixed", &events), (2, "flexible", &events)]);
+        serde_json::from_str::<serde::Value>(&doc).unwrap();
+        assert!(doc.contains("\"pid\":1"));
+        assert!(doc.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn escaping_handles_special_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain"), "plain");
+    }
+}

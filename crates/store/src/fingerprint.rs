@@ -32,6 +32,22 @@ impl Fingerprint {
         Fingerprint(h.finalize())
     }
 
+    /// Fingerprints raw bytes under a salt *and* a record-kind domain tag,
+    /// so records of different kinds (e.g. a sweep point's result and that
+    /// same point's trace-metrics summary) can share one salt without any
+    /// risk of key collision. The domain gets its own length prefix, so
+    /// `of_domain(s, "", v)` still differs from `of_bytes(s, v)`.
+    pub fn of_domain(salt: &str, domain: &str, value: &[u8]) -> Fingerprint {
+        let mut h = Sha256::new();
+        h.update(&(salt.len() as u64).to_le_bytes());
+        h.update(salt.as_bytes());
+        h.update(&(domain.len() as u64).to_le_bytes());
+        h.update(domain.as_bytes());
+        h.update(&(value.len() as u64).to_le_bytes());
+        h.update(value);
+        Fingerprint(h.finalize())
+    }
+
     /// Fingerprints a serializable value under a salt, via its canonical
     /// compact JSON.
     ///
@@ -97,6 +113,21 @@ mod tests {
             Fingerprint::of_bytes("", b"ab"),
             Fingerprint::of_bytes("ab", b""),
         );
+    }
+
+    #[test]
+    fn domain_tag_separates_record_kinds() {
+        let point = Fingerprint::of_bytes("salt", b"spec");
+        let trace = Fingerprint::of_domain("salt", "trace", b"spec");
+        assert_ne!(point, trace, "same salt+bytes, different kinds");
+        // The empty domain is still distinct from the undomained form.
+        assert_ne!(point, Fingerprint::of_domain("salt", "", b"spec"));
+        // And the domain boundary cannot be shifted into the value.
+        assert_ne!(
+            Fingerprint::of_domain("salt", "ab", b"c"),
+            Fingerprint::of_domain("salt", "a", b"bc"),
+        );
+        assert_eq!(trace, Fingerprint::of_domain("salt", "trace", b"spec"));
     }
 
     #[test]

@@ -159,6 +159,71 @@ fn fig5_warm_cache_run_is_byte_identical() {
     assert_eq!(cold_json, warm_json, "warm JSON must byte-match the cold run");
 }
 
+/// `rr trace` deep-dives one grid point: terminal summary on stdout, a
+/// parseable Chrome trace with events from both architectures, and a
+/// schema-versioned metrics record.
+#[test]
+fn trace_subcommand_produces_summary_trace_and_metrics() {
+    let trace_path = tempfile::NamedFile::new("point.trace.json").path.clone();
+    let metrics_path = tempfile::NamedFile::new("point.metrics.json").path.clone();
+    let out = rr()
+        .args(["trace", "fig5", "--point", "64,8,100", "--seed", "7"])
+        .args(["--threads", "8", "--work", "2000", "--no-store"])
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("trace: F=64 R=8 L=100"), "{text}");
+    assert!(text.contains("efficiency"), "{text}");
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    serde_json::from_str::<serde::Value>(&trace).expect("trace parses as JSON");
+    assert!(trace.matches("\"ph\":\"X\"").count() > 0, "trace has duration slices");
+    assert!(trace.contains("\"pid\":1") && trace.contains("\"pid\":2"));
+
+    let metrics = register_relocation::trace::TraceMetricsRecord::from_json(
+        &std::fs::read_to_string(&metrics_path).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(metrics.file_size, 64);
+    assert_eq!(metrics.seed, 7);
+    assert!(metrics.fixed_events > 0 && metrics.flexible_events > 0);
+}
+
+#[test]
+fn trace_rejects_off_grid_points_and_prints_examples() {
+    let out = rr()
+        .args(["trace", "fig5", "--point", "64,9,100", "--no-store"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("not on the"), "{err}");
+
+    let help = rr().args(["trace", "--help"]).output().unwrap();
+    assert!(help.status.success());
+    let text = String::from_utf8(help.stdout).unwrap();
+    assert!(text.contains("Examples"), "{text}");
+    assert!(text.contains("--point"), "{text}");
+}
+
+/// `rr help --list` prints bare subcommand names for shell completion.
+#[test]
+fn help_list_is_completion_friendly() {
+    let out = rr().args(["help", "--list"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let subs: Vec<&str> = text.lines().collect();
+    for expected in ["asm", "fig5", "trace", "cache", "help"] {
+        assert!(subs.contains(&expected), "missing `{expected}` in {subs:?}");
+    }
+    assert!(subs.iter().all(|s| !s.contains(' ')), "bare names only: {subs:?}");
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     let out = rr().arg("asm").arg("/nonexistent/file.s").output().unwrap();

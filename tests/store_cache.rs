@@ -208,6 +208,46 @@ fn panel_sweep_reuses_full_grid_points_with_rebased_indices() {
     }
 }
 
+/// Trace-metrics records live in the same store, under the same salt, as
+/// sweep points — but behind a domain-tagged key, so the two record kinds
+/// can never collide, and a warm sweep never mistakes a metrics summary
+/// for a point result.
+#[test]
+fn trace_records_coexist_with_point_records() {
+    use register_relocation::trace::{persist_trace_metrics, TracedPoint};
+
+    let dir = TempDir::new("trace-domain");
+    let grid = mini_grid(26);
+    runner(&dir).run(&grid).unwrap();
+
+    let store = cache::open_store(&dir.0).unwrap();
+    let spec = grid.points()[0].spec;
+    let traced = TracedPoint::run(&spec).unwrap();
+    let record = persist_trace_metrics(&store, &traced).unwrap();
+    assert!(record.fixed_events > 0);
+
+    // Both record kinds are simultaneously retrievable under one salt.
+    let point_key = cache::point_key(&spec, store.salt()).unwrap();
+    let trace_key = cache::trace_key(&spec, store.salt()).unwrap();
+    assert_ne!(point_key, trace_key);
+    let Lookup::Hit(point_bytes) = store.get(&point_key).unwrap() else {
+        panic!("sweep point record still present");
+    };
+    let _: PointReport = serde_json::from_str(std::str::from_utf8(&point_bytes).unwrap()).unwrap();
+    let Lookup::Hit(trace_bytes) = store.get(&trace_key).unwrap() else {
+        panic!("trace metrics record present");
+    };
+    let back = register_relocation::trace::TraceMetricsRecord::from_json(
+        std::str::from_utf8(&trace_bytes).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(back, record);
+
+    // The extra record does not confuse a warm sweep.
+    let warm = runner(&dir).run(&grid).unwrap();
+    assert_eq!(warm.cache.hits, 2);
+}
+
 /// The canonical spec serialization (and therefore every stored key) must
 /// never drift silently: a fixed spec under a fixed salt hashes to a fixed
 /// address. If this test fails, a format change invalidated every existing
