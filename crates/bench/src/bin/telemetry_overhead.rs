@@ -1,0 +1,93 @@
+//! Measures the cost of the host-telemetry registry on the sweep hot path.
+//!
+//! Two numbers, multiplied:
+//!
+//! 1. **Per-operation cost** — a tight loop of relaxed `SharedIncMetric`
+//!    increments (the only thing instrumentation adds to the hot path).
+//! 2. **Operations per sweep** — counted from the registry itself: the
+//!    delta of every counter across a Figure 5 panel sweep, plus a
+//!    generous allowance for the timing `add`s that accompany each point.
+//!
+//! Their product, as a fraction of the sweep's wall clock, is the
+//! registry's worst-case overhead. The budget is **2%**; in practice the
+//! measurement lands around a millionth of that, because a sweep point
+//! costs milliseconds of simulation and nanoseconds of accounting. Exits
+//! nonzero if the budget is exceeded.
+//!
+//! `cargo run --release --bin telemetry_overhead`
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use register_relocation::experiments::ExperimentSpec;
+use register_relocation::sweep::{SweepGrid, SweepRunner};
+use rr_telemetry::{IncMetric, MetricsSnapshot, SharedIncMetric, METRICS};
+
+const INC_LOOPS: u64 = 10_000_000;
+const SWEEP_RUNS: usize = 5;
+const BUDGET_PERCENT: f64 = 2.0;
+
+/// Nanoseconds per relaxed increment, from a tight loop on one counter.
+fn ns_per_increment() -> f64 {
+    static COUNTER: SharedIncMetric = SharedIncMetric::new();
+    let started = Instant::now();
+    for _ in 0..INC_LOOPS {
+        COUNTER.inc();
+    }
+    let nanos = started.elapsed().as_nanos() as f64;
+    assert_eq!(COUNTER.count(), INC_LOOPS, "the loop must not be optimized away");
+    nanos / INC_LOOPS as f64
+}
+
+/// Sum of every *event-counting* metric in a snapshot: diffed across a
+/// run, the number of counting operations. The `*_nanos` fields hold
+/// durations, not op counts, so they are excluded here and covered by the
+/// per-point timing allowance below.
+fn counter_ops(snap: &MetricsSnapshot) -> u64 {
+    snap.groups
+        .iter()
+        .flat_map(|g| g.values.iter())
+        .filter(|(field, _)| !field.ends_with("_nanos"))
+        .map(|&(_, v)| v)
+        .sum()
+}
+
+fn main() -> ExitCode {
+    let ns_per_op = ns_per_increment();
+    println!("relaxed increment: {ns_per_op:.2} ns/op ({INC_LOOPS} ops)");
+
+    let mut grid = SweepGrid::figure5_panel(64, 1993);
+    grid.base = ExperimentSpec { threads: 8, work_per_thread: 2_000, ..grid.base };
+    let runner = SweepRunner::new(1).with_progress(false);
+
+    let mut worst_percent: f64 = 0.0;
+    for run in 0..SWEEP_RUNS {
+        let before = counter_ops(&METRICS.snapshot());
+        let started = Instant::now();
+        let result = runner.run(&grid).expect("sweep runs");
+        let wall = started.elapsed().as_nanos() as f64;
+        let after = counter_ops(&METRICS.snapshot());
+        // Every timing add rides along with a counted event; the nanos
+        // counters' *values* are durations, not op counts, so bound the
+        // timing ops at a generous 8 per point instead of diffing them.
+        let ops = (after - before) + 8 * result.report.points.len() as u64;
+        let overhead_ns = ops as f64 * ns_per_op;
+        let percent = 100.0 * overhead_ns / wall;
+        worst_percent = worst_percent.max(percent);
+        println!(
+            "sweep {run}: {} points, {:.1} ms wall, ~{ops} metric ops, \
+             overhead {overhead_ns:.0} ns = {percent:.5}%",
+            result.report.points.len(),
+            wall / 1e6,
+        );
+    }
+
+    println!("worst-case registry overhead: {worst_percent:.5}% (budget {BUDGET_PERCENT}%)");
+    if worst_percent < BUDGET_PERCENT {
+        println!("PASS: telemetry is invisible next to simulation");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: metrics registry exceeds its overhead budget");
+        ExitCode::FAILURE
+    }
+}

@@ -15,7 +15,13 @@
 //!                                         deep-dive one grid point with verified event tracing
 //! rr cache <stats|verify|gc> [--store <dir>]
 //!                                         inspect or maintain the result store
+//! rr bench [--quick] [--check] [--tolerance <f>]
+//!                                         run or check the pinned perf suite
 //! ```
+//!
+//! Every subcommand also accepts `--log-level <level>` (stderr filter,
+//! default `info`; `RUST_LOG` understood) and `--metrics-out <path>`
+//! (dump the process's telemetry counters as JSON on exit).
 //!
 //! Sources are the `rr-isa` assembly dialect; hex files contain one 32-bit
 //! word per line (comments after `#`). The figure subcommands run the
@@ -33,6 +39,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use register_relocation::bench::{self, BenchConfig, BenchReport, Suite};
 use register_relocation::cache;
 use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
 use register_relocation::machine::{Machine, MachineConfig};
@@ -40,9 +47,30 @@ use register_relocation::report::{format_panel, format_sweep_summary, format_tra
 use register_relocation::store::Store;
 use register_relocation::sweep::{SweepGrid, SweepRunner};
 use register_relocation::trace::{persist_trace_metrics, TracedPoint};
+use rr_telemetry::log::{self, Level};
+use rr_telemetry::{error, info, warn, METRICS};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags, honored by every subcommand, stripped before dispatch
+    // so positional-argument scans (e.g. input files) never see their
+    // values.
+    let log_level = take_flag_value(&mut args, "--log-level");
+    let metrics_out = take_flag_value(&mut args, "--metrics-out");
+    // The CLI talks at `info` by default (sweep summaries, files written);
+    // `RUST_LOG` overrides that, and an explicit `--log-level` overrides
+    // both.
+    log::set_level(Level::Info);
+    log::init_from_env();
+    if let Some(raw) = log_level {
+        match Level::parse(&raw) {
+            Some(level) => log::set_level(level),
+            None => {
+                eprintln!("rr: bad --log-level `{raw}`; expected error, warn, info, debug, or off");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match args.first().map(String::as_str) {
         Some("asm") => cmd_asm(&args[1..]),
         Some("dis") => cmd_dis(&args[1..]),
@@ -54,6 +82,7 @@ fn main() -> ExitCode {
         Some("homogeneous") => cmd_sweep(&args[1..], Figure::Homogeneous),
         Some("trace") => cmd_trace(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             if args.iter().any(|a| a == "--list") {
                 // Bare subcommand names, one per line, for shell completion.
@@ -67,19 +96,44 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand `{other}`; try `rr help`")),
     };
+    if let Some(path) = metrics_out {
+        let json = METRICS.snapshot().to_json_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            error!("rr", "cannot write metrics to `{path}`: {e}");
+        } else {
+            info!("rr", "wrote telemetry metrics to {path}");
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // The one deliberate raw stderr write: the process's dying
+            // words must not depend on the logger's configured level.
             eprintln!("rr: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
+/// Removes `name <value>` from `args`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 < args.len() {
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Some(value)
+    } else {
+        args.remove(i);
+        None
+    }
+}
+
 /// Every subcommand, in `rr help` order — what `rr help --list` prints for
 /// shell completion.
-const SUBCOMMANDS: &[&str] =
-    &["asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache", "help"];
+const SUBCOMMANDS: &[&str] = &[
+    "asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache",
+    "bench", "help",
+];
 
 const USAGE: &str = "\
 rr — register-relocation toolchain
@@ -94,8 +148,13 @@ rr — register-relocation toolchain
   rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
   rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <path>] [--metrics <path>]
   rr cache <stats|verify|gc> [--store <dir>]
+  rr bench [--quick] [--check] [--tolerance <f>] [--iterations <n>] [--baseline <path>]
   rr help [--list]
 
+Global flags (any subcommand): --log-level <error|warn|info|debug|off>
+sets the stderr log filter (default info; $RUST_LOG also understood);
+--metrics-out <path> writes the process's telemetry counters as JSON on
+exit.
 Sweep flags: --jobs 0 (default) = one worker per hardware thread; --json -
 writes the full per-run report to stdout; --threads <n> / --work <n> shrink
 the workloads for quick looks (figures use 64 threads x 20000 cycles);
@@ -107,6 +166,35 @@ Caching: --store [dir] persists every computed point (default dir
 --no-store disables the cache. rr cache stats/verify/gc inspect, integrity-
 check, and clean the store. rr help --list prints bare subcommand names,
 one per line, for shell completion.
+Benching: rr bench runs the pinned perf suite and writes the next
+BENCH_<seq>.json; rr bench --check reruns it and exits nonzero if cycle
+invariants changed or wall clock regressed beyond --tolerance (default
+0.25 = 25%) vs the latest (or --baseline) report — see `rr bench --help`.
+";
+
+const BENCH_USAGE: &str = "\
+rr bench — the pinned perf-regression suite
+
+  rr bench [flags]            run the suite, write BENCH_<seq>.json
+  rr bench --check [flags]    run the suite, compare against a baseline,
+                              exit nonzero on regression (writes nothing)
+
+The suite executes cold and warm figure sweeps against a fresh result
+store, a store integrity pass, and one fully traced point, several times
+over. Each case reports its median/min wall nanoseconds plus cycle-exact
+invariants (simulated cycle totals, point counts, cache hits, event
+counts) that must be identical run to run: --check compares invariants
+exactly and wall clock in the regression direction only.
+
+  --quick              panel-sized suite with shrunk workloads (CI smoke;
+                       the default suite is the full paper-scale grids)
+  --check              compare instead of record
+  --baseline <path>    baseline report for --check (default: the highest
+                       BENCH_<seq>.json in the current directory)
+  --tolerance <f>      allowed fractional wall regression (default 0.25)
+  --iterations <n>     repeats per case (default: 3 quick, 5 full)
+  --seed <s>           workload seed (default 1993; must match baseline)
+  --jobs <n>           sweep workers (default 1 for stable wall clocks)
 ";
 
 const TRACE_USAGE: &str = "\
@@ -222,7 +310,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         for v in &violations {
-            eprintln!("{path}: {v}");
+            error!("check", "{path}: {v}");
         }
         Err(format!("{} context-bounds violation(s)", violations.len()))
     }
@@ -341,14 +429,14 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
     for &f in &grid.file_sizes {
         println!("{}", format_panel(&format!("{title}: F = {f} registers"), &run.report.panel(f)));
     }
-    eprintln!("{}", format_sweep_summary(&run));
+    info!("sweep", "{}", format_sweep_summary(&run));
     if let Some(path) = flag_value(args, "--json") {
         let json = run.report.to_json_pretty()?;
         if path == "-" {
             println!("{json}");
         } else {
             std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            eprintln!("wrote sweep report to {path}");
+            info!("sweep", "wrote sweep report to {path}");
         }
     }
     if let Some(path) = flag_value(args, "--trace-out") {
@@ -359,17 +447,20 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
         let point = grid
             .point_at(slow.file_size, slow.run_length, slow.latency)
             .ok_or("slowest point fell off its own grid (bug)")?;
-        eprintln!(
+        info!(
+            "sweep",
             "tracing slowest point F={} R={} L={} ...",
-            slow.file_size, slow.run_length, slow.latency
+            slow.file_size,
+            slow.run_length,
+            slow.latency
         );
         let traced = TracedPoint::run(&point.spec)?;
         std::fs::write(&path, traced.chrome_trace())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        eprintln!("wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
+        info!("sweep", "wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
         if let Some(store) = runner.store() {
             if let Err(e) = persist_trace_metrics(store, &traced) {
-                eprintln!("rr: warning: could not store trace metrics: {e}");
+                warn!("sweep", "could not store trace metrics: {e}");
             }
         }
     }
@@ -424,7 +515,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     if let Some(path) = flag_value(args, "--trace-out") {
         std::fs::write(&path, traced.chrome_trace())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        eprintln!("wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
+        info!("trace", "wrote Chrome trace to {path} (load in https://ui.perfetto.dev)");
     }
     if let Some(path) = flag_value(args, "--metrics") {
         let json = traced.metrics_record().to_json()?;
@@ -432,12 +523,93 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             println!("{json}");
         } else {
             std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            eprintln!("wrote trace metrics to {path}");
+            info!("trace", "wrote trace metrics to {path}");
         }
     }
     if let Some(store) = resolve_store(args) {
         persist_trace_metrics(&store, &traced).map_err(|e| e.to_string())?;
-        eprintln!("stored trace metrics under {}", store.root().display());
+        info!("trace", "stored trace metrics under {}", store.root().display());
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        print!("{}", BENCH_USAGE);
+        return Ok(());
+    }
+    let suite = if args.iter().any(|a| a == "--quick") { Suite::Quick } else { Suite::Full };
+    let mut config = BenchConfig::new(suite);
+    if let Some(v) = flag_value(args, "--iterations") {
+        config.iterations =
+            v.parse::<usize>().map_err(|_| format!("bad iteration count `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        config.seed = v.parse::<u64>().map_err(|_| format!("bad seed `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--jobs") {
+        config.jobs = v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?;
+    }
+    let tolerance = match flag_value(args, "--tolerance") {
+        Some(v) => {
+            let t = v.parse::<f64>().map_err(|_| format!("bad tolerance `{v}`"))?;
+            if t.is_nan() || t < 0.0 {
+                return Err(format!("tolerance must be >= 0, got `{v}`"));
+            }
+            t
+        }
+        None => 0.25,
+    };
+    let dir = std::env::current_dir().map_err(|e| format!("cannot resolve cwd: {e}"))?;
+    // Resolve and parse the baseline *before* the (possibly minutes-long)
+    // suite, so a missing or malformed baseline fails in milliseconds.
+    let baseline = if args.iter().any(|a| a == "--check") {
+        let path = match flag_value(args, "--baseline") {
+            Some(p) => PathBuf::from(p),
+            None => bench::latest_bench_path(&dir).ok_or_else(|| {
+                format!("no BENCH_<seq>.json baseline in {}; run `rr bench` first", dir.display())
+            })?,
+        };
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline `{}`: {e}", path.display()))?;
+        Some((path, BenchReport::from_json(&json)?))
+    } else {
+        None
+    };
+    info!(
+        "bench",
+        "running the {} suite: {} iteration(s), seed {}, {} worker(s)",
+        suite.name(),
+        config.iterations,
+        config.seed,
+        config.jobs
+    );
+    let report = bench::run(&config)?;
+    for case in &report.cases {
+        println!(
+            "{:<14} median {:>9.1}ms  min {:>9.1}ms  ({})",
+            case.name,
+            case.wall_nanos_median as f64 / 1e6,
+            case.wall_nanos_min as f64 / 1e6,
+            case.invariants
+                .iter()
+                .map(|i| format!("{}={}", i.name, i.value))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
+    if let Some((baseline_path, baseline)) = baseline {
+        bench::check(&report, &baseline, tolerance)?;
+        println!(
+            "bench check ok vs {} (tolerance {:.0}%)",
+            baseline_path.display(),
+            tolerance * 100.0
+        );
+    } else {
+        let path = bench::next_bench_path(&dir);
+        std::fs::write(&path, report.to_json_pretty()?)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        info!("bench", "wrote {}", path.display());
     }
     Ok(())
 }
@@ -450,7 +622,7 @@ fn resolve_store(args: &[String]) -> Option<Store> {
     match cache::open_store(&dir) {
         Ok(store) => Some(store),
         Err(e) => {
-            eprintln!("rr: warning: cannot open result store at `{}`: {e}; running uncached", dir.display());
+            warn!("rr", "cannot open result store at `{}`: {e}; running uncached", dir.display());
             None
         }
     }
@@ -485,7 +657,7 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
                 report.ok,
                 report.quarantined.len());
             for (path, reason) in &report.quarantined {
-                eprintln!("  {}: {reason}", path.display());
+                error!("cache", "{}: {reason}", path.display());
             }
             if report.quarantined.is_empty() {
                 Ok(())

@@ -50,6 +50,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
+pub mod bench;
 pub mod cache;
 pub mod experiments;
 pub mod figures;
@@ -58,6 +59,7 @@ pub mod software_only;
 pub mod sweep;
 pub mod trace;
 
+pub use bench::{BenchConfig, BenchReport, Suite, BENCH_SCHEMA_VERSION};
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
 pub use sweep::{

@@ -255,6 +255,7 @@ mod tests {
             jobs: 8,
             total_wall_nanos: 4_000_000_000,
             cache: CacheSummary::default(),
+            metrics: rr_telemetry::METRICS.snapshot(),
         };
         let s = format_sweep_summary(&run);
         assert!(s.contains("1 points on 8 worker(s)"), "{s}");

@@ -25,10 +25,15 @@
 //! the point's grid coordinates and seed; [`SweepReport`] aggregates them
 //! and serializes to JSON via the `rr fig5 --json` family of subcommands,
 //! while the surrounding [`SweepRun`] carries the volatile facts of this
-//! particular execution (worker count, wall clock, cache hit counts) that
-//! must *not* appear in the replayable report. Set `RUST_LOG` (any value
-//! containing `sweep`, `info`, `debug`, or `trace`) or
-//! [`SweepRunner::with_progress`] for a progress line per completed point.
+//! particular execution (worker count, wall clock, cache hit counts, and a
+//! host-telemetry snapshot) that must *not* appear in the replayable
+//! report. The runner also feeds the process-wide [`rr_telemetry::METRICS`]
+//! registry: point outcomes, where the nanoseconds went (queue wait vs
+//! simulation vs serialization vs store I/O), and worker-pool occupancy.
+//! Per-point progress lines are `debug`-level log records — set
+//! `RUST_LOG=debug` (or the CLI's `--log-level debug`) to see them, or
+//! force them on regardless of the level with
+//! [`SweepRunner::with_progress`].
 //!
 //! # Example
 //!
@@ -63,6 +68,8 @@ use crate::figures::{
 };
 use rr_sim::SimStats;
 use rr_store::{Lookup, Store, StoreError};
+use rr_telemetry::log::{self, Level};
+use rr_telemetry::{warn, IncMetric, MetricsSnapshot, StoreMetric, METRICS};
 use rr_workload::ContextSizeDist;
 
 /// Version of the serialized sweep artifacts ([`SweepReport`] and
@@ -383,6 +390,11 @@ pub struct SweepRun {
     pub total_wall_nanos: u64,
     /// Result-store traffic of this execution.
     pub cache: CacheSummary,
+    /// Host-telemetry registry flush taken when the sweep finished.
+    /// Process-cumulative (the registry is shared by every sweep this
+    /// process ran), deterministic to serialize, and — like every other
+    /// field of this wrapper — never part of the replayable report.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Executes [`SweepGrid`]s across a pool of scoped worker threads.
@@ -396,17 +408,17 @@ pub struct SweepRun {
 #[derive(Debug)]
 pub struct SweepRunner {
     jobs: usize,
-    progress: bool,
+    progress: Option<bool>,
     store: Option<Store>,
 }
 
 impl SweepRunner {
     /// A runner with `jobs` worker threads; `0` means one per available
-    /// hardware thread. Progress lines default to the `RUST_LOG`
-    /// environment convention (see [`SweepRunner::with_progress`]). No
-    /// result store is attached by default.
+    /// hardware thread. Progress lines default to the logger's `debug`
+    /// level (see [`SweepRunner::with_progress`]). No result store is
+    /// attached by default.
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: resolve_jobs(jobs), progress: progress_from_env(), store: None }
+        SweepRunner { jobs: resolve_jobs(jobs), progress: None, store: None }
     }
 
     /// Worker threads this runner will use.
@@ -414,11 +426,20 @@ impl SweepRunner {
         self.jobs
     }
 
-    /// Forces per-point progress lines on or off, overriding `RUST_LOG`.
+    /// Forces per-point progress lines on or off, overriding the log
+    /// level. Without this override, progress lines are `debug`-level log
+    /// records: visible under `RUST_LOG=debug` / `--log-level debug`,
+    /// silent otherwise (`RUST_LOG=warn` no longer turns them on).
     #[must_use]
     pub fn with_progress(mut self, on: bool) -> Self {
-        self.progress = on;
+        self.progress = Some(on);
         self
+    }
+
+    /// Whether this runner emits per-point progress lines: the explicit
+    /// override when set, else the logger's `debug` gate.
+    fn progress_enabled(&self) -> bool {
+        self.progress.unwrap_or_else(|| log::enabled(Level::Debug))
     }
 
     /// Attaches (or detaches, with `None`) a result store. Subsequent
@@ -452,13 +473,18 @@ impl SweepRunner {
         let stored = AtomicUsize::new(0);
         let quarantined = AtomicUsize::new(0);
         let started = Instant::now();
+        METRICS.sweep.workers.store(self.jobs as u64);
         let results = parallel_map(total, self.jobs, |i| {
+            METRICS
+                .sweep
+                .queue_wait_nanos
+                .add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             let p = &points[i];
             let key = self.store.as_ref().and_then(|store| {
                 match cache::point_key(&p.spec, store.salt()) {
                     Ok(key) => Some(key),
                     Err(e) => {
-                        eprintln!("[sweep] warning: cannot key point {i}: {e}");
+                        warn!("sweep", "cannot key point {i}: {e}");
                         None
                     }
                 }
@@ -467,6 +493,7 @@ impl SweepRunner {
                 match lookup_point(store, key, p) {
                     PointLookup::Hit(report) => {
                         hits.fetch_add(1, Ordering::Relaxed);
+                        METRICS.sweep.points_cached.inc();
                         self.progress_line(&completed, total, &report, true);
                         return Ok(*report);
                     }
@@ -480,10 +507,14 @@ impl SweepRunner {
                 }
             }
             let point_started = Instant::now();
-            let traced = compare_traced(&p.spec)
-                .map_err(|e| format!("point {i} (F={} R={} L={}): {e}", p.file_size, p.run_length, p.latency))?;
+            let traced = compare_traced(&p.spec).map_err(|e| {
+                METRICS.sweep.points_failed.inc();
+                format!("point {i} (F={} R={} L={}): {e}", p.file_size, p.run_length, p.latency)
+            })?;
             let wall_nanos =
                 u64::try_from(point_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            METRICS.sweep.sim_nanos.add(wall_nanos);
+            METRICS.sweep.points_computed.inc();
             let report = PointReport {
                 schema_version: SWEEP_SCHEMA_VERSION,
                 index: p.index,
@@ -507,7 +538,7 @@ impl SweepRunner {
                         stored.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(e) => {
-                        eprintln!("[sweep] warning: could not store point {i}: {e}");
+                        warn!("sweep", "could not store point {i}: {e}");
                     }
                 }
             }
@@ -530,6 +561,7 @@ impl SweepRunner {
                 stored: stored.into_inner(),
                 quarantined: quarantined.into_inner(),
             },
+            metrics: METRICS.snapshot(),
         })
     }
 
@@ -540,19 +572,25 @@ impl SweepRunner {
         report: &PointReport,
         cached: bool,
     ) {
-        if !self.progress {
+        if !self.progress_enabled() {
             return;
         }
         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-        eprintln!(
-            "[sweep] {done:>3}/{total} F={:<3} R={:<5} L={:<4} fixed={:.3} flexible={:.3} wall={:.1}ms{}",
-            report.file_size,
-            report.run_length,
-            report.latency,
-            report.figure.comparison.fixed_efficiency,
-            report.figure.comparison.flexible_efficiency,
-            report.wall_nanos as f64 / 1e6,
-            if cached { " (cached)" } else { "" },
+        // `log_forced` so an explicit `--progress` wins even when the log
+        // level would suppress `debug` records.
+        log::log_forced(
+            Level::Debug,
+            "sweep",
+            format_args!(
+                "{done:>3}/{total} F={:<3} R={:<5} L={:<4} fixed={:.3} flexible={:.3} wall={:.1}ms{}",
+                report.file_size,
+                report.run_length,
+                report.latency,
+                report.figure.comparison.fixed_efficiency,
+                report.figure.comparison.flexible_efficiency,
+                report.wall_nanos as f64 / 1e6,
+                if cached { " (cached)" } else { "" },
+            ),
         );
     }
 
@@ -586,23 +624,33 @@ enum PointLookup {
 /// from. Any failure degrades to [`PointLookup::Miss`] — the caller
 /// recomputes and overwrites.
 fn lookup_point(store: &Store, key: &rr_store::Fingerprint, p: &SweepPoint) -> PointLookup {
-    let payload = match store.get(key) {
+    let io_started = Instant::now();
+    let looked_up = store.get(key);
+    METRICS
+        .sweep
+        .store_io_nanos
+        .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let payload = match looked_up {
         Ok(Lookup::Hit(bytes)) => bytes,
         Ok(Lookup::Miss) => return PointLookup::Miss,
         Ok(Lookup::Quarantined) => return PointLookup::Quarantined,
         Err(e) => {
-            eprintln!("[sweep] warning: store lookup failed for point {}: {e}", p.index);
+            warn!("sweep", "store lookup failed for point {}: {e}", p.index);
             return PointLookup::Miss;
         }
     };
-    let text = match std::str::from_utf8(&payload) {
-        Ok(t) => t,
-        Err(_) => return PointLookup::Miss,
-    };
-    let mut report: PointReport = match serde_json::from_str(text) {
+    let decode_started = Instant::now();
+    let decoded = std::str::from_utf8(&payload)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str::<PointReport>(text).map_err(|e| e.to_string()));
+    METRICS
+        .sweep
+        .serialize_nanos
+        .add(u64::try_from(decode_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let mut report = match decoded {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("[sweep] warning: undecodable cached point {}: {e}", p.index);
+            warn!("sweep", "undecodable cached point {}: {e}", p.index);
             return PointLookup::Miss;
         }
     };
@@ -612,8 +660,9 @@ fn lookup_point(store: &Store, key: &rr_store::Fingerprint, p: &SweepPoint) -> P
         && report.seed == p.spec.seed
         && report.run_length.to_bits() == p.run_length.to_bits();
     if !coords_match {
-        eprintln!(
-            "[sweep] warning: cached point {} does not match its key's coordinates; recomputing",
+        warn!(
+            "sweep",
+            "cached point {} does not match its key's coordinates; recomputing",
             p.index
         );
         return PointLookup::Miss;
@@ -631,9 +680,20 @@ fn persist_point(
     key: &rr_store::Fingerprint,
     report: &PointReport,
 ) -> Result<(), StoreError> {
+    let serialize_started = Instant::now();
     let payload = serde_json::to_string(report)
         .map_err(|e| StoreError::json("serializing point report", e))?;
-    store.put(key, payload.as_bytes())
+    METRICS
+        .sweep
+        .serialize_nanos
+        .add(u64::try_from(serialize_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let io_started = Instant::now();
+    let result = store.put(key, payload.as_bytes());
+    METRICS
+        .sweep
+        .store_io_nanos
+        .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    result
 }
 
 /// `0` means "use every available hardware thread".
@@ -643,16 +703,6 @@ fn resolve_jobs(jobs: usize) -> usize {
     } else {
         jobs
     }
-}
-
-/// Whether `RUST_LOG` asks for per-point progress lines.
-fn progress_from_env() -> bool {
-    std::env::var("RUST_LOG")
-        .map(|v| {
-            let v = v.to_ascii_lowercase();
-            ["sweep", "info", "debug", "trace"].iter().any(|needle| v.contains(needle))
-        })
-        .unwrap_or(false)
 }
 
 /// Maps `f` over `0..n` on up to `jobs` scoped worker threads.
@@ -671,13 +721,21 @@ where
     let workers = jobs.max(1).min(n);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                METRICS.sweep.workers_spawned.inc();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let busy_started = Instant::now();
+                    let value = f(i);
+                    METRICS
+                        .sweep
+                        .worker_busy_nanos
+                        .add(u64::try_from(busy_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    assert!(slots[i].set(value).is_ok(), "sweep slot {i} written twice");
                 }
-                let value = f(i);
-                assert!(slots[i].set(value).is_ok(), "sweep slot {i} written twice");
             });
         }
     });

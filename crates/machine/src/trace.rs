@@ -55,12 +55,6 @@ impl TraceBuffer {
         older.iter().chain(newer.iter())
     }
 
-    /// The retained entries collected into a vector, oldest first.
-    #[deprecated(note = "use the allocation-free `entries()` iterator")]
-    pub fn entries_vec(&self) -> Vec<&TraceEntry> {
-        self.entries().collect()
-    }
-
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -140,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn entries_iterator_needs_no_allocation_and_shim_agrees() {
+    fn entries_iterator_needs_no_allocation() {
         let mut t = TraceBuffer::new(3);
         for c in 0..5 {
             t.record(entry(c));
@@ -148,9 +142,7 @@ mod tests {
         // The iterator is lazily consumable (no intermediate Vec).
         assert_eq!(t.entries().count(), 3);
         assert_eq!(t.entries().next().unwrap().cycle, 2);
-        #[allow(deprecated)]
-        let shim: Vec<u64> = t.entries_vec().iter().map(|e| e.cycle).collect();
-        assert_eq!(shim, t.entries().map(|e| e.cycle).collect::<Vec<_>>());
+        assert_eq!(t.entries().map(|e| e.cycle).collect::<Vec<_>>(), vec![2, 3, 4]);
     }
 
     #[test]

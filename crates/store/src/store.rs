@@ -28,7 +28,9 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
+use rr_telemetry::{warn, IncMetric, METRICS};
 use serde::{Deserialize, Serialize};
 
 use crate::error::StoreError;
@@ -210,7 +212,14 @@ impl Store {
             f.write_all(header_json.as_bytes())?;
             f.write_all(b"\n")?;
             f.write_all(payload)?;
-            f.sync_all()
+            let sync_started = Instant::now();
+            let synced = f.sync_all();
+            METRICS.store.fsync_count.inc();
+            METRICS
+                .store
+                .fsync_nanos
+                .add(u64::try_from(sync_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            synced
         };
         if let Err(e) = write(&tmp) {
             let _ = fs::remove_file(&tmp);
@@ -220,7 +229,9 @@ impl Store {
         fs::rename(&tmp, &dst).map_err(|e| {
             let _ = fs::remove_file(&tmp);
             StoreError::io("rename", &dst, e)
-        })
+        })?;
+        METRICS.store.puts.inc();
+        Ok(())
     }
 
     /// Looks up `key`, validating the record end to end. Corrupt records are
@@ -234,11 +245,17 @@ impl Store {
         let path = self.record_path(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lookup::Miss),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                METRICS.store.misses.inc();
+                return Ok(Lookup::Miss);
+            }
             Err(e) => return Err(StoreError::io("read", &path, e)),
         };
         match validate_record(&bytes, Some(key), Some(&self.salt)) {
-            Ok(payload_range) => Ok(Lookup::Hit(bytes[payload_range].to_vec())),
+            Ok(payload_range) => {
+                METRICS.store.hits.inc();
+                Ok(Lookup::Hit(bytes[payload_range].to_vec()))
+            }
             Err(reason) => {
                 self.quarantine_file(&path, &reason)?;
                 Ok(Lookup::Quarantined)
@@ -348,6 +365,8 @@ impl Store {
             report.removed_quarantined += 1;
             report.bytes_freed += len;
         }
+        METRICS.store.gc_removed.add(report.removed_stale + report.removed_quarantined);
+        METRICS.store.gc_reclaimed_bytes.add(report.bytes_freed);
         Ok(report)
     }
 
@@ -365,11 +384,14 @@ impl Store {
             n += 1;
             dst = self.quarantine.join(format!("{name}.{n}"));
         }
-        eprintln!(
-            "[rr-store] quarantining `{}`: {reason}",
+        warn!(
+            "store",
+            "quarantining `{}`: {reason}",
             path.file_name().and_then(|f| f.to_str()).unwrap_or("?")
         );
-        fs::rename(path, &dst).map_err(|e| StoreError::io("rename", &dst, e))
+        fs::rename(path, &dst).map_err(|e| StoreError::io("rename", &dst, e))?;
+        METRICS.store.quarantines.inc();
+        Ok(())
     }
 
     /// Occupied shard directories, in sorted (deterministic) order.

@@ -1,0 +1,278 @@
+//! The leveled structured logger.
+//!
+//! One global [`LOGGER`] writes single-line records to stderr with a
+//! monotonic-nanosecond timestamp, the level, and a `target` naming the
+//! subsystem:
+//!
+//! ```text
+//! [   12345678ns WARN  sweep] could not store point 3: ...
+//! ```
+//!
+//! The level gate is a relaxed `AtomicU8` load, so a disabled call site
+//! costs one uncontended atomic read and no formatting. Configure with
+//! [`set_level`] (the CLI's `--log-level`) or [`init_from_env`], which
+//! parses the conventional `RUST_LOG` variable — *levels only*
+//! (`error|warn|info|debug|trace|off`, with `trace` mapping to
+//! [`Level::Debug`] and per-target `name=level` directives contributing
+//! their level); arbitrary substrings no longer mean anything, so
+//! `RUST_LOG=warn` enables warnings and nothing else.
+//!
+//! Use through the crate-root macros:
+//!
+//! ```
+//! rr_telemetry::warn!("sweep", "point {} fell back to recompute", 7);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::metrics::{IncMetric, METRICS};
+
+/// Log severities, most to least severe. The numeric values order the
+/// filter: a record is emitted when its level is `<=` the configured one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Emit nothing.
+    Off = 0,
+    /// Unrecoverable or data-losing conditions.
+    Error = 1,
+    /// Degraded but self-healing conditions (cache fallbacks, quarantines).
+    Warn = 2,
+    /// Operational milestones (sweep summaries, files written).
+    Info = 3,
+    /// Per-point progress and other high-volume detail.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses one level name, case-insensitively. `trace` is accepted as an
+    /// alias for [`Level::Debug`] (this logger has no finer level).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Parses a `RUST_LOG`-style value: comma-separated tokens, each either
+    /// a bare level or a `target=level` directive. The most verbose level
+    /// mentioned wins (this logger filters globally, not per target);
+    /// unrecognized tokens are ignored. Returns `None` when no token names
+    /// a level at all.
+    pub fn from_rust_log(value: &str) -> Option<Level> {
+        value
+            .split(',')
+            .filter_map(|token| {
+                let level = token.rsplit('=').next().unwrap_or(token);
+                Level::parse(level)
+            })
+            .max()
+    }
+
+    /// The fixed-width tag the prefix prints.
+    fn tag(&self) -> &'static str {
+        match self {
+            Level::Off => "OFF  ",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// The global logger state: the configured level and the monotonic epoch
+/// timestamps are relative to.
+#[derive(Debug)]
+pub struct Logger {
+    level: AtomicU8,
+    start: OnceLock<Instant>,
+}
+
+/// The process-wide logger. Defaults to [`Level::Warn`] until configured.
+pub static LOGGER: Logger = Logger { level: AtomicU8::new(Level::Warn as u8), start: OnceLock::new() };
+
+impl Logger {
+    /// The configured level.
+    pub fn level(&self) -> Level {
+        match self.level.load(Ordering::Relaxed) {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    /// Reconfigures the filter.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Whether records at `level` currently pass the filter.
+    pub fn enabled(&self, level: Level) -> bool {
+        level != Level::Off && level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic nanoseconds since the logger first looked at the clock.
+    pub fn nanos(&self) -> u64 {
+        let start = *self.start.get_or_init(Instant::now);
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(&self, level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+        match level {
+            Level::Off => return,
+            Level::Error => METRICS.log.lines_error.inc(),
+            Level::Warn => METRICS.log.lines_warn.inc(),
+            Level::Info => METRICS.log.lines_info.inc(),
+            Level::Debug => METRICS.log.lines_debug.inc(),
+        }
+        eprintln!("[{:>11}ns {} {target}] {args}", self.nanos(), level.tag());
+    }
+}
+
+/// Configures [`LOGGER`] to the `RUST_LOG` environment variable's level, if
+/// the variable is set and names one; otherwise leaves the current level in
+/// place. Returns the level now in effect.
+pub fn init_from_env() -> Level {
+    if let Some(level) = std::env::var("RUST_LOG").ok().as_deref().and_then(Level::from_rust_log) {
+        LOGGER.set_level(level);
+    }
+    LOGGER.level()
+}
+
+/// Sets the global filter level (the CLI's `--log-level`).
+pub fn set_level(level: Level) {
+    LOGGER.set_level(level);
+}
+
+/// Whether records at `level` currently pass the global filter.
+pub fn enabled(level: Level) -> bool {
+    LOGGER.enabled(level)
+}
+
+/// Routes one record through the global filter. Prefer the
+/// [`crate::error!`]/[`crate::warn!`]/[`crate::info!`]/[`crate::debug!`]
+/// macros, which call this.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if LOGGER.enabled(level) {
+        LOGGER.emit(level, target, args);
+    } else {
+        METRICS.log.suppressed.inc();
+    }
+}
+
+/// Emits one record *regardless* of the configured level, keeping the
+/// standard prefix. For explicitly requested output that must not depend on
+/// the ambient filter — the sweep runner's `--progress` lines.
+pub fn log_forced(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    LOGGER.emit(level, target, args);
+}
+
+/// Logs at [`Level::Error`]: `error!(target, fmt, args...)`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`]: `warn!(target, fmt, args...)`.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`]: `info!(target, fmt, args...)`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`]: `debug!(target, fmt, args...)`.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_is_strict_about_names() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("sweepy"), None, "substrings no longer count");
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn rust_log_values_reduce_to_their_most_verbose_level() {
+        assert_eq!(Level::from_rust_log("warn"), Some(Level::Warn));
+        assert_eq!(Level::from_rust_log("error,info"), Some(Level::Info));
+        assert_eq!(Level::from_rust_log("sweep=debug,store=warn"), Some(Level::Debug));
+        assert_eq!(Level::from_rust_log("hyper=garbage"), None);
+        assert_eq!(Level::from_rust_log("sweep"), None, "the PR-1 substring hack is gone");
+        assert_eq!(Level::from_rust_log(""), None);
+        assert_eq!(Level::from_rust_log("off"), Some(Level::Off));
+    }
+
+    #[test]
+    fn levels_order_by_verbosity() {
+        assert!(Level::Debug > Level::Info);
+        assert!(Level::Info > Level::Warn);
+        assert!(Level::Warn > Level::Error);
+        assert!(Level::Error > Level::Off);
+    }
+
+    /// The global-logger behaviors live in one test because the level is
+    /// process-wide state and the test harness runs tests concurrently.
+    #[test]
+    fn global_logger_filters_counts_and_forces() {
+        LOGGER.set_level(Level::Warn);
+        assert!(enabled(Level::Error) && enabled(Level::Warn));
+        assert!(!enabled(Level::Info) && !enabled(Level::Debug));
+        assert!(!enabled(Level::Off), "Off is never an emittable level");
+
+        let warned = METRICS.log.lines_warn.count();
+        let suppressed = METRICS.log.suppressed.count();
+        crate::warn!("test", "visible {}", 1);
+        crate::debug!("test", "invisible {}", 2);
+        assert_eq!(METRICS.log.lines_warn.count(), warned + 1);
+        assert_eq!(METRICS.log.suppressed.count(), suppressed + 1);
+
+        // A forced record bypasses the filter but still counts.
+        let debugged = METRICS.log.lines_debug.count();
+        log_forced(Level::Debug, "test", format_args!("forced progress line"));
+        assert_eq!(METRICS.log.lines_debug.count(), debugged + 1);
+
+        LOGGER.set_level(Level::Off);
+        let errors = METRICS.log.lines_error.count();
+        crate::error!("test", "nothing at Off");
+        assert_eq!(METRICS.log.lines_error.count(), errors);
+
+        LOGGER.set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        let t0 = LOGGER.nanos();
+        assert!(LOGGER.nanos() >= t0, "the prefix clock is monotonic");
+        // Restore the default so other binaries' expectations hold.
+        LOGGER.set_level(Level::Warn);
+    }
+}

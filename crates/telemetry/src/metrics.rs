@@ -1,0 +1,425 @@
+//! The lock-free metrics registry.
+//!
+//! Shape follows Firecracker's `logger::metrics`: a process-wide static
+//! [`METRICS`] struct whose fields are groups of named counters, each an
+//! atomic the instrumented code bumps with `Ordering::Relaxed`. Writers
+//! never coordinate — every counter has one logical writer per event source
+//! and any number of readers, the wait-free (1,N) register discipline —
+//! and readers take a *flush snapshot*: [`Metrics::snapshot`] loads every
+//! counter once into an immutable [`MetricsSnapshot`] whose JSON rendering
+//! is deterministic (fixed group and field order, no timestamps), so two
+//! snapshots with no increments in between serialize byte-identically.
+//!
+//! Two metric flavors, as in Firecracker:
+//!
+//! * [`SharedIncMetric`] — a monotone counter (`inc`/`add`). Keeps the
+//!   cumulative total plus the value at the last flush, so readers can ask
+//!   for the delta since the previous snapshot ([`SharedIncMetric::fetch_diff`]).
+//! * [`SharedStoreMetric`] — a gauge (`store`/`fetch`) for
+//!   last-value-wins facts like the worker count of the most recent sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter that can only grow. Incrementing is wait-free.
+pub trait IncMetric {
+    /// Adds `n` to the counter.
+    fn add(&self, n: u64);
+    /// Adds one.
+    fn inc(&self) {
+        self.add(1);
+    }
+    /// Cumulative count since process start.
+    fn count(&self) -> u64;
+}
+
+/// A last-value-wins gauge.
+pub trait StoreMetric {
+    /// Overwrites the gauge.
+    fn store(&self, v: u64);
+    /// Current value.
+    fn fetch(&self) -> u64;
+}
+
+/// A shared monotone counter: cumulative value plus the value at the last
+/// flush. All operations are relaxed atomics — safe to bump from any worker
+/// thread without synchronization, at the cost of one uncontended add.
+#[derive(Debug, Default)]
+pub struct SharedIncMetric(AtomicU64, AtomicU64);
+
+impl SharedIncMetric {
+    /// A zeroed counter (const, so registries can live in statics).
+    pub const fn new() -> Self {
+        SharedIncMetric(AtomicU64::new(0), AtomicU64::new(0))
+    }
+
+    /// Cumulative count minus the count at the previous `fetch_diff`, and
+    /// flushes (records the current value as the new baseline).
+    pub fn fetch_diff(&self) -> u64 {
+        let snapshot = self.0.load(Ordering::Relaxed);
+        let old = self.1.swap(snapshot, Ordering::Relaxed);
+        snapshot.wrapping_sub(old)
+    }
+}
+
+impl IncMetric for SharedIncMetric {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared gauge over one relaxed `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct SharedStoreMetric(AtomicU64);
+
+impl SharedStoreMetric {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        SharedStoreMetric(AtomicU64::new(0))
+    }
+}
+
+impl StoreMetric for SharedStoreMetric {
+    fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    fn fetch(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters for the parallel sweep runner (`core::sweep`).
+#[derive(Debug, Default)]
+pub struct SweepMetrics {
+    /// Points computed by running the paired simulation.
+    pub points_computed: SharedIncMetric,
+    /// Points served from the result store without simulating.
+    pub points_cached: SharedIncMetric,
+    /// Points whose simulation returned an error.
+    pub points_failed: SharedIncMetric,
+    /// Nanoseconds points spent queued before a worker claimed them
+    /// (sweep start to claim, summed over points).
+    pub queue_wait_nanos: SharedIncMetric,
+    /// Nanoseconds spent inside the paired simulation itself.
+    pub sim_nanos: SharedIncMetric,
+    /// Nanoseconds spent serializing/deserializing point payloads.
+    pub serialize_nanos: SharedIncMetric,
+    /// Nanoseconds spent in result-store lookups and writes.
+    pub store_io_nanos: SharedIncMetric,
+    /// Worker threads spawned across all sweeps.
+    pub workers_spawned: SharedIncMetric,
+    /// Nanoseconds workers spent executing points (occupancy numerator;
+    /// the denominator is workers x sweep wall-clock).
+    pub worker_busy_nanos: SharedIncMetric,
+    /// Worker threads of the most recent sweep.
+    pub workers: SharedStoreMetric,
+}
+
+impl SweepMetrics {
+    const fn new() -> Self {
+        SweepMetrics {
+            points_computed: SharedIncMetric::new(),
+            points_cached: SharedIncMetric::new(),
+            points_failed: SharedIncMetric::new(),
+            queue_wait_nanos: SharedIncMetric::new(),
+            sim_nanos: SharedIncMetric::new(),
+            serialize_nanos: SharedIncMetric::new(),
+            store_io_nanos: SharedIncMetric::new(),
+            workers_spawned: SharedIncMetric::new(),
+            worker_busy_nanos: SharedIncMetric::new(),
+            workers: SharedStoreMetric::new(),
+        }
+    }
+
+    fn values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("points_cached", self.points_cached.count()),
+            ("points_computed", self.points_computed.count()),
+            ("points_failed", self.points_failed.count()),
+            ("queue_wait_nanos", self.queue_wait_nanos.count()),
+            ("serialize_nanos", self.serialize_nanos.count()),
+            ("sim_nanos", self.sim_nanos.count()),
+            ("store_io_nanos", self.store_io_nanos.count()),
+            ("worker_busy_nanos", self.worker_busy_nanos.count()),
+            ("workers", self.workers.fetch()),
+            ("workers_spawned", self.workers_spawned.count()),
+        ]
+    }
+}
+
+/// Counters for the content-addressed result store (`rr-store`).
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Lookups that returned a validated record.
+    pub hits: SharedIncMetric,
+    /// Lookups that found no record.
+    pub misses: SharedIncMetric,
+    /// Records moved to quarantine after failing validation.
+    pub quarantines: SharedIncMetric,
+    /// Records written.
+    pub puts: SharedIncMetric,
+    /// `fsync` calls issued by record writes.
+    pub fsync_count: SharedIncMetric,
+    /// Nanoseconds spent inside `fsync`.
+    pub fsync_nanos: SharedIncMetric,
+    /// Records deleted by garbage collection (stale + quarantined).
+    pub gc_removed: SharedIncMetric,
+    /// Bytes reclaimed by garbage collection.
+    pub gc_reclaimed_bytes: SharedIncMetric,
+}
+
+impl StoreMetrics {
+    const fn new() -> Self {
+        StoreMetrics {
+            hits: SharedIncMetric::new(),
+            misses: SharedIncMetric::new(),
+            quarantines: SharedIncMetric::new(),
+            puts: SharedIncMetric::new(),
+            fsync_count: SharedIncMetric::new(),
+            fsync_nanos: SharedIncMetric::new(),
+            gc_removed: SharedIncMetric::new(),
+            gc_reclaimed_bytes: SharedIncMetric::new(),
+        }
+    }
+
+    fn values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("fsync_count", self.fsync_count.count()),
+            ("fsync_nanos", self.fsync_nanos.count()),
+            ("gc_reclaimed_bytes", self.gc_reclaimed_bytes.count()),
+            ("gc_removed", self.gc_removed.count()),
+            ("hits", self.hits.count()),
+            ("misses", self.misses.count()),
+            ("puts", self.puts.count()),
+            ("quarantines", self.quarantines.count()),
+        ]
+    }
+}
+
+/// Counters for the logger itself.
+#[derive(Debug, Default)]
+pub struct LogMetrics {
+    /// Lines emitted at `error`.
+    pub lines_error: SharedIncMetric,
+    /// Lines emitted at `warn`.
+    pub lines_warn: SharedIncMetric,
+    /// Lines emitted at `info`.
+    pub lines_info: SharedIncMetric,
+    /// Lines emitted at `debug`.
+    pub lines_debug: SharedIncMetric,
+    /// Log calls filtered out by the configured level.
+    pub suppressed: SharedIncMetric,
+}
+
+impl LogMetrics {
+    const fn new() -> Self {
+        LogMetrics {
+            lines_error: SharedIncMetric::new(),
+            lines_warn: SharedIncMetric::new(),
+            lines_info: SharedIncMetric::new(),
+            lines_debug: SharedIncMetric::new(),
+            suppressed: SharedIncMetric::new(),
+        }
+    }
+
+    fn values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lines_debug", self.lines_debug.count()),
+            ("lines_error", self.lines_error.count()),
+            ("lines_info", self.lines_info.count()),
+            ("lines_warn", self.lines_warn.count()),
+            ("suppressed", self.suppressed.count()),
+        ]
+    }
+}
+
+/// The process-wide registry: every counter group this toolchain exposes.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Logger self-metrics.
+    pub log: LogMetrics,
+    /// Result-store traffic.
+    pub store: StoreMetrics,
+    /// Sweep-runner counters.
+    pub sweep: SweepMetrics,
+}
+
+/// The global registry. Instrumented code bumps counters here; readers call
+/// [`Metrics::snapshot`].
+pub static METRICS: Metrics = Metrics::new();
+
+impl Metrics {
+    const fn new() -> Self {
+        Metrics { log: LogMetrics::new(), store: StoreMetrics::new(), sweep: SweepMetrics::new() }
+    }
+
+    /// Flushes every counter into an immutable, deterministically ordered
+    /// snapshot (groups and fields in fixed alphabetical order).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            groups: vec![
+                MetricGroup { name: "log", values: self.log.values() },
+                MetricGroup { name: "store", values: self.store.values() },
+                MetricGroup { name: "sweep", values: self.sweep.values() },
+            ],
+        }
+    }
+}
+
+/// One named group of flushed counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricGroup {
+    /// Group name (the JSON object key).
+    pub name: &'static str,
+    /// `(field, value)` pairs in the group's canonical order.
+    pub values: Vec<(&'static str, u64)>,
+}
+
+/// An immutable flush of the whole registry.
+///
+/// Serialization is deterministic by construction: the group list and each
+/// group's field list are in fixed order and carry nothing volatile, so two
+/// snapshots taken with no increments in between render byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The flushed groups, in canonical order.
+    pub groups: Vec<MetricGroup>,
+}
+
+impl MetricsSnapshot {
+    /// The flushed value of `group.field`, if present.
+    pub fn get(&self, group: &str, field: &str) -> Option<u64> {
+        self.groups
+            .iter()
+            .find(|g| g.name == group)?
+            .values
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the snapshot as pretty-printed JSON (2-space indent, `": "`
+    /// separators — the same shape `serde_json::to_string_pretty` emits, so
+    /// downstream `grep`/`jq` treat both alike).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{");
+        for (gi, group) in self.groups.iter().enumerate() {
+            if gi > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  \"");
+            out.push_str(group.name);
+            out.push_str("\": {");
+            for (fi, (field, value)) in group.values.iter().enumerate() {
+                if fi > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                out.push_str(field);
+                out.push_str("\": ");
+                out.push_str(&value.to_string());
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_metric_counts_and_diffs() {
+        let m = SharedIncMetric::new();
+        assert_eq!(m.count(), 0);
+        m.inc();
+        m.add(4);
+        assert_eq!(m.count(), 5);
+        assert_eq!(m.fetch_diff(), 5, "first flush sees everything");
+        assert_eq!(m.fetch_diff(), 0, "no increments since the last flush");
+        m.add(2);
+        assert_eq!(m.fetch_diff(), 2);
+        assert_eq!(m.count(), 7, "count is cumulative, diffs don't reset it");
+    }
+
+    #[test]
+    fn store_metric_is_last_value_wins() {
+        let g = SharedStoreMetric::new();
+        assert_eq!(g.fetch(), 0);
+        g.store(8);
+        g.store(3);
+        assert_eq!(g.fetch(), 3);
+    }
+
+    #[test]
+    fn increments_are_race_free_across_threads() {
+        let m = SharedIncMetric::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_without_increments() {
+        // A private registry so concurrently running tests cannot bump
+        // counters between the two flushes.
+        let registry = Metrics::default();
+        registry.sweep.points_computed.add(3);
+        registry.store.hits.add(7);
+        let a = registry.snapshot();
+        let b = registry.snapshot();
+        // Byte-identical JSON: the registry flush carries nothing volatile.
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_shape_and_lookup() {
+        let snap = METRICS.snapshot();
+        let names: Vec<&str> = snap.groups.iter().map(|g| g.name).collect();
+        assert_eq!(names, vec!["log", "store", "sweep"], "canonical group order");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "groups are alphabetical");
+        for g in &snap.groups {
+            let fields: Vec<&str> = g.values.iter().map(|(f, _)| *f).collect();
+            let mut sorted = fields.clone();
+            sorted.sort_unstable();
+            assert_eq!(fields, sorted, "fields of `{}` are alphabetical", g.name);
+        }
+        assert!(snap.get("sweep", "points_computed").is_some());
+        assert!(snap.get("store", "hits").is_some());
+        assert_eq!(snap.get("sweep", "no_such_field"), None);
+        assert_eq!(snap.get("no_such_group", "hits"), None);
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_greppable() {
+        let snap = MetricsSnapshot {
+            groups: vec![MetricGroup { name: "store", values: vec![("hits", 54), ("misses", 0)] }],
+        };
+        let json = snap.to_json_pretty();
+        assert_eq!(json, "{\n  \"store\": {\n    \"hits\": 54,\n    \"misses\": 0\n  }\n}");
+    }
+
+    #[test]
+    fn global_registry_increments_show_up_in_snapshots() {
+        let before = METRICS.snapshot().get("sweep", "sim_nanos").unwrap();
+        METRICS.sweep.sim_nanos.add(17);
+        let after = METRICS.snapshot().get("sweep", "sim_nanos").unwrap();
+        assert_eq!(after - before, 17);
+    }
+}

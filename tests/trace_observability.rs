@@ -88,6 +88,56 @@ fn default_sink_sweep_matches_the_pre_tracing_golden() {
     );
 }
 
+/// The telemetry tentpole's zero-perturbation guarantee: with the logger
+/// turned all the way up *and* a metrics dump requested, the sweep's
+/// stdout and simulated JSON still hash to the pre-tracing goldens —
+/// telemetry writes to stderr and side files only, never into the science.
+#[test]
+fn golden_survives_logger_and_metrics_instrumentation() {
+    let tmp = std::env::temp_dir();
+    let json_path = tmp.join(format!("rr-golden-telemetry-{}.json", std::process::id()));
+    let metrics_path = tmp.join(format!("rr-golden-metrics-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_rr"))
+        .args(["fig5", "--file", "64", "--seed", "7", "--jobs", "2"])
+        .args(["--threads", "8", "--work", "2000", "--no-store"])
+        .args(["--log-level", "debug"])
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_file(&metrics_path);
+
+    assert_eq!(
+        sha256_hex(&out.stdout),
+        GOLDEN_FIG5_SMALL_STDOUT,
+        "stdout drifted once telemetry was enabled"
+    );
+    assert_eq!(
+        sha256_hex(strip_wall_nanos(&json).as_bytes()),
+        GOLDEN_FIG5_SMALL_JSON,
+        "simulated JSON content drifted once telemetry was enabled"
+    );
+
+    // Under --log-level debug the per-point progress lines appear on
+    // stderr as structured records.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DEBUG sweep"), "progress records at debug level: {stderr}");
+    assert!(stderr.contains("18/18"), "all 18 points narrated: {stderr}");
+
+    // And the metrics dump carries the sweep's counters.
+    let snap: serde::Value = serde_json::from_str(&metrics).expect("metrics JSON parses");
+    let sweep = snap.get("sweep").expect("sweep group present");
+    assert_eq!(sweep.get("points_computed"), Some(&serde::Value::U64(18)), "{metrics}");
+    assert_eq!(sweep.get("points_cached"), Some(&serde::Value::U64(0)), "{metrics}");
+    assert_eq!(sweep.get("workers"), Some(&serde::Value::U64(2)), "{metrics}");
+}
+
 #[test]
 fn traced_point_exports_valid_balanced_chrome_trace() {
     let spec = quick_spec(42, FaultKind::Sync { mean_latency: 300.0 }, 64.0);
