@@ -1,0 +1,159 @@
+//! A monomorphized sum of every allocator strategy.
+//!
+//! The simulator's hot path calls the allocator on every load, unload, and
+//! completion. Driving those calls through `Box<dyn ContextAllocator>`
+//! costs a virtual dispatch (and defeats inlining) per operation;
+//! [`AnyAllocator`] closes the strategy set into an enum so the compiler
+//! sees concrete method bodies behind a predictable match. The
+//! [`ContextAllocator`] trait remains object-safe for callers that want
+//! open-ended extension — the enum is the fast path, not a replacement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitmap::BitmapAllocator;
+use crate::costs::AllocCosts;
+use crate::error::AllocError;
+use crate::first_fit::FirstFitAllocator;
+use crate::fixed::FixedSlots;
+use crate::handle::ContextHandle;
+use crate::lookup::LookupAllocator;
+use crate::traits::ContextAllocator;
+
+/// One of the four built-in allocator strategies, dispatched by match
+/// instead of vtable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnyAllocator {
+    /// General-purpose bitmap allocator (paper section 2.3 / Appendix A).
+    Bitmap(BitmapAllocator),
+    /// Fixed 32-register hardware windows (the conventional baseline).
+    Fixed(FixedSlots),
+    /// Specialized two-size lookup-table allocator (section 3.3).
+    Lookup(LookupAllocator),
+    /// Am29000-style arbitrary-size first-fit (Related Work comparison).
+    FirstFit(FirstFitAllocator),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyAllocator::Bitmap($inner) => $body,
+            AnyAllocator::Fixed($inner) => $body,
+            AnyAllocator::Lookup($inner) => $body,
+            AnyAllocator::FirstFit($inner) => $body,
+        }
+    };
+}
+
+impl ContextAllocator for AnyAllocator {
+    #[inline]
+    fn alloc(&mut self, regs_needed: u32) -> Option<ContextHandle> {
+        dispatch!(self, a => a.alloc(regs_needed))
+    }
+
+    #[inline]
+    fn dealloc(&mut self, ctx: ContextHandle) -> Result<(), AllocError> {
+        dispatch!(self, a => a.dealloc(ctx))
+    }
+
+    #[inline]
+    fn capacity(&self) -> u32 {
+        dispatch!(self, a => a.capacity())
+    }
+
+    #[inline]
+    fn free_registers(&self) -> u32 {
+        dispatch!(self, a => a.free_registers())
+    }
+
+    #[inline]
+    fn can_ever_fit(&self, regs_needed: u32) -> bool {
+        dispatch!(self, a => a.can_ever_fit(regs_needed))
+    }
+
+    #[inline]
+    fn costs(&self) -> AllocCosts {
+        dispatch!(self, a => a.costs())
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        dispatch!(self, a => a.reset())
+    }
+
+    #[inline]
+    fn strategy_name(&self) -> &'static str {
+        dispatch!(self, a => a.strategy_name())
+    }
+}
+
+impl From<BitmapAllocator> for AnyAllocator {
+    fn from(a: BitmapAllocator) -> Self {
+        AnyAllocator::Bitmap(a)
+    }
+}
+
+impl From<FixedSlots> for AnyAllocator {
+    fn from(a: FixedSlots) -> Self {
+        AnyAllocator::Fixed(a)
+    }
+}
+
+impl From<LookupAllocator> for AnyAllocator {
+    fn from(a: LookupAllocator) -> Self {
+        AnyAllocator::Lookup(a)
+    }
+}
+
+impl From<FirstFitAllocator> for AnyAllocator {
+    fn from(a: FirstFitAllocator) -> Self {
+        AnyAllocator::FirstFit(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_dispatch_matches_inner_allocator() {
+        let mut any: AnyAllocator = BitmapAllocator::new(128).unwrap().into();
+        let mut direct = BitmapAllocator::new(128).unwrap();
+        assert_eq!(any.capacity(), direct.capacity());
+        assert_eq!(any.costs(), direct.costs());
+        assert_eq!(any.strategy_name(), direct.strategy_name());
+        let a = any.alloc(6).unwrap();
+        let b = direct.alloc(6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(any.free_registers(), direct.free_registers());
+        any.dealloc(a).unwrap();
+        direct.dealloc(b).unwrap();
+        assert_eq!(any.free_registers(), 128);
+    }
+
+    #[test]
+    fn all_variants_construct_and_report() {
+        let variants: Vec<AnyAllocator> = vec![
+            BitmapAllocator::new(128).unwrap().into(),
+            FixedSlots::new(128).unwrap().into(),
+            LookupAllocator::new(128, 16, 32).unwrap().into(),
+            FirstFitAllocator::new(128).unwrap().into(),
+        ];
+        for mut v in variants {
+            assert_eq!(v.capacity(), 128);
+            assert!(v.can_ever_fit(8));
+            let ctx = v.alloc(8).expect("empty file allocates");
+            assert!(v.free_registers() < 128);
+            v.dealloc(ctx).unwrap();
+            v.reset();
+            assert_eq!(v.free_registers(), 128);
+        }
+    }
+
+    #[test]
+    fn any_allocator_is_usable_as_trait_object_too() {
+        // The trait stays object-safe alongside the enum fast path.
+        let boxed: Box<dyn ContextAllocator> =
+            Box::new(AnyAllocator::from(FixedSlots::new(64).unwrap()));
+        assert_eq!(boxed.capacity(), 64);
+    }
+}

@@ -23,7 +23,9 @@
 //!
 //! All allocators implement [`ContextAllocator`] and hand out
 //! [`ContextHandle`]s whose base/size pair converts directly to an
-//! [`rr_isa::Rrm`].
+//! [`rr_isa::Rrm`]. Hot paths that know the strategy set ahead of time can
+//! use [`AnyAllocator`], a monomorphized enum over the four strategies that
+//! dispatches by match instead of vtable.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 //! # Ok::<(), rr_alloc::AllocError>(())
 //! ```
 
+pub mod any;
 pub mod appendix_a;
 pub mod bitmap;
 pub mod costs;
@@ -49,6 +52,7 @@ pub mod handle;
 pub mod lookup;
 pub mod traits;
 
+pub use any::AnyAllocator;
 pub use bitmap::BitmapAllocator;
 pub use costs::AllocCosts;
 pub use error::AllocError;

@@ -38,7 +38,7 @@ fn switch_cost_sensitivity() -> Result<(), String> {
             .build()?;
         let sched = SchedCosts { context_switch: s, ..SchedCosts::cache_experiments() };
         let stats = Engine::new(
-            Box::new(BitmapAllocator::new(128).map_err(|e| e.to_string())?),
+            BitmapAllocator::new(128).map_err(|e| e.to_string())?,
             sched,
             UnloadPolicyKind::Never,
             workload,
@@ -79,7 +79,7 @@ fn unload_policy_sensitivity() -> Result<(), String> {
                 .seed(seed())
                 .build()?;
             let stats = Engine::new(
-                Box::new(BitmapAllocator::new(64).map_err(|e| e.to_string())?),
+                BitmapAllocator::new(64).map_err(|e| e.to_string())?,
                 SchedCosts::sync_experiments(),
                 policy,
                 workload,

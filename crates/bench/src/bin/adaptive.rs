@@ -33,7 +33,7 @@ fn main() -> Result<(), String> {
             ..SimOptions::cache_experiments()
         };
         let (best, samples) = sweep_limits(
-            || Box::new(BitmapAllocator::new(128).unwrap()),
+            || BitmapAllocator::new(128).unwrap().into(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             &workload,

@@ -23,7 +23,7 @@ fn simulate(n: usize, r: u64, l: u64) -> f64 {
         .unwrap();
     let opts = SimOptions { max_cycles: 400_000, ..SimOptions::cache_experiments() };
     Engine::new(
-        Box::new(BitmapAllocator::new(256).unwrap()),
+        BitmapAllocator::new(256).unwrap(),
         SchedCosts::cache_experiments(),
         UnloadPolicyKind::Never,
         w,

@@ -27,7 +27,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::cache;
-use crate::experiments::ExperimentSpec;
+use crate::experiments::{Arch, ExperimentSpec};
 use crate::sweep::{SweepGrid, SweepRun, SweepRunner};
 use crate::trace::TracedPoint;
 use rr_telemetry::info;
@@ -114,8 +114,8 @@ pub struct BenchCaseReport {
     pub name: String,
     /// Iterations measured.
     pub iterations: usize,
-    /// Median wall nanoseconds across iterations (lower middle for even
-    /// counts — deterministic, no averaging).
+    /// Median wall nanoseconds across iterations (for even counts, the
+    /// two middle iterations averaged, rounded down).
     pub wall_nanos_median: u64,
     /// Fastest iteration — the least-noisy single number.
     pub wall_nanos_min: u64,
@@ -177,9 +177,16 @@ struct CaseSample {
     invariants: Vec<Invariant>,
 }
 
-/// The pinned grids and the traced point for `suite`.
-fn suite_grids(config: &BenchConfig) -> (SweepGrid, SweepGrid, ExperimentSpec) {
-    match config.suite {
+/// The pinned grids, the traced point, and the long-horizon point for
+/// `suite`.
+///
+/// The long-horizon case runs the traced point's spec for 10× the suite's
+/// per-thread work on both architectures. The sweep cases retire threads
+/// quickly; a tenfold horizon keeps the engine in its steady state long
+/// enough that inner-loop costs (wakeup queue churn, per-probe scheduling
+/// work) dominate the measurement instead of setup and teardown.
+fn suite_grids(config: &BenchConfig) -> (SweepGrid, SweepGrid, ExperimentSpec, ExperimentSpec) {
+    let (fig5, fig6, traced) = match config.suite {
         Suite::Quick => {
             let shrink = |mut grid: SweepGrid| {
                 grid.base =
@@ -203,7 +210,9 @@ fn suite_grids(config: &BenchConfig) -> (SweepGrid, SweepGrid, ExperimentSpec) {
                 .spec;
             (fig5, fig6, traced)
         }
-    }
+    };
+    let long = ExperimentSpec { work_per_thread: traced.work_per_thread * 10, ..traced };
+    (fig5, fig6, traced, long)
 }
 
 /// The invariants of one sweep execution.
@@ -225,7 +234,7 @@ fn run_suite_once(
     config: &BenchConfig,
     store_dir: &Path,
 ) -> Result<Vec<(String, CaseSample)>, String> {
-    let (fig5, fig6, traced_spec) = suite_grids(config);
+    let (fig5, fig6, traced_spec, long_spec) = suite_grids(config);
     let mut samples = Vec::new();
     let mut sweep_case = |name: &str, grid: &SweepGrid| -> Result<(), String> {
         let store = cache::open_store(store_dir).map_err(|e| e.to_string())?;
@@ -296,12 +305,49 @@ fn run_suite_once(
             },
         ));
     }
+
+    {
+        // Long horizon: the traced point's spec at 10× work, untraced, on
+        // both architectures. Steady-state engine throughput with no store
+        // or event-recording overhead in the measurement.
+        let started = Instant::now();
+        let fixed = long_spec
+            .with_arch(Arch::Fixed)
+            .run()
+            .map_err(|e| format!("long_horizon: {e}"))?;
+        let flexible = long_spec
+            .with_arch(Arch::Flexible)
+            .run()
+            .map_err(|e| format!("long_horizon: {e}"))?;
+        let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        samples.push((
+            "long_horizon".to_string(),
+            CaseSample {
+                wall_nanos: wall,
+                invariants: vec![
+                    Invariant { name: "fixed_cycles".into(), value: fixed.total_cycles },
+                    Invariant { name: "flexible_cycles".into(), value: flexible.total_cycles },
+                ],
+            },
+        ));
+    }
     Ok(samples)
 }
 
-/// Median by lower-middle element — deterministic for even counts.
+/// Median of a sorted slice: the middle element for odd counts, the mean
+/// of the two middle elements (rounded down) for even counts. The old
+/// lower-middle shortcut biased even-count medians fast — with 4
+/// iterations a single lucky run pulled the reported median below the
+/// typical run, hiding regressions and inflating wins.
 fn median(sorted: &[u64]) -> u64 {
-    sorted[(sorted.len() - 1) / 2]
+    let n = sorted.len();
+    let hi = sorted[n / 2];
+    if n % 2 == 1 {
+        hi
+    } else {
+        let lo = sorted[n / 2 - 1];
+        lo + (hi - lo) / 2
+    }
 }
 
 /// Runs the configured suite `config.iterations` times and aggregates the
@@ -477,6 +523,37 @@ pub fn latest_bench_path(dir: &Path) -> Option<PathBuf> {
     bench_files(dir).pop().map(|(_, path)| path)
 }
 
+/// Acts on a finished run: with a baseline (check mode) the report is
+/// compared and *never* written to disk — in particular, a failing check
+/// must not mint `BENCH_<n+1>.json`, or the regression it just caught
+/// would become the next run's baseline. Without a baseline (record mode)
+/// the report becomes the next sequence file in `dir`.
+///
+/// Returns the path written, or `None` in check mode.
+///
+/// # Errors
+///
+/// Check violations (from [`check`]) and report-write failures. On error,
+/// no file has been written.
+pub fn finish(
+    dir: &Path,
+    report: &BenchReport,
+    baseline: Option<(&BenchReport, f64)>,
+) -> Result<Option<PathBuf>, String> {
+    match baseline {
+        Some((base, tolerance)) => {
+            check(report, base, tolerance)?;
+            Ok(None)
+        }
+        None => {
+            let path = next_bench_path(dir);
+            std::fs::write(&path, report.to_json_pretty()?)
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            Ok(Some(path))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,21 +675,66 @@ mod tests {
     #[test]
     fn suites_pin_their_grids() {
         let quick = BenchConfig::new(Suite::Quick);
-        let (fig5, fig6, traced) = suite_grids(&quick);
+        let (fig5, fig6, traced, long) = suite_grids(&quick);
         assert_eq!(fig5.len(), 18, "one panel");
         assert_eq!(fig6.len(), 18);
         assert_eq!(fig5.base.threads, 8);
         assert_eq!(fig5.base.work_per_thread, 2_000);
         assert_eq!((traced.file_size, traced.run_length), (64, 8.0));
+        assert_eq!(long.work_per_thread, 20_000, "10x the quick horizon");
+        assert_eq!((long.file_size, long.run_length), (64, 8.0));
         assert_eq!(fig5.fault, FaultFamily::Cache);
         assert_eq!(fig6.fault, FaultFamily::Sync);
         assert_eq!(quick.iterations, 3);
 
         let full = BenchConfig::new(Suite::Full);
-        let (fig5, fig6, _) = suite_grids(&full);
+        let (fig5, fig6, _, long) = suite_grids(&full);
         assert_eq!(fig5.len(), 54, "three panels");
         assert_eq!(fig6.len(), 54);
+        assert_eq!(long.work_per_thread, 200_000, "10x the full horizon");
         assert_eq!(full.iterations, 5);
         assert_eq!(full.jobs, 1, "single worker for stable walls");
+    }
+
+    #[test]
+    fn median_averages_even_counts_and_takes_middle_of_odd() {
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 9]), 5);
+        assert_eq!(median(&[1, 2, 100]), 2);
+        // Even count: the mean of the two middles, not the lower one — a
+        // single fast outlier must not drag the median down.
+        assert_eq!(median(&[10, 10, 10, 100]), 10);
+        assert_eq!(median(&[1, 10, 20, 100]), 15);
+        // Rounds down on an odd sum of the middles.
+        assert_eq!(median(&[0, 1, 2, 3]), 1);
+        // Near-u64::MAX middles must not overflow.
+        assert_eq!(median(&[u64::MAX - 2, u64::MAX]), u64::MAX - 1);
+    }
+
+    #[test]
+    fn failed_check_writes_no_new_baseline() {
+        let dir = std::env::temp_dir().join(format!("rr-bench-fin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let baseline = sample_report();
+        let mut drifted = baseline.clone();
+        drifted.cases[0].invariants[0].value = 17;
+        // Check mode, failing: error out and leave the directory untouched.
+        let err = finish(&dir, &drifted, Some((&baseline, 0.25))).unwrap_err();
+        assert!(err.contains("cycle-exact invariants changed"), "{err}");
+        assert!(bench_files(&dir).is_empty(), "failed check must not write a report");
+        // Check mode, passing: still no file — checking never records.
+        assert_eq!(finish(&dir, &baseline, Some((&baseline, 0.25))).unwrap(), None);
+        assert!(bench_files(&dir).is_empty(), "passing check must not write either");
+
+        // Record mode: sequence files advance and round-trip.
+        let first = finish(&dir, &baseline, None).unwrap().unwrap();
+        assert_eq!(first, dir.join("BENCH_1.json"));
+        let second = finish(&dir, &baseline, None).unwrap().unwrap();
+        assert_eq!(second, dir.join("BENCH_2.json"));
+        let read = BenchReport::from_json(&std::fs::read_to_string(&second).unwrap()).unwrap();
+        assert_eq!(read, baseline);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -598,18 +598,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 .join(" "),
         );
     }
-    if let Some((baseline_path, baseline)) = baseline {
-        bench::check(&report, &baseline, tolerance)?;
-        println!(
-            "bench check ok vs {} (tolerance {:.0}%)",
-            baseline_path.display(),
-            tolerance * 100.0
-        );
-    } else {
-        let path = bench::next_bench_path(&dir);
-        std::fs::write(&path, report.to_json_pretty()?)
-            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
-        info!("bench", "wrote {}", path.display());
+    // `finish` checks or records, never both: a failing (or even passing)
+    // `--check` writes nothing, so a caught regression cannot become the
+    // next run's baseline.
+    match bench::finish(&dir, &report, baseline.as_ref().map(|(_, b)| (b, tolerance)))? {
+        Some(path) => info!("bench", "wrote {}", path.display()),
+        None => {
+            let (baseline_path, _) = baseline.expect("check mode has a baseline");
+            println!(
+                "bench check ok vs {} (tolerance {:.0}%)",
+                baseline_path.display(),
+                tolerance * 100.0
+            );
+        }
     }
     Ok(())
 }

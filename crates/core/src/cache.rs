@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use rr_alloc::AllocCosts;
 use rr_runtime::SchedCosts;
 use rr_sim::SimOptions;
-use rr_store::{sha256, Fingerprint, Store, StoreError};
+use rr_store::{sha256, Durability, Fingerprint, Store, StoreError};
 
 use crate::experiments::ExperimentSpec;
 use crate::sweep::SWEEP_SCHEMA_VERSION;
@@ -103,11 +103,18 @@ pub fn trace_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, Store
 /// Opens (creating if needed) the result store at `dir` under this build's
 /// [`store_salt`].
 ///
+/// The store is opened with [`Durability::Relaxed`]: every record here is
+/// a recomputable simulation result whose integrity is checksum-verified
+/// on read, so a per-record `fsync` buys nothing but wall clock — it was
+/// the single largest cost of a cold sweep, ahead of the simulation
+/// itself. Power loss can drop recent records; it cannot corrupt a warm
+/// read.
+///
 /// # Errors
 ///
 /// Fails on I/O errors or a store written by an incompatible layout version.
 pub fn open_store(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
-    Store::open(dir, store_salt())
+    Ok(Store::open(dir, store_salt())?.with_durability(Durability::Relaxed))
 }
 
 /// Resolves the store directory from CLI args and the environment.

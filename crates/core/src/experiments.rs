@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use rr_alloc::{
-    AllocCosts, BitmapAllocator, ContextAllocator, FirstFitAllocator, FixedSlots,
+    AllocCosts, AnyAllocator, BitmapAllocator, FirstFitAllocator, FixedSlots,
     LookupAllocator,
 };
 use rr_runtime::{Event, EventSink, NullSink, RecordingSink, SchedCosts, UnloadPolicyKind};
@@ -52,22 +52,21 @@ impl Arch {
     /// # Errors
     ///
     /// Returns a reason if the file geometry is unsupported.
-    pub fn make_allocator(&self, file_size: u32) -> Result<Box<dyn ContextAllocator>, String> {
+    pub fn make_allocator(&self, file_size: u32) -> Result<AnyAllocator, String> {
         Ok(match self {
-            Arch::Fixed => Box::new(FixedSlots::new(file_size).map_err(|e| e.to_string())?),
+            Arch::Fixed => FixedSlots::new(file_size).map_err(|e| e.to_string())?.into(),
             Arch::Flexible => {
-                Box::new(BitmapAllocator::new(file_size).map_err(|e| e.to_string())?)
+                BitmapAllocator::new(file_size).map_err(|e| e.to_string())?.into()
             }
-            Arch::FlexibleFf1 => Box::new(
-                BitmapAllocator::new(file_size)
-                    .map_err(|e| e.to_string())?
-                    .with_costs(AllocCosts::ff1()),
-            ),
+            Arch::FlexibleFf1 => BitmapAllocator::new(file_size)
+                .map_err(|e| e.to_string())?
+                .with_costs(AllocCosts::ff1())
+                .into(),
             Arch::FlexibleLookup => {
-                Box::new(LookupAllocator::new(file_size, 16, 32).map_err(|e| e.to_string())?)
+                LookupAllocator::new(file_size, 16, 32).map_err(|e| e.to_string())?.into()
             }
             Arch::FlexibleAdd => {
-                Box::new(FirstFitAllocator::new(file_size).map_err(|e| e.to_string())?)
+                FirstFitAllocator::new(file_size).map_err(|e| e.to_string())?.into()
             }
         })
     }
@@ -360,6 +359,7 @@ pub fn compare_traced(spec: &ExperimentSpec) -> Result<TracedComparison, String>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rr_alloc::ContextAllocator;
 
     fn quick(spec: ExperimentSpec) -> ExperimentSpec {
         ExperimentSpec { threads: 24, work_per_thread: 6_000, ..spec }

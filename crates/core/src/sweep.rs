@@ -211,17 +211,33 @@ impl SweepGrid {
         out
     }
 
-    /// Finds the grid point at exact coordinates `(F, R, L)`, if the grid
-    /// contains it. Run lengths compare by bit pattern, so a coordinate
-    /// parsed from user input matches iff it round-trips to the same float
-    /// the grid axis holds.
+    /// Finds the grid point at coordinates `(F, R, L)`, if the grid
+    /// contains it. Integer coordinates compare exactly; the run-length
+    /// coordinate matches its axis value canonically (see
+    /// [`run_length_matches`]), so `--point 64,8,400` finds the point even
+    /// when the axis value's bit pattern differs from what the user's
+    /// string parses to.
     pub fn point_at(&self, file_size: u32, run_length: f64, latency: u64) -> Option<SweepPoint> {
         self.points().into_iter().find(|p| {
             p.file_size == file_size
                 && p.latency == latency
-                && p.run_length.to_bits() == run_length.to_bits()
+                && run_length_matches(p.run_length, run_length)
         })
     }
+}
+
+/// Whether a user-supplied run-length coordinate denotes the grid axis
+/// value `axis`.
+///
+/// Bit-identical floats always match. Beyond that, a coordinate within one
+/// part in 10^9 of the axis value matches too: tight enough that two
+/// distinct axis values (the paper's grids space them a factor of two
+/// apart) can never both claim one coordinate, loose enough that `0.3`
+/// finds an axis value computed as `0.1 + 0.2` — the exact-bit comparison
+/// this replaces silently rejected such points and made fractional
+/// coordinates un-addressable from the CLI.
+fn run_length_matches(axis: f64, coord: f64) -> bool {
+    axis.to_bits() == coord.to_bits() || (axis - coord).abs() <= axis.abs() * 1e-9
 }
 
 /// One expanded grid point: its coordinates plus the self-contained spec
@@ -762,6 +778,37 @@ mod tests {
         grid.latencies = vec![50, 200];
         grid.base = ExperimentSpec { threads: 12, work_per_thread: 3_000, ..grid.base };
         grid
+    }
+
+    #[test]
+    fn point_at_finds_cli_coordinates_on_the_paper_grid() {
+        // The coordinates `rr bench` and `rr trace --point 64,8,400` use.
+        let grid = SweepGrid::figure5(1993);
+        let p = grid.point_at(64, 8.0, 400).expect("64,8,400 is on the Figure 5 grid");
+        assert_eq!((p.file_size, p.run_length, p.latency), (64, 8.0, 400));
+        assert_eq!(grid.points()[p.index], p, "index agrees with canonical order");
+        assert!(grid.point_at(65, 8.0, 400).is_none());
+        assert!(grid.point_at(64, 9.0, 400).is_none());
+        assert!(grid.point_at(64, 8.0, 401).is_none());
+    }
+
+    #[test]
+    fn point_at_matches_fractional_run_lengths_canonically() {
+        // An axis value carrying float-arithmetic noise must still be
+        // addressable by the clean decimal a user would type...
+        let mut grid = mini_grid(FaultFamily::Cache, 5);
+        grid.run_lengths = vec![0.1 + 0.2, 8.0];
+        assert_ne!((0.1f64 + 0.2).to_bits(), 0.3f64.to_bits(), "premise of the test");
+        let p = grid.point_at(64, 0.3, 50).expect("canonical match finds the noisy axis");
+        assert_eq!(p.run_length, 0.1 + 0.2);
+        // ...and the other way around: a noisy coordinate finds a clean axis.
+        grid.run_lengths = vec![0.3, 8.0];
+        let p = grid.point_at(64, 0.1 + 0.2, 50).unwrap();
+        assert_eq!(p.run_length, 0.3);
+        // Neighboring axis values never cross-match.
+        let p = grid.point_at(64, 8.0, 50).unwrap();
+        assert_eq!(p.run_length, 8.0);
+        assert!(grid.point_at(64, 0.4, 50).is_none());
     }
 
     #[test]

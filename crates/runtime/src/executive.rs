@@ -144,6 +144,11 @@ pub struct Executive<S: EventSink = NullSink> {
     alloc_p: Program,
     loader_p: Program,
     live: Vec<Tcb>,
+    /// `tid_index[tid]` is the thread's position in `live`, `None` once
+    /// retired. Tids are dense and never reused, so this is a flat table
+    /// rather than a map, and thread lookups cost one indexed load instead
+    /// of a scan over the live list.
+    tid_index: Vec<Option<usize>>,
     next_tid: usize,
     started: bool,
     /// Cycles spent inside OS calls (allocation, loading, retiring).
@@ -204,6 +209,7 @@ impl<S: EventSink> Executive<S> {
             alloc_p,
             loader_p,
             live: Vec::new(),
+            tid_index: Vec::new(),
             next_tid: 0,
             started: false,
             os_cycles: 0,
@@ -278,6 +284,8 @@ impl<S: EventSink> Executive<S> {
         self.resume(saved);
 
         self.live.push(tcb);
+        debug_assert_eq!(self.tid_index.len(), tid);
+        self.tid_index.push(Some(self.live.len() - 1));
         self.relink_ring()?;
         self.emit(EventKind::ThreadSpawn { thread: tid });
         self.emit(EventKind::ContextLoad {
@@ -320,11 +328,7 @@ impl<S: EventSink> Executive<S> {
     /// * [`ExecError::NoSuchThread`] for unknown ids.
     /// * [`ExecError::ThreadIsRunning`] when the thread holds the processor.
     pub fn retire(&mut self, tid: usize) -> Result<Tcb, ExecError> {
-        let idx = self
-            .live
-            .iter()
-            .position(|t| t.tid == tid)
-            .ok_or(ExecError::NoSuchThread { tid })?;
+        let idx = self.live_idx(tid)?;
         let tcb = self.live[idx];
         if self.started && self.machine.rrm(0).raw() == tcb.base {
             return Err(ExecError::ThreadIsRunning { tid });
@@ -349,6 +353,11 @@ impl<S: EventSink> Executive<S> {
         )?;
         self.resume(saved);
         self.live.remove(idx);
+        self.tid_index[tid] = None;
+        // Every entry after the removed slot shifted down one.
+        for (i, t) in self.live.iter().enumerate().skip(idx) {
+            self.tid_index[t.tid] = Some(i);
+        }
         self.relink_ring()?;
         self.emit(EventKind::ContextUnload {
             thread: tid,
@@ -371,11 +380,7 @@ impl<S: EventSink> Executive<S> {
     ///
     /// Returns [`ExecError::NoSuchThread`] or a machine fault.
     pub fn read_thread_reg(&self, tid: usize, reg: u16) -> Result<u32, ExecError> {
-        let tcb = self
-            .live
-            .iter()
-            .find(|t| t.tid == tid)
-            .ok_or(ExecError::NoSuchThread { tid })?;
+        let tcb = &self.live[self.live_idx(tid)?];
         Ok(self.machine.read_abs(tcb.base + reg)?)
     }
 
@@ -405,6 +410,16 @@ impl<S: EventSink> Executive<S> {
     }
 
     // -- internals ---------------------------------------------------------
+
+    /// Position of a live thread in `live`, via the flat tid table.
+    #[inline]
+    fn live_idx(&self, tid: usize) -> Result<usize, ExecError> {
+        self.tid_index
+            .get(tid)
+            .copied()
+            .flatten()
+            .ok_or(ExecError::NoSuchThread { tid })
+    }
 
     /// Saves the interrupted thread's execution state around an OS call.
     fn pause(&mut self) -> (u32, Rrm) {
@@ -644,6 +659,41 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, EventKind::ThreadComplete { thread } if thread == victim)));
+    }
+
+    #[test]
+    fn tid_table_survives_mid_list_retire() {
+        let mut exec = Executive::boot().unwrap();
+        let body = Executive::standard_body(1).unwrap();
+        exec.install_body(&body).unwrap();
+        let entry = body.label("entry").unwrap();
+        let ids: Vec<usize> = (0..4).map(|_| exec.spawn(entry, 8).unwrap()).collect();
+        exec.run(200).unwrap();
+        // Retire a middle thread that is not holding the processor, so the
+        // live list shifts and the index table must be rebuilt behind it.
+        let victim = ids[1..3]
+            .iter()
+            .copied()
+            .find(|&t| {
+                let tcb = exec.threads().iter().find(|x| x.tid == t).unwrap();
+                exec.machine().rrm(0).raw() != tcb.base
+            })
+            .unwrap();
+        exec.retire(victim).unwrap();
+        for &t in ids.iter().filter(|&&t| t != victim) {
+            // Lookups via the table agree with a scan of the live list.
+            let by_scan = exec.threads().iter().find(|x| x.tid == t).unwrap().base;
+            let reg0 = exec.read_thread_reg(t, 0).unwrap();
+            assert_eq!(reg0, exec.machine().read_abs(by_scan).unwrap());
+        }
+        assert!(matches!(
+            exec.read_thread_reg(victim, 0),
+            Err(ExecError::NoSuchThread { .. })
+        ));
+        assert!(matches!(
+            exec.read_thread_reg(99, 0),
+            Err(ExecError::NoSuchThread { tid: 99 })
+        ));
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! unloading and blocking it, then unload — the classic ski-rental bound that
 //! guarantees at most twice the offline-optimal cost.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 /// What to do with a blocked resident context after a failed resume attempt.
@@ -67,13 +65,24 @@ impl UnloadPolicyKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UnloadGovernor {
     kind: UnloadPolicyKind,
-    spin_cost: HashMap<usize, u64>,
+    /// Accumulated failed-attempt cost, indexed by dense thread id; `0`
+    /// doubles as "cleared". A flat array keeps the per-dispatch clear and
+    /// the per-spin-step bump at a single indexed store, where the former
+    /// `HashMap<usize, u64>` hashed on the scheduler's hottest edge.
+    spin_cost: Vec<u64>,
 }
 
 impl UnloadGovernor {
     /// Creates a governor running `kind`.
     pub fn new(kind: UnloadPolicyKind) -> Self {
-        UnloadGovernor { kind, spin_cost: HashMap::new() }
+        UnloadGovernor { kind, spin_cost: Vec::new() }
+    }
+
+    /// Creates a governor with accumulator slots for `threads` dense ids,
+    /// so the hot path never reallocates. Ids beyond the hint still work —
+    /// the table grows on demand.
+    pub fn with_capacity(kind: UnloadPolicyKind, threads: usize) -> Self {
+        UnloadGovernor { kind, spin_cost: vec![0; threads] }
     }
 
     /// The policy in force.
@@ -94,7 +103,10 @@ impl UnloadGovernor {
             UnloadPolicyKind::Never => UnloadDecision::Keep,
             UnloadPolicyKind::Immediate => UnloadDecision::Unload,
             UnloadPolicyKind::TwoPhase { factor } => {
-                let acc = self.spin_cost.entry(thread).or_insert(0);
+                if thread >= self.spin_cost.len() {
+                    self.spin_cost.resize(thread + 1, 0);
+                }
+                let acc = &mut self.spin_cost[thread];
                 *acc += attempt_cost;
                 if *acc as f64 >= factor * unload_cost as f64 {
                     UnloadDecision::Unload
@@ -123,18 +135,21 @@ impl UnloadGovernor {
 
     /// Accumulated failed-attempt cost for `thread`.
     pub fn accumulated(&self, thread: usize) -> u64 {
-        self.spin_cost.get(&thread).copied().unwrap_or(0)
+        self.spin_cost.get(thread).copied().unwrap_or(0)
     }
 
     /// Clears `thread`'s accumulator — call when it resumes successfully or
     /// is unloaded.
+    #[inline]
     pub fn clear(&mut self, thread: usize) {
-        self.spin_cost.remove(&thread);
+        if let Some(acc) = self.spin_cost.get_mut(thread) {
+            *acc = 0;
+        }
     }
 
     /// Clears all accumulators.
     pub fn reset(&mut self) {
-        self.spin_cost.clear();
+        self.spin_cost.fill(0);
     }
 }
 
@@ -214,6 +229,22 @@ mod tests {
         assert_eq!(two.failed_attempt(1, 1, 34), UnloadDecision::Unload);
         let half = UnloadGovernor::new(UnloadPolicyKind::TwoPhase { factor: 0.5 });
         assert_eq!(half.spin_budget(33), Some(17)); // ceil(16.5)
+    }
+
+    #[test]
+    fn accumulator_table_grows_on_demand_and_preallocates() {
+        // Sparse ids on a fresh governor must work (the table grows), and a
+        // capacity hint must behave identically.
+        let mut fresh = UnloadGovernor::new(UnloadPolicyKind::two_phase());
+        assert_eq!(fresh.accumulated(100), 0);
+        assert_eq!(fresh.failed_attempt(100, 8, 34), UnloadDecision::Keep);
+        assert_eq!(fresh.accumulated(100), 8);
+        fresh.clear(1000); // out of range: a no-op, not a panic
+        let mut hinted = UnloadGovernor::with_capacity(UnloadPolicyKind::two_phase(), 4);
+        assert_eq!(hinted.failed_attempt(7, 8, 34), UnloadDecision::Keep);
+        assert_eq!(hinted.accumulated(7), 8);
+        hinted.clear(7);
+        assert_eq!(hinted.accumulated(7), 0);
     }
 
     #[test]

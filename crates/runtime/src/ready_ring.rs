@@ -110,9 +110,24 @@ impl ReadyRing {
 
     /// Iterates one full sweep starting from the element *after* the cursor,
     /// in ring order (the order the scheduler would test contexts).
+    ///
+    /// Implemented as two chained slice halves, so the per-element modulo
+    /// (and its bounds check) stays out of the scheduler's inner loop.
     pub fn sweep(&self) -> impl Iterator<Item = usize> + '_ {
+        let split = if self.entries.is_empty() { 0 } else { self.cursor + 1 };
+        let (head, tail) = self.entries.split_at(split);
+        tail.iter().chain(head.iter()).copied()
+    }
+
+    /// The `i`-th element of [`ReadyRing::sweep`]'s order, without building
+    /// an iterator — lets a caller walk the sweep by index while mutably
+    /// borrowing itself between probes. `i` must be below `len()`.
+    #[inline]
+    pub fn nth_in_sweep(&self, i: usize) -> usize {
         let n = self.entries.len();
-        (1..=n).map(move |i| self.entries[(self.cursor + i) % n])
+        debug_assert!(i < n);
+        let idx = self.cursor + 1 + i;
+        self.entries[if idx >= n { idx - n } else { idx }]
     }
 
     /// Iterates one full sweep starting *at* the cursor (the running
@@ -120,8 +135,8 @@ impl ReadyRing {
     /// wants when rendering residency, without the allocation a
     /// `Vec`-returning accessor would cost.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        let n = self.entries.len();
-        (0..n).map(move |i| self.entries[(self.cursor + i) % n])
+        let (head, tail) = self.entries.split_at(self.cursor.min(self.entries.len()));
+        tail.iter().chain(head.iter()).copied()
     }
 
     /// Moves the cursor onto `thread`.

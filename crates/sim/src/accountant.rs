@@ -35,7 +35,7 @@ use crate::stats::{decimate_checkpoints, SimStats};
 ///
 /// let workload = WorkloadBuilder::new().threads(4).work_per_thread(500).seed(9).build()?;
 /// let engine = Engine::with_sink(
-///     Box::new(BitmapAllocator::new(128).map_err(|e| e.to_string())?),
+///     BitmapAllocator::new(128).map_err(|e| e.to_string())?,
 ///     SchedCosts::cache_experiments(),
 ///     UnloadPolicyKind::Never,
 ///     workload,
@@ -232,7 +232,7 @@ impl EventAccountant {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rr_alloc::{BitmapAllocator, ContextAllocator};
+    use rr_alloc::BitmapAllocator;
     use rr_runtime::{RecordingSink, SchedCosts, UnloadPolicyKind};
     use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
 
@@ -249,7 +249,7 @@ mod tests {
             .seed(13)
             .build()
             .unwrap();
-        let alloc: Box<dyn ContextAllocator> = Box::new(BitmapAllocator::new(64).unwrap());
+        let alloc = BitmapAllocator::new(64).unwrap();
         let sched = match policy {
             UnloadPolicyKind::Never => SchedCosts::cache_experiments(),
             _ => SchedCosts::sync_experiments(),
@@ -337,7 +337,7 @@ mod tests {
             ..SimOptions::cache_experiments()
         };
         let engine = Engine::with_sink(
-            Box::new(BitmapAllocator::new(128).unwrap()),
+            BitmapAllocator::new(128).unwrap(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             w,

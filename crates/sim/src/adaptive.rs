@@ -8,7 +8,7 @@
 //! first implementation: measure efficiency at candidate limits and
 //! hill-climb to the best one.
 
-use rr_alloc::ContextAllocator;
+use rr_alloc::AnyAllocator;
 use rr_runtime::{SchedCosts, UnloadPolicyKind};
 use rr_workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -37,7 +37,7 @@ pub struct LimitSample {
 ///
 /// Propagates engine-construction failures.
 pub fn sweep_limits(
-    mut make_alloc: impl FnMut() -> Box<dyn ContextAllocator>,
+    mut make_alloc: impl FnMut() -> AnyAllocator,
     sched: SchedCosts,
     policy: UnloadPolicyKind,
     workload: &Workload,
@@ -72,7 +72,7 @@ pub fn sweep_limits(
 ///
 /// Propagates engine-construction failures.
 pub fn hill_climb(
-    mut make_alloc: impl FnMut() -> Box<dyn ContextAllocator>,
+    mut make_alloc: impl FnMut() -> AnyAllocator,
     sched: SchedCosts,
     policy: UnloadPolicyKind,
     workload: &Workload,
@@ -150,7 +150,7 @@ mod tests {
         let opts = opts_with_interference(1.0);
         let limits = [Some(1), Some(2), Some(4), Some(8), Some(16), None];
         let (best, samples) = sweep_limits(
-            || Box::new(BitmapAllocator::new(128).unwrap()),
+            || BitmapAllocator::new(128).unwrap().into(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             &w,
@@ -172,7 +172,7 @@ mod tests {
         let w = workload();
         let opts = SimOptions::cache_experiments();
         let (_best, samples) = sweep_limits(
-            || Box::new(BitmapAllocator::new(128).unwrap()),
+            || BitmapAllocator::new(128).unwrap().into(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             &w,
@@ -188,7 +188,7 @@ mod tests {
         let w = workload();
         let opts = opts_with_interference(1.0);
         let (best, history) = hill_climb(
-            || Box::new(BitmapAllocator::new(128).unwrap()),
+            || BitmapAllocator::new(128).unwrap().into(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             &w,
@@ -204,7 +204,7 @@ mod tests {
     fn empty_sweep_is_an_error() {
         let w = workload();
         let r = sweep_limits(
-            || Box::new(BitmapAllocator::new(128).unwrap()),
+            || BitmapAllocator::new(128).unwrap().into(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             &w,

@@ -9,13 +9,12 @@
 //! windows) architectures enter through the [`ContextAllocator`] and the
 //! cost tables it carries.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use rr_alloc::ContextAllocator;
+use rr_alloc::{AllocCosts, AnyAllocator, ContextAllocator};
 use rr_runtime::{
     CostBucket, Event, EventKind, EventSink, NullSink, ReadyRing, SchedCosts, UnloadDecision,
     UnloadGovernor, UnloadPolicyKind,
@@ -24,7 +23,8 @@ use rr_workload::Workload;
 
 use crate::options::SimOptions;
 use crate::stats::{decimate_checkpoints, SimStats};
-use crate::thread::{Phase, ThreadRt};
+use crate::thread::{Phase, ThreadArena};
+use crate::timer::TimerRing;
 
 /// A run's statistics paired with the host-side wall-clock time it took —
 /// the per-run observability record the sweep runner aggregates.
@@ -55,20 +55,29 @@ enum LoadOutcome {
 /// unobserved simulator. Construct with [`Engine::with_sink`] and run with
 /// [`Engine::run_with_sink`] to capture the cycle-stamped event stream.
 pub struct Engine<S: EventSink = NullSink> {
-    alloc: Box<dyn ContextAllocator>,
+    /// The context allocator, monomorphized: every alloc/dealloc/cost call
+    /// dispatches by match and inlines, instead of through a vtable.
+    alloc: AnyAllocator,
+    /// The allocator's cost table, hoisted at construction (it is fixed for
+    /// an allocator's lifetime) so hot paths skip even the match.
+    alloc_costs: AllocCosts,
     sched: SchedCosts,
     governor: UnloadGovernor,
     workload: Workload,
     opts: SimOptions,
     rng: SmallRng,
 
-    threads: Vec<ThreadRt>,
+    /// Per-thread state in struct-of-arrays layout, indexed by dense id.
+    arena: ThreadArena,
+    /// Per-thread unload cost (`sched.unload_cost(regs_needed)`),
+    /// precomputed once — the spin sweep reads it on every probe.
+    unload_cost: Vec<u64>,
     /// Resident contexts, in `NextRRM` ring order.
     ring: ReadyRing,
     /// Software queue of unloaded runnable threads (FIFO).
     supply: VecDeque<usize>,
-    /// Outstanding fault completions: (wake cycle, thread).
-    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Outstanding fault completions, popped in `(wake, tid)` order.
+    timers: TimerRing,
     /// While `Some(tid)`, allocation for the queue head `tid` is known to
     /// fail until some context is deallocated; avoids charging the same
     /// failed attempt every scheduling decision.
@@ -76,6 +85,10 @@ pub struct Engine<S: EventSink = NullSink> {
 
     now: u64,
     stats: SimStats,
+    /// Cycle accumulators indexed by `CostBucket` discriminant — the
+    /// branchless form of the per-bucket `match`; folded into the named
+    /// `SimStats` fields when the run ends.
+    cost: [u64; 9],
     resident_integral: u128,
     next_checkpoint: u64,
     /// Multiplier on `checkpoint_interval`, doubled at each decimation of
@@ -95,7 +108,7 @@ impl Engine {
     /// thread could never fit the allocator (e.g. a 40-register thread on
     /// 32-register fixed windows).
     pub fn new(
-        alloc: Box<dyn ContextAllocator>,
+        alloc: impl Into<AnyAllocator>,
         sched: SchedCosts,
         policy: UnloadPolicyKind,
         workload: Workload,
@@ -112,13 +125,14 @@ impl<S: EventSink> Engine<S> {
     ///
     /// Same conditions as [`Engine::new`].
     pub fn with_sink(
-        alloc: Box<dyn ContextAllocator>,
+        alloc: impl Into<AnyAllocator>,
         sched: SchedCosts,
         policy: UnloadPolicyKind,
         workload: Workload,
         opts: SimOptions,
         sink: S,
     ) -> Result<Self, String> {
+        let alloc = alloc.into();
         opts.validate()?;
         for t in &workload.threads {
             if !alloc.can_ever_fit(t.regs_needed) {
@@ -130,25 +144,31 @@ impl<S: EventSink> Engine<S> {
                 ));
             }
         }
-        let threads: Vec<ThreadRt> = workload.threads.iter().map(|s| ThreadRt::new(*s)).collect();
-        let supply = (0..threads.len()).collect();
+        let arena = ThreadArena::new(&workload.threads);
+        let unload_cost =
+            workload.threads.iter().map(|t| sched.unload_cost(t.regs_needed)).collect();
+        let supply = (0..arena.len()).collect();
         let rng = SmallRng::seed_from_u64(workload.seed);
+        let timers = TimerRing::for_mean_latency(workload.latency.mean());
         let checkpoint = opts.checkpoint_interval;
         let trim = opts.transient_trim;
         Ok(Engine {
+            alloc_costs: alloc.costs(),
             alloc,
             sched,
-            governor: UnloadGovernor::new(policy),
+            governor: UnloadGovernor::with_capacity(policy, arena.len()),
             workload,
             opts,
             rng,
-            threads,
+            arena,
+            unload_cost,
             ring: ReadyRing::new(),
             supply,
-            events: BinaryHeap::new(),
+            timers,
             alloc_blocked_for: None,
             now: 0,
             stats: SimStats { transient_trim: trim, ..SimStats::default() },
+            cost: [0; 9],
             resident_integral: 0,
             next_checkpoint: checkpoint,
             checkpoint_stride: 1,
@@ -168,7 +188,7 @@ impl<S: EventSink> Engine<S> {
     /// touches engine state.
     pub fn run_with_sink(mut self) -> (SimStats, S) {
         self.emit(EventKind::RunStart {
-            threads: self.threads.len(),
+            threads: self.arena.len(),
             checkpoint_interval: self.opts.checkpoint_interval,
             checkpoint_cap: self.opts.checkpoint_cap,
             transient_trim: self.opts.transient_trim,
@@ -178,7 +198,7 @@ impl<S: EventSink> Engine<S> {
             if !self.supply.is_empty() {
                 self.last_pressure = self.now;
             }
-            if self.stats.completed_threads == self.threads.len() {
+            if self.stats.completed_threads == self.arena.len() {
                 break;
             }
             if self.now >= self.opts.max_cycles {
@@ -205,6 +225,16 @@ impl<S: EventSink> Engine<S> {
                 break;
             }
         }
+        let [busy, switch, spin, alloc, dealloc, load, unload, queue, idle] = self.cost;
+        self.stats.busy_cycles = busy;
+        self.stats.switch_cycles = switch;
+        self.stats.spin_cycles = spin;
+        self.stats.alloc_cycles = alloc;
+        self.stats.dealloc_cycles = dealloc;
+        self.stats.load_cycles = load;
+        self.stats.unload_cycles = unload;
+        self.stats.queue_cycles = queue;
+        self.stats.idle_cycles = idle;
         self.stats.total_cycles = self.now;
         self.stats.avg_resident = if self.now == 0 {
             0.0
@@ -268,20 +298,11 @@ impl<S: EventSink> Engine<S> {
         }
         self.now += dt;
         self.resident_integral += self.ring.len() as u128 * u128::from(dt);
-        let b = &mut self.stats;
-        *match bucket {
-            CostBucket::Busy => &mut b.busy_cycles,
-            CostBucket::Switch => &mut b.switch_cycles,
-            CostBucket::Spin => &mut b.spin_cycles,
-            CostBucket::Alloc => &mut b.alloc_cycles,
-            CostBucket::Dealloc => &mut b.dealloc_cycles,
-            CostBucket::Load => &mut b.load_cycles,
-            CostBucket::Unload => &mut b.unload_cycles,
-            CostBucket::Queue => &mut b.queue_cycles,
-            CostBucket::Idle => &mut b.idle_cycles,
-        } += dt;
+        // Branchless: `CostBucket`'s discriminants are its `SimStats`
+        // declaration order, so the bucket is the index.
+        self.cost[bucket as usize] += dt;
         while self.now >= self.next_checkpoint {
-            self.stats.checkpoints.push((self.now, self.stats.busy_cycles));
+            self.stats.checkpoints.push((self.now, self.cost[CostBucket::Busy as usize]));
             self.next_checkpoint += self.opts.checkpoint_interval * self.checkpoint_stride;
             if self.stats.checkpoints.len() >= self.opts.checkpoint_cap {
                 decimate_checkpoints(&mut self.stats.checkpoints);
@@ -292,19 +313,15 @@ impl<S: EventSink> Engine<S> {
 
     /// Applies every fault completion that has come due.
     fn drain_events(&mut self) {
-        while let Some(&Reverse((wake, tid))) = self.events.peek() {
-            if wake > self.now {
-                break;
-            }
-            self.events.pop();
-            match self.threads[tid].phase {
+        while let Some((_, tid)) = self.timers.pop_due(self.now) {
+            match self.arena.phase[tid] {
                 Phase::ResidentBlocked { wake: w } if w <= self.now => {
-                    self.threads[tid].phase = Phase::ResidentReady;
+                    self.arena.phase[tid] = Phase::ResidentReady;
                     self.governor.clear(tid);
                     self.emit(EventKind::ThreadResume { thread: tid });
                 }
                 Phase::BlockedUnloaded { wake: w } if w <= self.now => {
-                    self.threads[tid].phase = Phase::ReadyUnloaded;
+                    self.arena.phase[tid] = Phase::ReadyUnloaded;
                     self.supply.push_back(tid);
                     self.emit(EventKind::ThreadRequeue { thread: tid });
                 }
@@ -324,15 +341,13 @@ impl<S: EventSink> Engine<S> {
     /// policy's bookkeeping), so dispatch itself is charged identically.
     fn dispatch_ready(&mut self) -> Option<usize> {
         let now = self.now;
-        let (hops, tid) = self
-            .ring
-            .sweep()
-            .enumerate()
-            .find(|&(_, t)| self.threads[t].is_ready_at(now))?;
+        let arena = &self.arena;
+        let (hops, tid) =
+            self.ring.sweep().enumerate().find(|&(_, t)| arena.is_ready_at(t, now))?;
         self.ring.focus(tid);
         self.emit(EventKind::SwitchTo { thread: tid, hops });
         self.spend(u64::from(self.sched.context_switch), CostBucket::Switch, Some(tid));
-        self.threads[tid].phase = Phase::ResidentReady;
+        self.arena.phase[tid] = Phase::ResidentReady;
         self.governor.clear(tid);
         Some(tid)
     }
@@ -350,17 +365,21 @@ impl<S: EventSink> Engine<S> {
         if self.governor.kind() == UnloadPolicyKind::Never {
             return false;
         }
-        let order: Vec<usize> = self.ring.sweep().collect();
-        if order.is_empty() {
+        let n = self.ring.len();
+        if n == 0 {
             return false;
         }
         let s = u64::from(self.sched.context_switch);
-        for tid in order {
-            if self.threads[tid].is_ready_at(self.now) {
+        // Walk the sweep by index: the ring only mutates on unload, which
+        // returns immediately, so positions stay valid — and the walk
+        // allocates nothing.
+        for i in 0..n {
+            let tid = self.ring.nth_in_sweep(i);
+            if self.arena.is_ready_at(tid, self.now) {
                 return true; // a wakeup beat the sweep; dispatch it instead
             }
             self.spend(s, CostBucket::Spin, Some(tid));
-            let unload_cost = self.sched.unload_cost(self.threads[tid].spec.regs_needed);
+            let unload_cost = self.unload_cost[tid];
             let decision = self.governor.failed_attempt(tid, s, unload_cost);
             if self.sink.enabled() {
                 let accumulated = self.governor.accumulated(tid);
@@ -377,12 +396,11 @@ impl<S: EventSink> Engine<S> {
 
     /// Unloads a blocked resident context, freeing its registers.
     fn unload(&mut self, tid: usize) {
-        let regs = self.threads[tid].spec.regs_needed;
-        self.spend(self.sched.unload_cost(regs), CostBucket::Unload, Some(tid));
+        let regs = self.arena.regs_needed[tid];
+        self.spend(self.unload_cost[tid], CostBucket::Unload, Some(tid));
         self.spend(u64::from(self.sched.queue_op), CostBucket::Queue, Some(tid));
-        let costs = self.alloc.costs();
-        self.spend(u64::from(costs.dealloc), CostBucket::Dealloc, Some(tid));
-        let ctx = self.threads[tid].ctx.take().expect("resident thread has a context");
+        self.spend(u64::from(self.alloc_costs.dealloc), CostBucket::Dealloc, Some(tid));
+        let ctx = self.arena.ctx[tid].take().expect("resident thread has a context");
         let base = ctx.base();
         self.alloc.dealloc(ctx).expect("live context deallocates");
         self.alloc_blocked_for = None;
@@ -390,16 +408,16 @@ impl<S: EventSink> Engine<S> {
         self.governor.clear(tid);
         self.stats.unloads += 1;
         self.emit(EventKind::ContextUnload { thread: tid, regs, base, resident: self.ring.len() });
-        let wake = match self.threads[tid].phase {
+        let wake = match self.arena.phase[tid] {
             Phase::ResidentBlocked { wake } => wake,
             other => unreachable!("unloading a non-blocked context: {other:?}"),
         };
         if wake <= self.now {
-            self.threads[tid].phase = Phase::ReadyUnloaded;
+            self.arena.phase[tid] = Phase::ReadyUnloaded;
             self.supply.push_back(tid);
             self.emit(EventKind::ThreadRequeue { thread: tid });
         } else {
-            self.threads[tid].phase = Phase::BlockedUnloaded { wake };
+            self.arena.phase[tid] = Phase::BlockedUnloaded { wake };
         }
     }
 
@@ -425,19 +443,19 @@ impl<S: EventSink> Engine<S> {
         if self.alloc_blocked_for == Some(tid) {
             return LoadOutcome::NeedSpace;
         }
-        let regs = self.threads[tid].spec.regs_needed;
-        let costs = self.alloc.costs();
+        let regs = self.arena.regs_needed[tid];
+        let costs = self.alloc_costs;
         match self.alloc.alloc(regs) {
             Some(ctx) => {
-                let first_time = matches!(self.threads[tid].phase, Phase::Unstarted);
+                let first_time = matches!(self.arena.phase[tid], Phase::Unstarted);
                 let base = ctx.base();
                 self.emit(EventKind::AllocSuccess { thread: tid, regs });
                 self.spend(u64::from(costs.alloc_success), CostBucket::Alloc, Some(tid));
                 self.spend(u64::from(self.sched.queue_op), CostBucket::Queue, Some(tid));
                 self.spend(self.sched.load_cost(regs), CostBucket::Load, Some(tid));
                 self.supply.pop_front();
-                self.threads[tid].ctx = Some(ctx);
-                self.threads[tid].phase = Phase::ResidentReady;
+                self.arena.ctx[tid] = Some(ctx);
+                self.arena.phase[tid] = Phase::ResidentReady;
                 self.ring.insert(tid);
                 self.stats.allocs += 1;
                 self.stats.loads += 1;
@@ -469,16 +487,16 @@ impl<S: EventSink> Engine<S> {
         if let Some(intf) = self.opts.interference {
             run = intf.scale_run(run, self.ring.len());
         }
-        let run = run.min(self.threads[tid].remaining);
+        let run = run.min(self.arena.remaining[tid]);
         self.spend(run, CostBucket::Busy, Some(tid));
-        self.threads[tid].remaining -= run;
-        if self.threads[tid].remaining == 0 {
+        self.arena.remaining[tid] -= run;
+        if self.arena.remaining[tid] == 0 {
             self.complete(tid);
         } else {
             let latency = self.workload.latency.sample(&mut self.rng);
             let wake = self.now + latency;
-            self.threads[tid].phase = Phase::ResidentBlocked { wake };
-            self.events.push(Reverse((wake, tid)));
+            self.arena.phase[tid] = Phase::ResidentBlocked { wake };
+            self.timers.push(self.now, wake, tid);
             self.stats.faults += 1;
             self.emit(EventKind::Fault { thread: tid, latency, wake });
         }
@@ -486,14 +504,13 @@ impl<S: EventSink> Engine<S> {
 
     /// Retires a completed thread, freeing its context.
     fn complete(&mut self, tid: usize) {
-        let costs = self.alloc.costs();
-        self.spend(u64::from(costs.dealloc), CostBucket::Dealloc, Some(tid));
-        let ctx = self.threads[tid].ctx.take().expect("running thread has a context");
+        self.spend(u64::from(self.alloc_costs.dealloc), CostBucket::Dealloc, Some(tid));
+        let ctx = self.arena.ctx[tid].take().expect("running thread has a context");
         self.alloc.dealloc(ctx).expect("live context deallocates");
         self.alloc_blocked_for = None;
         self.ring.remove(tid);
         self.governor.clear(tid);
-        self.threads[tid].phase = Phase::Done;
+        self.arena.phase[tid] = Phase::Done;
         self.stats.completed_threads += 1;
         self.stats.completions.push((tid, self.now));
         self.emit(EventKind::ThreadComplete { thread: tid });
@@ -503,8 +520,8 @@ impl<S: EventSink> Engine<S> {
     /// event is pending (which, given the loop's invariants, means all
     /// remaining work is unreachable — it cannot happen on a valid setup).
     fn idle_until_next_event(&mut self) -> bool {
-        match self.events.peek() {
-            Some(&Reverse((wake, _))) if wake > self.now => {
+        match self.timers.next_wake(self.now) {
+            Some(wake) if wake > self.now => {
                 let dt = wake - self.now;
                 self.emit(EventKind::IdleStart { until: wake });
                 self.spend(dt, CostBucket::Idle, None);
@@ -523,16 +540,16 @@ mod tests {
     use rr_alloc::{BitmapAllocator, FixedSlots};
     use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
 
-    fn flexible(file: u32) -> Box<dyn ContextAllocator> {
-        Box::new(BitmapAllocator::new(file).unwrap())
+    fn flexible(file: u32) -> AnyAllocator {
+        BitmapAllocator::new(file).unwrap().into()
     }
 
-    fn fixed(file: u32) -> Box<dyn ContextAllocator> {
-        Box::new(FixedSlots::new(file).unwrap())
+    fn fixed(file: u32) -> AnyAllocator {
+        FixedSlots::new(file).unwrap().into()
     }
 
     fn cache_engine(
-        alloc: Box<dyn ContextAllocator>,
+        alloc: AnyAllocator,
         threads: usize,
         r: f64,
         l: u64,
@@ -654,7 +671,7 @@ mod tests {
     fn flexible_keeps_more_contexts_resident_than_fixed() {
         // C = 8 on a 128-register file: fixed fits 4 windows, register
         // relocation fits 16 contexts.
-        let mk = |alloc: Box<dyn ContextAllocator>| {
+        let mk = |alloc: AnyAllocator| {
             let w = WorkloadBuilder::new()
                 .threads(32)
                 .run_length(Dist::Geometric { mean: 16.0 })

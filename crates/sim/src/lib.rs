@@ -31,7 +31,7 @@
 //!     .seed(7)
 //!     .build()?;
 //! let engine = Engine::new(
-//!     Box::new(BitmapAllocator::new(128).map_err(|e| e.to_string())?),
+//!     BitmapAllocator::new(128).map_err(|e| e.to_string())?,
 //!     SchedCosts::cache_experiments(),
 //!     UnloadPolicyKind::Never,
 //!     workload,
@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod options;
 pub mod stats;
 pub mod thread;
+pub mod timer;
 pub mod trace_export;
 
 pub use accountant::EventAccountant;
@@ -58,6 +59,7 @@ pub use interference::InterferenceModel;
 pub use metrics::{HistBucket, LogHistogram, MetricsReport, MetricsWindow};
 pub use options::{DispatchMode, SimOptions};
 pub use stats::{decimate_checkpoints, SimStats};
+pub use timer::TimerRing;
 pub use trace_export::chrome_trace_json;
 
 /// Version of the simulator's *behavior*, independent of the crate version.

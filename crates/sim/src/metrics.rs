@@ -350,7 +350,7 @@ mod tests {
             .build()
             .unwrap();
         let engine = Engine::with_sink(
-            Box::new(BitmapAllocator::new(128).unwrap()),
+            BitmapAllocator::new(128).unwrap(),
             SchedCosts::cache_experiments(),
             UnloadPolicyKind::Never,
             w,

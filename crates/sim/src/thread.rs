@@ -63,6 +63,55 @@ impl ThreadRt {
     }
 }
 
+/// Per-thread state as parallel arrays indexed by dense thread id — the
+/// engine's hot-path layout. Scheduling decisions touch one field of many
+/// threads (a phase probe per ring hop, a remaining-work decrement per
+/// dispatch), so splitting the columns keeps each probe on a cache line of
+/// its own kind instead of striding over whole [`ThreadRt`]-style records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadArena {
+    /// Lifecycle phase per thread.
+    pub phase: Vec<Phase>,
+    /// Useful cycles still to execute per thread.
+    pub remaining: Vec<u64>,
+    /// Registers the thread's context must hold (static, from the spec).
+    pub regs_needed: Vec<u32>,
+    /// The context currently holding each thread's registers, when resident.
+    pub ctx: Vec<Option<ContextHandle>>,
+}
+
+impl ThreadArena {
+    /// Fresh arena for a workload's thread specifications.
+    pub fn new(specs: &[ThreadSpec]) -> Self {
+        ThreadArena {
+            phase: vec![Phase::Unstarted; specs.len()],
+            remaining: specs.iter().map(|s| s.total_work).collect(),
+            regs_needed: specs.iter().map(|s| s.regs_needed).collect(),
+            ctx: vec![None; specs.len()],
+        }
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Whether the arena holds no threads.
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// Whether a resident thread can run now — the ring walk's probe.
+    #[inline]
+    pub fn is_ready_at(&self, tid: usize, now: u64) -> bool {
+        match self.phase[tid] {
+            Phase::ResidentReady => true,
+            Phase::ResidentBlocked { wake } => wake <= now,
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +138,23 @@ mod tests {
         assert!(t.is_ready_at(50));
         t.phase = Phase::ResidentReady;
         assert!(t.is_ready_at(0));
+    }
+
+    #[test]
+    fn arena_mirrors_per_thread_state() {
+        let specs = [
+            ThreadSpec { id: 0, regs_needed: 8, total_work: 100 },
+            ThreadSpec { id: 1, regs_needed: 16, total_work: 50 },
+        ];
+        let mut a = ThreadArena::new(&specs);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.remaining, vec![100, 50]);
+        assert_eq!(a.regs_needed, vec![8, 16]);
+        assert!(!a.is_ready_at(0, 0));
+        a.phase[1] = Phase::ResidentBlocked { wake: 50 };
+        assert!(!a.is_ready_at(1, 49));
+        assert!(a.is_ready_at(1, 50));
+        a.phase[0] = Phase::ResidentReady;
+        assert!(a.is_ready_at(0, 0));
     }
 }

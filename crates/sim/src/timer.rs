@@ -1,0 +1,295 @@
+//! A bucketed timer ring for fault-completion wakeups.
+//!
+//! The engine's wakeup queue holds at most one outstanding fault per
+//! resident context, with wake times clustered around the workload's fault
+//! latency. A comparison-based `BinaryHeap` pays `O(log n)` sift work and
+//! pointer-chasing per fault; this ring instead hashes each wakeup into one
+//! of 64 time buckets sized to the latency distribution, so pushes are an
+//! indexed insert into a (nearly always tiny) sorted bucket and pops scan a
+//! 64-bit occupancy word. Wakes beyond the 64-bucket window park in an
+//! overflow list and migrate in as the window slides.
+//!
+//! Pop order is exactly the heap's: ascending `(wake, tid)`, ties broken by
+//! the lower thread id — the property the cycle-exact golden tests pin.
+//!
+//! Callers must present a nondecreasing `now` across calls (simulation time
+//! never runs backwards) and only push wakes at or after `now`.
+
+/// Number of buckets in the sliding window. One `u64` occupancy word scans
+/// the whole window in a couple of instructions.
+const BUCKETS: usize = 64;
+
+/// A sliding-window bucket queue of `(wake, tid)` wakeups.
+#[derive(Debug)]
+pub struct TimerRing {
+    /// log2 of the cycle span each bucket covers.
+    shift: u32,
+    /// `buckets[tick % 64]` holds the wakeups of absolute tick `tick`,
+    /// sorted ascending by `(wake, tid)`.
+    buckets: [Vec<(u64, usize)>; BUCKETS],
+    /// Bit `tick % 64` set iff that bucket is non-empty.
+    occupied: u64,
+    /// Absolute tick of the window's lower edge; all bucketed entries have
+    /// ticks in `[cursor, cursor + 64)` (overdue entries are clamped onto
+    /// `cursor`, which preserves pop order — see `place`).
+    cursor: u64,
+    /// Wakeups beyond the window, unordered.
+    overflow: Vec<(u64, usize)>,
+    /// Minimum wake in `overflow` (`u64::MAX` when empty).
+    overflow_min: u64,
+    len: usize,
+}
+
+impl TimerRing {
+    /// A ring whose buckets each span `2^shift` cycles.
+    pub fn new(shift: u32) -> Self {
+        TimerRing {
+            shift: shift.min(48),
+            buckets: std::array::from_fn(|_| Vec::new()),
+            occupied: 0,
+            cursor: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            len: 0,
+        }
+    }
+
+    /// A ring sized to a fault-latency distribution: the 64-bucket window
+    /// spans roughly four times the mean latency, so the common wakeup
+    /// lands in the window and only the distribution's tail overflows.
+    pub fn for_mean_latency(mean: f64) -> Self {
+        let per_bucket = (mean / 16.0).max(1.0) as u64;
+        let mut shift = 0u32;
+        while (1u64 << shift) < per_bucket {
+            shift += 1;
+        }
+        TimerRing::new(shift)
+    }
+
+    /// Outstanding wakeups.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no wakeups are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset (in ticks from `cursor`) of the first occupied bucket.
+    /// Meaningless when `occupied == 0`.
+    #[inline]
+    fn first_offset(&self) -> u64 {
+        u64::from(self.occupied.rotate_right((self.cursor % 64) as u32).trailing_zeros())
+    }
+
+    /// Slides the window up to `now`'s tick, never past an occupied bucket,
+    /// and migrates any overflow wakeups the window now reaches.
+    #[inline]
+    fn advance(&mut self, now: u64) {
+        let target = now >> self.shift;
+        if target > self.cursor {
+            self.cursor = if self.occupied == 0 {
+                target
+            } else {
+                target.min(self.cursor + self.first_offset())
+            };
+            self.migrate();
+        }
+    }
+
+    /// Pulls overflow wakeups that now fit the window into their buckets.
+    fn migrate(&mut self) {
+        if self.overflow_min >> self.shift >= self.cursor + BUCKETS as u64 {
+            return;
+        }
+        let pending = std::mem::take(&mut self.overflow);
+        self.overflow_min = u64::MAX;
+        for (wake, tid) in pending {
+            if wake >> self.shift < self.cursor + BUCKETS as u64 {
+                self.place(wake, tid);
+            } else {
+                self.overflow_min = self.overflow_min.min(wake);
+                self.overflow.push((wake, tid));
+            }
+        }
+    }
+
+    /// Files a wakeup into its bucket, keeping the bucket `(wake, tid)`
+    /// sorted. Overdue ticks clamp onto the cursor bucket: they pop before
+    /// every in-window tick, and the within-bucket sort keeps them in wake
+    /// order, so global pop order is preserved.
+    fn place(&mut self, wake: u64, tid: usize) {
+        let tick = (wake >> self.shift).max(self.cursor);
+        debug_assert!(tick < self.cursor + BUCKETS as u64);
+        let b = (tick % BUCKETS as u64) as usize;
+        let bucket = &mut self.buckets[b];
+        let at = bucket.partition_point(|&e| e < (wake, tid));
+        bucket.insert(at, (wake, tid));
+        self.occupied |= 1u64 << b;
+    }
+
+    /// Schedules `tid` to wake at cycle `wake` (`wake >= now`).
+    pub fn push(&mut self, now: u64, wake: u64, tid: usize) {
+        debug_assert!(wake >= now, "wake {wake} before now {now}");
+        self.advance(now);
+        if wake >> self.shift >= self.cursor + BUCKETS as u64 {
+            self.overflow_min = self.overflow_min.min(wake);
+            self.overflow.push((wake, tid));
+        } else {
+            self.place(wake, tid);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest wakeup with `wake <= now`, ties
+    /// broken by lower tid — exactly a min-heap's pop order.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, usize)> {
+        self.advance(now);
+        if self.occupied == 0 {
+            // Anything overflowed is beyond the window and the window
+            // reaches past `now`, so nothing can be due.
+            return None;
+        }
+        let tick = self.cursor + self.first_offset();
+        let b = (tick % BUCKETS as u64) as usize;
+        let &(wake, tid) = self.buckets[b].first().expect("occupied bit set");
+        if wake > now {
+            return None;
+        }
+        self.buckets[b].remove(0);
+        if self.buckets[b].is_empty() {
+            self.occupied &= !(1u64 << b);
+        }
+        self.len -= 1;
+        Some((wake, tid))
+    }
+
+    /// The earliest outstanding wake cycle, due or not.
+    pub fn next_wake(&mut self, now: u64) -> Option<u64> {
+        self.advance(now);
+        if self.occupied != 0 {
+            let tick = self.cursor + self.first_offset();
+            let b = (tick % BUCKETS as u64) as usize;
+            return self.buckets[b].first().map(|&(wake, _)| wake);
+        }
+        if !self.overflow.is_empty() {
+            return Some(self.overflow_min);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_wake_then_tid_order() {
+        let mut t = TimerRing::new(3);
+        t.push(0, 50, 2);
+        t.push(0, 50, 1);
+        t.push(0, 10, 9);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.pop_due(100), Some((10, 9)));
+        assert_eq!(t.pop_due(100), Some((50, 1)));
+        assert_eq!(t.pop_due(100), Some((50, 2)));
+        assert_eq!(t.pop_due(100), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn not_due_is_not_popped() {
+        let mut t = TimerRing::new(0);
+        t.push(0, 5, 0);
+        assert_eq!(t.pop_due(4), None);
+        assert_eq!(t.next_wake(4), Some(5));
+        assert_eq!(t.pop_due(5), Some((5, 0)));
+    }
+
+    #[test]
+    fn overflow_migrates_as_time_advances() {
+        let mut t = TimerRing::new(0); // 64-cycle window
+        t.push(0, 1_000_000, 3);
+        t.push(0, 10, 1);
+        assert_eq!(t.next_wake(0), Some(10));
+        assert_eq!(t.pop_due(10), Some((10, 1)));
+        assert_eq!(t.pop_due(10), None);
+        // Idle jump straight to the far wake.
+        assert_eq!(t.next_wake(10), Some(1_000_000));
+        assert_eq!(t.pop_due(1_000_000), Some((1_000_000, 3)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn same_wake_same_tid_duplicates_survive() {
+        // A stale event plus a fresh one can collide exactly; both pop.
+        let mut t = TimerRing::new(2);
+        t.push(0, 40, 5);
+        t.push(0, 40, 5);
+        assert_eq!(t.pop_due(40), Some((40, 5)));
+        assert_eq!(t.pop_due(40), Some((40, 5)));
+        assert_eq!(t.pop_due(40), None);
+    }
+
+    /// Model test: against a `BinaryHeap<Reverse<(u64, usize)>>` under a
+    /// randomized monotone schedule of pushes, pops, and idle jumps, the
+    /// ring must agree on every pop and every next-wake query.
+    #[test]
+    fn matches_binary_heap_model_under_random_schedules() {
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let shift = rng.gen_range(0..8u32);
+            let mut ring = TimerRing::new(shift);
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            for _ in 0..2000 {
+                match rng.gen_range(0..10u32) {
+                    0..=4 => {
+                        let wake = now + rng.gen_range(0..5000u64);
+                        let tid = rng.gen_range(0..32usize);
+                        ring.push(now, wake, tid);
+                        heap.push(Reverse((wake, tid)));
+                    }
+                    5..=7 => {
+                        let model = match heap.peek() {
+                            Some(&Reverse((wake, tid))) if wake <= now => {
+                                heap.pop();
+                                Some((wake, tid))
+                            }
+                            _ => None,
+                        };
+                        assert_eq!(ring.pop_due(now), model, "seed {seed} now {now}");
+                    }
+                    8 => {
+                        let model = heap.peek().map(|&Reverse((wake, _))| wake);
+                        assert_eq!(ring.next_wake(now), model, "seed {seed} now {now}");
+                    }
+                    _ => {
+                        // Advance time: small step, or jump to the next wake
+                        // (the engine's idle), or a long leap.
+                        now += match rng.gen_range(0..3u32) {
+                            0 => rng.gen_range(0..50u64),
+                            1 => heap
+                                .peek()
+                                .map(|&Reverse((wake, _))| wake.saturating_sub(now))
+                                .unwrap_or(100),
+                            _ => rng.gen_range(0..20_000u64),
+                        };
+                    }
+                }
+            }
+            // Drain both to the end.
+            now = now.max(u64::MAX >> 16);
+            while let Some(Reverse(expect)) = heap.pop() {
+                assert_eq!(ring.pop_due(now), Some(expect), "seed {seed} drain");
+            }
+            assert_eq!(ring.pop_due(now), None);
+            assert!(ring.is_empty());
+        }
+    }
+}

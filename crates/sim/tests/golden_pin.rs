@@ -1,0 +1,215 @@
+//! Golden pinning of the engine's cycle-exact behavior.
+//!
+//! These constants were captured from the engine *before* the hot-path
+//! restructuring (enum-dispatched allocator, timer ring, struct-of-arrays
+//! arenas, branchless cost charging) and pin the optimized engine
+//! bit-identical to that capture: for a deterministic set of pseudo-random
+//! specs covering both architectures (fixed windows, register relocation)
+//! and both fault families (constant-latency cache misses with the
+//! never-unload policy, exponential synchronization waits with the
+//! two-phase policy), the full `SimStats` and the recorded event stream
+//! must hash to exactly the values below.
+//!
+//! Every run is additionally replayed through the [`EventAccountant`]
+//! oracle, so the event stream's self-accounting invariants are enforced
+//! alongside the hashes.
+//!
+//! To regenerate after an *intentional* behavior change (which must also
+//! bump `rr_sim::CODE_VERSION`), run with `RR_GOLDEN_PRINT=1` and paste
+//! the printed table.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rr_alloc::{AnyAllocator, BitmapAllocator, FixedSlots};
+use rr_runtime::{RecordingSink, SchedCosts, UnloadPolicyKind};
+use rr_sim::{Engine, EventAccountant, SimOptions};
+use rr_workload::{ContextSizeDist, Dist, WorkloadBuilder};
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct GoldenCase {
+    fixed: bool,
+    sync: bool,
+    file_size: u32,
+    threads: usize,
+    run_mean: f64,
+    latency: u64,
+    ctx_fixed: u32,
+    work: u64,
+    seed: u64,
+}
+
+/// Deterministic pseudo-random spec set: 12 base scenarios, each expanded
+/// over {fixed, flexible} × {cache, sync} = 48 runs.
+fn golden_cases() -> Vec<GoldenCase> {
+    let mut rng = SmallRng::seed_from_u64(0x5252_4742);
+    let mut cases = Vec::new();
+    for i in 0..12u64 {
+        let file_size = *[64u32, 128, 256].get(rng.gen_range(0..3usize)).unwrap();
+        let threads = rng.gen_range(2..24usize);
+        let run_mean = rng.gen_range(4.0..96.0f64);
+        let latency = rng.gen_range(20..900u64);
+        let ctx_fixed = *[4u32, 8, 16, 32].get(rng.gen_range(0..4usize)).unwrap();
+        let work = rng.gen_range(500..4000u64);
+        let seed = rng.gen_range(0..10_000u64) + i;
+        for fixed in [false, true] {
+            for sync in [false, true] {
+                cases.push(GoldenCase {
+                    fixed,
+                    sync,
+                    file_size,
+                    threads,
+                    run_mean,
+                    latency,
+                    ctx_fixed,
+                    work,
+                    seed,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Runs one case with a recording sink and returns the FNV hash of the
+/// serialized stats plus event stream, enforcing the replay oracle.
+fn run_case(c: &GoldenCase) -> u64 {
+    let latency_dist = if c.sync {
+        Dist::Exponential { mean: c.latency as f64 }
+    } else {
+        Dist::Constant(c.latency)
+    };
+    let workload = WorkloadBuilder::new()
+        .threads(c.threads)
+        .run_length(Dist::Geometric { mean: c.run_mean })
+        .latency(latency_dist)
+        .context_size(ContextSizeDist::Fixed(c.ctx_fixed))
+        .work_per_thread(c.work)
+        .seed(c.seed)
+        .build()
+        .unwrap();
+    let alloc: AnyAllocator = if c.fixed {
+        FixedSlots::new(c.file_size).unwrap().into()
+    } else {
+        BitmapAllocator::new(c.file_size).unwrap().into()
+    };
+    let (sched, policy, opts) = if c.sync {
+        (
+            SchedCosts::sync_experiments(),
+            UnloadPolicyKind::two_phase(),
+            SimOptions { max_cycles: 2_000_000, ..SimOptions::sync_experiments() },
+        )
+    } else {
+        (
+            SchedCosts::cache_experiments(),
+            UnloadPolicyKind::Never,
+            SimOptions { max_cycles: 2_000_000, ..SimOptions::cache_experiments() },
+        )
+    };
+    let engine =
+        Engine::with_sink(alloc, sched, policy, workload, opts, RecordingSink::new()).unwrap();
+    let (stats, sink) = engine.run_with_sink();
+    let events = sink.into_events();
+
+    // Replay oracle: the event stream must reconstruct the stats exactly,
+    // bit-for-bit (including the f64 `avg_resident`).
+    let replayed = EventAccountant::replay(&events).expect("event stream self-accounts");
+    assert_eq!(replayed, stats, "replay oracle diverged for {c:?}");
+
+    let stats_json = serde_json::to_string(&stats).unwrap();
+    let events_json = serde_json::to_string(&events).unwrap();
+    let mut buf = Vec::with_capacity(stats_json.len() + events_json.len() + 1);
+    buf.extend_from_slice(stats_json.as_bytes());
+    buf.push(b'|');
+    buf.extend_from_slice(events_json.as_bytes());
+    fnv1a(&buf)
+}
+
+/// Per-case hashes captured from the pre-optimization engine. Indexed in
+/// `golden_cases()` order; one line per (scenario, arch, family) run.
+const GOLDEN_HASHES: [u64; 48] = [
+    0xac4eed766caa5abf, // case 0: fixed: false, sync: false
+    0xcdd65757f8569fcd, // case 1: fixed: false, sync: true
+    0x4f1dc2eb94c70717, // case 2: fixed: true, sync: false
+    0x92a28856a73f0e53, // case 3: fixed: true, sync: true
+    0x05bc7cb019733e57, // case 4: fixed: false, sync: false
+    0x81a18d77116aa859, // case 5: fixed: false, sync: true
+    0xa0bd7a39d6ff835e, // case 6: fixed: true, sync: false
+    0xd99fcfe29b4d2e29, // case 7: fixed: true, sync: true
+    0x9b96e0bececb7ae8, // case 8: fixed: false, sync: false
+    0xaf9c3c35aeded9c5, // case 9: fixed: false, sync: true
+    0xec879efb0cdf4afa, // case 10: fixed: true, sync: false
+    0x5d9c6595b8b01aee, // case 11: fixed: true, sync: true
+    0x591ae11048ae5430, // case 12: fixed: false, sync: false
+    0xe9aa3da1b58f371f, // case 13: fixed: false, sync: true
+    0xea11d781e64fd1b2, // case 14: fixed: true, sync: false
+    0x160740634782c1cf, // case 15: fixed: true, sync: true
+    0x35327f23e830c73b, // case 16: fixed: false, sync: false
+    0xb8562aaedd745037, // case 17: fixed: false, sync: true
+    0xf7177888a311c0ce, // case 18: fixed: true, sync: false
+    0x439cbd492dbf51d3, // case 19: fixed: true, sync: true
+    0xcd80764658270e74, // case 20: fixed: false, sync: false
+    0x2ba0fdfeda2628e7, // case 21: fixed: false, sync: true
+    0xb631786ce1d0b534, // case 22: fixed: true, sync: false
+    0xb70e38464b15d5c1, // case 23: fixed: true, sync: true
+    0x6bc26dc7d3b1994e, // case 24: fixed: false, sync: false
+    0xfe889dbd1ccdf1f5, // case 25: fixed: false, sync: true
+    0x11c085ed4ddd2240, // case 26: fixed: true, sync: false
+    0xfb74bac2a73a9cde, // case 27: fixed: true, sync: true
+    0xba0696e082c9304b, // case 28: fixed: false, sync: false
+    0x7a9947c89c45dfb9, // case 29: fixed: false, sync: true
+    0x9874ae3d66e50421, // case 30: fixed: true, sync: false
+    0x5d3f637433b27921, // case 31: fixed: true, sync: true
+    0xcaa2397368176425, // case 32: fixed: false, sync: false
+    0x8785fe1f35c378a8, // case 33: fixed: false, sync: true
+    0xfcd6ae67ff0cccb8, // case 34: fixed: true, sync: false
+    0x30d743f6bec46c11, // case 35: fixed: true, sync: true
+    0x78c394228d8c878c, // case 36: fixed: false, sync: false
+    0x7156cb3590efb8ea, // case 37: fixed: false, sync: true
+    0x433cba7722da1b2a, // case 38: fixed: true, sync: false
+    0x40ffb94d4deb09ec, // case 39: fixed: true, sync: true
+    0x67c46cdd72de4183, // case 40: fixed: false, sync: false
+    0x141ebafd8f2be8b9, // case 41: fixed: false, sync: true
+    0x9da1c09f3152734e, // case 42: fixed: true, sync: false
+    0x6783d10960d4fc42, // case 43: fixed: true, sync: true
+    0x31785a52c7b43a3f, // case 44: fixed: false, sync: false
+    0x64fcd5f8b7e06c65, // case 45: fixed: false, sync: true
+    0x654a7912d2e21269, // case 46: fixed: true, sync: false
+    0x1090b41db60c8ecd, // case 47: fixed: true, sync: true
+];
+
+#[test]
+fn engine_matches_pre_optimization_capture_bit_for_bit() {
+    let cases = golden_cases();
+    assert_eq!(cases.len(), GOLDEN_HASHES.len());
+    let hashes: Vec<u64> = cases.iter().map(run_case).collect();
+    if std::env::var_os("RR_GOLDEN_PRINT").is_some() {
+        for (i, h) in hashes.iter().enumerate() {
+            println!("    {h:#018x}, // case {i}: {:?}", cases[i]);
+        }
+    }
+    let mut mismatches = Vec::new();
+    for (i, (&got, &want)) in hashes.iter().zip(GOLDEN_HASHES.iter()).enumerate() {
+        if got != want {
+            mismatches.push(format!(
+                "case {i} ({:?}): got {got:#018x}, pinned {want:#018x}",
+                cases[i]
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "engine diverged from pre-optimization capture:\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use rr_alloc::{BitmapAllocator, ContextAllocator, FixedSlots};
+use rr_alloc::{AnyAllocator, BitmapAllocator, FixedSlots};
 use rr_runtime::{SchedCosts, UnloadPolicyKind};
 use rr_sim::{Engine, SimOptions, SimStats};
 use rr_workload::{ContextSizeDist, Dist, Workload, WorkloadBuilder};
@@ -56,7 +56,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 /// Everything `Engine::new` consumes, derived from one scenario.
-type EngineParts = (Workload, Box<dyn ContextAllocator>, SchedCosts, UnloadPolicyKind, SimOptions);
+type EngineParts = (Workload, AnyAllocator, SchedCosts, UnloadPolicyKind, SimOptions);
 
 fn build(s: &Scenario) -> Result<EngineParts, String> {
     let latency_dist = if s.sync {
@@ -72,10 +72,10 @@ fn build(s: &Scenario) -> Result<EngineParts, String> {
         .work_per_thread(s.work)
         .seed(s.seed)
         .build()?;
-    let alloc: Box<dyn ContextAllocator> = if s.fixed {
-        Box::new(FixedSlots::new(s.file_size).map_err(|e| e.to_string())?)
+    let alloc: AnyAllocator = if s.fixed {
+        FixedSlots::new(s.file_size).map_err(|e| e.to_string())?.into()
     } else {
-        Box::new(BitmapAllocator::new(s.file_size).map_err(|e| e.to_string())?)
+        BitmapAllocator::new(s.file_size).map_err(|e| e.to_string())?.into()
     };
     let (sched, policy, opts) = if s.sync {
         (

@@ -18,8 +18,10 @@
 //! ```
 //!
 //! Writes are crash-safe: the record is written to a temp file in the same
-//! shard directory, synced, then atomically renamed into place, so readers
-//! never observe a partial record under a final name. Reads are paranoid:
+//! shard directory, synced (under the default [`Durability::Sync`]; see
+//! [`Durability::Relaxed`] for cache-grade writes), then atomically renamed
+//! into place, so readers never observe a partial record under a final
+//! name. Reads are paranoid:
 //! any header, length, key, salt, or checksum mismatch moves the file to
 //! `quarantine/` and reports the lookup as a miss — a corrupt store degrades
 //! to recomputation, never to a panic or a wrong answer.
@@ -59,6 +61,23 @@ struct RecordHeader {
     salt: String,
     payload_len: u64,
     payload_sha256: String,
+}
+
+/// How hard a [`Store::put`] pushes a freshly written record toward stable
+/// storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// `fsync` every record before renaming it into place: a record `put`
+    /// reported written survives power loss. The default.
+    #[default]
+    Sync,
+    /// Skip the per-record `fsync` and let the OS flush on its own
+    /// schedule. Readers are still safe — a record torn by power loss
+    /// fails its checksum on read, is quarantined, and gets recomputed —
+    /// but the most recent writes may be lost. The right trade for a cache
+    /// of recomputable results, where per-record `fsync` otherwise
+    /// dominates a cold sweep's wall clock.
+    Relaxed,
 }
 
 /// Outcome of a [`Store::get`].
@@ -123,6 +142,7 @@ pub struct Store {
     objects: PathBuf,
     quarantine: PathBuf,
     salt: String,
+    durability: Durability,
     /// Disambiguates temp files written by concurrent threads of this
     /// process.
     tmp_counter: AtomicU64,
@@ -166,7 +186,20 @@ impl Store {
             }
             Err(e) => return Err(StoreError::io("read", &meta_path, e)),
         }
-        Ok(Store { root, objects, quarantine, salt: salt.into(), tmp_counter: AtomicU64::new(0) })
+        Ok(Store {
+            root,
+            objects,
+            quarantine,
+            salt: salt.into(),
+            durability: Durability::default(),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Sets the write [`Durability`] policy (default [`Durability::Sync`]).
+    pub fn with_durability(mut self, durability: Durability) -> Store {
+        self.durability = durability;
+        self
     }
 
     /// The store's root directory.
@@ -212,6 +245,9 @@ impl Store {
             f.write_all(header_json.as_bytes())?;
             f.write_all(b"\n")?;
             f.write_all(payload)?;
+            if self.durability == Durability::Relaxed {
+                return Ok(());
+            }
             let sync_started = Instant::now();
             let synced = f.sync_all();
             METRICS.store.fsync_count.inc();
@@ -531,6 +567,19 @@ mod tests {
         assert_eq!(store.get(&key(1)).unwrap(), Lookup::Hit(b"hello again".to_vec()));
         assert_eq!(store.salt(), "salt-1");
         assert_eq!(store.root(), dir.0.as_path());
+    }
+
+    #[test]
+    fn relaxed_durability_round_trips_and_skips_fsync() {
+        let dir = TempDir::new("relaxed");
+        let store =
+            Store::open(&dir.0, "salt-1").unwrap().with_durability(Durability::Relaxed);
+        let before = METRICS.store.fsync_count.count();
+        store.put(&key(9), b"cache-grade").unwrap();
+        assert_eq!(METRICS.store.fsync_count.count(), before, "no fsync issued");
+        assert_eq!(store.get(&key(9)).unwrap(), Lookup::Hit(b"cache-grade".to_vec()));
+        // Integrity checks are durability-independent.
+        assert!(store.verify().unwrap().quarantined.is_empty());
     }
 
     #[test]

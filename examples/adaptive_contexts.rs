@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SimOptions::cache_experiments()
     };
     let make_alloc =
-        || -> Box<dyn register_relocation::alloc::ContextAllocator> {
-            Box::new(BitmapAllocator::new(128).unwrap())
-        };
+        || BitmapAllocator::new(128).unwrap().into();
 
     println!("Interference model: R_eff(n) = R / (1 + 0.6 (n-1)), R = 64, L = 100\n");
     println!("  limit    efficiency    avg resident");

@@ -58,8 +58,17 @@ fn bench_records_a_baseline_then_checks_clean_and_catches_regressions() {
     let names: Vec<&str> = baseline.cases.iter().map(|c| c.name.as_str()).collect();
     assert_eq!(
         names,
-        ["fig5_cold", "fig5_warm", "fig6_cold", "fig6_warm", "store_verify", "traced_point"]
+        [
+            "fig5_cold",
+            "fig5_warm",
+            "fig6_cold",
+            "fig6_warm",
+            "store_verify",
+            "traced_point",
+            "long_horizon"
+        ]
     );
+    let long = baseline.case("long_horizon").unwrap();
     let warm = baseline.case("fig5_warm").unwrap();
     let hit = |c: &register_relocation::bench::BenchCaseReport, n: &str| {
         c.invariants.iter().find(|i| i.name == n).map(|i| i.value)
@@ -69,6 +78,12 @@ fn bench_records_a_baseline_then_checks_clean_and_catches_regressions() {
     assert_eq!(hit(baseline.case("fig5_cold").unwrap(), "cache_hits"), Some(0));
     assert!(hit(baseline.case("store_verify").unwrap(), "records_ok").unwrap() >= 36);
     assert!(hit(baseline.case("traced_point").unwrap(), "fixed_events").unwrap() > 0);
+    // The long-horizon case runs 10x the quick suite's per-thread work, so
+    // its cycle counts dwarf the traced point's.
+    assert!(
+        hit(long, "fixed_cycles").unwrap()
+            > 5 * hit(baseline.case("traced_point").unwrap(), "fixed_cycles").unwrap()
+    );
 
     // 2. Check against the just-recorded baseline: cycle invariants are
     // deterministic, so with a generous wall tolerance this must pass and

@@ -23,7 +23,7 @@ fn simulate(n: usize, r: u64, l: u64) -> f64 {
         .build()
         .unwrap();
     let stats = Engine::new(
-        Box::new(BitmapAllocator::new(256).unwrap()),
+        BitmapAllocator::new(256).unwrap(),
         SchedCosts::cache_experiments(),
         UnloadPolicyKind::Never,
         w,
@@ -93,7 +93,7 @@ fn geometric_run_lengths_still_approximate_the_deterministic_model() {
         .build()
         .unwrap();
     let stats = Engine::new(
-        Box::new(BitmapAllocator::new(256).unwrap()),
+        BitmapAllocator::new(256).unwrap(),
         SchedCosts::cache_experiments(),
         UnloadPolicyKind::Never,
         w,
