@@ -13,10 +13,12 @@
 //!                                         regenerate figure sweeps in parallel
 //! rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <t.json>] [--metrics <m.json>]
 //!                                         deep-dive one grid point with verified event tracing
-//! rr cache <stats|verify|gc> [--store <dir>]
+//! rr cache <stats|verify|gc> [--store <dir>] [--json]
 //!                                         inspect or maintain the result store
 //! rr bench [--quick] [--check] [--tolerance <f>]
 //!                                         run or check the pinned perf suite
+//! rr serve [--addr <a>] [--workers <n>] [--queue-cap <n>] [--rate-budget <n>]
+//!                                         run the sweep-job HTTP daemon
 //! ```
 //!
 //! Every subcommand also accepts `--log-level <level>` (stderr filter,
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    // dispatch: begin (the sync test scans this block against SUBCOMMANDS)
     let result = match args.first().map(String::as_str) {
         Some("asm") => cmd_asm(&args[1..]),
         Some("dis") => cmd_dis(&args[1..]),
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             if args.iter().any(|a| a == "--list") {
                 // Bare subcommand names, one per line, for shell completion.
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand `{other}`; try `rr help`")),
     };
+    // dispatch: end
     if let Some(path) = metrics_out {
         let json = METRICS.snapshot().to_json_pretty();
         if let Err(e) = std::fs::write(&path, json) {
@@ -132,7 +137,7 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
 /// shell completion.
 const SUBCOMMANDS: &[&str] = &[
     "asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache",
-    "bench", "help",
+    "bench", "serve", "help",
 ];
 
 const USAGE: &str = "\
@@ -147,8 +152,10 @@ rr — register-relocation toolchain
   rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
   rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
   rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <path>] [--metrics <path>]
-  rr cache <stats|verify|gc> [--store <dir>]
+  rr cache <stats|verify|gc> [--store <dir>] [--json]
   rr bench [--quick] [--check] [--tolerance <f>] [--iterations <n>] [--baseline <path>]
+  rr serve [--addr <a>] [--workers <n>] [--queue-cap <n>] [--sim-jobs <n>]
+           [--rate-budget <n>] [--rate-refill <n>] [--no-rate] [--store <dir>]
   rr help [--list]
 
 Global flags (any subcommand): --log-level <error|warn|info|debug|off>
@@ -164,8 +171,12 @@ Tracing: rr trace deep-dives one grid point — see `rr trace --help`.
 Caching: --store [dir] persists every computed point (default dir
 .rr-store, or $RR_STORE) and serves it back on warm runs byte-identically;
 --no-store disables the cache. rr cache stats/verify/gc inspect, integrity-
-check, and clean the store. rr help --list prints bare subcommand names,
+check, and clean the store (stats --json prints the machine-readable shape
+the daemon's /health embeds). rr help --list prints bare subcommand names,
 one per line, for shell completion.
+Serving: rr serve runs a long-lived HTTP daemon accepting sweep jobs
+(POST /jobs), deduping them against the result store, and answering
+/health and /metrics — see `rr serve --help`.
 Benching: rr bench runs the pinned perf suite and writes the next
 BENCH_<seq>.json; rr bench --check reruns it and exits nonzero if cycle
 invariants changed or wall clock regressed beyond --tolerance (default
@@ -233,6 +244,48 @@ Examples
 
   # A synchronization point, persisting the metric summary in the store
   rr trace fig6 --point 128,128,500 --store
+";
+
+const SERVE_USAGE: &str = "\
+rr serve — the sweep-job HTTP daemon
+
+  rr serve [flags]
+
+Runs a long-lived service that accepts figure sweeps as jobs over a
+minimal HTTP/1.1 API (std::net only; JSON bodies), executes them on a
+bounded worker pool through the same runner and result store as the
+sweep subcommands, and serves results byte-identical to `rr fig5 --json`.
+Resubmitting a spec already queued, running, or finished returns the
+existing job (dedup by content fingerprint); points previously computed
+by any run against the same store are served from it without simulating.
+
+  --addr <a>           bind address (default 127.0.0.1:8553; use :0 for
+                       an ephemeral port, printed on startup)
+  --workers <n>        concurrent sweep jobs (default 1)
+  --queue-cap <n>      max queued jobs before 503 (default 64)
+  --sim-jobs <n>       simulator threads per sweep (default 0 = all cores)
+  --rate-budget <n>    per-client burst budget (default 20 requests)
+  --rate-refill <n>    per-client steady rate (default 10 requests/s)
+  --no-rate            disable rate limiting
+  --store [dir] / --no-store
+                       result store (default .rr-store, or $RR_STORE);
+                       --no-store runs uncached and disables job reuse
+                       across restarts
+
+API: POST /jobs {\"kind\": \"fig5\"|\"fig6\"|\"homogeneous\", \"file\"?, \"seed\"?,
+\"threads\"?, \"work\"?, \"context\"?} -> job ticket; GET /jobs; GET /jobs/<id>;
+GET /jobs/<id>/result; GET /health; GET /metrics; PUT /shutdown (graceful:
+drains accepted jobs before exiting). Over-budget clients get 429 with a
+Retry-After; /health, /metrics, and /shutdown are never rate limited.
+
+Example
+
+  rr serve --addr 127.0.0.1:8553 --workers 2 --store &
+  curl -s -X POST localhost:8553/jobs \\
+       -d '{\"kind\": \"fig5\", \"file\": 64, \"threads\": 8, \"work\": 2000}'
+  curl -s localhost:8553/jobs/1
+  curl -s localhost:8553/jobs/1/result
+  curl -s -X PUT localhost:8553/shutdown
 ";
 
 fn read_source(args: &[String]) -> Result<(String, String), String> {
@@ -629,6 +682,56 @@ fn resolve_store(args: &[String]) -> Option<Store> {
     }
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        print!("{}", SERVE_USAGE);
+        return Ok(());
+    }
+    let mut opts = register_relocation::serve::ServeOptions::default();
+    if let Some(v) = flag_value(args, "--addr") {
+        opts.addr = v;
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        opts.workers = v.parse::<usize>().map_err(|_| format!("bad worker count `{v}`"))?;
+        if opts.workers == 0 {
+            return Err("serve needs at least one worker".to_string());
+        }
+    }
+    if let Some(v) = flag_value(args, "--queue-cap") {
+        opts.queue_capacity =
+            v.parse::<usize>().map_err(|_| format!("bad queue capacity `{v}`"))?;
+        if opts.queue_capacity == 0 {
+            return Err("queue capacity must be >= 1".to_string());
+        }
+    }
+    if let Some(v) = flag_value(args, "--sim-jobs") {
+        opts.sim_jobs = v.parse::<usize>().map_err(|_| format!("bad sim job count `{v}`"))?;
+    }
+    if args.iter().any(|a| a == "--no-rate") {
+        opts.rate = None;
+    } else if let Some(rate) = opts.rate.as_mut() {
+        if let Some(v) = flag_value(args, "--rate-budget") {
+            rate.budget = v.parse::<u64>().map_err(|_| format!("bad rate budget `{v}`"))?;
+            if rate.budget == 0 {
+                return Err("rate budget must be >= 1 (or use --no-rate)".to_string());
+            }
+        }
+        if let Some(v) = flag_value(args, "--rate-refill") {
+            rate.refill_per_sec =
+                v.parse::<u64>().map_err(|_| format!("bad rate refill `{v}`"))?;
+        }
+    }
+    // Unlike one-shot sweeps, the daemon caches by default: cross-restart
+    // job reuse is half the point of running it. `--no-store` opts out.
+    opts.store_dir = if args.iter().any(|a| a == "--no-store") {
+        None
+    } else {
+        cache::store_dir_from_args(args)
+            .or_else(|| Some(PathBuf::from(cache::DEFAULT_STORE_DIR)))
+    };
+    register_relocation::serve::run_serve(&opts, None)
+}
+
 fn cmd_cache(args: &[String]) -> Result<(), String> {
     let action = args
         .first()
@@ -640,6 +743,15 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
     let store = cache::open_store(&dir)?;
     match action {
         "stats" => {
+            if args.iter().any(|a| a == "--json") {
+                // The same shape the daemon's /health embeds (see
+                // `cache::CacheStatsReport`), so tooling parses one format.
+                let report = cache::stats_report(&store)?;
+                let json = serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("cannot serialize store stats: {e}"))?;
+                println!("{json}");
+                return Ok(());
+            }
             let s = store.stats()?;
             println!("store: {}", store.root().display());
             println!("salt:  {}", store.salt());
@@ -675,5 +787,51 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown cache action `{other}`; try stats, verify, or gc")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{SUBCOMMANDS, USAGE};
+
+    /// Extracts the `Some("...")` subcommand patterns between the dispatch
+    /// markers of this very source file. Scoped by the markers because
+    /// `Some("fig5")`-style patterns also appear in other matches (e.g. the
+    /// trace-target dispatch) and must not leak in.
+    fn dispatched_subcommands() -> Vec<String> {
+        let source = include_str!("rr.rs");
+        let begin = source.find("// dispatch: begin").expect("begin marker present");
+        let end = source[begin..].find("// dispatch: end").expect("end marker present") + begin;
+        let mut names: Vec<String> = source[begin..end]
+            .split("Some(\"")
+            .skip(1)
+            .filter_map(|rest| rest.split('"').next())
+            .map(str::to_string)
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    #[test]
+    fn subcommand_list_matches_the_dispatch_match() {
+        let dispatched = dispatched_subcommands();
+        let mut listed: Vec<String> = SUBCOMMANDS.iter().map(|s| s.to_string()).collect();
+        listed.sort();
+        assert_eq!(
+            dispatched, listed,
+            "SUBCOMMANDS and the dispatch match in main() have drifted apart; \
+             update both when adding or removing a subcommand"
+        );
+    }
+
+    #[test]
+    fn every_subcommand_is_documented_in_usage() {
+        for sub in SUBCOMMANDS {
+            assert!(
+                USAGE.contains(&format!("rr {sub}")),
+                "subcommand `{sub}` is missing from the usage text"
+            );
+        }
     }
 }

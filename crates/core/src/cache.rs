@@ -117,6 +117,49 @@ pub fn open_store(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
     Ok(Store::open(dir, store_salt())?.with_durability(Durability::Relaxed))
 }
 
+/// Machine-readable store statistics: the one JSON shape shared by
+/// `rr cache stats --json` and the daemon's `GET /health`, so dashboards
+/// and scripts parse a single format wherever the numbers come from.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStatsReport {
+    /// The store's root directory.
+    pub dir: String,
+    /// The salt this build reads and writes under (see [`store_salt`]).
+    pub salt: String,
+    /// Committed records readable under the current salt.
+    pub records: u64,
+    /// Records stranded under a foreign salt (older simulator or cost
+    /// model); `rr cache gc` reclaims them.
+    pub stale: u64,
+    /// Sum of record payload sizes in bytes.
+    pub payload_bytes: u64,
+    /// Sum of record file sizes in bytes (headers included).
+    pub file_bytes: u64,
+    /// Occupied shard directories.
+    pub shards: u64,
+    /// Files sitting in quarantine.
+    pub quarantined: u64,
+}
+
+/// Walks `store` and assembles the shared [`CacheStatsReport`].
+///
+/// # Errors
+///
+/// Propagates I/O failures from the stats walk.
+pub fn stats_report(store: &Store) -> Result<CacheStatsReport, StoreError> {
+    let stats = store.stats()?;
+    Ok(CacheStatsReport {
+        dir: store.root().display().to_string(),
+        salt: store.salt().to_string(),
+        records: stats.records,
+        stale: stats.stale,
+        payload_bytes: stats.payload_bytes,
+        file_bytes: stats.file_bytes,
+        shards: stats.shards,
+        quarantined: stats.quarantined,
+    })
+}
+
 /// Resolves the store directory from CLI args and the environment.
 ///
 /// Precedence: `--no-store` (off) > `--store [dir]` (on, `dir` defaulting to

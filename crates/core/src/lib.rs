@@ -29,6 +29,10 @@
 //! [`rr_store`]), and [`report`], plus the section 5.1 software-only
 //! variant in [`software_only`] and the single-point deep-dive tracer in
 //! [`trace`] (verified event streams, windowed metrics, Perfetto export).
+//! The [`serve`] module turns the harness into a long-running daemon
+//! (`rr serve`): sweep jobs over HTTP, deduped against the result store,
+//! rate limited, with graceful drain — built on the generic [`rr_serve`]
+//! service framework.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub mod cache;
 pub mod experiments;
 pub mod figures;
 pub mod report;
+pub mod serve;
 pub mod software_only;
 pub mod sweep;
 pub mod trace;
@@ -62,8 +67,9 @@ pub mod trace;
 pub use bench::{BenchConfig, BenchReport, Suite, BENCH_SCHEMA_VERSION};
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
+pub use serve::{run_serve, HealthBody, ServeOptions, SubmitRequest};
 pub use sweep::{
-    CacheSummary, PointReport, SweepGrid, SweepReport, SweepRun, SweepRunner,
+    CacheSummary, PointOutcome, PointReport, SweepGrid, SweepReport, SweepRun, SweepRunner,
     SWEEP_SCHEMA_VERSION,
 };
 pub use trace::{

@@ -1,0 +1,564 @@
+//! The `rr serve` daemon: sweep jobs over HTTP.
+//!
+//! This module binds the generic [`rr_serve`] service framework to the
+//! experiment harness. A client POSTs a [`SubmitRequest`] naming a figure
+//! family and the usual sweep knobs; the daemon expands it into the exact
+//! [`SweepGrid`] the CLI would build, fingerprints the grid, and runs it on
+//! a bounded worker pool backed by [`SweepRunner`] — result store, point
+//! caching, and all. The finished job's payload is *byte-identical* to what
+//! `rr fig5 --json` writes for the same spec and seed, because both paths
+//! serialize the same [`SweepReport`] through the same store.
+//!
+//! Dedup happens at two levels. The job queue dedups *submissions*: a spec
+//! whose fingerprint matches an existing job (queued, running, or finished)
+//! returns that job's ticket instead of recomputing. The result store
+//! dedups *points*: a new job whose grid overlaps anything previously
+//! computed — by this daemon or by any `rr fig5 --store` run against the
+//! same directory — serves those points from the store without touching a
+//! simulator.
+//!
+//! # API
+//!
+//! | Method | Path                | Reply                                      |
+//! |--------|---------------------|--------------------------------------------|
+//! | POST   | `/jobs`             | `201` + [`rr_serve::JobTicket`] (`200` when deduped) |
+//! | GET    | `/jobs`             | [`rr_serve::JobListBody`]                  |
+//! | GET    | `/jobs/{id}`        | [`rr_serve::JobStatusBody`]                |
+//! | GET    | `/jobs/{id}/result` | the sweep report JSON; `409` until done    |
+//! | GET    | `/health`           | [`HealthBody`]                             |
+//! | GET    | `/metrics`          | the [`rr_telemetry::METRICS`] snapshot     |
+//! | PUT    | `/shutdown`         | `200`, then graceful drain and exit        |
+//!
+//! Rate limiting (when enabled) sheds with `429` + `Retry-After` before a
+//! request body is even read; `/health`, `/metrics`, and `/shutdown` are
+//! exempt.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{self, CacheStatsReport};
+use crate::sweep::{PointOutcome, SweepGrid, SweepRunner};
+use rr_serve::queue::ProgressCells;
+use rr_serve::{
+    api, Handler, JobListBody, JobQueue, JobStatusBody, JobTicket, Method, RateConfig, Request,
+    Response, Server, ServerConfig, ServiceHealth, StatusCode, StopHandle, SubmitError,
+};
+use rr_store::Fingerprint;
+use rr_telemetry::{info, warn, METRICS};
+
+/// Re-exported so daemon embedders can configure rate limiting without
+/// depending on `rr-serve` directly.
+pub use rr_serve::RateConfig as ServeRateConfig;
+
+/// How the daemon runs: the `rr serve` flags, resolved.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (`127.0.0.1:8553` by default; `:0` picks a port).
+    pub addr: String,
+    /// Concurrent sweep jobs (worker threads of the job pool).
+    pub workers: usize,
+    /// Bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Worker threads *per sweep* (the [`SweepRunner`] pool; `0` = one per
+    /// hardware thread).
+    pub sim_jobs: usize,
+    /// Per-client rate limiting; `None` admits everything.
+    pub rate: Option<RateConfig>,
+    /// Result-store directory; `None` runs uncached.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:8553".to_string(),
+            workers: 1,
+            queue_capacity: 64,
+            sim_jobs: 0,
+            rate: Some(RateConfig { budget: 20, refill_per_sec: 10 }),
+            store_dir: None,
+        }
+    }
+}
+
+/// A sweep-job submission: the body of `POST /jobs`.
+///
+/// Everything but `kind` is optional and defaults exactly like the CLI
+/// flags of the matching subcommand, so the same knobs produce the same
+/// grid — and therefore the same fingerprint and the same stored points.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SubmitRequest {
+    /// Figure family: `"fig5"`, `"fig6"`, or `"homogeneous"`.
+    pub kind: String,
+    /// Register file size `F` — one panel. Omitted: the full figure grid
+    /// (`fig5`/`fig6`) or `128` (`homogeneous`).
+    pub file: Option<u32>,
+    /// Homogeneous context size `C` (default 8; ignored by `fig5`/`fig6`).
+    pub context: Option<u32>,
+    /// Workload seed (default 1993, the paper's).
+    pub seed: Option<u64>,
+    /// Threads per workload (default: the figures' 64).
+    pub threads: Option<u64>,
+    /// Useful cycles per thread (default: the figures' 20000).
+    pub work: Option<u64>,
+}
+
+// Hand-written: the vendored serde derive requires every named field to be
+// present, but optional submission fields may simply be absent from the
+// client's JSON.
+impl serde::Deserialize for SubmitRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("submission object", v));
+        }
+        // A field that is absent or explicitly `null` is simply unset.
+        fn optional<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match v.get(name) {
+                None | Some(serde::Value::Null) => Ok(None),
+                Some(_) => serde::field(v, "SubmitRequest", name).map(Some),
+            }
+        }
+        Ok(SubmitRequest {
+            kind: serde::field(v, "SubmitRequest", "kind")?,
+            file: optional(v, "file")?,
+            context: optional(v, "context")?,
+            seed: optional(v, "seed")?,
+            threads: optional(v, "threads")?,
+            work: optional(v, "work")?,
+        })
+    }
+}
+
+impl SubmitRequest {
+    /// Expands the submission into the grid the matching CLI subcommand
+    /// would run, mirroring its defaults.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown `kind`s and degenerate knob values.
+    pub fn to_grid(&self) -> Result<SweepGrid, String> {
+        let seed = self.seed.unwrap_or(1993);
+        let mut grid = match self.kind.as_str() {
+            "fig5" => match self.file {
+                Some(f) => SweepGrid::figure5_panel(f, seed),
+                None => SweepGrid::figure5(seed),
+            },
+            "fig6" => match self.file {
+                Some(f) => SweepGrid::figure6_panel(f, seed),
+                None => SweepGrid::figure6(seed),
+            },
+            "homogeneous" => SweepGrid::homogeneous(
+                self.file.unwrap_or(128),
+                self.context.unwrap_or(8),
+                seed,
+            ),
+            other => {
+                return Err(format!(
+                    "unknown kind `{other}`; expected fig5, fig6, or homogeneous"
+                ))
+            }
+        };
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err("threads must be >= 1".to_string());
+            }
+            grid.base.threads = usize::try_from(threads).map_err(|_| "threads out of range")?;
+        }
+        if let Some(work) = self.work {
+            if work == 0 {
+                return Err("work must be >= 1".to_string());
+            }
+            grid.base.work_per_thread = work;
+        }
+        Ok(grid)
+    }
+
+    /// A human-readable job label for listings and logs.
+    pub fn label(&self) -> String {
+        let mut label = self.kind.clone();
+        if let Some(f) = self.file {
+            label.push_str(&format!(" F={f}"));
+        }
+        if let Some(c) = self.context {
+            label.push_str(&format!(" C={c}"));
+        }
+        label.push_str(&format!(" seed={}", self.seed.unwrap_or(1993)));
+        if let Some(t) = self.threads {
+            label.push_str(&format!(" threads={t}"));
+        }
+        if let Some(w) = self.work {
+            label.push_str(&format!(" work={w}"));
+        }
+        label
+    }
+}
+
+/// The content address a submission dedups on: the expanded grid's
+/// canonical JSON under the store salt, domain-tagged `"job"` so it can
+/// never collide with per-point or trace records in the same store.
+///
+/// # Errors
+///
+/// Propagates grid serialization failures.
+pub fn job_fingerprint(grid: &SweepGrid, salt: &str) -> Result<Fingerprint, String> {
+    let canonical = serde_json::to_string(grid)
+        .map_err(|e| format!("cannot serialize grid for fingerprinting: {e}"))?;
+    Ok(Fingerprint::of_domain(salt, "job", canonical.as_bytes()))
+}
+
+/// Body of `GET /health`: service state plus (when a store is attached) the
+/// exact [`CacheStatsReport`] shape `rr cache stats --json` prints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Queue, worker, and uptime facts.
+    pub service: ServiceHealth,
+    /// Store statistics, `null` when running uncached.
+    pub store: Option<CacheStatsReport>,
+}
+
+/// One queued sweep: the expanded grid (the fingerprint lives on the queue
+/// entry).
+struct SweepJob {
+    grid: SweepGrid,
+}
+
+/// The HTTP request router. Shared immutably across connection threads.
+struct ServeHandler {
+    queue: Arc<JobQueue<SweepJob>>,
+    store_dir: Option<PathBuf>,
+    salt: String,
+    stop: StopHandle,
+    workers: usize,
+    started: Instant,
+}
+
+impl ServeHandler {
+    fn submit(&self, req: &Request) -> Response {
+        let body = match req.body_str() {
+            Ok(text) => text,
+            Err(_) => return Response::error(StatusCode::BadRequest, "body is not UTF-8"),
+        };
+        let parsed: SubmitRequest = match serde_json::from_str(body) {
+            Ok(p) => p,
+            Err(e) => {
+                return Response::error(StatusCode::BadRequest, &format!("bad submission: {e}"))
+            }
+        };
+        let grid = match parsed.to_grid() {
+            Ok(g) => g,
+            Err(e) => return Response::error(StatusCode::BadRequest, &e),
+        };
+        if grid.is_empty() {
+            return Response::error(StatusCode::BadRequest, "submission expands to an empty grid");
+        }
+        let fingerprint = match job_fingerprint(&grid, &self.salt) {
+            Ok(f) => f.to_hex(),
+            Err(e) => return Response::error(StatusCode::InternalServerError, &e),
+        };
+        match self.queue.submit(parsed.label(), fingerprint.clone(), SweepJob { grid }) {
+            Ok(outcome) => {
+                let snapshot =
+                    self.queue.job(outcome.id()).expect("submitted job exists");
+                let status = if outcome.deduped() { StatusCode::Ok } else { StatusCode::Created };
+                Response::json(
+                    status,
+                    api::to_body(&JobTicket {
+                        id: outcome.id(),
+                        state: snapshot.state.as_str().to_string(),
+                        deduped: outcome.deduped(),
+                        fingerprint,
+                    }),
+                )
+            }
+            Err(SubmitError::QueueFull { capacity }) => Response::error(
+                StatusCode::ServiceUnavailable,
+                &format!("job queue is full ({capacity} queued); retry later"),
+            )
+            .with_header("Retry-After", "5"),
+            Err(SubmitError::ShuttingDown) => {
+                Response::error(StatusCode::ServiceUnavailable, "service is shutting down")
+            }
+        }
+    }
+
+    fn job_status(&self, id_raw: &str) -> Response {
+        let Ok(id) = id_raw.parse::<u64>() else {
+            return Response::error(StatusCode::BadRequest, &format!("bad job id `{id_raw}`"));
+        };
+        match self.queue.job(id) {
+            Some(snap) => {
+                Response::json(StatusCode::Ok, api::to_body(&JobStatusBody::from_snapshot(&snap)))
+            }
+            None => Response::error(StatusCode::NotFound, &format!("no job {id}")),
+        }
+    }
+
+    fn job_result(&self, id_raw: &str) -> Response {
+        let Ok(id) = id_raw.parse::<u64>() else {
+            return Response::error(StatusCode::BadRequest, &format!("bad job id `{id_raw}`"));
+        };
+        let Some(snap) = self.queue.job(id) else {
+            return Response::error(StatusCode::NotFound, &format!("no job {id}"));
+        };
+        match snap.state {
+            rr_serve::JobState::Done => {
+                let payload = self.queue.result(id).expect("done job has a result");
+                Response::json(StatusCode::Ok, payload.as_bytes().to_vec())
+            }
+            rr_serve::JobState::Failed => Response::error(
+                StatusCode::Conflict,
+                &format!(
+                    "job {id} failed: {}",
+                    snap.error.as_deref().unwrap_or("unknown error")
+                ),
+            ),
+            state => Response::error(
+                StatusCode::Conflict,
+                &format!("job {id} is {}; poll /jobs/{id} until done", state.as_str()),
+            ),
+        }
+    }
+
+    fn health(&self) -> Response {
+        let counts = self.queue.counts();
+        let store = self.store_dir.as_ref().and_then(|dir| {
+            let report = cache::open_store(dir).and_then(|s| cache::stats_report(&s));
+            match report {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    warn!("serve", "health: cannot stat store: {e}");
+                    None
+                }
+            }
+        });
+        Response::json(
+            StatusCode::Ok,
+            api::to_body(&HealthBody {
+                service: ServiceHealth {
+                    status: "ok".to_string(),
+                    uptime_secs: self.started.elapsed().as_secs(),
+                    queue_depth: counts.queued,
+                    queue_capacity: self.queue.capacity() as u64,
+                    workers: self.workers as u64,
+                    jobs: counts,
+                },
+                store,
+            }),
+        )
+    }
+
+    fn shutdown(&self) -> Response {
+        info!("serve", "shutdown requested; draining {} job(s)", {
+            let c = self.queue.counts();
+            c.queued + c.running
+        });
+        self.queue.shutdown();
+        self.stop.trigger();
+        Response::json(StatusCode::Ok, b"{\n  \"status\": \"shutting down\"\n}\n".to_vec())
+    }
+}
+
+impl Handler for ServeHandler {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method, req.path.as_str()) {
+            (Method::Post, "/jobs") => self.submit(req),
+            (Method::Get, "/jobs") => Response::json(
+                StatusCode::Ok,
+                api::to_body(&JobListBody {
+                    jobs: self.queue.jobs().iter().map(JobStatusBody::from_snapshot).collect(),
+                }),
+            ),
+            (Method::Get, "/health") => self.health(),
+            (Method::Get, "/metrics") => {
+                Response::json(StatusCode::Ok, METRICS.snapshot().to_json_pretty())
+            }
+            (Method::Put, "/shutdown") => self.shutdown(),
+            (Method::Get, path) => match path.strip_prefix("/jobs/") {
+                Some(rest) => match rest.strip_suffix("/result") {
+                    Some(id) => self.job_result(id),
+                    None => self.job_status(rest),
+                },
+                None => Response::error(StatusCode::NotFound, &format!("no route for {path}")),
+            },
+            (method, path) => Response::error(
+                StatusCode::MethodNotAllowed,
+                &format!("{} {} is not part of this API", method.as_str(), path),
+            ),
+        }
+    }
+}
+
+/// The executor the job-queue workers run: one full sweep per job, store
+/// attached, per-point progress fed back into the job's counters.
+fn execute_sweep(
+    job: &SweepJob,
+    progress: Arc<ProgressCells>,
+    store_dir: Option<&PathBuf>,
+    sim_jobs: usize,
+) -> Result<String, String> {
+    progress.set_total(job.grid.len() as u64);
+    let store = store_dir.and_then(|dir| match cache::open_store(dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            warn!("serve", "cannot open store at `{}`: {e}; running uncached", dir.display());
+            None
+        }
+    });
+    let cells = Arc::clone(&progress);
+    let runner = SweepRunner::new(sim_jobs)
+        .with_progress(false)
+        .with_store(store)
+        .with_observer(Arc::new(move |o: PointOutcome| cells.record_point(o.cached)));
+    let run = runner.run(&job.grid)?;
+    // Exactly the bytes `rr fig5 --json <path>` writes for this grid.
+    run.report.to_json_pretty().map_err(|e| e.to_string())
+}
+
+/// Binds, serves, and — once `PUT /shutdown` (or `stop`) fires — drains the
+/// job queue before returning. This is `rr serve`'s whole runtime.
+///
+/// `on_bound`, when set, receives the actual bound address (tests bind
+/// `:0`); it runs before the first request can be accepted.
+///
+/// # Errors
+///
+/// Fails on bind errors; everything after binding degrades per-request.
+pub fn run_serve(
+    opts: &ServeOptions,
+    on_bound: Option<&dyn Fn(std::net::SocketAddr)>,
+) -> Result<(), String> {
+    let server = Server::bind(&ServerConfig {
+        addr: opts.addr.clone(),
+        rate: opts.rate,
+        read_timeout: Duration::from_secs(10),
+    })
+    .map_err(|e| format!("cannot bind `{}`: {e}", opts.addr))?;
+    let addr = server.local_addr();
+    if let Some(hook) = on_bound {
+        hook(addr);
+    }
+    info!(
+        "serve",
+        "listening on http://{addr} ({} job worker(s), queue capacity {}, store {})",
+        opts.workers,
+        opts.queue_capacity,
+        opts.store_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+    );
+    let queue: Arc<JobQueue<SweepJob>> = JobQueue::new(opts.queue_capacity);
+    let store_dir = opts.store_dir.clone();
+    let sim_jobs = opts.sim_jobs;
+    let worker_handles = queue.spawn_workers(opts.workers, move |job, progress| {
+        execute_sweep(job, progress, store_dir.as_ref(), sim_jobs)
+    });
+    let handler = ServeHandler {
+        queue: Arc::clone(&queue),
+        store_dir: opts.store_dir.clone(),
+        salt: cache::store_salt(),
+        stop: server.stop_handle(),
+        workers: opts.workers.max(1),
+        started: Instant::now(),
+    };
+    server.serve(&handler);
+    // The accept loop is closed; finish every accepted job before exiting.
+    queue.shutdown();
+    queue.join();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    let counts = queue.counts();
+    info!(
+        "serve",
+        "drained: {} done, {} failed; goodbye",
+        counts.done,
+        counts.failed
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(json: &str) -> SubmitRequest {
+        serde_json::from_str(json).expect("valid submission")
+    }
+
+    #[test]
+    fn submissions_parse_with_optional_fields_absent() {
+        let req = parse(r#"{"kind": "fig5"}"#);
+        assert_eq!(req.kind, "fig5");
+        assert_eq!((req.file, req.seed, req.threads, req.work, req.context),
+                   (None, None, None, None, None));
+        let grid = req.to_grid().unwrap();
+        assert_eq!(grid, SweepGrid::figure5(1993), "defaults mirror the CLI");
+    }
+
+    #[test]
+    fn submissions_parse_with_all_fields() {
+        let req = parse(
+            r#"{"kind": "fig5", "file": 64, "seed": 7, "threads": 8, "work": 2000, "context": null}"#,
+        );
+        assert_eq!(req.file, Some(64));
+        assert_eq!(req.context, None, "explicit null is absent");
+        let grid = req.to_grid().unwrap();
+        let mut expected = SweepGrid::figure5_panel(64, 7);
+        expected.base.threads = 8;
+        expected.base.work_per_thread = 2000;
+        assert_eq!(grid, expected);
+    }
+
+    #[test]
+    fn submissions_mirror_every_cli_grid() {
+        let fig6 = parse(r#"{"kind": "fig6", "file": 128, "seed": 3}"#).to_grid().unwrap();
+        assert_eq!(fig6, SweepGrid::figure6_panel(128, 3));
+        let homog = parse(r#"{"kind": "homogeneous", "context": 16, "seed": 3}"#)
+            .to_grid()
+            .unwrap();
+        assert_eq!(homog, SweepGrid::homogeneous(128, 16, 3));
+        let homog_default = parse(r#"{"kind": "homogeneous"}"#).to_grid().unwrap();
+        assert_eq!(homog_default, SweepGrid::homogeneous(128, 8, 1993));
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected() {
+        assert!(serde_json::from_str::<SubmitRequest>(r#"{"file": 64}"#).is_err(), "kind required");
+        assert!(serde_json::from_str::<SubmitRequest>(r#"[1,2]"#).is_err());
+        assert!(serde_json::from_str::<SubmitRequest>(r#"{"kind": "fig5", "seed": "x"}"#).is_err());
+        assert!(parse(r#"{"kind": "fig7"}"#).to_grid().is_err(), "unknown kind");
+        assert!(parse(r#"{"kind": "fig5", "threads": 0}"#).to_grid().is_err());
+        assert!(parse(r#"{"kind": "fig5", "work": 0}"#).to_grid().is_err());
+    }
+
+    #[test]
+    fn job_fingerprints_identify_grids() {
+        let salt = cache::store_salt();
+        let a = parse(r#"{"kind": "fig5", "file": 64, "seed": 7}"#).to_grid().unwrap();
+        let b = parse(r#"{"kind": "fig5", "seed": 7, "file": 64}"#).to_grid().unwrap();
+        assert_eq!(
+            job_fingerprint(&a, &salt).unwrap(),
+            job_fingerprint(&b, &salt).unwrap(),
+            "field order in the submission does not matter"
+        );
+        let c = parse(r#"{"kind": "fig5", "file": 64, "seed": 8}"#).to_grid().unwrap();
+        assert_ne!(job_fingerprint(&a, &salt).unwrap(), job_fingerprint(&c, &salt).unwrap());
+        // Job fingerprints never collide with point keys for related specs.
+        let point = cache::point_key(&a.points()[0].spec, &salt).unwrap();
+        assert_ne!(job_fingerprint(&a, &salt).unwrap(), point);
+    }
+
+    #[test]
+    fn labels_name_the_knobs() {
+        let label = parse(r#"{"kind": "fig5", "file": 64, "threads": 8, "work": 2000}"#).label();
+        assert_eq!(label, "fig5 F=64 seed=1993 threads=8 work=2000");
+        assert_eq!(parse(r#"{"kind": "fig6"}"#).label(), "fig6 seed=1993");
+    }
+}

@@ -54,8 +54,9 @@
 //! # Ok::<(), String>(())
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -413,6 +414,17 @@ pub struct SweepRun {
     pub metrics: MetricsSnapshot,
 }
 
+/// What a sweep observer learns about each completed point, as it
+/// completes (in scheduling order, not grid order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointOutcome {
+    /// The point's position in the grid's canonical order.
+    pub index: usize,
+    /// Whether the point was served from the result store without running
+    /// an engine.
+    pub cached: bool,
+}
+
 /// Executes [`SweepGrid`]s across a pool of scoped worker threads.
 ///
 /// Determinism guarantee: results are *bit-identical* for every worker
@@ -421,11 +433,22 @@ pub struct SweepRun {
 /// is written to the slot pre-assigned to its grid index. Attaching a store
 /// preserves the guarantee: a stored point's payload is the exact record a
 /// cold run computed.
-#[derive(Debug)]
 pub struct SweepRunner {
     jobs: usize,
     progress: Option<bool>,
     store: Option<Store>,
+    observer: Option<Arc<dyn Fn(PointOutcome) + Send + Sync>>,
+}
+
+impl fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("jobs", &self.jobs)
+            .field("progress", &self.progress)
+            .field("store", &self.store)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn(PointOutcome)"))
+            .finish()
+    }
 }
 
 impl SweepRunner {
@@ -434,7 +457,7 @@ impl SweepRunner {
     /// level (see [`SweepRunner::with_progress`]). No result store is
     /// attached by default.
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: resolve_jobs(jobs), progress: None, store: None }
+        SweepRunner { jobs: resolve_jobs(jobs), progress: None, store: None, observer: None }
     }
 
     /// Worker threads this runner will use.
@@ -470,6 +493,21 @@ impl SweepRunner {
     /// The attached result store, if any.
     pub fn store(&self) -> Option<&Store> {
         self.store.as_ref()
+    }
+
+    /// Attaches an observer called once per completed point, from whichever
+    /// worker thread finished it. The `rr serve` daemon uses this for live
+    /// per-job progress; the callback must be cheap and must not panic.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Fn(PointOutcome) + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    fn observe(&self, outcome: PointOutcome) {
+        if let Some(observer) = &self.observer {
+            observer(outcome);
+        }
     }
 
     /// Runs every point of `grid` — serving from the attached store where
@@ -511,6 +549,7 @@ impl SweepRunner {
                         hits.fetch_add(1, Ordering::Relaxed);
                         METRICS.sweep.points_cached.inc();
                         self.progress_line(&completed, total, &report, true);
+                        self.observe(PointOutcome { index: p.index, cached: true });
                         return Ok(*report);
                     }
                     PointLookup::Quarantined => {
@@ -559,6 +598,7 @@ impl SweepRunner {
                 }
             }
             self.progress_line(&completed, total, &report, false);
+            self.observe(PointOutcome { index: p.index, cached: false });
             Ok::<PointReport, String>(report)
         });
         let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;

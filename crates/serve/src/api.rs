@@ -1,0 +1,166 @@
+//! Wire models shared by the server and its clients.
+//!
+//! Everything the daemon says is JSON built from these types (plus
+//! experiment-specific payloads the embedding binary supplies). All fields
+//! are always present — the vendored serde derive has no `#[serde(default)]`
+//! — so the response shapes are stable and trivially machine-checkable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queue::{JobCounts, JobSnapshot, Progress};
+
+/// Serializes `body` via the vendored serde into deterministic pretty JSON
+/// with a trailing newline — the framing every endpoint uses.
+pub fn to_body<T: serde::Serialize>(body: &T) -> Vec<u8> {
+    let mut text = serde_json::to_string_pretty(&body.to_value())
+        .expect("vendored serde_json serialization is infallible");
+    text.push('\n');
+    text.into_bytes()
+}
+
+/// The `{"error": ...}` body used by every error response.
+pub fn error_body(message: &str) -> Vec<u8> {
+    to_body(&ErrorBody { error: message.to_string() })
+}
+
+/// Body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable description of what was rejected and why.
+    pub error: String,
+}
+
+/// Response to `POST /jobs`: where the job went.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobTicket {
+    /// The job's id; poll `GET /jobs/{id}`.
+    pub id: u64,
+    /// Lifecycle state at submission time (`"queued"` unless deduped).
+    pub state: String,
+    /// True when an existing job with the same fingerprint answered the
+    /// submission and no new work was queued.
+    pub deduped: bool,
+    /// The content-address fingerprint the submission deduped on.
+    pub fingerprint: String,
+}
+
+/// Response to `GET /jobs/{id}`: one job's full status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStatusBody {
+    /// The job's id.
+    pub id: u64,
+    /// Human-readable description of the submitted spec.
+    pub label: String,
+    /// `"queued"`, `"running"`, `"done"`, or `"failed"`.
+    pub state: String,
+    /// The job's content-address fingerprint.
+    pub fingerprint: String,
+    /// Per-point progress counters.
+    pub progress: Progress,
+    /// Failure message when `state` is `"failed"`, else null.
+    pub error: Option<String>,
+}
+
+impl JobStatusBody {
+    /// Builds the wire status from a queue snapshot.
+    pub fn from_snapshot(s: &JobSnapshot) -> JobStatusBody {
+        JobStatusBody {
+            id: s.id,
+            label: s.label.clone(),
+            state: s.state.as_str().to_string(),
+            fingerprint: s.fingerprint.clone(),
+            progress: s.progress,
+            error: s.error.clone(),
+        }
+    }
+}
+
+/// Response to `GET /jobs`: every job, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobListBody {
+    /// Statuses ordered by ascending job id.
+    pub jobs: Vec<JobStatusBody>,
+}
+
+/// The service-level half of `GET /health` (the embedding binary adds
+/// store statistics alongside).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceHealth {
+    /// Always `"ok"` while the service answers at all.
+    pub status: String,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Jobs by lifecycle state.
+    pub jobs: JobCounts,
+    /// Queued jobs waiting for a worker (the bounded queue's depth).
+    pub queue_depth: u64,
+    /// The queue's capacity bound.
+    pub queue_capacity: u64,
+    /// Worker threads executing jobs.
+    pub workers: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::JobState;
+
+    #[test]
+    fn error_body_is_json_with_an_error_field() {
+        let body = String::from_utf8(error_body("queue full")).unwrap();
+        let v: serde::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("error"), Some(&serde::Value::Str("queue full".into())));
+        assert!(body.ends_with('\n'));
+    }
+
+    #[test]
+    fn job_status_round_trips() {
+        let snap = JobSnapshot {
+            id: 7,
+            label: "fig5 panel".into(),
+            fingerprint: "abc123".into(),
+            state: JobState::Failed,
+            progress: Progress { total: 4, done: 2, cached: 1 },
+            error: Some("bad spec".into()),
+        };
+        let body = JobStatusBody::from_snapshot(&snap);
+        assert_eq!(body.state, "failed");
+        let v = serde::Serialize::to_value(&body);
+        let back: JobStatusBody = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, body);
+        assert_eq!(back.error.as_deref(), Some("bad spec"));
+    }
+
+    #[test]
+    fn ticket_and_list_round_trip() {
+        let ticket = JobTicket {
+            id: 1,
+            state: "queued".into(),
+            deduped: false,
+            fingerprint: "f".into(),
+        };
+        let v = serde::Serialize::to_value(&ticket);
+        assert_eq!(JobTicket::from_value(&v).unwrap(), ticket);
+
+        let list = JobListBody { jobs: vec![] };
+        let v = serde::Serialize::to_value(&list);
+        assert_eq!(JobListBody::from_value(&v).unwrap(), list);
+    }
+
+    #[test]
+    fn service_health_serializes_all_fields() {
+        let health = ServiceHealth {
+            status: "ok".into(),
+            uptime_secs: 12,
+            jobs: JobCounts { queued: 1, running: 2, done: 3, failed: 0 },
+            queue_depth: 1,
+            queue_capacity: 64,
+            workers: 2,
+        };
+        let v = serde::Serialize::to_value(&health);
+        for key in ["status", "uptime_secs", "jobs", "queue_depth", "queue_capacity", "workers"] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(ServiceHealth::from_value(&v).unwrap(), health);
+    }
+}

@@ -1,0 +1,395 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! The shape follows Firecracker's `micro_http` split: a tiny, auditable
+//! request parser and response writer that speak exactly the subset of
+//! HTTP/1.1 the API server needs — no chunked transfer, no pipelining, one
+//! request per connection (`Connection: close` on every response). Anything
+//! the parser does not understand is a typed [`ParseError`] the server maps
+//! to a `400`, never a panic.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Largest request body the parser will buffer. Requests beyond this are
+/// answered with `413 Payload Too Large` instead of consuming memory.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Request methods the API speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+}
+
+impl Method {
+    /// Parses a request-line method token.
+    pub fn parse(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// The canonical token, for error messages.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a connection's bytes could not become a [`Request`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// The bytes were not a well-formed HTTP/1.x request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// The method token is valid HTTP but not one the API speaks.
+    UnsupportedMethod(String),
+    /// The underlying stream failed (timeouts land here).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed before a request"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit")
+            }
+            ParseError::UnsupportedMethod(m) => write!(f, "unsupported method `{m}`"),
+            ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request target's path component (query string stripped).
+    pub path: String,
+    /// Raw header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError::Malformed`] on invalid UTF-8.
+    pub fn body_str(&self) -> Result<&str, ParseError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|e| ParseError::Malformed(format!("body is not UTF-8: {e}")))
+    }
+
+    /// Reads and parses one request from a buffered stream.
+    ///
+    /// # Errors
+    ///
+    /// Every early exit is a typed [`ParseError`]; see the variants.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+        let request_line = read_crlf_line(reader)?;
+        if request_line.is_empty() {
+            return Err(ParseError::ConnectionClosed);
+        }
+        let mut parts = request_line.split(' ');
+        let (method_token, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) => (m, t, v),
+                _ => {
+                    return Err(ParseError::Malformed(format!(
+                        "request line `{request_line}` is not `METHOD TARGET VERSION`"
+                    )))
+                }
+            };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::Malformed(format!("unsupported version `{version}`")));
+        }
+        let method = Method::parse(method_token)
+            .ok_or_else(|| ParseError::UnsupportedMethod(method_token.to_string()))?;
+        // The API ignores query strings; strip them so routing sees a path.
+        let path = target.split('?').next().unwrap_or(target).to_string();
+        if !path.starts_with('/') {
+            return Err(ParseError::Malformed(format!("target `{target}` is not absolute")));
+        }
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_crlf_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').ok_or_else(|| {
+                ParseError::Malformed(format!("header line `{line}` has no colon"))
+            })?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+
+        let request = Request { method, path, headers, body: Vec::new() };
+        let body_len = match request.header("content-length") {
+            Some(raw) => raw
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed(format!("bad Content-Length `{raw}`")))?,
+            None => 0,
+        };
+        if body_len > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge(body_len));
+        }
+        let mut body = vec![0u8; body_len];
+        reader.read_exact(&mut body).map_err(ParseError::Io)?;
+        Ok(Request { body, ..request })
+    }
+}
+
+/// Reads one `\r\n`-terminated line (tolerating bare `\n`), without the
+/// terminator. Returns an empty string on EOF or a blank line.
+fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ParseError> {
+    let mut raw = String::new();
+    reader.read_line(&mut raw).map_err(ParseError::Io)?;
+    while raw.ends_with('\n') || raw.ends_with('\r') {
+        raw.pop();
+    }
+    Ok(raw)
+}
+
+/// Response status codes the API emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 201
+    Created,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 409
+    Conflict,
+    /// 413
+    PayloadTooLarge,
+    /// 429
+    TooManyRequests,
+    /// 500
+    InternalServerError,
+    /// 503
+    ServiceUnavailable,
+}
+
+impl StatusCode {
+    /// The numeric code.
+    pub fn code(&self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::Created => 201,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::Conflict => 409,
+            StatusCode::PayloadTooLarge => 413,
+            StatusCode::TooManyRequests => 429,
+            StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
+        }
+    }
+
+    /// The reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::Created => "Created",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::Conflict => "Conflict",
+            StatusCode::PayloadTooLarge => "Payload Too Large",
+            StatusCode::TooManyRequests => "Too Many Requests",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+
+    /// Whether the code reports a client or server failure.
+    pub fn is_error(&self) -> bool {
+        self.code() >= 400
+    }
+}
+
+/// One response, always `Connection: close` and `Content-Type:
+/// application/json` (everything this API says is JSON).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status line's code.
+    pub status: StatusCode,
+    /// Extra headers beyond the fixed set (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given body.
+    pub fn json(status: StatusCode, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, extra_headers: Vec::new(), body: body.into() }
+    }
+
+    /// A JSON error response with an `{"error": ...}` body.
+    pub fn error(status: StatusCode, message: &str) -> Response {
+        Response::json(status, crate::api::error_body(message))
+    }
+
+    /// Adds one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Response {
+        self.extra_headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Writes the full response (status line, headers, body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nServer: rr-serve\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.body.len(),
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse("GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"), "headers are case-insensitive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_strips_query() {
+        let req = parse(
+            "POST /jobs?verbose=1 HTTP/1.1\r\nContent-Length: 15\r\n\r\n{\"kind\":\"fig5\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/jobs", "query string is stripped before routing");
+        assert_eq!(req.body_str().unwrap(), "{\"kind\":\"fig5\"}");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse("GET /metrics HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(parse("how about no\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET /x SPDY/3\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET relative HTTP/1.1\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("PATCH /jobs HTTP/1.1\r\n\r\n"),
+            Err(ParseError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn caps_the_body_size() {
+        let raw = format!("POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&raw), Err(ParseError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(StatusCode::TooManyRequests, "{\"error\":\"slow down\"}")
+            .with_header("Retry-After", 2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 21\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"slow down\"}"));
+    }
+
+    #[test]
+    fn status_code_properties() {
+        assert_eq!(StatusCode::Ok.code(), 200);
+        assert!(!StatusCode::Created.is_error());
+        assert!(StatusCode::TooManyRequests.is_error());
+        assert_eq!(StatusCode::ServiceUnavailable.reason(), "Service Unavailable");
+    }
+}

@@ -1,0 +1,43 @@
+//! `rr-serve`: a zero-dependency HTTP service framework for long-running
+//! experiment daemons.
+//!
+//! The crate provides the *generic* service machinery — the experiment
+//! semantics live in the embedding binary (`rr serve` wires the sweep
+//! runner and result store in from `register-relocation`):
+//!
+//! - [`http`]: hand-rolled HTTP/1.1 framing over `std::net` — request
+//!   parsing with bounded bodies, JSON responses, `Connection: close`
+//!   lifecycle. No TLS, no chunked encoding, no keep-alive: a deliberate
+//!   subset for a localhost lab service.
+//! - [`limiter`]: Firecracker-style token buckets — burst budget plus
+//!   steady refill with exact integer carry, per-client under a bounded
+//!   table. Deterministic (explicit timestamps), hence property-testable.
+//! - [`queue`]: a bounded, fingerprint-dedup'ed job queue with a worker
+//!   pool, per-job progress counters, and drain-on-shutdown semantics.
+//! - [`server`]: the accept loop composing the three, with a [`StopHandle`]
+//!   for graceful shutdown and limiter exemptions for `/health` and
+//!   `/metrics`.
+//! - [`api`]: the wire models (`JobTicket`, `JobStatusBody`, ...) shared by
+//!   server and clients.
+//!
+//! Layering: this crate depends only on the vendored serde pair and
+//! `rr-telemetry` (service counters land in the global [`rr_telemetry`]
+//! registry, so `GET /metrics` reports them alongside simulator metrics).
+//! It knows nothing about sweeps, stores, or figures — that keeps the
+//! dependency arrow pointing the same way as every other leaf crate and
+//! lets the queue/limiter be tested without a simulator in the loop.
+
+pub mod api;
+pub mod http;
+pub mod limiter;
+pub mod queue;
+pub mod server;
+
+pub use api::{ErrorBody, JobListBody, JobStatusBody, JobTicket, ServiceHealth};
+pub use http::{Method, ParseError, Request, Response, StatusCode, MAX_BODY_BYTES};
+pub use limiter::{RateLimiter, Shed, TokenBucket, NANOS_PER_SEC};
+pub use queue::{
+    JobCounts, JobId, JobQueue, JobSnapshot, JobState, Progress, ProgressCells, SubmitError,
+    SubmitOutcome,
+};
+pub use server::{Handler, RateConfig, Server, ServerConfig, StopHandle};

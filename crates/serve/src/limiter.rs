@@ -1,0 +1,303 @@
+//! Token-bucket rate limiting, Firecracker style.
+//!
+//! A [`TokenBucket`] holds up to `budget` tokens and refills at
+//! `refill_per_sec` tokens per second; each admitted request spends one
+//! token, and an empty bucket sheds the request with the exact time until a
+//! token will be available (the server turns that into `429` +
+//! `Retry-After`). The refill uses integer arithmetic with a nanosecond
+//! remainder carry, so fractional tokens are never lost *and* never
+//! invented: over any interval the bucket grants at most
+//! `budget + elapsed × refill_per_sec` tokens — a bound the proptest in
+//! `tests/limiter_proptest.rs` hammers with arbitrary request patterns.
+//!
+//! Every method takes an explicit `now_nanos` instead of reading a clock,
+//! so behavior is deterministic under test; the server feeds it a monotonic
+//! epoch offset. [`RateLimiter`] maps clients (peer addresses) to buckets
+//! with a bounded table that evicts the longest-idle client when full.
+
+use std::collections::HashMap;
+
+/// Nanoseconds per second, the limiter's time base.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Outcome of asking a bucket for tokens it does not have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Nanoseconds until the bucket could grant the request, `u64::MAX` if
+    /// it never can (zero refill rate or a request above the budget).
+    pub retry_after_nanos: u64,
+}
+
+impl Shed {
+    /// The `Retry-After` header value: seconds, rounded up, at least 1.
+    pub fn retry_after_secs(&self) -> u64 {
+        self.retry_after_nanos.div_ceil(NANOS_PER_SEC).max(1)
+    }
+}
+
+/// A token bucket: burst budget plus steady refill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    budget: u64,
+    refill_per_sec: u64,
+    tokens: u64,
+    /// Timestamp of the last replenish.
+    last_nanos: u64,
+    /// Sub-token refill remainder, in units of `nanos × refill_per_sec`
+    /// (always `< NANOS_PER_SEC`), carried so fractions accumulate exactly.
+    carry: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(budget: u64, refill_per_sec: u64, now_nanos: u64) -> TokenBucket {
+        TokenBucket { budget, refill_per_sec, tokens: budget, last_nanos: now_nanos, carry: 0 }
+    }
+
+    /// Tokens available right now (after replenishing to `now_nanos`).
+    pub fn available(&mut self, now_nanos: u64) -> u64 {
+        self.replenish(now_nanos);
+        self.tokens
+    }
+
+    /// The bucket's burst budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Timestamp of the last replenish — how long the client has been idle.
+    pub fn last_seen_nanos(&self) -> u64 {
+        self.last_nanos
+    }
+
+    /// Credits the tokens earned since the last replenish.
+    fn replenish(&mut self, now_nanos: u64) {
+        let elapsed = now_nanos.saturating_sub(self.last_nanos);
+        self.last_nanos = self.last_nanos.max(now_nanos);
+        if elapsed == 0 || self.refill_per_sec == 0 {
+            return;
+        }
+        // 128-bit so `elapsed × rate` cannot overflow; the remainder keeps
+        // sub-token progress, so ten 0.1-token intervals still yield one
+        // token.
+        let accumulated =
+            u128::from(elapsed) * u128::from(self.refill_per_sec) + u128::from(self.carry);
+        let earned = accumulated / u128::from(NANOS_PER_SEC);
+        self.carry = (accumulated % u128::from(NANOS_PER_SEC)) as u64;
+        self.tokens = self
+            .tokens
+            .saturating_add(u64::try_from(earned).unwrap_or(u64::MAX))
+            .min(self.budget);
+        if self.tokens == self.budget {
+            // A full bucket accrues nothing: forgetting the remainder here
+            // is what makes `budget + elapsed × refill` a hard ceiling.
+            self.carry = 0;
+        }
+    }
+
+    /// Spends `tokens` if the bucket (after refill) holds them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Shed`] with the time until retry could succeed.
+    pub fn try_take(&mut self, tokens: u64, now_nanos: u64) -> Result<(), Shed> {
+        self.replenish(now_nanos);
+        if tokens <= self.tokens {
+            self.tokens -= tokens;
+            return Ok(());
+        }
+        let deficit = tokens - self.tokens;
+        let retry_after_nanos = if tokens > self.budget || self.refill_per_sec == 0 {
+            u64::MAX
+        } else {
+            // Subtract the sub-token progress already carried so the retry
+            // time is exact: waiting precisely this long earns the deficit,
+            // one nanosecond less does not. (`deficit >= 1` and
+            // `carry < NANOS_PER_SEC` keep the subtraction positive.)
+            let needed =
+                u128::from(deficit) * u128::from(NANOS_PER_SEC) - u128::from(self.carry);
+            u64::try_from(needed.div_ceil(u128::from(self.refill_per_sec))).unwrap_or(u64::MAX)
+        };
+        Err(Shed { retry_after_nanos })
+    }
+}
+
+/// Per-client token buckets under one shared budget/refill policy.
+#[derive(Debug)]
+pub struct RateLimiter {
+    budget: u64,
+    refill_per_sec: u64,
+    buckets: HashMap<String, TokenBucket>,
+    max_clients: usize,
+}
+
+/// Upper bound on tracked clients before the longest-idle one is evicted.
+const DEFAULT_MAX_CLIENTS: usize = 4096;
+
+impl RateLimiter {
+    /// A limiter giving every distinct client its own
+    /// `TokenBucket::new(budget, refill_per_sec, ..)`.
+    pub fn new(budget: u64, refill_per_sec: u64) -> RateLimiter {
+        RateLimiter {
+            budget,
+            refill_per_sec,
+            buckets: HashMap::new(),
+            max_clients: DEFAULT_MAX_CLIENTS,
+        }
+    }
+
+    /// Overrides the tracked-client bound (tests shrink it).
+    #[must_use]
+    pub fn with_max_clients(mut self, max_clients: usize) -> RateLimiter {
+        self.max_clients = max_clients.max(1);
+        self
+    }
+
+    /// Number of clients currently tracked.
+    pub fn clients(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Spends one token from `client`'s bucket, creating it (full) on first
+    /// contact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bucket's [`Shed`] when the client is out of tokens.
+    pub fn check(&mut self, client: &str, now_nanos: u64) -> Result<(), Shed> {
+        if !self.buckets.contains_key(client) {
+            if self.buckets.len() >= self.max_clients {
+                self.evict_idlest();
+            }
+            // A new client's bucket starts full, so its first request is
+            // always admitted (budget >= 1).
+            self.buckets.insert(
+                client.to_string(),
+                TokenBucket::new(self.budget, self.refill_per_sec, now_nanos),
+            );
+        }
+        self.buckets
+            .get_mut(client)
+            .expect("bucket inserted above")
+            .try_take(1, now_nanos)
+    }
+
+    /// Drops the client with the oldest last-replenish timestamp. O(n), but
+    /// only runs when the table is at capacity and a *new* client appears.
+    fn evict_idlest(&mut self) {
+        if let Some(key) = self
+            .buckets
+            .iter()
+            .min_by_key(|(_, b)| b.last_seen_nanos())
+            .map(|(k, _)| k.clone())
+        {
+            self.buckets.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = NANOS_PER_SEC;
+
+    #[test]
+    fn burst_spends_the_budget_then_sheds() {
+        let mut b = TokenBucket::new(3, 1, 0);
+        assert_eq!(b.budget(), 3);
+        for _ in 0..3 {
+            assert!(b.try_take(1, 0).is_ok());
+        }
+        let shed = b.try_take(1, 0).unwrap_err();
+        assert_eq!(shed.retry_after_nanos, SEC, "1 token at 1 token/s is 1s away");
+        assert_eq!(shed.retry_after_secs(), 1);
+    }
+
+    #[test]
+    fn refill_restores_tokens_at_the_configured_rate() {
+        let mut b = TokenBucket::new(2, 4, 0); // 4 tokens/s = one per 250ms
+        assert!(b.try_take(2, 0).is_ok());
+        assert!(b.try_take(1, SEC / 8).is_err(), "125ms earns only half a token");
+        assert!(b.try_take(1, SEC / 4).is_ok(), "250ms earns exactly one");
+        assert!(b.try_take(1, SEC / 4).is_err(), "and it was just spent");
+    }
+
+    #[test]
+    fn fractional_refill_carries_across_replenishes() {
+        let mut b = TokenBucket::new(1, 1, 0);
+        assert!(b.try_take(1, 0).is_ok());
+        // Ten polls at 100ms apart: each earns 0.1 token; the carry must
+        // accumulate to exactly one token at t=1s.
+        for i in 1..10 {
+            assert!(b.try_take(1, i * (SEC / 10)).is_err(), "poll {i} too early");
+        }
+        assert!(b.try_take(1, SEC).is_ok(), "fractions summed to a whole token");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_its_budget() {
+        let mut b = TokenBucket::new(5, 1000, 0);
+        assert_eq!(b.available(100 * SEC), 5, "long idle does not overfill");
+        assert!(b.try_take(5, 100 * SEC).is_ok());
+        assert!(b.try_take(1, 100 * SEC).is_err());
+    }
+
+    #[test]
+    fn impossible_requests_shed_forever() {
+        let mut zero_refill = TokenBucket::new(1, 0, 0);
+        assert!(zero_refill.try_take(1, 0).is_ok());
+        assert_eq!(zero_refill.try_take(1, SEC).unwrap_err().retry_after_nanos, u64::MAX);
+        let mut small = TokenBucket::new(2, 1, 0);
+        assert_eq!(small.try_take(3, 0).unwrap_err().retry_after_nanos, u64::MAX);
+    }
+
+    #[test]
+    fn retry_after_is_exact_and_sufficient() {
+        let mut b = TokenBucket::new(1, 3, 0);
+        assert!(b.try_take(1, 0).is_ok());
+        let shed = b.try_take(1, 0).unwrap_err();
+        // Waiting exactly retry_after must succeed...
+        assert!(b.clone().try_take(1, shed.retry_after_nanos).is_ok());
+        // ...and one nanosecond less must not.
+        assert!(b.try_take(1, shed.retry_after_nanos - 1).is_err());
+    }
+
+    #[test]
+    fn retry_after_secs_rounds_up_and_floors_at_one() {
+        assert_eq!(Shed { retry_after_nanos: 1 }.retry_after_secs(), 1);
+        assert_eq!(Shed { retry_after_nanos: SEC }.retry_after_secs(), 1);
+        assert_eq!(Shed { retry_after_nanos: SEC + 1 }.retry_after_secs(), 2);
+    }
+
+    #[test]
+    fn clock_going_backwards_is_harmless() {
+        let mut b = TokenBucket::new(2, 1, 10 * SEC);
+        assert!(b.try_take(1, 10 * SEC).is_ok());
+        // An earlier timestamp neither panics nor refills.
+        assert!(b.try_take(1, 5 * SEC).is_ok());
+        assert!(b.try_take(1, 5 * SEC).is_err());
+    }
+
+    #[test]
+    fn limiter_isolates_clients() {
+        let mut limiter = RateLimiter::new(1, 0);
+        assert!(limiter.check("10.0.0.1", 0).is_ok());
+        assert!(limiter.check("10.0.0.1", 0).is_err(), "same client is out of budget");
+        assert!(limiter.check("10.0.0.2", 0).is_ok(), "other clients are unaffected");
+        assert_eq!(limiter.clients(), 2);
+    }
+
+    #[test]
+    fn limiter_evicts_the_idlest_client_at_capacity() {
+        let mut limiter = RateLimiter::new(1, 0).with_max_clients(2);
+        assert!(limiter.check("a", 0).is_ok());
+        assert!(limiter.check("b", SEC).is_ok());
+        // `c` arrives at capacity: `a` (idle longest) is evicted.
+        assert!(limiter.check("c", 2 * SEC).is_ok());
+        assert_eq!(limiter.clients(), 2);
+        // `a` returns as a fresh client with a full bucket — eviction can
+        // only ever *grant* tokens, never owe them.
+        assert!(limiter.check("a", 2 * SEC).is_ok());
+    }
+}

@@ -1,0 +1,610 @@
+//! The bounded job queue and its worker pool.
+//!
+//! Jobs move `queued → running → done | failed`. The queue is generic over
+//! the job payload `J` and the executor the workers run, so this crate
+//! stays free of experiment types: the `rr serve` daemon injects an
+//! executor that drives the sweep runner, tests inject closures. Submission
+//! is *idempotent by fingerprint* — resubmitting a spec whose job already
+//! exists (in any state) returns the existing job instead of queueing a
+//! duplicate — and *bounded*: a full queue rejects with
+//! [`SubmitError::QueueFull`] rather than growing without limit.
+//!
+//! Shutdown is graceful by construction: [`JobQueue::shutdown`] stops
+//! intake, wakes every worker, and [`JobQueue::join`] blocks until the
+//! workers have drained the queue (finishing queued *and* running jobs) and
+//! exited, so no accepted job is ever abandoned half-written.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use rr_telemetry::{IncMetric, StoreMetric, METRICS};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one submitted job. Dense, starting at 1.
+pub type JobId = u64;
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; its result is available.
+    Done,
+    /// Execution returned an error.
+    Failed,
+}
+
+impl JobState {
+    /// The wire name (`"queued"`, `"running"`, `"done"`, `"failed"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+impl serde::Serialize for JobState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for JobState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => {
+                JobState::parse(s).ok_or_else(|| serde::Error::unknown_variant("JobState", s))
+            }
+            other => Err(serde::Error::expected("job state string", other)),
+        }
+    }
+}
+
+/// Live per-point progress of one job, updated lock-free by the executor.
+///
+/// The executor learns the point count only after expanding the job's grid,
+/// so `total` starts at 0 and is set once execution begins.
+#[derive(Debug, Default)]
+pub struct ProgressCells {
+    total: AtomicU64,
+    done: AtomicU64,
+    cached: AtomicU64,
+}
+
+impl ProgressCells {
+    /// Declares how many points the job will produce.
+    pub fn set_total(&self, total: u64) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Records one completed point; `cached` marks a store hit that skipped
+    /// the simulation.
+    pub fn record_point(&self, cached: bool) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if cached {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn load(&self) -> Progress {
+        Progress {
+            total: self.total.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a job's progress counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Progress {
+    /// Points the job will produce (0 until the grid is expanded).
+    pub total: u64,
+    /// Points completed so far.
+    pub done: u64,
+    /// Of the completed points, how many were served from the result store.
+    pub cached: u64,
+}
+
+/// Everything the API reports about one job. The (possibly large) result
+/// payload is deliberately *not* here — fetch it with [`JobQueue::result`].
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job's id.
+    pub id: JobId,
+    /// Human-readable description of the submitted spec.
+    pub label: String,
+    /// Content-address fingerprint submissions dedup on.
+    pub fingerprint: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Per-point progress counters.
+    pub progress: Progress,
+    /// The failure message, when `state` is [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// Counts of jobs by state, for `/health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobCounts {
+    /// Jobs waiting for a worker.
+    pub queued: u64,
+    /// Jobs being executed right now.
+    pub running: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later.
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and takes no new work.
+    ShuttingDown,
+}
+
+/// What a successful submission got you.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// A new job was queued.
+    Accepted(JobId),
+    /// A job with the same fingerprint already exists; no new work queued.
+    Deduped(JobId),
+}
+
+impl SubmitOutcome {
+    /// The job id either way.
+    pub fn id(&self) -> JobId {
+        match self {
+            SubmitOutcome::Accepted(id) | SubmitOutcome::Deduped(id) => *id,
+        }
+    }
+
+    /// Whether the submission was answered by an existing job.
+    pub fn deduped(&self) -> bool {
+        matches!(self, SubmitOutcome::Deduped(_))
+    }
+}
+
+struct JobEntry<J> {
+    label: String,
+    fingerprint: String,
+    state: JobState,
+    progress: Arc<ProgressCells>,
+    error: Option<String>,
+    result: Option<Arc<String>>,
+    /// Present only while queued; the claiming worker takes it.
+    payload: Option<J>,
+}
+
+struct Inner<J> {
+    next_id: JobId,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry<J>>,
+    by_fingerprint: HashMap<String, JobId>,
+    running: u64,
+    workers_alive: usize,
+    shutting_down: bool,
+}
+
+/// The bounded job queue. Shared by the HTTP handlers (submitting,
+/// inspecting) and the worker pool (executing); every method is safe from
+/// any thread.
+pub struct JobQueue<J> {
+    inner: Mutex<Inner<J>>,
+    /// Signals workers: work available or shutdown started.
+    work_ready: Condvar,
+    /// Signals joiners: a worker exited.
+    worker_exit: Condvar,
+    capacity: usize,
+}
+
+impl<J: Send + 'static> JobQueue<J> {
+    /// A queue admitting at most `capacity` *queued* (not yet running)
+    /// jobs.
+    pub fn new(capacity: usize) -> Arc<JobQueue<J>> {
+        Arc::new(JobQueue {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                by_fingerprint: HashMap::new(),
+                running: 0,
+                workers_alive: 0,
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            worker_exit: Condvar::new(),
+            capacity,
+        })
+    }
+
+    /// The configured queued-job bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Submits a job, dedup'ing by fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::ShuttingDown`]
+    /// after [`JobQueue::shutdown`].
+    pub fn submit(
+        &self,
+        label: impl Into<String>,
+        fingerprint: impl Into<String>,
+        payload: J,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let fingerprint = fingerprint.into();
+        let mut inner = self.inner.lock().expect("queue lock");
+        if let Some(&id) = inner.by_fingerprint.get(&fingerprint) {
+            METRICS.serve.jobs_deduped.inc();
+            return Ok(SubmitOutcome::Deduped(id));
+        }
+        if inner.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.queue.len() >= self.capacity {
+            METRICS.serve.queue_full.inc();
+            return Err(SubmitError::QueueFull { capacity: self.capacity });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                label: label.into(),
+                fingerprint: fingerprint.clone(),
+                state: JobState::Queued,
+                progress: Arc::new(ProgressCells::default()),
+                error: None,
+                result: None,
+                payload: Some(payload),
+            },
+        );
+        inner.by_fingerprint.insert(fingerprint, id);
+        inner.queue.push_back(id);
+        METRICS.serve.jobs_submitted.inc();
+        METRICS.serve.queue_depth.store(inner.queue.len() as u64);
+        drop(inner);
+        self.work_ready.notify_one();
+        Ok(SubmitOutcome::Accepted(id))
+    }
+
+    /// A snapshot of one job, if it exists.
+    pub fn job(&self, id: JobId) -> Option<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.jobs.get(&id).map(|e| snapshot(id, e))
+    }
+
+    /// Snapshots of every job, ordered by id (submission order).
+    pub fn jobs(&self) -> Vec<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue lock");
+        let mut all: Vec<JobSnapshot> =
+            inner.jobs.iter().map(|(&id, e)| snapshot(id, e)).collect();
+        all.sort_by_key(|s| s.id);
+        all
+    }
+
+    /// The result payload of a [`JobState::Done`] job.
+    pub fn result(&self, id: JobId) -> Option<Arc<String>> {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.jobs.get(&id).and_then(|e| e.result.clone())
+    }
+
+    /// Job counts by state.
+    pub fn counts(&self) -> JobCounts {
+        let inner = self.inner.lock().expect("queue lock");
+        let mut c = JobCounts { running: inner.running, ..JobCounts::default() };
+        for e in inner.jobs.values() {
+            match e.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => {}
+                JobState::Done => c.done += 1,
+                JobState::Failed => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether [`JobQueue::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.lock().expect("queue lock").shutting_down
+    }
+
+    /// Spawns `workers` threads running `executor` over claimed jobs. The
+    /// executor returns the job's serialized result payload, or an error
+    /// string that fails the job; either way the worker moves on. Panics in
+    /// the executor fail the job (the worker catches them), so one
+    /// malformed spec cannot take the pool down.
+    pub fn spawn_workers<F>(self: &Arc<Self>, workers: usize, executor: F) -> Vec<JoinHandle<()>>
+    where
+        F: Fn(&J, Arc<ProgressCells>) -> Result<String, String> + Send + Sync + 'static,
+    {
+        let executor = Arc::new(executor);
+        {
+            let mut inner = self.inner.lock().expect("queue lock");
+            inner.workers_alive += workers.max(1);
+        }
+        (0..workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(self);
+                let executor = Arc::clone(&executor);
+                std::thread::spawn(move || queue.worker_loop(&*executor))
+            })
+            .collect()
+    }
+
+    fn worker_loop<F>(&self, executor: &F)
+    where
+        F: Fn(&J, Arc<ProgressCells>) -> Result<String, String>,
+    {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                METRICS.serve.queue_depth.store(inner.queue.len() as u64);
+                let entry = inner.jobs.get_mut(&id).expect("queued job exists");
+                entry.state = JobState::Running;
+                let payload = entry.payload.take().expect("queued job has its payload");
+                let progress = Arc::clone(&entry.progress);
+                inner.running += 1;
+                drop(inner);
+
+                // `catch_unwind` so a panicking executor fails one job, not
+                // the worker pool.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    executor(&payload, Arc::clone(&progress))
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
+
+                inner = self.inner.lock().expect("queue lock");
+                inner.running -= 1;
+                let entry = inner.jobs.get_mut(&id).expect("running job exists");
+                match outcome {
+                    Ok(result) => {
+                        entry.state = JobState::Done;
+                        entry.result = Some(Arc::new(result));
+                        METRICS.serve.jobs_completed.inc();
+                    }
+                    Err(error) => {
+                        entry.state = JobState::Failed;
+                        entry.error = Some(error);
+                        METRICS.serve.jobs_failed.inc();
+                    }
+                }
+            } else if inner.shutting_down {
+                break;
+            } else {
+                inner = self.work_ready.wait(inner).expect("queue lock");
+            }
+        }
+        inner.workers_alive -= 1;
+        drop(inner);
+        self.worker_exit.notify_all();
+    }
+
+    /// Stops intake and wakes every worker. Workers drain the queue —
+    /// queued and running jobs all complete — then exit. Idempotent.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.shutting_down = true;
+        drop(inner);
+        self.work_ready.notify_all();
+    }
+
+    /// Blocks until every worker has exited (requires a prior
+    /// [`JobQueue::shutdown`] to ever return). The spawned threads are
+    /// detached from the caller's perspective; this is the rendezvous.
+    pub fn join(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.workers_alive > 0 {
+            inner = self.worker_exit.wait(inner).expect("queue lock");
+        }
+    }
+}
+
+fn snapshot<J>(id: JobId, e: &JobEntry<J>) -> JobSnapshot {
+    JobSnapshot {
+        id,
+        label: e.label.clone(),
+        fingerprint: e.fingerprint.clone(),
+        state: e.state,
+        progress: e.progress.load(),
+        error: e.error.clone(),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    let message = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "executor panicked".to_string());
+    format!("job executor panicked: {message}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Polls until the job reaches a terminal state (tests only).
+    fn wait_terminal(queue: &JobQueue<String>, id: JobId) -> JobSnapshot {
+        for _ in 0..2000 {
+            let snap = queue.job(id).expect("job exists");
+            if snap.state.is_terminal() {
+                return snap;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn executes_jobs_and_serves_results() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        let handles = queue.spawn_workers(2, |payload, progress| {
+            progress.set_total(3);
+            for i in 0..3 {
+                progress.record_point(i == 0);
+            }
+            Ok(format!("result of {payload}"))
+        });
+        let outcome = queue.submit("job a", "fp-a", "a".to_string()).unwrap();
+        assert!(matches!(outcome, SubmitOutcome::Accepted(1)));
+        let snap = wait_terminal(&queue, 1);
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.progress, Progress { total: 3, done: 3, cached: 1 });
+        assert_eq!(snap.label, "job a");
+        assert_eq!(snap.error, None);
+        assert_eq!(queue.result(1).unwrap().as_str(), "result of a");
+        queue.shutdown();
+        queue.join();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dedups_by_fingerprint_in_every_state() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        // No workers yet: the job stays queued.
+        let first = queue.submit("a", "fp", "a".to_string()).unwrap();
+        assert_eq!(first, SubmitOutcome::Accepted(1));
+        let second = queue.submit("a again", "fp", "a".to_string()).unwrap();
+        assert_eq!(second, SubmitOutcome::Deduped(1));
+        assert!(second.deduped());
+        assert_eq!(second.id(), 1);
+        // Still deduped after completion.
+        queue.spawn_workers(1, |_, _| Ok("done".into()));
+        wait_terminal(&queue, 1);
+        assert_eq!(queue.submit("a", "fp", "a".to_string()).unwrap(), SubmitOutcome::Deduped(1));
+        // A different fingerprint is a new job.
+        assert_eq!(
+            queue.submit("b", "fp2", "b".to_string()).unwrap(),
+            SubmitOutcome::Accepted(2)
+        );
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(2);
+        queue.submit("a", "fa", "a".into()).unwrap();
+        queue.submit("b", "fb", "b".into()).unwrap();
+        assert_eq!(
+            queue.submit("c", "fc", "c".into()),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        // Dedup still answers even at capacity.
+        assert_eq!(queue.submit("a", "fa", "a".into()), Ok(SubmitOutcome::Deduped(1)));
+        let counts = queue.counts();
+        assert_eq!((counts.queued, counts.running, counts.done, counts.failed), (2, 0, 0, 0));
+    }
+
+    #[test]
+    fn failures_and_panics_fail_the_job_not_the_pool() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        queue.spawn_workers(1, |payload, _| match payload.as_str() {
+            "boom" => panic!("kaboom"),
+            "err" => Err("spec was bad".into()),
+            other => Ok(other.to_string()),
+        });
+        queue.submit("boom", "f1", "boom".into()).unwrap();
+        queue.submit("err", "f2", "err".into()).unwrap();
+        queue.submit("fine", "f3", "fine".into()).unwrap();
+        assert_eq!(wait_terminal(&queue, 1).state, JobState::Failed);
+        let failed = wait_terminal(&queue, 2);
+        assert_eq!(failed.error.as_deref(), Some("spec was bad"));
+        assert!(
+            wait_terminal(&queue, 1).error.unwrap().contains("kaboom"),
+            "panic message is preserved"
+        );
+        // The pool survived both failures and ran the third job.
+        assert_eq!(wait_terminal(&queue, 3).state, JobState::Done);
+        assert_eq!(queue.result(3).unwrap().as_str(), "fine");
+        assert_eq!(queue.result(1), None, "failed jobs have no result");
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_stops_intake() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        for i in 0..4 {
+            queue.submit(format!("j{i}"), format!("f{i}"), format!("{i}")).unwrap();
+        }
+        // Workers start *after* shutdown: the already-queued jobs must still
+        // drain to completion.
+        queue.shutdown();
+        assert!(queue.is_shutting_down());
+        assert_eq!(queue.submit("late", "fl", "x".into()), Err(SubmitError::ShuttingDown));
+        let handles = queue.spawn_workers(2, |p, _| Ok(p.clone()));
+        queue.join();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let counts = queue.counts();
+        assert_eq!(counts.done, 4, "every accepted job completed");
+        assert_eq!(counts.queued + counts.running, 0);
+        for snap in queue.jobs() {
+            assert_eq!(snap.state, JobState::Done);
+        }
+    }
+
+    #[test]
+    fn job_listing_is_in_submission_order() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        for i in 0..3 {
+            queue.submit(format!("j{i}"), format!("f{i}"), String::new()).unwrap();
+        }
+        let ids: Vec<JobId> = queue.jobs().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(queue.job(99).is_none());
+    }
+
+    #[test]
+    fn job_state_wire_names_round_trip() {
+        for state in [JobState::Queued, JobState::Running, JobState::Done, JobState::Failed] {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+            let v = serde::Serialize::to_value(&state);
+            let back: JobState = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, state);
+        }
+        assert_eq!(JobState::parse("exploded"), None);
+        assert!(JobState::Done.is_terminal() && JobState::Failed.is_terminal());
+        assert!(!JobState::Queued.is_terminal() && !JobState::Running.is_terminal());
+    }
+}

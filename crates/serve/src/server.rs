@@ -1,0 +1,312 @@
+//! The TCP accept loop tying framing, rate limiting, and dispatch together.
+//!
+//! [`Server::bind`] claims the address up front (so callers learn the real
+//! port when binding `:0`), then [`Server::serve`] runs until the paired
+//! [`StopHandle`] fires. Connections are handled one thread each inside a
+//! `std::thread::scope`, so `serve` returning means every in-flight request
+//! has been answered — the embedding binary can then drain its job queue
+//! and exit without racing half-written responses.
+//!
+//! Rate limiting happens *before* the request body is read: each client
+//! address owns a token bucket, and an empty bucket turns into `429 Too
+//! Many Requests` with an exact `Retry-After`. `/health`, `/metrics`, and
+//! `/shutdown` are exempt so operators can always observe — and stop — a
+//! saturated service; shedding the observability plane during overload is
+//! how overloads go undiagnosed.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rr_telemetry::{IncMetric, METRICS};
+
+use crate::http::{ParseError, Request, Response, StatusCode};
+use crate::limiter::RateLimiter;
+
+/// Rate-limit policy: a per-client token bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateConfig {
+    /// Burst budget (tokens in a fresh bucket).
+    pub budget: u64,
+    /// Steady-state refill, tokens per second.
+    pub refill_per_sec: u64,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:8553` (`:0` picks a free port).
+    pub addr: String,
+    /// Per-client rate limiting; `None` disables shedding.
+    pub rate: Option<RateConfig>,
+    /// Socket read timeout, bounding how long a stalled client can hold a
+    /// connection thread.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            rate: None,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Routes one parsed request to a response. Implementations must be
+/// thread-safe: connections are served concurrently.
+pub trait Handler: Sync {
+    /// Produces the response for `req`.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Stops a running [`Server::serve`] loop from another thread.
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl StopHandle {
+    /// Signals the accept loop to exit. Idempotent; safe from any thread
+    /// (including a connection thread answering `PUT /shutdown`).
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The listener sits in a blocking `accept`; poke it awake with a
+        // throwaway connection so it observes the flag without waiting for
+        // the next real client.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Whether [`StopHandle::trigger`] has fired.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound listener ready to [`Server::serve`].
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    stop: StopHandle,
+    limiter: Option<Mutex<RateLimiter>>,
+    read_timeout: Duration,
+    /// Epoch for the limiter's deterministic clock and uptime reporting.
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, ...).
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            stop: StopHandle { flag: Arc::new(AtomicBool::new(false)), addr: local_addr },
+            limiter: config
+                .rate
+                .map(|r| Mutex::new(RateLimiter::new(r.budget, r.refill_per_sec))),
+            read_timeout: config.read_timeout,
+            started: Instant::now(),
+        })
+    }
+
+    /// The actual bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops [`Server::serve`]; clone it freely.
+    pub fn stop_handle(&self) -> StopHandle {
+        self.stop.clone()
+    }
+
+    /// Seconds the server has been up.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Nanoseconds since bind — the monotonic clock fed to the limiter.
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Accepts and answers connections until the stop handle fires, then
+    /// returns once every in-flight request has been written.
+    pub fn serve(&self, handler: &dyn Handler) {
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, peer) = match self.listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) if self.stop.is_triggered() => break,
+                    Err(_) => continue,
+                };
+                if self.stop.is_triggered() {
+                    // The stop trigger's wake-up connection (or a client
+                    // racing shutdown); close without reading.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                scope.spawn(move || self.handle_connection(stream, peer, handler));
+            }
+        });
+    }
+
+    fn handle_connection(&self, stream: TcpStream, peer: SocketAddr, handler: &dyn Handler) {
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let response = match Request::read_from(&mut reader) {
+            Ok(request) => self.dispatch(&request, peer, handler),
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(err) => {
+                METRICS.serve.requests_malformed.inc();
+                match err {
+                    ParseError::BodyTooLarge(limit) => Response::error(
+                        StatusCode::PayloadTooLarge,
+                        &format!("request body exceeds {limit} bytes"),
+                    ),
+                    ParseError::UnsupportedMethod(m) => Response::error(
+                        StatusCode::MethodNotAllowed,
+                        &format!("unsupported method `{m}`"),
+                    ),
+                    _ => Response::error(StatusCode::BadRequest, "malformed HTTP request"),
+                }
+            }
+        };
+        let mut stream = stream;
+        if response.write_to(&mut stream).is_err() {
+            METRICS.serve.requests_failed.inc();
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    fn dispatch(&self, request: &Request, peer: SocketAddr, handler: &dyn Handler) -> Response {
+        if let Some(limiter) = &self.limiter {
+            // Observability and control endpoints bypass the limiter: a
+            // saturated service must still be inspectable — and stoppable.
+            let exempt =
+                matches!(request.path.as_str(), "/health" | "/metrics" | "/shutdown");
+            if !exempt {
+                let client = peer.ip().to_string();
+                let verdict =
+                    limiter.lock().expect("limiter lock").check(&client, self.now_nanos());
+                if let Err(shed) = verdict {
+                    METRICS.serve.rate_limited.inc();
+                    return Response::error(
+                        StatusCode::TooManyRequests,
+                        "rate limit exceeded; slow down",
+                    )
+                    .with_header("Retry-After", shed.retry_after_secs().to_string());
+                }
+            }
+        }
+        let response = handler.handle(request);
+        if response.status.is_error() {
+            METRICS.serve.requests_failed.inc();
+        } else {
+            METRICS.serve.requests_served.inc();
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// Sends a raw request, returns the raw response.
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("recv");
+        out
+    }
+
+    fn spawn_server(config: ServerConfig) -> (SocketAddr, StopHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&config).expect("bind");
+        let addr = server.local_addr();
+        let stop = server.stop_handle();
+        let join = std::thread::spawn(move || {
+            server.serve(&|req: &Request| {
+                Response::json(StatusCode::Ok, format!("{{\"path\": \"{}\"}}\n", req.path))
+            });
+        });
+        (addr, stop, join)
+    }
+
+    #[test]
+    fn serves_requests_and_stops_on_trigger() {
+        let (addr, stop, join) = spawn_server(ServerConfig::default());
+        let reply = roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"path\": \"/health\""), "{reply}");
+        stop.trigger();
+        join.join().unwrap();
+        assert!(stop.is_triggered());
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let (addr, stop, join) = spawn_server(ServerConfig::default());
+        let reply = roundtrip(addr, "this is not http\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{reply}");
+        let reply = roundtrip(addr, "PATCH /jobs HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{reply}");
+        stop.trigger();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn rate_limit_sheds_with_retry_after_but_exempts_health() {
+        let (addr, stop, join) = spawn_server(ServerConfig {
+            rate: Some(RateConfig { budget: 2, refill_per_sec: 1 }),
+            ..ServerConfig::default()
+        });
+        assert!(roundtrip(addr, "GET /jobs HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+        assert!(roundtrip(addr, "GET /jobs HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+        let shed = roundtrip(addr, "GET /jobs HTTP/1.1\r\n\r\n");
+        assert!(shed.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{shed}");
+        assert!(shed.contains("\r\nRetry-After: "), "{shed}");
+        assert!(shed.contains("rate limit exceeded"), "{shed}");
+        // The observability plane stays reachable while shed.
+        for _ in 0..4 {
+            assert!(roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+            assert!(roundtrip(addr, "GET /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+        }
+        stop.trigger();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn stop_handle_unblocks_an_idle_accept_loop() {
+        let (_, stop, join) = spawn_server(ServerConfig::default());
+        // No requests at all: trigger alone must end serve().
+        stop.trigger();
+        join.join().unwrap();
+    }
+}

@@ -43,6 +43,6 @@ pub mod metrics;
 
 pub use log::{Level, LOGGER};
 pub use metrics::{
-    IncMetric, Metrics, MetricsSnapshot, SharedIncMetric, SharedStoreMetric, StoreMetric,
-    METRICS,
+    IncMetric, Metrics, MetricsSnapshot, ServeMetrics, SharedIncMetric, SharedStoreMetric,
+    StoreMetric, METRICS,
 };

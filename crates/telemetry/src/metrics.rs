@@ -151,6 +151,64 @@ impl SweepMetrics {
     }
 }
 
+/// Counters for the experiment service (`rr-serve` and the `rr serve`
+/// daemon): HTTP traffic, rate-limiter sheds, and job-queue flow.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Jobs that finished successfully.
+    pub jobs_completed: SharedIncMetric,
+    /// Submissions answered by an already-known job (same fingerprint).
+    pub jobs_deduped: SharedIncMetric,
+    /// Jobs whose execution returned an error.
+    pub jobs_failed: SharedIncMetric,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: SharedIncMetric,
+    /// Jobs currently queued (gauge).
+    pub queue_depth: SharedStoreMetric,
+    /// Submissions rejected because the job queue was full.
+    pub queue_full: SharedIncMetric,
+    /// Requests shed by the per-client rate limiter (HTTP 429).
+    pub rate_limited: SharedIncMetric,
+    /// HTTP requests that parsed but were answered with a 4xx/5xx status.
+    pub requests_failed: SharedIncMetric,
+    /// Connections whose bytes did not parse as an HTTP request.
+    pub requests_malformed: SharedIncMetric,
+    /// HTTP requests served (any status).
+    pub requests_served: SharedIncMetric,
+}
+
+impl ServeMetrics {
+    const fn new() -> Self {
+        ServeMetrics {
+            jobs_completed: SharedIncMetric::new(),
+            jobs_deduped: SharedIncMetric::new(),
+            jobs_failed: SharedIncMetric::new(),
+            jobs_submitted: SharedIncMetric::new(),
+            queue_depth: SharedStoreMetric::new(),
+            queue_full: SharedIncMetric::new(),
+            rate_limited: SharedIncMetric::new(),
+            requests_failed: SharedIncMetric::new(),
+            requests_malformed: SharedIncMetric::new(),
+            requests_served: SharedIncMetric::new(),
+        }
+    }
+
+    fn values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("jobs_completed", self.jobs_completed.count()),
+            ("jobs_deduped", self.jobs_deduped.count()),
+            ("jobs_failed", self.jobs_failed.count()),
+            ("jobs_submitted", self.jobs_submitted.count()),
+            ("queue_depth", self.queue_depth.fetch()),
+            ("queue_full", self.queue_full.count()),
+            ("rate_limited", self.rate_limited.count()),
+            ("requests_failed", self.requests_failed.count()),
+            ("requests_malformed", self.requests_malformed.count()),
+            ("requests_served", self.requests_served.count()),
+        ]
+    }
+}
+
 /// Counters for the content-addressed result store (`rr-store`).
 #[derive(Debug, Default)]
 pub struct StoreMetrics {
@@ -242,6 +300,8 @@ impl LogMetrics {
 pub struct Metrics {
     /// Logger self-metrics.
     pub log: LogMetrics,
+    /// Experiment-service counters (HTTP, rate limiter, job queue).
+    pub serve: ServeMetrics,
     /// Result-store traffic.
     pub store: StoreMetrics,
     /// Sweep-runner counters.
@@ -254,7 +314,12 @@ pub static METRICS: Metrics = Metrics::new();
 
 impl Metrics {
     const fn new() -> Self {
-        Metrics { log: LogMetrics::new(), store: StoreMetrics::new(), sweep: SweepMetrics::new() }
+        Metrics {
+            log: LogMetrics::new(),
+            serve: ServeMetrics::new(),
+            store: StoreMetrics::new(),
+            sweep: SweepMetrics::new(),
+        }
     }
 
     /// Flushes every counter into an immutable, deterministically ordered
@@ -263,6 +328,7 @@ impl Metrics {
         MetricsSnapshot {
             groups: vec![
                 MetricGroup { name: "log", values: self.log.values() },
+                MetricGroup { name: "serve", values: self.serve.values() },
                 MetricGroup { name: "store", values: self.store.values() },
                 MetricGroup { name: "sweep", values: self.sweep.values() },
             ],
@@ -390,7 +456,7 @@ mod tests {
     fn snapshot_shape_and_lookup() {
         let snap = METRICS.snapshot();
         let names: Vec<&str> = snap.groups.iter().map(|g| g.name).collect();
-        assert_eq!(names, vec!["log", "store", "sweep"], "canonical group order");
+        assert_eq!(names, vec!["log", "serve", "store", "sweep"], "canonical group order");
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted, "groups are alphabetical");

@@ -1,0 +1,298 @@
+//! Integration: the `rr serve` daemon end to end, over real sockets.
+//!
+//! The tentpole checks: a sweep job submitted over HTTP returns a report
+//! *byte-identical* to what `rr fig5 --json` writes for the same spec and
+//! seed (both route through the same result store, so even wall-clock
+//! fields match); resubmission is answered by dedup without recomputation;
+//! a fresh daemon on the same store serves every point from cache; and the
+//! rate limiter sheds bursts with `429` + `Retry-After`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use register_relocation::serve::{run_serve, ServeOptions};
+
+/// Self-cleaning temp directory for the result store.
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rr-serve-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A daemon running on its own thread, torn down via `PUT /shutdown`.
+struct Daemon {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<Result<(), String>>>,
+}
+
+impl Daemon {
+    fn start(opts: ServeOptions) -> Daemon {
+        let (tx, rx) = mpsc::channel();
+        let thread = std::thread::spawn(move || {
+            run_serve(&opts, Some(&move |addr| tx.send(addr).unwrap()))
+        });
+        let addr = rx.recv_timeout(Duration::from_secs(10)).expect("daemon bound");
+        Daemon { addr, thread: Some(thread) }
+    }
+
+    fn options(store: &TempDir) -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_capacity: 8,
+            sim_jobs: 2,
+            rate: None,
+            store_dir: Some(store.path.clone()),
+        }
+    }
+
+    fn shutdown(mut self) {
+        let (status, _, _) = request(self.addr, "PUT", "/shutdown", None);
+        assert_eq!(status, 200, "shutdown acknowledged");
+        let result = self.thread.take().unwrap().join().expect("daemon thread exits");
+        assert_eq!(result, Ok(()), "daemon exits cleanly");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A test failed before calling shutdown(); try not to leak the
+            // serve loop.
+            let _ = request(self.addr, "PUT", "/shutdown", None);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Sends one HTTP/1.1 request, returns (status, headers, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read response");
+    let reply = String::from_utf8(reply).expect("response is UTF-8");
+    let (head, payload) = reply.split_once("\r\n\r\n").expect("response has a header block");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head}"));
+    (status, head.to_string(), payload.to_string())
+}
+
+/// Pulls a `"field": <scalar>` value out of a JSON body (the test's JSON
+/// needs are too simple for a parser dependency).
+fn json_field<'a>(body: &'a str, field: &str) -> &'a str {
+    let probe = format!("\"{field}\": ");
+    let at = body.find(&probe).unwrap_or_else(|| panic!("no `{field}` in {body}"));
+    let rest = &body[at + probe.len()..];
+    rest.split([',', '\n', '}']).next().unwrap().trim()
+}
+
+fn poll_until_done(addr: SocketAddr, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, body) = request(addr, "GET", &format!("/jobs/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        match json_field(&body, "state") {
+            "\"done\"" => return body,
+            "\"failed\"" => panic!("job failed: {body}"),
+            _ if Instant::now() > deadline => panic!("job never finished: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// The submission every test uses: one fig5 panel, shrunk workloads.
+const SUBMIT: &str = r#"{"kind": "fig5", "file": 64, "seed": 7, "threads": 8, "work": 2000}"#;
+
+#[test]
+fn daemon_results_match_the_cli_byte_for_byte_and_dedup() {
+    let store = TempDir::new("e2e");
+    let daemon = Daemon::start(Daemon::options(&store));
+
+    // Submit and run to completion.
+    let (status, _, ticket) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    assert_eq!(json_field(&ticket, "deduped"), "false");
+    let id = json_field(&ticket, "id").to_string();
+    let done = poll_until_done(daemon.addr, &id);
+    assert_eq!(json_field(&done, "total"), "18", "fig5 panel is 3 R x 6 L");
+    assert_eq!(json_field(&done, "done"), "18");
+    assert_eq!(json_field(&done, "cached"), "0", "cold store computed everything");
+
+    let (status, _, daemon_report) =
+        request(daemon.addr, "GET", &format!("/jobs/{id}/result"), None);
+    assert_eq!(status, 200);
+
+    // The CLI, warm on the same store, must produce the identical bytes.
+    let json_out = store.path.join("cli-report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_rr"))
+        .args(["fig5", "--file", "64", "--seed", "7", "--threads", "8", "--work", "2000"])
+        .args(["--jobs", "2", "--store"])
+        .arg(&store.path)
+        .arg("--json")
+        .arg(&json_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let cli_report = std::fs::read_to_string(&json_out).unwrap();
+    assert_eq!(
+        daemon_report, cli_report,
+        "daemon result and `rr fig5 --json` disagree for the same spec"
+    );
+
+    // Resubmission dedups to the same finished job, instantly.
+    let (status, _, resubmit) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 200, "{resubmit}");
+    assert_eq!(json_field(&resubmit, "deduped"), "true");
+    assert_eq!(json_field(&resubmit, "id"), id);
+
+    // A *different* spec is a different job.
+    let other = r#"{"kind": "fig5", "file": 64, "seed": 8, "threads": 8, "work": 2000}"#;
+    let (status, _, ticket2) = request(daemon.addr, "POST", "/jobs", Some(other));
+    assert_eq!(status, 201, "{ticket2}");
+    assert_ne!(json_field(&ticket2, "id"), id);
+    poll_until_done(daemon.addr, json_field(&ticket2, "id"));
+
+    // The job list shows both, in submission order.
+    let (status, _, list) = request(daemon.addr, "GET", "/jobs", None);
+    assert_eq!(status, 200);
+    assert!(list.contains("\"fig5 F=64 seed=7 threads=8 work=2000\""), "{list}");
+    assert!(list.contains("\"fig5 F=64 seed=8 threads=8 work=2000\""), "{list}");
+
+    // /health reports the service and the shared store-stats shape.
+    let (status, _, health) = request(daemon.addr, "GET", "/health", None);
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&health, "status"), "\"ok\"");
+    assert_eq!(json_field(&health, "records"), "36", "two 18-point sweeps stored");
+    assert_eq!(json_field(&health, "queue_depth"), "0");
+
+    // /metrics serves the telemetry registry.
+    let (status, _, metrics) = request(daemon.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"serve\""), "{metrics}");
+    assert!(metrics.contains("\"jobs_submitted\""), "{metrics}");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn a_fresh_daemon_serves_a_warm_store_without_recomputing() {
+    let store = TempDir::new("warm");
+    // First daemon: compute and store the panel.
+    let first = Daemon::start(Daemon::options(&store));
+    let (status, _, ticket) = request(first.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    let id = json_field(&ticket, "id").to_string();
+    poll_until_done(first.addr, &id);
+    let (_, _, cold_report) = request(first.addr, "GET", &format!("/jobs/{id}/result"), None);
+    first.shutdown();
+
+    // Second daemon, same store: the job queue is empty (no cross-restart
+    // job state) but every *point* comes from the store.
+    let second = Daemon::start(Daemon::options(&store));
+    let (status, _, ticket) = request(second.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "a fresh queue accepts the job anew: {ticket}");
+    assert_eq!(json_field(&ticket, "deduped"), "false");
+    let id = json_field(&ticket, "id").to_string();
+    let done = poll_until_done(second.addr, &id);
+    assert_eq!(json_field(&done, "cached"), "18", "warm store served every point");
+    let (_, _, warm_report) = request(second.addr, "GET", &format!("/jobs/{id}/result"), None);
+    assert_eq!(warm_report, cold_report, "warm replay is byte-identical");
+    second.shutdown();
+}
+
+#[test]
+fn burst_traffic_is_shed_with_retry_after() {
+    let store = TempDir::new("rate");
+    let daemon = Daemon::start(ServeOptions {
+        rate: Some(register_relocation::serve::ServeRateConfig { budget: 2, refill_per_sec: 1 }),
+        ..Daemon::options(&store)
+    });
+
+    // Two requests fit the budget; the third sheds.
+    let mut saw_429 = false;
+    for _ in 0..5 {
+        let (status, head, body) = request(daemon.addr, "GET", "/jobs", None);
+        if status == 429 {
+            assert!(head.contains("Retry-After: "), "{head}");
+            assert!(body.contains("rate limit"), "{body}");
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(saw_429, "a 5-request burst against budget 2 must shed");
+
+    // The observability plane is exempt.
+    for _ in 0..5 {
+        assert_eq!(request(daemon.addr, "GET", "/health", None).0, 200);
+        assert_eq!(request(daemon.addr, "GET", "/metrics", None).0, 200);
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn api_rejects_what_it_should() {
+    let store = TempDir::new("errors");
+    let daemon = Daemon::start(Daemon::options(&store));
+
+    let (status, _, body) = request(daemon.addr, "GET", "/jobs/999", None);
+    assert_eq!((status, body.contains("no job 999")), (404, true), "{body}");
+    let (status, _, body) = request(daemon.addr, "GET", "/jobs/999/result", None);
+    assert_eq!(status, 404, "{body}");
+    let (status, _, body) = request(daemon.addr, "GET", "/nope", None);
+    assert_eq!(status, 404, "{body}");
+    let (status, _, body) = request(daemon.addr, "POST", "/jobs", Some("not json"));
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = request(daemon.addr, "POST", "/jobs", Some(r#"{"file": 64}"#));
+    assert_eq!((status, body.contains("kind")), (400, true), "{body}");
+    let (status, _, body) =
+        request(daemon.addr, "POST", "/jobs", Some(r#"{"kind": "fig7"}"#));
+    assert_eq!((status, body.contains("fig7")), (400, true), "{body}");
+    let (status, _, body) = request(daemon.addr, "DELETE", "/jobs", None);
+    assert_eq!(status, 405, "{body}");
+
+    // A queued-but-unfinished job's result is a 409, not a hang: submit
+    // against a daemon whose single worker is busy with a real job.
+    let (_, _, ticket) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    let id = json_field(&ticket, "id").to_string();
+    let (status, _, body) = request(daemon.addr, "GET", &format!("/jobs/{id}/result"), None);
+    assert!(
+        status == 409 || status == 200,
+        "result before completion is 409 (or 200 if the tiny sweep already finished): {body}"
+    );
+    poll_until_done(daemon.addr, &id);
+    daemon.shutdown();
+}
