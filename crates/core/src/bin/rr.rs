@@ -174,6 +174,11 @@ Caching: --store [dir] persists every computed point (default dir
 check, and clean the store (stats --json prints the machine-readable shape
 the daemon's /health embeds). rr help --list prints bare subcommand names,
 one per line, for shell completion.
+Checkpointing: --checkpoint-every <cycles> (sweeps; needs --store) snapshots
+every in-flight engine into the store at that simulated-cycle stride, and an
+interrupted sweep rerun resumes each point from its newest valid checkpoint
+instead of starting over. Results are bit-identical with or without
+checkpoints; damaged checkpoints degrade to recomputation from cycle 0.
 Serving: rr serve runs a long-lived HTTP daemon accepting sweep jobs
 (POST /jobs), deduping them against the result store, and answering
 /health and /metrics — see `rr serve --help`.
@@ -271,12 +276,26 @@ by any run against the same store are served from it without simulating.
                        result store (default .rr-store, or $RR_STORE);
                        --no-store runs uncached and disables job reuse
                        across restarts
+  --journal <path> / --no-journal
+                       crash-safe job journal (default
+                       <store>/serve-journal.jsonl when a store is on).
+                       A restarted daemon — graceful or kill -9 —
+                       re-adopts unfinished jobs and keeps finished
+                       tickets servable without recompute
+  --job-ttl-secs <n>   drop finished/failed/cancelled tickets n seconds
+                       after they settle (default: keep until deleted)
+  --checkpoint-every <cycles>
+                       snapshot in-flight engines into the store at this
+                       cycle stride, so re-adopted jobs resume points
+                       mid-simulation (needs a store)
 
 API: POST /jobs {\"kind\": \"fig5\"|\"fig6\"|\"homogeneous\", \"file\"?, \"seed\"?,
 \"threads\"?, \"work\"?, \"context\"?} -> job ticket; GET /jobs; GET /jobs/<id>;
-GET /jobs/<id>/result; GET /health; GET /metrics; PUT /shutdown (graceful:
-drains accepted jobs before exiting). Over-budget clients get 429 with a
-Retry-After; /health, /metrics, and /shutdown are never rate limited.
+GET /jobs/<id>/result; DELETE /jobs/<id> (cancel while queued, drop when
+terminal, 409 while running); GET /health; GET /metrics; PUT /shutdown
+(graceful: drains accepted jobs before exiting). Over-budget clients get
+429 with a Retry-After; /health, /metrics, and /shutdown are never rate
+limited. A request not delivered within the read deadline gets 408.
 
 Example
 
@@ -475,6 +494,15 @@ fn cmd_sweep(args: &[String], figure: Figure) -> Result<(), String> {
     };
     let (grid, title) = build_grid(args, figure)?;
     let mut runner = SweepRunner::new(jobs).with_store(resolve_store(args));
+    if let Some(v) = flag_value(args, "--checkpoint-every") {
+        let every = v.parse::<u64>().map_err(|_| format!("bad checkpoint stride `{v}`"))?;
+        if runner.store().is_none() {
+            return Err(
+                "--checkpoint-every needs a result store (add --store [dir])".to_string()
+            );
+        }
+        runner = runner.with_checkpoint_every(Some(every));
+    }
     if args.iter().any(|a| a == "--progress") {
         runner = runner.with_progress(true);
     }
@@ -729,6 +757,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache::store_dir_from_args(args)
             .or_else(|| Some(PathBuf::from(cache::DEFAULT_STORE_DIR)))
     };
+    // The journal defaults on whenever a store exists: a daemon that caches
+    // should also survive kill -9 without losing accepted jobs.
+    opts.journal = if args.iter().any(|a| a == "--no-journal") {
+        None
+    } else if let Some(v) = flag_value(args, "--journal") {
+        Some(PathBuf::from(v))
+    } else {
+        opts.store_dir.as_ref().map(|dir| dir.join("serve-journal.jsonl"))
+    };
+    if let Some(v) = flag_value(args, "--job-ttl-secs") {
+        let secs = v.parse::<u64>().map_err(|_| format!("bad job TTL `{v}`"))?;
+        if secs == 0 {
+            return Err("job TTL must be >= 1 second (omit the flag to keep tickets)".to_string());
+        }
+        opts.job_ttl = Some(std::time::Duration::from_secs(secs));
+    }
+    if let Some(v) = flag_value(args, "--checkpoint-every") {
+        let every = v.parse::<u64>().map_err(|_| format!("bad checkpoint stride `{v}`"))?;
+        if every == 0 {
+            return Err("--checkpoint-every must be >= 1 cycle".to_string());
+        }
+        if opts.store_dir.is_none() {
+            return Err("--checkpoint-every needs a store to keep snapshots in \
+                        (drop --no-store)"
+                .to_string());
+        }
+        opts.checkpoint_every = Some(every);
+    }
     register_relocation::serve::run_serve(&opts, None)
 }
 

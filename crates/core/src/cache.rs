@@ -100,6 +100,21 @@ pub fn trace_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, Store
     Ok(Fingerprint::of_domain(salt, "trace", spec.canonical_json()?.as_bytes()))
 }
 
+/// The content address of one experiment point's *engine checkpoint*
+/// under `salt` — the rolling mid-run snapshot a `--checkpoint-every`
+/// sweep writes so an interrupted run can resume. Domain-tagged like
+/// [`trace_key`], so a checkpoint can never collide with the same spec's
+/// final result or trace summary. The spec's `arch` field is part of its
+/// canonical form, so the fixed and flexible legs of one grid point
+/// checkpoint under distinct keys.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the spec's canonical form.
+pub fn snapshot_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, StoreError> {
+    Ok(Fingerprint::of_domain(salt, "snapshot", spec.canonical_json()?.as_bytes()))
+}
+
 /// Opens (creating if needed) the result store at `dir` under this build's
 /// [`store_salt`].
 ///

@@ -225,7 +225,17 @@ impl ExperimentSpec {
     /// Builds the fully configured engine for this spec. Everything the run
     /// depends on — workload, allocator, costs, seed — comes from the spec
     /// itself, so a spec executes identically on any thread in any order.
-    fn engine(&self) -> Result<Engine, String> {
+    ///
+    /// Public so callers that need incremental control — the sweep runner's
+    /// `--checkpoint-every` path, snapshot tooling, tests — can drive the
+    /// engine with [`Engine::advance`]/[`Engine::snapshot`] instead of
+    /// the all-at-once [`ExperimentSpec::run`]; both paths produce
+    /// bit-identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExperimentSpec::run`].
+    pub fn engine(&self) -> Result<Engine, String> {
         self.engine_with_sink(NullSink)
     }
 
@@ -336,8 +346,26 @@ pub fn compare(spec: &ExperimentSpec) -> Result<ComparisonPoint, String> {
 ///
 /// Propagates experiment failures.
 pub fn compare_traced(spec: &ExperimentSpec) -> Result<TracedComparison, String> {
-    let fixed = spec.with_arch(Arch::Fixed).run_traced()?;
-    let flexible = spec.with_arch(Arch::Flexible).run_traced()?;
+    compare_traced_with(spec, |leg| leg.run_traced())
+}
+
+/// [`compare_traced`] with a pluggable per-leg executor: `run_leg` is
+/// called once per architecture with the leg's complete spec (`arch`
+/// already substituted) and must return that leg's [`TracedRun`]. The
+/// sweep runner's `--checkpoint-every` path plugs in an incremental
+/// snapshot-as-you-go executor here; the summary point is still computed
+/// by this one code path, so however a leg was executed, the reported
+/// science has one shape.
+///
+/// # Errors
+///
+/// Propagates leg failures.
+pub fn compare_traced_with(
+    spec: &ExperimentSpec,
+    mut run_leg: impl FnMut(&ExperimentSpec) -> Result<TracedRun, String>,
+) -> Result<TracedComparison, String> {
+    let fixed = run_leg(&spec.with_arch(Arch::Fixed))?;
+    let flexible = run_leg(&spec.with_arch(Arch::Flexible))?;
     let point = ComparisonPoint {
         file_size: spec.file_size,
         run_length: spec.run_length,

@@ -32,7 +32,8 @@
 //! The [`serve`] module turns the harness into a long-running daemon
 //! (`rr serve`): sweep jobs over HTTP, deduped against the result store,
 //! rate limited, with graceful drain — built on the generic [`rr_serve`]
-//! service framework.
+//! service framework, with the crash-safe job [`journal`] re-adopting
+//! accepted work across restarts (even after `kill -9`).
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub mod bench;
 pub mod cache;
 pub mod experiments;
 pub mod figures;
+pub mod journal;
 pub mod report;
 pub mod serve;
 pub mod software_only;
@@ -67,6 +69,7 @@ pub mod trace;
 pub use bench::{BenchConfig, BenchReport, Suite, BENCH_SCHEMA_VERSION};
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
+pub use journal::{JobJournal, JournalRecord, JOURNAL_SCHEMA_VERSION};
 pub use serve::{run_serve, HealthBody, ServeOptions, SubmitRequest};
 pub use sweep::{
     CacheSummary, PointOutcome, PointReport, SweepGrid, SweepReport, SweepRun, SweepRunner,

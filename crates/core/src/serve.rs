@@ -25,13 +25,26 @@
 //! | GET    | `/jobs`             | [`rr_serve::JobListBody`]                  |
 //! | GET    | `/jobs/{id}`        | [`rr_serve::JobStatusBody`]                |
 //! | GET    | `/jobs/{id}/result` | the sweep report JSON; `409` until done    |
+//! | DELETE | `/jobs/{id}`        | cancel a queued job / drop a finished ticket; `409` while running |
 //! | GET    | `/health`           | [`HealthBody`]                             |
 //! | GET    | `/metrics`          | the [`rr_telemetry::METRICS`] snapshot     |
 //! | PUT    | `/shutdown`         | `200`, then graceful drain and exit        |
 //!
 //! Rate limiting (when enabled) sheds with `429` + `Retry-After` before a
 //! request body is even read; `/health`, `/metrics`, and `/shutdown` are
-//! exempt.
+//! exempt. A client that never delivers its request within the read
+//! deadline gets `408`.
+//!
+//! # Crash safety
+//!
+//! With a [`crate::journal`] attached, every accepted job is persisted
+//! before its ticket is returned, and every terminal transition follows it
+//! to disk. A daemon restarted on the same journal — graceful exit or
+//! `kill -9` alike — re-adopts unfinished jobs (they re-queue and re-run,
+//! cheap thanks to the result store and any `--checkpoint-every` engine
+//! snapshots) and serves finished results without recomputing. Finished
+//! tickets can be aged out with a TTL; cancelled and expired tickets
+//! release their fingerprints for resubmission.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -40,11 +53,13 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{self, CacheStatsReport};
+use crate::journal::{JobJournal, JournalRecord};
 use crate::sweep::{PointOutcome, SweepGrid, SweepRunner};
 use rr_serve::queue::ProgressCells;
 use rr_serve::{
-    api, Handler, JobListBody, JobQueue, JobStatusBody, JobTicket, Method, RateConfig, Request,
-    Response, Server, ServerConfig, ServiceHealth, StatusCode, StopHandle, SubmitError,
+    api, CancelError, CancelOutcome, Handler, JobListBody, JobQueue, JobState, JobStatusBody,
+    JobTicket, Method, RateConfig, Request, Response, RestoredJob, Server, ServerConfig,
+    ServiceHealth, StatusCode, StopHandle, SubmitError,
 };
 use rr_store::Fingerprint;
 use rr_telemetry::{info, warn, METRICS};
@@ -69,6 +84,15 @@ pub struct ServeOptions {
     pub rate: Option<RateConfig>,
     /// Result-store directory; `None` runs uncached.
     pub store_dir: Option<PathBuf>,
+    /// Crash-safe job journal path; `None` keeps the job table
+    /// memory-only (jobs are lost on restart, as before).
+    pub journal: Option<PathBuf>,
+    /// Drop finished/failed/cancelled tickets this long after they reach a
+    /// terminal state; `None` keeps them until deleted or shutdown.
+    pub job_ttl: Option<Duration>,
+    /// Engine-snapshot stride (simulated cycles) for in-flight sweep legs;
+    /// requires a store. `None` disables checkpointing.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -80,6 +104,9 @@ impl Default for ServeOptions {
             sim_jobs: 0,
             rate: Some(RateConfig { budget: 20, refill_per_sec: 10 }),
             store_dir: None,
+            journal: None,
+            job_ttl: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -236,6 +263,23 @@ struct ServeHandler {
     stop: StopHandle,
     workers: usize,
     started: Instant,
+    journal: Option<Arc<JobJournal>>,
+}
+
+/// Appends one journal record, warning instead of failing: a sick journal
+/// degrades crash-durability, never availability.
+fn journal_append(journal: Option<&Arc<JobJournal>>, record: &JournalRecord) {
+    if let Some(journal) = journal {
+        if let Err(e) = journal.append(record) {
+            warn!(
+                "serve",
+                "cannot journal {} for job {} to `{}`: {e}; continuing without durability",
+                record.event,
+                record.id,
+                journal.path().display()
+            );
+        }
+    }
 }
 
 impl ServeHandler {
@@ -261,8 +305,21 @@ impl ServeHandler {
             Ok(f) => f.to_hex(),
             Err(e) => return Response::error(StatusCode::InternalServerError, &e),
         };
-        match self.queue.submit(parsed.label(), fingerprint.clone(), SweepJob { grid }) {
+        let payload = serde_json::to_string(&grid).ok();
+        let label = parsed.label();
+        match self.queue.submit(label.clone(), fingerprint.clone(), SweepJob { grid }) {
             Ok(outcome) => {
+                if !outcome.deduped() {
+                    journal_append(
+                        self.journal.as_ref(),
+                        &JournalRecord::submitted(
+                            outcome.id(),
+                            &label,
+                            &fingerprint,
+                            payload.unwrap_or_default(),
+                        ),
+                    );
+                }
                 let snapshot =
                     self.queue.job(outcome.id()).expect("submitted job exists");
                 let status = if outcome.deduped() { StatusCode::Ok } else { StatusCode::Created };
@@ -322,6 +379,42 @@ impl ServeHandler {
                 StatusCode::Conflict,
                 &format!("job {id} is {}; poll /jobs/{id} until done", state.as_str()),
             ),
+        }
+    }
+
+    fn cancel_job(&self, id_raw: &str) -> Response {
+        let Ok(id) = id_raw.parse::<u64>() else {
+            return Response::error(StatusCode::BadRequest, &format!("bad job id `{id_raw}`"));
+        };
+        match self.queue.cancel(id) {
+            Ok(CancelOutcome::Cancelled) => {
+                info!("serve", "job {id} cancelled while queued");
+                journal_append(self.journal.as_ref(), &JournalRecord::cancelled(id));
+                Response::json(
+                    StatusCode::Ok,
+                    api::to_body(&rr_serve::JobCancelBody {
+                        id,
+                        outcome: "cancelled".to_string(),
+                    }),
+                )
+            }
+            Ok(CancelOutcome::Removed) => {
+                journal_append(self.journal.as_ref(), &JournalRecord::expired(id));
+                Response::json(
+                    StatusCode::Ok,
+                    api::to_body(&rr_serve::JobCancelBody {
+                        id,
+                        outcome: "removed".to_string(),
+                    }),
+                )
+            }
+            Err(CancelError::Running) => Response::error(
+                StatusCode::Conflict,
+                &format!("job {id} is running and cannot be cancelled; poll until terminal"),
+            ),
+            Err(CancelError::NotFound) => {
+                Response::error(StatusCode::NotFound, &format!("no job {id}"))
+            }
         }
     }
 
@@ -386,6 +479,13 @@ impl Handler for ServeHandler {
                 },
                 None => Response::error(StatusCode::NotFound, &format!("no route for {path}")),
             },
+            (Method::Delete, path) => match path.strip_prefix("/jobs/") {
+                Some(id) => self.cancel_job(id),
+                None => Response::error(
+                    StatusCode::MethodNotAllowed,
+                    &format!("DELETE {path} is not part of this API"),
+                ),
+            },
             (method, path) => Response::error(
                 StatusCode::MethodNotAllowed,
                 &format!("{} {} is not part of this API", method.as_str(), path),
@@ -395,12 +495,16 @@ impl Handler for ServeHandler {
 }
 
 /// The executor the job-queue workers run: one full sweep per job, store
-/// attached, per-point progress fed back into the job's counters.
+/// attached, per-point progress fed back into the job's counters. With
+/// `checkpoint_every` set (and a store to keep them in), in-flight engine
+/// snapshots land in the store at that cycle stride, so a killed daemon's
+/// re-adopted jobs resume points mid-simulation instead of from cycle 0.
 fn execute_sweep(
     job: &SweepJob,
     progress: Arc<ProgressCells>,
     store_dir: Option<&PathBuf>,
     sim_jobs: usize,
+    checkpoint_every: Option<u64>,
 ) -> Result<String, String> {
     progress.set_total(job.grid.len() as u64);
     let store = store_dir.and_then(|dir| match cache::open_store(dir) {
@@ -410,14 +514,102 @@ fn execute_sweep(
             None
         }
     });
+    let checkpoint_every = if store.is_some() { checkpoint_every } else { None };
     let cells = Arc::clone(&progress);
     let runner = SweepRunner::new(sim_jobs)
         .with_progress(false)
         .with_store(store)
+        .with_checkpoint_every(checkpoint_every)
         .with_observer(Arc::new(move |o: PointOutcome| cells.record_point(o.cached)));
     let run = runner.run(&job.grid)?;
     // Exactly the bytes `rr fig5 --json <path>` writes for this grid.
     run.report.to_json_pretty().map_err(|e| e.to_string())
+}
+
+/// Folds replayed journal records into the jobs a restarted queue should
+/// carry, plus the largest job id the journal ever mentioned (ids must
+/// never be reused, even when their jobs were expired away).
+fn reduce_journal(records: Vec<JournalRecord>) -> (Vec<RestoredJob<SweepJob>>, u64) {
+    use std::collections::BTreeMap;
+    let mut jobs: BTreeMap<u64, RestoredJob<SweepJob>> = BTreeMap::new();
+    let mut max_id = 0;
+    for rec in records {
+        max_id = max_id.max(rec.id);
+        match rec.event.as_str() {
+            "submitted" => {
+                let payload = rec
+                    .payload
+                    .as_deref()
+                    .and_then(|raw| serde_json::from_str::<SweepGrid>(raw).ok())
+                    .map(|grid| SweepJob { grid });
+                jobs.insert(
+                    rec.id,
+                    RestoredJob {
+                        id: rec.id,
+                        label: rec.label.unwrap_or_default(),
+                        fingerprint: rec.fingerprint.unwrap_or_default(),
+                        state: JobState::Queued,
+                        result: None,
+                        error: None,
+                        payload,
+                    },
+                );
+            }
+            "finished" => {
+                if let Some(job) = jobs.get_mut(&rec.id) {
+                    job.payload = None;
+                    if rec.state.as_deref() == Some("done") {
+                        job.state = JobState::Done;
+                        job.result = rec.result;
+                    } else {
+                        job.state = JobState::Failed;
+                        job.error =
+                            rec.error.or_else(|| Some("failed (reason lost)".to_string()));
+                    }
+                }
+            }
+            "cancelled" => {
+                if let Some(job) = jobs.get_mut(&rec.id) {
+                    job.state = JobState::Cancelled;
+                    job.payload = None;
+                }
+            }
+            "expired" => {
+                jobs.remove(&rec.id);
+            }
+            other => {
+                warn!("serve", "journal: unknown event `{other}` for job {}; ignored", rec.id);
+            }
+        }
+    }
+    (jobs.into_values().collect(), max_id)
+}
+
+/// The compacted journal equivalent to a restored job set: one `submitted`
+/// per job, plus its terminal event where it has one.
+fn compaction_records(jobs: &[RestoredJob<SweepJob>]) -> Vec<JournalRecord> {
+    let mut records = Vec::new();
+    for job in jobs {
+        let payload = job
+            .payload
+            .as_ref()
+            .and_then(|p| serde_json::to_string(&p.grid).ok())
+            .unwrap_or_default();
+        records.push(JournalRecord::submitted(job.id, &job.label, &job.fingerprint, payload));
+        match job.state {
+            JobState::Done => records.push(JournalRecord::finished_ok(
+                job.id,
+                job.result.clone().unwrap_or_default(),
+            )),
+            JobState::Failed => records.push(JournalRecord::finished_err(
+                job.id,
+                job.error.clone().unwrap_or_default(),
+            )),
+            JobState::Cancelled => records.push(JournalRecord::cancelled(job.id)),
+            JobState::Queued | JobState::Running => {}
+        }
+    }
+    records
 }
 
 /// Binds, serves, and — once `PUT /shutdown` (or `stop`) fires — drains the
@@ -453,12 +645,86 @@ pub fn run_serve(
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "disabled".to_string()),
     );
+    if opts.checkpoint_every.is_some() && opts.store_dir.is_none() {
+        warn!("serve", "--checkpoint-every needs a store to keep snapshots in; running without checkpoints");
+    }
     let queue: Arc<JobQueue<SweepJob>> = JobQueue::new(opts.queue_capacity);
+
+    // Replay the journal first (re-adopting work a crashed predecessor had
+    // accepted), compact it, and only then open it for appending — the
+    // compaction rename must not race an already-open append handle.
+    if let Some(path) = &opts.journal {
+        let replay = JobJournal::replay(path);
+        if replay.skipped > 0 {
+            warn!(
+                "serve",
+                "journal `{}`: skipped {} damaged record(s) during replay",
+                path.display(),
+                replay.skipped
+            );
+        }
+        let (restored, max_id) = reduce_journal(replay.records);
+        if !restored.is_empty() || replay.skipped > 0 {
+            if let Err(e) = JobJournal::rewrite(path, &compaction_records(&restored)) {
+                warn!("serve", "cannot compact journal `{}`: {e}; continuing", path.display());
+            }
+        }
+        if !restored.is_empty() {
+            let adopted = restored.len();
+            let requeued = queue.restore(restored);
+            info!(
+                "serve",
+                "journal `{}`: re-adopted {adopted} job(s), {requeued} re-queued for execution",
+                path.display()
+            );
+        }
+        queue.reserve_ids(max_id);
+    }
+    let journal: Option<Arc<JobJournal>> = opts.journal.as_ref().and_then(|path| {
+        match JobJournal::open(path) {
+            Ok(journal) => Some(Arc::new(journal)),
+            Err(e) => {
+                warn!(
+                    "serve",
+                    "cannot open journal `{}`: {e}; running without crash safety",
+                    path.display()
+                );
+                None
+            }
+        }
+    });
+
     let store_dir = opts.store_dir.clone();
     let sim_jobs = opts.sim_jobs;
-    let worker_handles = queue.spawn_workers(opts.workers, move |job, progress| {
-        execute_sweep(job, progress, store_dir.as_ref(), sim_jobs)
+    let checkpoint_every = opts.checkpoint_every;
+    let worker_journal = journal.clone();
+    let worker_handles = queue.spawn_workers(opts.workers, move |id, job, progress| {
+        let outcome = execute_sweep(job, progress, store_dir.as_ref(), sim_jobs, checkpoint_every);
+        let record = match &outcome {
+            Ok(result) => JournalRecord::finished_ok(id, result.clone()),
+            Err(error) => JournalRecord::finished_err(id, error.clone()),
+        };
+        journal_append(worker_journal.as_ref(), &record);
+        outcome
     });
+
+    // Finished tickets expire after the TTL so the job table stays bounded
+    // on a long-lived daemon.
+    let janitor = opts.job_ttl.map(|ttl| {
+        let queue = Arc::clone(&queue);
+        let stop = server.stop_handle();
+        let journal = journal.clone();
+        std::thread::spawn(move || {
+            while !stop.is_triggered() {
+                for id in queue.expire_finished(ttl) {
+                    info!("serve", "job {id} expired ({}s after finishing)", ttl.as_secs());
+                    journal_append(journal.as_ref(), &JournalRecord::expired(id));
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        })
+    });
+
     let handler = ServeHandler {
         queue: Arc::clone(&queue),
         store_dir: opts.store_dir.clone(),
@@ -466,12 +732,16 @@ pub fn run_serve(
         stop: server.stop_handle(),
         workers: opts.workers.max(1),
         started: Instant::now(),
+        journal,
     };
     server.serve(&handler);
     // The accept loop is closed; finish every accepted job before exiting.
     queue.shutdown();
     queue.join();
     for handle in worker_handles {
+        let _ = handle.join();
+    }
+    if let Some(handle) = janitor {
         let _ = handle.join();
     }
     let counts = queue.counts();
@@ -553,6 +823,64 @@ mod tests {
         // Job fingerprints never collide with point keys for related specs.
         let point = cache::point_key(&a.points()[0].spec, &salt).unwrap();
         assert_ne!(job_fingerprint(&a, &salt).unwrap(), point);
+    }
+
+    #[test]
+    fn journal_reduction_rebuilds_the_job_table() {
+        let grid = SweepGrid::figure5_panel(64, 7);
+        let payload = serde_json::to_string(&grid).unwrap();
+        let records = vec![
+            JournalRecord::submitted(1, "a", "fp-a", payload.clone()),
+            JournalRecord::finished_ok(1, "{\"report\":1}".to_string()),
+            JournalRecord::submitted(2, "b", "fp-b", payload.clone()),
+            JournalRecord::finished_err(2, "bad spec".to_string()),
+            JournalRecord::submitted(3, "c", "fp-c", payload.clone()),
+            JournalRecord::cancelled(3),
+            JournalRecord::submitted(4, "d", "fp-d", payload.clone()),
+            JournalRecord::expired(4),
+            // Interrupted mid-run: submitted, never finished.
+            JournalRecord::submitted(5, "e", "fp-e", payload.clone()),
+            // Payload rotted: non-terminal and unparseable.
+            JournalRecord::submitted(6, "f", "fp-f", "not json".to_string()),
+        ];
+        let (jobs, max_id) = reduce_journal(records);
+        assert_eq!(max_id, 6, "expired ids still count toward the id horizon");
+        let by_id: std::collections::BTreeMap<u64, &RestoredJob<SweepJob>> =
+            jobs.iter().map(|j| (j.id, j)).collect();
+        assert_eq!(by_id.len(), 5, "the expired job is gone");
+        assert_eq!(by_id[&1].state, JobState::Done);
+        assert_eq!(by_id[&1].result.as_deref(), Some("{\"report\":1}"));
+        assert_eq!(by_id[&2].state, JobState::Failed);
+        assert_eq!(by_id[&2].error.as_deref(), Some("bad spec"));
+        assert_eq!(by_id[&3].state, JobState::Cancelled);
+        assert_eq!(by_id[&5].state, JobState::Queued);
+        assert_eq!(by_id[&5].payload.as_ref().map(|p| &p.grid), Some(&grid), "payload survives");
+        assert!(by_id[&6].payload.is_none(), "rotten payload surfaces as None, not a panic");
+
+        // The queue re-adopts exactly the unfinished work.
+        let queue: Arc<JobQueue<SweepJob>> = JobQueue::new(2);
+        assert_eq!(queue.restore(jobs), 1, "only the interrupted job with a payload re-queues");
+        queue.reserve_ids(max_id);
+        let outcome = queue
+            .submit("g".to_string(), "fp-g".to_string(), SweepJob { grid })
+            .unwrap();
+        assert_eq!(outcome.id(), 7, "the expired id 4 and rotten id 6 are never reused");
+    }
+
+    #[test]
+    fn journal_compaction_is_a_fixed_point() {
+        let grid = SweepGrid::figure5_panel(64, 7);
+        let payload = serde_json::to_string(&grid).unwrap();
+        let records = vec![
+            JournalRecord::submitted(1, "a", "fp-a", payload.clone()),
+            JournalRecord::finished_ok(1, "r".to_string()),
+            JournalRecord::submitted(2, "b", "fp-b", payload),
+            JournalRecord::cancelled(2),
+        ];
+        let (jobs, _) = reduce_journal(records);
+        let compacted = compaction_records(&jobs);
+        let (again, _) = reduce_journal(compacted.clone());
+        assert_eq!(compaction_records(&again), compacted, "reduce∘compact is idempotent");
     }
 
     #[test]

@@ -62,15 +62,17 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::cache;
-use crate::experiments::{compare_traced, ExperimentSpec, FaultKind};
+use crate::experiments::{
+    compare_traced, compare_traced_with, ExperimentSpec, FaultKind,
+};
 use crate::figures::{
     FigurePoint, FIG5_LATENCIES, FIG5_RUN_LENGTHS, FIG6_LATENCIES, FIG6_RUN_LENGTHS,
     FILE_SIZES,
 };
-use rr_sim::SimStats;
-use rr_store::{Lookup, Store, StoreError};
+use rr_sim::{Engine, EngineSnapshot, SimStats, TracedRun};
+use rr_store::{Fingerprint, Lookup, Store, StoreError};
 use rr_telemetry::log::{self, Level};
-use rr_telemetry::{warn, IncMetric, MetricsSnapshot, StoreMetric, METRICS};
+use rr_telemetry::{info, warn, IncMetric, MetricsSnapshot, StoreMetric, METRICS};
 use rr_workload::ContextSizeDist;
 
 /// Version of the serialized sweep artifacts ([`SweepReport`] and
@@ -437,6 +439,7 @@ pub struct SweepRunner {
     jobs: usize,
     progress: Option<bool>,
     store: Option<Store>,
+    checkpoint_every: Option<u64>,
     observer: Option<Arc<dyn Fn(PointOutcome) + Send + Sync>>,
 }
 
@@ -446,6 +449,7 @@ impl fmt::Debug for SweepRunner {
             .field("jobs", &self.jobs)
             .field("progress", &self.progress)
             .field("store", &self.store)
+            .field("checkpoint_every", &self.checkpoint_every)
             .field("observer", &self.observer.as_ref().map(|_| "Fn(PointOutcome)"))
             .finish()
     }
@@ -457,7 +461,13 @@ impl SweepRunner {
     /// level (see [`SweepRunner::with_progress`]). No result store is
     /// attached by default.
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: resolve_jobs(jobs), progress: None, store: None, observer: None }
+        SweepRunner {
+            jobs: resolve_jobs(jobs),
+            progress: None,
+            store: None,
+            checkpoint_every: None,
+            observer: None,
+        }
     }
 
     /// Worker threads this runner will use.
@@ -493,6 +503,25 @@ impl SweepRunner {
     /// The attached result store, if any.
     pub fn store(&self) -> Option<&Store> {
         self.store.as_ref()
+    }
+
+    /// Enables (or disables, with `None`) mid-run engine checkpointing:
+    /// every `every` simulated cycles, each in-flight architecture leg
+    /// persists a rolling snapshot of its complete engine state into the
+    /// attached store, and a later run of the same point resumes from the
+    /// newest valid checkpoint instead of starting over. The simulated
+    /// results are bit-identical with checkpointing on, off, or resumed
+    /// mid-leg (see `rr-sim`'s snapshot proofs); only host wall-clock
+    /// fields can differ. No-op without a store. `0` is treated as `1`.
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: Option<u64>) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// The configured checkpoint stride, if any.
+    pub fn checkpoint_every(&self) -> Option<u64> {
+        self.checkpoint_every
     }
 
     /// Attaches an observer called once per completed point, from whichever
@@ -562,7 +591,13 @@ impl SweepRunner {
                 }
             }
             let point_started = Instant::now();
-            let traced = compare_traced(&p.spec).map_err(|e| {
+            let traced = match (self.store.as_ref(), self.checkpoint_every) {
+                (Some(store), Some(every)) => compare_traced_with(&p.spec, |leg| {
+                    checkpointed_leg(store, leg, every, p.index)
+                }),
+                _ => compare_traced(&p.spec),
+            }
+            .map_err(|e| {
                 METRICS.sweep.points_failed.inc();
                 format!("point {i} (F={} R={} L={}): {e}", p.file_size, p.run_length, p.latency)
             })?;
@@ -750,6 +785,117 @@ fn persist_point(
         .store_io_nanos
         .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     result
+}
+
+/// Runs one architecture leg under `--checkpoint-every`: the engine
+/// advances in `every`-cycle strides and persists a rolling snapshot of
+/// its complete state into the store after each stride (last-write-wins
+/// under the leg's domain-tagged [`cache::snapshot_key`]). Before
+/// computing anything, the newest valid checkpoint is restored, so an
+/// interrupted sweep pays only for the cycles since its last snapshot.
+///
+/// Every checkpoint problem — unreadable, corrupt, foreign schema or code
+/// version, failed persist — degrades to computing from cycle 0 with a
+/// warning; nothing on this path can fail the sweep that plain
+/// recomputation would have survived. The simulated science is
+/// bit-identical however often the leg is interrupted and resumed
+/// (`rr-sim`'s snapshot proofs); only the host wall-clock differs.
+fn checkpointed_leg(
+    store: &Store,
+    leg: &ExperimentSpec,
+    every: u64,
+    index: usize,
+) -> Result<TracedRun, String> {
+    let started = Instant::now();
+    let every = every.max(1);
+    let key = match cache::snapshot_key(leg, store.salt()) {
+        Ok(key) => key,
+        Err(e) => {
+            warn!("sweep", "cannot key checkpoint for point {index}: {e}; running without checkpoints");
+            return leg.run_traced();
+        }
+    };
+    let mut engine = resume_or_fresh(store, &key, leg, index)?;
+    loop {
+        let pause_at = engine.now().saturating_add(every);
+        if engine.advance(pause_at) {
+            break;
+        }
+        let snapshot = engine.snapshot().to_json();
+        let io_started = Instant::now();
+        let persisted = store.put(&key, snapshot.as_bytes());
+        METRICS
+            .sweep
+            .store_io_nanos
+            .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        match persisted {
+            Ok(()) => METRICS.sweep.checkpoints_written.inc(),
+            Err(e) => warn!(
+                "sweep",
+                "could not checkpoint point {index} ({}) at cycle {}: {e}",
+                leg.arch.label(),
+                engine.now()
+            ),
+        }
+    }
+    let (stats, _) = engine.finish();
+    // The leg is complete and its final record is about to be stored; the
+    // rolling checkpoint has served its purpose.
+    if let Err(e) = store.remove(&key) {
+        warn!("sweep", "could not drop finished checkpoint for point {index}: {e}");
+    }
+    Ok(TracedRun {
+        stats,
+        wall_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    })
+}
+
+/// Restores `leg`'s engine from its stored checkpoint when one exists and
+/// is valid; builds a fresh engine (cycle 0) otherwise. Never fails for a
+/// checkpoint-related reason.
+fn resume_or_fresh(
+    store: &Store,
+    key: &Fingerprint,
+    leg: &ExperimentSpec,
+    index: usize,
+) -> Result<Engine, String> {
+    match store.get(key) {
+        Ok(Lookup::Hit(bytes)) => {
+            let restored = std::str::from_utf8(&bytes)
+                .map_err(|e| format!("checkpoint is not UTF-8: {e}"))
+                .and_then(|text| {
+                    EngineSnapshot::from_json(text).map_err(|e| e.to_string())
+                })
+                .and_then(|snap| Engine::restore(&snap).map_err(|e| e.to_string()));
+            match restored {
+                Ok(engine) => {
+                    METRICS.sweep.checkpoints_resumed.inc();
+                    info!(
+                        "sweep",
+                        "point {index} ({}) resumed from checkpoint at cycle {}",
+                        leg.arch.label(),
+                        engine.now()
+                    );
+                    return Ok(engine);
+                }
+                Err(e) => warn!(
+                    "sweep",
+                    "checkpoint for point {index} ({}) is unusable, recomputing from cycle 0: {e}",
+                    leg.arch.label()
+                ),
+            }
+        }
+        Ok(Lookup::Miss) => {}
+        Ok(Lookup::Quarantined) => warn!(
+            "sweep",
+            "checkpoint for point {index} ({}) was corrupt; quarantined, recomputing from cycle 0",
+            leg.arch.label()
+        ),
+        Err(e) => {
+            warn!("sweep", "checkpoint lookup failed for point {index}: {e}");
+        }
+    }
+    leg.engine()
 }
 
 /// `0` means "use every available hardware thread".

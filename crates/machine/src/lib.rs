@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use config::{BoundsMode, CostTable, MachineConfig, RelocOp};
 pub use error::MachineError;
-pub use machine::{Machine, RunOutcome, Status};
+pub use machine::{Machine, MachineSnapshot, RunOutcome, Status};
 pub use memory::Memory;
 pub use regfile::RegisterFile;
 pub use rrm::RelocationUnit;

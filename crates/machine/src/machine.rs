@@ -30,6 +30,38 @@ pub enum RunOutcome {
     ReachedTarget,
 }
 
+/// The machine's complete architectural and instrumentation state, as
+/// captured by [`Machine::snapshot`] and consumed by [`Machine::restore`].
+/// Every component is plain data, so the record serializes with serde;
+/// restoring it reproduces the remaining execution instruction for
+/// instruction, including pending `LDRRM` delay slots and the bounded
+/// trace ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    /// The machine configuration (geometry, costs, relocation mode).
+    pub config: MachineConfig,
+    /// The full register file.
+    pub regs: RegisterFile,
+    /// All of memory.
+    pub mem: Memory,
+    /// Relocation masks, including any in-flight delayed load.
+    pub rrm: RelocationUnit,
+    /// Program counter.
+    pub pc: u32,
+    /// Processor status word.
+    pub psw: u32,
+    /// Whether `halt` has executed.
+    pub halted: bool,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Retired-instruction counts per opcode.
+    pub histogram: OpcodeHistogram,
+    /// The bounded instruction trace.
+    pub trace: TraceBuffer,
+}
+
 /// A processor with register-relocation hardware.
 ///
 /// The execution loop mirrors the pipeline stages the paper discusses: fetch,
@@ -390,6 +422,66 @@ impl Machine {
     /// A snapshot of the register file.
     pub fn registers(&self) -> &[u32] {
         self.regs.snapshot()
+    }
+
+    /// Captures the machine's complete state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            config: self.config.clone(),
+            regs: self.regs.clone(),
+            mem: self.mem.clone(),
+            rrm: self.rrm.clone(),
+            pc: self.pc,
+            psw: self.psw,
+            halted: self.halted,
+            cycles: self.cycles,
+            instret: self.instret,
+            histogram: self.histogram.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Rebuilds a machine from a snapshot; execution continues exactly
+    /// where the captured machine stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] if the snapshot's configuration
+    /// is invalid or its register file / memory sizes disagree with it —
+    /// a corrupt record must fail here, not fault mid-run.
+    pub fn restore(snap: &MachineSnapshot) -> Result<Self, MachineError> {
+        snap.config.validate()?;
+        if snap.regs.len() != snap.config.num_registers {
+            return Err(MachineError::BadConfig {
+                reason: format!(
+                    "snapshot register file holds {} registers, config says {}",
+                    snap.regs.len(),
+                    snap.config.num_registers
+                ),
+            });
+        }
+        if snap.mem.len() != snap.config.mem_words {
+            return Err(MachineError::BadConfig {
+                reason: format!(
+                    "snapshot memory holds {} words, config says {}",
+                    snap.mem.len(),
+                    snap.config.mem_words
+                ),
+            });
+        }
+        Ok(Machine {
+            config: snap.config.clone(),
+            regs: snap.regs.clone(),
+            mem: snap.mem.clone(),
+            rrm: snap.rrm.clone(),
+            pc: snap.pc,
+            psw: snap.psw,
+            halted: snap.halted,
+            cycles: snap.cycles,
+            instret: snap.instret,
+            histogram: snap.histogram.clone(),
+            trace: snap.trace.clone(),
+        })
     }
 }
 

@@ -32,7 +32,7 @@ use crate::events::{Event, EventKind, EventSink, NullSink, OsRoutine};
 use crate::loader_asm::loader_program;
 use crate::switch_code::YIELD_SRC;
 use rr_isa::{assemble_at, Program, Rrm};
-use rr_machine::{Machine, MachineConfig, MachineError};
+use rr_machine::{Machine, MachineConfig, MachineError, MachineSnapshot};
 
 const HALT_PC: u32 = 0;
 const YIELD_ORIGIN: u32 = 8;
@@ -71,6 +71,13 @@ pub enum ExecError {
         /// The offending thread id.
         tid: usize,
     },
+    /// A snapshot that cannot be restored: wrong schema version or
+    /// internally inconsistent state. Callers degrade to rebooting from
+    /// scratch.
+    BadSnapshot {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for ExecError {
@@ -86,6 +93,9 @@ impl core::fmt::Display for ExecError {
             ExecError::NoSuchThread { tid } => write!(f, "thread {tid} is not live"),
             ExecError::ThreadIsRunning { tid } => {
                 write!(f, "thread {tid} holds the processor; yield first")
+            }
+            ExecError::BadSnapshot { reason } => {
+                write!(f, "executive snapshot cannot be restored: {reason}")
             }
         }
     }
@@ -114,6 +124,73 @@ pub struct Tcb {
     pub alloc_mask: u32,
     /// The thread's save area address.
     pub save_area: u32,
+}
+
+/// Version of the [`ExecutiveSnapshot`] record layout.
+pub const EXEC_SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// The executive's complete state: the machine (registers, memory,
+/// relocation masks, counters) plus the OS-side thread bookkeeping.
+///
+/// The runtime program images (`yield`, allocator, loader) are *not*
+/// serialized — they are deterministic functions of their fixed origins and
+/// live inside the snapshotted memory anyway; restore reassembles them only
+/// to recover their label tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutiveSnapshot {
+    /// Record layout version ([`EXEC_SNAPSHOT_SCHEMA_VERSION`] at capture).
+    pub schema_version: u32,
+    /// The full machine state.
+    pub machine: MachineSnapshot,
+    /// Live thread control blocks, in ring order.
+    pub live: Vec<Tcb>,
+    /// `tid -> position in live` table (`None` once retired).
+    pub tid_index: Vec<Option<usize>>,
+    /// The next thread id to hand out.
+    pub next_tid: usize,
+    /// Whether the first thread has been dispatched.
+    pub started: bool,
+    /// Cycles spent inside OS calls so far.
+    pub os_cycles: u64,
+}
+
+impl ExecutiveSnapshot {
+    /// Structural consistency checks for a deserialized record.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first inconsistency found.
+    fn validate(&self) -> Result<(), String> {
+        if self.schema_version != EXEC_SNAPSHOT_SCHEMA_VERSION {
+            return Err(format!(
+                "snapshot schema v{} (this build reads v{EXEC_SNAPSHOT_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.tid_index.len() != self.next_tid {
+            return Err(format!(
+                "tid table holds {} entries but next_tid is {}",
+                self.tid_index.len(),
+                self.next_tid
+            ));
+        }
+        let live_slots = self.tid_index.iter().flatten().count();
+        if live_slots != self.live.len() {
+            return Err(format!(
+                "tid table maps {live_slots} live threads, live list holds {}",
+                self.live.len()
+            ));
+        }
+        for (i, tcb) in self.live.iter().enumerate() {
+            if self.tid_index.get(tcb.tid).copied().flatten() != Some(i) {
+                return Err(format!(
+                    "live slot {i} (tid {}) disagrees with the tid table",
+                    tcb.tid
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The multithreading executive: spawn, run, retire.
@@ -184,6 +261,16 @@ impl Executive {
         src.push_str(&format!("    jal r0, {YIELD_ORIGIN}\n"));
         src.push_str("    jmp entry\n");
         assemble_at(&src, BODY_ORIGIN).map_err(asm_bug)
+    }
+
+    /// Rebuilds a silent executive from a snapshot; see
+    /// [`Executive::restore_with_sink`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executive::restore_with_sink`].
+    pub fn restore(snap: &ExecutiveSnapshot) -> Result<Self, ExecError> {
+        Self::restore_with_sink(snap, NullSink)
     }
 }
 
@@ -407,6 +494,51 @@ impl<S: EventSink> Executive<S> {
     /// Consumes the executive, yielding its sink.
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// Captures the executive's complete state. Restoring the snapshot
+    /// continues execution instruction for instruction: machine registers,
+    /// memory, relocation masks, ring links, and OS accounting all survive.
+    pub fn snapshot(&self) -> ExecutiveSnapshot {
+        ExecutiveSnapshot {
+            schema_version: EXEC_SNAPSHOT_SCHEMA_VERSION,
+            machine: self.machine.snapshot(),
+            live: self.live.clone(),
+            tid_index: self.tid_index.clone(),
+            next_tid: self.next_tid,
+            started: self.started,
+            os_cycles: self.os_cycles,
+        }
+    }
+
+    /// Rebuilds an executive from a snapshot with `sink` receiving the
+    /// resumed event stream. The runtime images are reassembled at their
+    /// fixed origins purely for their label tables; the snapshotted memory
+    /// already holds their words.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadSnapshot`] when the record's schema version differs
+    /// or its state is internally inconsistent; callers degrade to
+    /// rebooting and recomputing from scratch.
+    pub fn restore_with_sink(snap: &ExecutiveSnapshot, sink: S) -> Result<Self, ExecError> {
+        snap.validate().map_err(|reason| ExecError::BadSnapshot { reason })?;
+        let machine = Machine::restore(&snap.machine).map_err(|e| ExecError::BadSnapshot {
+            reason: format!("machine state rejected: {e}"),
+        })?;
+        let alloc_p = allocator_program(ALLOC_ORIGIN).map_err(asm_bug)?;
+        let loader_p = loader_program(32, LOADER_ORIGIN).map_err(asm_bug)?;
+        Ok(Executive {
+            machine,
+            alloc_p,
+            loader_p,
+            live: snap.live.clone(),
+            tid_index: snap.tid_index.clone(),
+            next_tid: snap.next_tid,
+            started: snap.started,
+            os_cycles: snap.os_cycles,
+            sink,
+        })
     }
 
     // -- internals ---------------------------------------------------------
@@ -693,6 +825,114 @@ mod tests {
         assert!(matches!(
             exec.read_thread_reg(99, 0),
             Err(ExecError::NoSuchThread { tid: 99 })
+        ));
+    }
+
+    /// Boots and spawns a small mixed workload, runs it a while, and
+    /// returns the executive mid-flight — the shared setup for the
+    /// snapshot tests.
+    fn mid_flight_exec() -> Executive {
+        let mut exec = Executive::boot().unwrap();
+        let body = Executive::standard_body(2).unwrap();
+        exec.install_body(&body).unwrap();
+        let entry = body.label("entry").unwrap();
+        for regs in [8, 12, 28] {
+            exec.spawn(entry, regs).unwrap();
+        }
+        exec.run(137).unwrap();
+        exec
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly() {
+        let mut straight = mid_flight_exec();
+        let snap = straight.snapshot();
+        // Round-trip through the serialized form: what resumes is the
+        // record, not the in-memory struct.
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: ExecutiveSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snap);
+        let mut resumed = Executive::restore(&parsed).unwrap();
+
+        // Run both forward, interleaving spawn/run/retire, and compare the
+        // complete state after every step.
+        straight.run(191).unwrap();
+        resumed.run(191).unwrap();
+        assert_eq!(resumed.snapshot(), straight.snapshot());
+
+        // The file is full (OS block + 16 + 16 + 64); retire a parked
+        // thread in both worlds — the same one, since their states agree —
+        // then spawn into the freed registers.
+        let victim = straight
+            .threads()
+            .iter()
+            .map(|t| t.tid)
+            .find(|&t| {
+                let tcb = straight.threads().iter().find(|x| x.tid == t).unwrap();
+                straight.machine().rrm(0).raw() != tcb.base
+            })
+            .unwrap();
+        straight.retire(victim).unwrap();
+        resumed.retire(victim).unwrap();
+        assert_eq!(resumed.snapshot(), straight.snapshot());
+
+        let body = Executive::standard_body(2).unwrap();
+        let entry = body.label("entry").unwrap();
+        let a = straight.spawn(entry, 8).unwrap();
+        let b = resumed.spawn(entry, 8).unwrap();
+        assert_eq!(a, b, "tids continue from the same point");
+        straight.run(230).unwrap();
+        resumed.run(230).unwrap();
+        assert_eq!(resumed.snapshot(), straight.snapshot());
+        assert_eq!(resumed.os_cycles(), straight.os_cycles());
+        assert_eq!(resumed.cycles(), straight.cycles());
+    }
+
+    #[test]
+    fn snapshot_of_fresh_boot_restores_a_working_executive() {
+        let exec = Executive::boot().unwrap();
+        let snap = exec.snapshot();
+        drop(exec);
+        let mut resumed = Executive::restore(&snap).unwrap();
+        let body = Executive::standard_body(1).unwrap();
+        resumed.install_body(&body).unwrap();
+        let entry = body.label("entry").unwrap();
+        let t = resumed.spawn(entry, 8).unwrap();
+        resumed.run(200).unwrap();
+        assert!(resumed.read_thread_reg(t, 5).unwrap() > 0);
+    }
+
+    #[test]
+    fn corrupt_executive_snapshots_are_rejected_not_crashed_on() {
+        let exec = mid_flight_exec();
+        let snap = exec.snapshot();
+
+        let mut wrong_version = snap.clone();
+        wrong_version.schema_version += 1;
+        assert!(matches!(
+            Executive::restore(&wrong_version),
+            Err(ExecError::BadSnapshot { .. })
+        ));
+
+        let mut truncated_live = snap.clone();
+        truncated_live.live.pop();
+        assert!(matches!(
+            Executive::restore(&truncated_live),
+            Err(ExecError::BadSnapshot { .. })
+        ));
+
+        let mut bad_tid_table = snap.clone();
+        bad_tid_table.tid_index.push(None);
+        assert!(matches!(
+            Executive::restore(&bad_tid_table),
+            Err(ExecError::BadSnapshot { .. })
+        ));
+
+        let mut shrunk_machine = snap;
+        shrunk_machine.machine.config.num_registers = 64;
+        assert!(matches!(
+            Executive::restore(&shrunk_machine),
+            Err(ExecError::BadSnapshot { .. })
         ));
     }
 

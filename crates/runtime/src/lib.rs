@@ -31,6 +31,8 @@ pub use costs::SchedCosts;
 pub use events::{
     CostBucket, CountingSink, Event, EventKind, EventSink, NullSink, OsRoutine, RecordingSink,
 };
-pub use executive::{ExecError, Executive, Tcb};
+pub use executive::{
+    ExecError, Executive, ExecutiveSnapshot, Tcb, EXEC_SNAPSHOT_SCHEMA_VERSION,
+};
 pub use policy::{UnloadDecision, UnloadGovernor, UnloadPolicyKind};
 pub use ready_ring::ReadyRing;

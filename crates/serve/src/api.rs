@@ -82,6 +82,16 @@ pub struct JobListBody {
     pub jobs: Vec<JobStatusBody>,
 }
 
+/// Response to `DELETE /jobs/{id}`: what happened to the ticket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobCancelBody {
+    /// The job's id.
+    pub id: u64,
+    /// `"cancelled"` (was queued; never ran) or `"removed"` (was already
+    /// terminal; its ticket is gone).
+    pub outcome: String,
+}
+
 /// The service-level half of `GET /health` (the embedding binary adds
 /// store statistics alongside).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

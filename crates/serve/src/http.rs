@@ -200,6 +200,8 @@ pub enum StatusCode {
     NotFound,
     /// 405
     MethodNotAllowed,
+    /// 408
+    RequestTimeout,
     /// 409
     Conflict,
     /// 413
@@ -221,6 +223,7 @@ impl StatusCode {
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
             StatusCode::MethodNotAllowed => 405,
+            StatusCode::RequestTimeout => 408,
             StatusCode::Conflict => 409,
             StatusCode::PayloadTooLarge => 413,
             StatusCode::TooManyRequests => 429,
@@ -237,6 +240,7 @@ impl StatusCode {
             StatusCode::BadRequest => "Bad Request",
             StatusCode::NotFound => "Not Found",
             StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::RequestTimeout => "Request Timeout",
             StatusCode::Conflict => "Conflict",
             StatusCode::PayloadTooLarge => "Payload Too Large",
             StatusCode::TooManyRequests => "Too Many Requests",

@@ -33,11 +33,11 @@ pub mod limiter;
 pub mod queue;
 pub mod server;
 
-pub use api::{ErrorBody, JobListBody, JobStatusBody, JobTicket, ServiceHealth};
+pub use api::{ErrorBody, JobCancelBody, JobListBody, JobStatusBody, JobTicket, ServiceHealth};
 pub use http::{Method, ParseError, Request, Response, StatusCode, MAX_BODY_BYTES};
 pub use limiter::{RateLimiter, Shed, TokenBucket, NANOS_PER_SEC};
 pub use queue::{
-    JobCounts, JobId, JobQueue, JobSnapshot, JobState, Progress, ProgressCells, SubmitError,
-    SubmitOutcome,
+    CancelError, CancelOutcome, JobCounts, JobId, JobQueue, JobSnapshot, JobState, Progress,
+    ProgressCells, RestoredJob, SubmitError, SubmitOutcome,
 };
 pub use server::{Handler, RateConfig, Server, ServerConfig, StopHandle};

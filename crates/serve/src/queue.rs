@@ -13,11 +13,19 @@
 //! intake, wakes every worker, and [`JobQueue::join`] blocks until the
 //! workers have drained the queue (finishing queued *and* running jobs) and
 //! exited, so no accepted job is ever abandoned half-written.
+//!
+//! Tickets have a full lifecycle beyond execution: a queued job can be
+//! [`JobQueue::cancel`]ed (its fingerprint is released so the spec can be
+//! resubmitted), terminal tickets age out via [`JobQueue::expire_finished`],
+//! and a crashed daemon's journal can be replayed back into a fresh queue
+//! with [`JobQueue::restore`] — jobs that were running at the crash are
+//! re-adopted as queued, so `kill -9` never loses accepted work.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use rr_telemetry::{IncMetric, StoreMetric, METRICS};
 use serde::{Deserialize, Serialize};
@@ -36,16 +44,20 @@ pub enum JobState {
     Done,
     /// Execution returned an error.
     Failed,
+    /// Cancelled while queued; it never ran.
+    Cancelled,
 }
 
 impl JobState {
-    /// The wire name (`"queued"`, `"running"`, `"done"`, `"failed"`).
+    /// The wire name (`"queued"`, `"running"`, `"done"`, `"failed"`,
+    /// `"cancelled"`).
     pub fn as_str(&self) -> &'static str {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 
@@ -56,13 +68,14 @@ impl JobState {
             "running" => Some(JobState::Running),
             "done" => Some(JobState::Done),
             "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
             _ => None,
         }
     }
 
     /// Whether the job will never change state again.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed)
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
     }
 }
 
@@ -196,6 +209,45 @@ impl SubmitOutcome {
     }
 }
 
+/// What [`JobQueue::cancel`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued; it is now [`JobState::Cancelled`] and its
+    /// fingerprint is free for resubmission.
+    Cancelled,
+    /// The job was already terminal; its ticket was removed outright.
+    Removed,
+}
+
+/// Why [`JobQueue::cancel`] refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelError {
+    /// No job with that id.
+    NotFound,
+    /// The job is mid-execution; a worker owns it and cannot be stopped.
+    Running,
+}
+
+/// One job recovered from a crashed daemon's journal, to be fed to
+/// [`JobQueue::restore`].
+#[derive(Debug)]
+pub struct RestoredJob<J> {
+    /// The id the job had before the crash (ids survive restarts).
+    pub id: JobId,
+    /// Human-readable description of the submitted spec.
+    pub label: String,
+    /// Content-address fingerprint submissions dedup on.
+    pub fingerprint: String,
+    /// State at the crash. [`JobState::Running`] is re-adopted as queued.
+    pub state: JobState,
+    /// The result payload, for [`JobState::Done`] jobs.
+    pub result: Option<String>,
+    /// The failure message, for [`JobState::Failed`] jobs.
+    pub error: Option<String>,
+    /// The job payload; required to re-run non-terminal jobs.
+    pub payload: Option<J>,
+}
+
 struct JobEntry<J> {
     label: String,
     fingerprint: String,
@@ -205,6 +257,8 @@ struct JobEntry<J> {
     result: Option<Arc<String>>,
     /// Present only while queued; the claiming worker takes it.
     payload: Option<J>,
+    /// When the job reached a terminal state (feeds TTL expiry).
+    finished_at: Option<Instant>,
 }
 
 struct Inner<J> {
@@ -291,6 +345,7 @@ impl<J: Send + 'static> JobQueue<J> {
                 error: None,
                 result: None,
                 payload: Some(payload),
+                finished_at: None,
             },
         );
         inner.by_fingerprint.insert(fingerprint, id);
@@ -333,6 +388,9 @@ impl<J: Send + 'static> JobQueue<J> {
                 JobState::Running => {}
                 JobState::Done => c.done += 1,
                 JobState::Failed => c.failed += 1,
+                // Cancelled tickets linger only until expiry; they are not
+                // part of the service-health picture.
+                JobState::Cancelled => {}
             }
         }
         c
@@ -343,14 +401,158 @@ impl<J: Send + 'static> JobQueue<J> {
         self.inner.lock().expect("queue lock").shutting_down
     }
 
+    /// Cancels a queued job, or removes a terminal job's ticket.
+    ///
+    /// A queued job becomes [`JobState::Cancelled`] and its fingerprint is
+    /// released, so resubmitting the same spec queues fresh work instead of
+    /// dedup'ing to the corpse. A terminal ticket (done, failed, or already
+    /// cancelled) is dropped outright — the manual form of TTL expiry.
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::NotFound`] for unknown ids; [`CancelError::Running`]
+    /// for jobs mid-execution (workers are never interrupted — poll until
+    /// terminal and delete then).
+    pub fn cancel(&self, id: JobId) -> Result<CancelOutcome, CancelError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let state = match inner.jobs.get(&id) {
+            None => return Err(CancelError::NotFound),
+            Some(e) => e.state,
+        };
+        match state {
+            JobState::Running => Err(CancelError::Running),
+            JobState::Queued => {
+                inner.queue.retain(|&queued| queued != id);
+                METRICS.serve.queue_depth.store(inner.queue.len() as u64);
+                let entry = inner.jobs.get_mut(&id).expect("checked above");
+                entry.state = JobState::Cancelled;
+                entry.payload = None;
+                entry.finished_at = Some(Instant::now());
+                let fingerprint = entry.fingerprint.clone();
+                if inner.by_fingerprint.get(&fingerprint) == Some(&id) {
+                    inner.by_fingerprint.remove(&fingerprint);
+                }
+                METRICS.serve.jobs_cancelled.inc();
+                Ok(CancelOutcome::Cancelled)
+            }
+            JobState::Done | JobState::Failed | JobState::Cancelled => {
+                let entry = inner.jobs.remove(&id).expect("checked above");
+                if inner.by_fingerprint.get(&entry.fingerprint) == Some(&id) {
+                    inner.by_fingerprint.remove(&entry.fingerprint);
+                }
+                Ok(CancelOutcome::Removed)
+            }
+        }
+    }
+
+    /// Drops every terminal ticket older than `ttl`, releasing its
+    /// fingerprint and (possibly large) result payload. Returns the expired
+    /// ids, ascending, so the caller can journal the drops.
+    pub fn expire_finished(&self, ttl: Duration) -> Vec<JobId> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("queue lock");
+        let mut expired: Vec<JobId> = inner
+            .jobs
+            .iter()
+            .filter(|(_, e)| {
+                e.state.is_terminal()
+                    && e.finished_at.is_some_and(|at| now.duration_since(at) >= ttl)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable();
+        for id in &expired {
+            let entry = inner.jobs.remove(id).expect("listed above");
+            if inner.by_fingerprint.get(&entry.fingerprint) == Some(id) {
+                inner.by_fingerprint.remove(&entry.fingerprint);
+            }
+            METRICS.serve.jobs_expired.inc();
+        }
+        expired
+    }
+
+    /// Rebuilds the queue from a crashed daemon's journal. Call before
+    /// [`JobQueue::spawn_workers`].
+    ///
+    /// Ids are preserved (so clients' tickets stay valid across the
+    /// restart) and `next_id` advances past the largest restored id. Jobs
+    /// that were queued — or running when the daemon died — are re-queued
+    /// in id order, *ignoring capacity*: accepted work is never dropped.
+    /// Terminal jobs come back with their result or error intact, and their
+    /// fingerprints still dedup resubmissions. A non-terminal job whose
+    /// payload did not survive is marked failed rather than silently
+    /// forgotten. Returns how many jobs were re-queued for execution.
+    pub fn restore(&self, jobs: Vec<RestoredJob<J>>) -> usize {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| j.id);
+        let mut requeued = 0;
+        let mut inner = self.inner.lock().expect("queue lock");
+        for job in jobs {
+            if job.id == 0 || inner.jobs.contains_key(&job.id) {
+                continue;
+            }
+            inner.next_id = inner.next_id.max(job.id + 1);
+            let (state, error, payload) = match (job.state, job.payload) {
+                (JobState::Queued | JobState::Running, Some(payload)) => {
+                    (JobState::Queued, None, Some(payload))
+                }
+                (JobState::Queued | JobState::Running, None) => (
+                    JobState::Failed,
+                    Some("lost across restart: journal has no payload".to_string()),
+                    None,
+                ),
+                (state, _) => (state, job.error, None),
+            };
+            // Cancelled jobs released their fingerprint while alive; every
+            // other state still owns it (first restored claimant wins).
+            if state != JobState::Cancelled
+                && !inner.by_fingerprint.contains_key(&job.fingerprint)
+            {
+                inner.by_fingerprint.insert(job.fingerprint.clone(), job.id);
+            }
+            let queued = state == JobState::Queued;
+            inner.jobs.insert(
+                job.id,
+                JobEntry {
+                    label: job.label,
+                    fingerprint: job.fingerprint,
+                    state,
+                    progress: Arc::new(ProgressCells::default()),
+                    error,
+                    result: job.result.map(Arc::new),
+                    payload,
+                    finished_at: state.is_terminal().then(Instant::now),
+                },
+            );
+            if queued {
+                inner.queue.push_back(job.id);
+                requeued += 1;
+            }
+        }
+        METRICS.serve.queue_depth.store(inner.queue.len() as u64);
+        drop(inner);
+        self.work_ready.notify_all();
+        requeued
+    }
+
+    /// Guarantees future ids start after `max_seen`. [`JobQueue::restore`]
+    /// already advances past every restored id, but an id whose job was
+    /// expired or removed never reaches `restore` — and ids must never be
+    /// reused, or stale tickets would resolve to the wrong job.
+    pub fn reserve_ids(&self, max_seen: JobId) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.next_id = inner.next_id.max(max_seen.saturating_add(1));
+    }
+
     /// Spawns `workers` threads running `executor` over claimed jobs. The
-    /// executor returns the job's serialized result payload, or an error
+    /// executor receives the job's id (so it can journal or checkpoint under
+    /// it) and returns the job's serialized result payload, or an error
     /// string that fails the job; either way the worker moves on. Panics in
     /// the executor fail the job (the worker catches them), so one
     /// malformed spec cannot take the pool down.
     pub fn spawn_workers<F>(self: &Arc<Self>, workers: usize, executor: F) -> Vec<JoinHandle<()>>
     where
-        F: Fn(&J, Arc<ProgressCells>) -> Result<String, String> + Send + Sync + 'static,
+        F: Fn(JobId, &J, Arc<ProgressCells>) -> Result<String, String> + Send + Sync + 'static,
     {
         let executor = Arc::new(executor);
         {
@@ -368,7 +570,7 @@ impl<J: Send + 'static> JobQueue<J> {
 
     fn worker_loop<F>(&self, executor: &F)
     where
-        F: Fn(&J, Arc<ProgressCells>) -> Result<String, String>,
+        F: Fn(JobId, &J, Arc<ProgressCells>) -> Result<String, String>,
     {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
@@ -384,13 +586,14 @@ impl<J: Send + 'static> JobQueue<J> {
                 // `catch_unwind` so a panicking executor fails one job, not
                 // the worker pool.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    executor(&payload, Arc::clone(&progress))
+                    executor(id, &payload, Arc::clone(&progress))
                 }))
                 .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
 
                 inner = self.inner.lock().expect("queue lock");
                 inner.running -= 1;
                 let entry = inner.jobs.get_mut(&id).expect("running job exists");
+                entry.finished_at = Some(Instant::now());
                 match outcome {
                     Ok(result) => {
                         entry.state = JobState::Done;
@@ -474,7 +677,7 @@ mod tests {
     #[test]
     fn executes_jobs_and_serves_results() {
         let queue: Arc<JobQueue<String>> = JobQueue::new(8);
-        let handles = queue.spawn_workers(2, |payload, progress| {
+        let handles = queue.spawn_workers(2, |_, payload, progress| {
             progress.set_total(3);
             for i in 0..3 {
                 progress.record_point(i == 0);
@@ -507,7 +710,7 @@ mod tests {
         assert!(second.deduped());
         assert_eq!(second.id(), 1);
         // Still deduped after completion.
-        queue.spawn_workers(1, |_, _| Ok("done".into()));
+        queue.spawn_workers(1, |_, _, _| Ok("done".into()));
         wait_terminal(&queue, 1);
         assert_eq!(queue.submit("a", "fp", "a".to_string()).unwrap(), SubmitOutcome::Deduped(1));
         // A different fingerprint is a new job.
@@ -537,7 +740,7 @@ mod tests {
     #[test]
     fn failures_and_panics_fail_the_job_not_the_pool() {
         let queue: Arc<JobQueue<String>> = JobQueue::new(8);
-        queue.spawn_workers(1, |payload, _| match payload.as_str() {
+        queue.spawn_workers(1, |_, payload, _| match payload.as_str() {
             "boom" => panic!("kaboom"),
             "err" => Err("spec was bad".into()),
             other => Ok(other.to_string()),
@@ -571,7 +774,7 @@ mod tests {
         queue.shutdown();
         assert!(queue.is_shutting_down());
         assert_eq!(queue.submit("late", "fl", "x".into()), Err(SubmitError::ShuttingDown));
-        let handles = queue.spawn_workers(2, |p, _| Ok(p.clone()));
+        let handles = queue.spawn_workers(2, |_, p, _| Ok(p.clone()));
         queue.join();
         for h in handles {
             h.join().unwrap();
@@ -597,7 +800,13 @@ mod tests {
 
     #[test]
     fn job_state_wire_names_round_trip() {
-        for state in [JobState::Queued, JobState::Running, JobState::Done, JobState::Failed] {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
             assert_eq!(JobState::parse(state.as_str()), Some(state));
             let v = serde::Serialize::to_value(&state);
             let back: JobState = serde::Deserialize::from_value(&v).unwrap();
@@ -605,6 +814,251 @@ mod tests {
         }
         assert_eq!(JobState::parse("exploded"), None);
         assert!(JobState::Done.is_terminal() && JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
         assert!(!JobState::Queued.is_terminal() && !JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn cancel_releases_queued_jobs_and_removes_terminal_tickets() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        // No workers: both jobs stay queued.
+        queue.submit("a", "fa", "a".into()).unwrap();
+        queue.submit("b", "fb", "b".into()).unwrap();
+        assert_eq!(queue.cancel(1), Ok(CancelOutcome::Cancelled));
+        let snap = queue.job(1).expect("cancelled ticket is still inspectable");
+        assert_eq!(snap.state, JobState::Cancelled);
+        // The fingerprint is free again: the same spec resubmits as new
+        // work instead of dedup'ing to the corpse.
+        assert_eq!(queue.submit("a", "fa", "a".into()), Ok(SubmitOutcome::Accepted(3)));
+        // Job 2 was untouched and still drains in order.
+        queue.spawn_workers(1, |_, p, _| Ok(p.clone()));
+        assert_eq!(wait_terminal(&queue, 2).state, JobState::Done);
+        assert_eq!(wait_terminal(&queue, 3).state, JobState::Done);
+        // Cancelling a terminal job removes its ticket outright.
+        assert_eq!(queue.cancel(2), Ok(CancelOutcome::Removed));
+        assert!(queue.job(2).is_none());
+        assert_eq!(queue.cancel(2), Err(CancelError::NotFound));
+        assert_eq!(queue.cancel(99), Err(CancelError::NotFound));
+        // ...and releases the fingerprint too.
+        assert_eq!(queue.submit("b", "fb", "b".into()), Ok(SubmitOutcome::Accepted(4)));
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn running_jobs_refuse_cancellation() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::clone(&gate);
+        queue.spawn_workers(1, move |_, p, _| {
+            let (lock, cvar) = &*release;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            Ok(p.clone())
+        });
+        queue.submit("slow", "fs", "slow".into()).unwrap();
+        // Wait until the worker has actually claimed it.
+        for _ in 0..2000 {
+            if queue.job(1).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(queue.job(1).unwrap().state, JobState::Running);
+        assert_eq!(queue.cancel(1), Err(CancelError::Running));
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+        assert_eq!(wait_terminal(&queue, 1).state, JobState::Done);
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn finished_tickets_expire_after_their_ttl() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        queue.spawn_workers(1, |_, p, _| Ok(p.clone()));
+        queue.submit("a", "fa", "a".into()).unwrap();
+        wait_terminal(&queue, 1);
+        queue.submit("b", "fb", "b".into()).unwrap();
+        wait_terminal(&queue, 2);
+        // A generous TTL keeps everything.
+        assert!(queue.expire_finished(Duration::from_secs(3600)).is_empty());
+        assert_eq!(queue.jobs().len(), 2);
+        // A zero TTL expires every terminal ticket, in id order.
+        assert_eq!(queue.expire_finished(Duration::ZERO), vec![1, 2]);
+        assert!(queue.jobs().is_empty());
+        // Expired fingerprints accept fresh submissions, and ids are never
+        // reused.
+        assert_eq!(queue.submit("a", "fa", "a".into()), Ok(SubmitOutcome::Accepted(3)));
+        assert!(queue.job(3).is_some());
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn restore_readopts_interrupted_jobs_and_keeps_terminal_results() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(2);
+        let restored = queue.restore(vec![
+            RestoredJob {
+                id: 4,
+                label: "was running".into(),
+                fingerprint: "f-run".into(),
+                state: JobState::Running,
+                result: None,
+                error: None,
+                payload: Some("replayed".to_string()),
+            },
+            RestoredJob {
+                id: 2,
+                label: "finished".into(),
+                fingerprint: "f-done".into(),
+                state: JobState::Done,
+                result: Some("the result".into()),
+                error: None,
+                payload: None,
+            },
+            RestoredJob {
+                id: 3,
+                label: "orphaned".into(),
+                fingerprint: "f-orphan".into(),
+                state: JobState::Queued,
+                result: None,
+                error: None,
+                payload: None, // journal lost its payload
+            },
+            RestoredJob {
+                id: 7,
+                label: "failed".into(),
+                fingerprint: "f-fail".into(),
+                state: JobState::Failed,
+                result: None,
+                error: Some("spec was bad".into()),
+                payload: None,
+            },
+        ]);
+        assert_eq!(restored, 1, "only the interrupted job goes back on the queue");
+
+        // Terminal jobs are intact and dedup resubmissions.
+        assert_eq!(queue.job(2).unwrap().state, JobState::Done);
+        assert_eq!(queue.result(2).unwrap().as_str(), "the result");
+        assert_eq!(queue.submit("again", "f-done", "x".into()), Ok(SubmitOutcome::Deduped(2)));
+        assert_eq!(queue.job(7).unwrap().error.as_deref(), Some("spec was bad"));
+        // The payload-less non-terminal job failed loudly, not silently.
+        let orphan = queue.job(3).unwrap();
+        assert_eq!(orphan.state, JobState::Failed);
+        assert!(orphan.error.unwrap().contains("lost across restart"));
+        // Ids continue past the restored maximum.
+        assert_eq!(queue.submit("new", "f-new", "n".into()), Ok(SubmitOutcome::Accepted(8)));
+
+        // The re-adopted job runs to completion under its old id.
+        queue.spawn_workers(1, |id, p, _| Ok(format!("{id}:{p}")));
+        assert_eq!(wait_terminal(&queue, 4).state, JobState::Done);
+        assert_eq!(queue.result(4).unwrap().as_str(), "4:replayed");
+        assert_eq!(wait_terminal(&queue, 8).state, JobState::Done);
+        queue.shutdown();
+        queue.join();
+    }
+
+    #[test]
+    fn restore_ignores_capacity_so_accepted_work_survives() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(1);
+        let jobs = (1..=4)
+            .map(|id| RestoredJob {
+                id,
+                label: format!("j{id}"),
+                fingerprint: format!("f{id}"),
+                state: JobState::Queued,
+                result: None,
+                error: None,
+                payload: Some(format!("{id}")),
+            })
+            .collect();
+        assert_eq!(queue.restore(jobs), 4, "capacity bounds intake, not recovery");
+        queue.spawn_workers(2, |_, p, _| Ok(p.clone()));
+        for id in 1..=4 {
+            assert_eq!(wait_terminal(&queue, id).state, JobState::Done);
+        }
+        queue.shutdown();
+        queue.join();
+    }
+
+    /// Satellite drain edge case: shutdown while a worker is mid-job. The
+    /// running job and everything already queued must still complete; only
+    /// *new* intake is refused.
+    #[test]
+    fn shutdown_while_a_worker_is_mid_job_still_drains_everything() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = Arc::clone(&gate);
+        let handles = queue.spawn_workers(1, move |_, p, _| {
+            let (lock, cvar) = &*release;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            Ok(p.clone())
+        });
+        queue.submit("first", "f1", "one".into()).unwrap();
+        queue.submit("second", "f2", "two".into()).unwrap();
+        // Wait for the worker to claim job 1, then shut down mid-point.
+        for _ in 0..2000 {
+            if queue.job(1).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(queue.job(1).unwrap().state, JobState::Running);
+        queue.shutdown();
+        assert_eq!(queue.submit("late", "f3", "x".into()), Err(SubmitError::ShuttingDown));
+        // Unblock the worker; both accepted jobs must drain.
+        {
+            let (lock, cvar) = &*gate;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+        }
+        queue.join();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(queue.job(1).unwrap().state, JobState::Done);
+        assert_eq!(queue.job(2).unwrap().state, JobState::Done);
+        assert_eq!(queue.result(2).unwrap().as_str(), "two");
+    }
+
+    /// Satellite drain edge case: duplicate-fingerprint submissions racing
+    /// the job's completion must never queue a second copy — every answer
+    /// is the original id, whether it arrives while queued, running, or
+    /// done.
+    #[test]
+    fn duplicate_submit_racing_completion_always_dedups() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        queue.spawn_workers(1, |_, p, _| {
+            // Just slow enough that some resubmissions land mid-run.
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(p.clone())
+        });
+        assert_eq!(queue.submit("job", "fp", "x".into()), Ok(SubmitOutcome::Accepted(1)));
+        let hammer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for _ in 0..200 {
+                    outcomes.push(queue.submit("job", "fp", "x".into()));
+                    std::thread::yield_now();
+                }
+                outcomes
+            })
+        };
+        let outcomes = hammer.join().unwrap();
+        for outcome in outcomes {
+            assert_eq!(outcome, Ok(SubmitOutcome::Deduped(1)), "no racing duplicate");
+        }
+        assert_eq!(wait_terminal(&queue, 1).state, JobState::Done);
+        assert_eq!(queue.jobs().len(), 1, "exactly one job ever existed");
+        queue.shutdown();
+        queue.join();
     }
 }

@@ -14,7 +14,7 @@
 //! saturated service; shedding the observability plane during overload is
 //! how overloads go undiagnosed.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -41,8 +41,10 @@ pub struct ServerConfig {
     pub addr: String,
     /// Per-client rate limiting; `None` disables shedding.
     pub rate: Option<RateConfig>,
-    /// Socket read timeout, bounding how long a stalled client can hold a
-    /// connection thread.
+    /// Total budget for reading one request (request line, headers, and
+    /// body together). A client that has not delivered a full request
+    /// within it — stalled *or* trickling bytes slowloris-style — gets a
+    /// `408 Request Timeout` and the connection thread back.
     pub read_timeout: Duration,
 }
 
@@ -172,14 +174,24 @@ impl Server {
     }
 
     fn handle_connection(&self, stream: TcpStream, peer: SocketAddr, handler: &dyn Handler) {
-        let _ = stream.set_read_timeout(Some(self.read_timeout));
-        let mut reader = BufReader::new(match stream.try_clone() {
+        let deadline_stream = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
-        });
+        };
+        let mut reader = BufReader::new(DeadlineReader::new(deadline_stream, self.read_timeout));
         let response = match Request::read_from(&mut reader) {
             Ok(request) => self.dispatch(&request, peer, handler),
             Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Io(e)) if is_timeout(&e) => {
+                // The deadline expired with the request still incomplete: a
+                // stalled or slow-trickling client. Answer 408 so it learns
+                // why, and reclaim the thread either way.
+                METRICS.serve.requests_timed_out.inc();
+                Response::error(
+                    StatusCode::RequestTimeout,
+                    "request not received within the read deadline",
+                )
+            }
             Err(ParseError::Io(_)) => return,
             Err(err) => {
                 METRICS.serve.requests_malformed.inc();
@@ -231,6 +243,46 @@ impl Server {
         }
         response
     }
+}
+
+/// A stream wrapper enforcing one *total* deadline across every read of a
+/// request. A bare socket `read_timeout` only bounds the gap between bytes,
+/// so a slowloris client dripping one byte per interval holds its
+/// connection thread forever; this re-arms the socket timeout to the
+/// *remaining* budget before each read and fails with `TimedOut` once the
+/// budget is gone.
+struct DeadlineReader {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineReader {
+    fn new(stream: TcpStream, budget: Duration) -> DeadlineReader {
+        DeadlineReader { stream, deadline: Instant::now() + budget }
+    }
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        // `set_read_timeout` rejects a zero Duration; `remaining` is
+        // nonzero here, and the next call converts any overshoot into the
+        // explicit `TimedOut` above.
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+/// Whether an I/O error is a read-timeout expiry. Unix reports it as
+/// `WouldBlock`, Windows as `TimedOut`; treat both as the deadline firing.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
 }
 
 #[cfg(test)]
@@ -298,6 +350,48 @@ mod tests {
             assert!(roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
             assert!(roundtrip(addr, "GET /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
         }
+        stop.trigger();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_and_slowloris_clients_get_408_not_a_pinned_thread() {
+        let (addr, stop, join) = spawn_server(ServerConfig {
+            read_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        });
+
+        // A client that connects and goes silent.
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        stalled.write_all(b"GET /health HT").expect("send a fragment");
+        let mut reply = String::new();
+        stalled.read_to_string(&mut reply).expect("server answers before hanging up");
+        assert!(reply.starts_with("HTTP/1.1 408 Request Timeout\r\n"), "{reply}");
+        assert!(reply.contains("read deadline"), "{reply}");
+
+        // A slowloris client trickling bytes fast enough to keep a
+        // per-read timeout alive forever still hits the *total* deadline.
+        let mut slow = TcpStream::connect(addr).expect("connect");
+        let started = std::time::Instant::now();
+        for chunk in [&b"GET /hea"[..], b"lth HTTP", b"/1.1\r\nHo"].iter().cycle() {
+            std::thread::sleep(Duration::from_millis(40));
+            if slow.write_all(chunk).is_err() {
+                break; // server already closed on us — the point is made
+            }
+            if started.elapsed() > Duration::from_secs(2) {
+                panic!("server never cut the slowloris client off");
+            }
+        }
+        let mut reply = String::new();
+        let _ = slow.read_to_string(&mut reply);
+        assert!(
+            reply.is_empty() || reply.starts_with("HTTP/1.1 408"),
+            "slowloris gets a 408 (or a straight close if it raced one): {reply}"
+        );
+
+        // The server is still healthy for well-behaved clients.
+        let reply = roundtrip(addr, "GET /health HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
         stop.trigger();
         join.join().unwrap();
     }

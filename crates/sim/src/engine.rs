@@ -22,6 +22,7 @@ use rr_runtime::{
 use rr_workload::Workload;
 
 use crate::options::SimOptions;
+use crate::snapshot::{EngineSnapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 use crate::stats::{decimate_checkpoints, SimStats};
 use crate::thread::{Phase, ThreadArena};
 use crate::timer::TimerRing;
@@ -96,6 +97,10 @@ pub struct Engine<S: EventSink = NullSink> {
     checkpoint_stride: u64,
     /// Last cycle at which the supply queue held a runnable thread.
     last_pressure: u64,
+    /// Whether the run has begun (`RunStart` emitted). Restored engines
+    /// resume with this set so the event stream continues without a second
+    /// `RunStart`.
+    started: bool,
     sink: S,
 }
 
@@ -115,6 +120,16 @@ impl Engine {
         opts: SimOptions,
     ) -> Result<Self, String> {
         Engine::with_sink(alloc, sched, policy, workload, opts, NullSink)
+    }
+
+    /// Rebuilds an unobserved engine from a snapshot; see
+    /// [`Engine::restore_with_sink`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::restore_with_sink`].
+    pub fn restore(snap: &EngineSnapshot) -> Result<Self, SnapshotError> {
+        Engine::restore_with_sink(snap, NullSink)
     }
 }
 
@@ -173,6 +188,7 @@ impl<S: EventSink> Engine<S> {
             next_checkpoint: checkpoint,
             checkpoint_stride: 1,
             last_pressure: 0,
+            started: false,
             sink,
         })
     }
@@ -187,22 +203,44 @@ impl<S: EventSink> Engine<S> {
     /// statistics are identical to `run()`'s for any sink: emission never
     /// touches engine state.
     pub fn run_with_sink(mut self) -> (SimStats, S) {
-        self.emit(EventKind::RunStart {
-            threads: self.arena.len(),
-            checkpoint_interval: self.opts.checkpoint_interval,
-            checkpoint_cap: self.opts.checkpoint_cap,
-            transient_trim: self.opts.transient_trim,
-        });
+        self.advance(u64::MAX);
+        self.finish()
+    }
+
+    /// Advances the simulation until it is over or the clock reaches
+    /// `pause_at`, whichever comes first.
+    ///
+    /// Returns `true` when the run is over (all threads complete or the
+    /// cycle horizon hit) — call [`Engine::finish`] to collect statistics.
+    /// Returns `false` when the engine paused with work remaining; the pause
+    /// lands on the first scheduling boundary at or after `pause_at` (a
+    /// charge can overshoot it), which is exactly a [`Engine::snapshot`]
+    /// point. Calling `advance` again continues the run bit-exactly: the
+    /// resumed schedule, statistics, and event stream are identical to an
+    /// uninterrupted run's.
+    pub fn advance(&mut self, pause_at: u64) -> bool {
+        if !self.started {
+            self.started = true;
+            self.emit(EventKind::RunStart {
+                threads: self.arena.len(),
+                checkpoint_interval: self.opts.checkpoint_interval,
+                checkpoint_cap: self.opts.checkpoint_cap,
+                transient_trim: self.opts.transient_trim,
+            });
+        }
         loop {
             self.drain_events();
             if !self.supply.is_empty() {
                 self.last_pressure = self.now;
             }
             if self.stats.completed_threads == self.arena.len() {
-                break;
+                return true;
             }
             if self.now >= self.opts.max_cycles {
-                break;
+                return true;
+            }
+            if self.now >= pause_at {
+                return false;
             }
             if let Some(tid) = self.dispatch_ready() {
                 self.run_thread(tid);
@@ -222,9 +260,15 @@ impl<S: EventSink> Engine<S> {
                 LoadOutcome::NothingToLoad => {}
             }
             if !self.idle_until_next_event() {
-                break;
+                return true;
             }
         }
+    }
+
+    /// Finalizes a run [`Engine::advance`] reported as over: folds the cost
+    /// accumulators into the named statistics fields, emits `RunEnd`, and
+    /// hands back the statistics with the sink.
+    pub fn finish(mut self) -> (SimStats, S) {
         let [busy, switch, spin, alloc, dealloc, load, unload, queue, idle] = self.cost;
         self.stats.busy_cycles = busy;
         self.stats.switch_cycles = switch;
@@ -267,6 +311,100 @@ impl<S: EventSink> Engine<S> {
         let stats = self.run();
         let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         TracedRun { stats, wall_nanos }
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The engine's event sink — lets a caller inspect events captured up
+    /// to a pause without consuming the engine.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Captures the engine's complete state at the current cycle boundary.
+    ///
+    /// Meaningful at construction time or wherever [`Engine::advance`]
+    /// paused; the capture is pure (the engine is untouched) and total —
+    /// restoring it reproduces the remaining run bit-exactly, including the
+    /// RNG stream, timer wheel pop order, ready-ring rotation, and every
+    /// statistics accumulator.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            code_version: crate::CODE_VERSION,
+            alloc: self.alloc.clone(),
+            sched: self.sched,
+            governor: self.governor.clone(),
+            workload: self.workload.clone(),
+            opts: self.opts.clone(),
+            rng: self.rng.to_state(),
+            arena: self.arena.clone(),
+            unload_cost: self.unload_cost.clone(),
+            ring: self.ring.clone(),
+            supply: self.supply.iter().copied().collect(),
+            timer_shift: self.timers.shift(),
+            timers: self.timers.entries(),
+            alloc_blocked_for: self.alloc_blocked_for,
+            now: self.now,
+            stats: self.stats.clone(),
+            cost: self.cost,
+            resident_integral_hi: (self.resident_integral >> 64) as u64,
+            resident_integral_lo: self.resident_integral as u64,
+            next_checkpoint: self.next_checkpoint,
+            checkpoint_stride: self.checkpoint_stride,
+            last_pressure: self.last_pressure,
+            started: self.started,
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot so that [`Engine::advance`] picks
+    /// up exactly where the captured engine paused.
+    ///
+    /// The sink starts fresh: events emitted before the snapshot live with
+    /// whoever captured them, and the resumed stream continues from the
+    /// pause point (no duplicate `RunStart`), so pre-pause and post-resume
+    /// events concatenate into the uninterrupted run's stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::SchemaMismatch`]/[`SnapshotError::CodeMismatch`]
+    /// when the snapshot comes from a different format or simulator
+    /// revision, [`SnapshotError::Invalid`] when its state is internally
+    /// inconsistent (truncated arrays, timers waking in the past, options
+    /// that no longer validate). Callers degrade to recompute-from-zero.
+    pub fn restore_with_sink(snap: &EngineSnapshot, sink: S) -> Result<Self, SnapshotError> {
+        snap.check_versions()?;
+        snap.validate().map_err(SnapshotError::Invalid)?;
+        let timers = TimerRing::from_entries(snap.timer_shift, snap.now, &snap.timers)
+            .map_err(SnapshotError::Invalid)?;
+        Ok(Engine {
+            alloc_costs: snap.alloc.costs(),
+            alloc: snap.alloc.clone(),
+            sched: snap.sched,
+            governor: snap.governor.clone(),
+            workload: snap.workload.clone(),
+            opts: snap.opts.clone(),
+            rng: SmallRng::from_state(snap.rng),
+            arena: snap.arena.clone(),
+            unload_cost: snap.unload_cost.clone(),
+            ring: snap.ring.clone(),
+            supply: snap.supply.iter().copied().collect(),
+            timers,
+            alloc_blocked_for: snap.alloc_blocked_for,
+            now: snap.now,
+            stats: snap.stats.clone(),
+            cost: snap.cost,
+            resident_integral: (u128::from(snap.resident_integral_hi) << 64)
+                | u128::from(snap.resident_integral_lo),
+            next_checkpoint: snap.next_checkpoint,
+            checkpoint_stride: snap.checkpoint_stride,
+            last_pressure: snap.last_pressure,
+            started: snap.started,
+            sink,
+        })
     }
 
     /// Emits a cycle-stamped event when the sink is listening. The whole

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod interference;
 pub mod metrics;
 pub mod options;
+pub mod snapshot;
 pub mod stats;
 pub mod thread;
 pub mod timer;
@@ -58,6 +59,7 @@ pub use engine::{Engine, TracedRun};
 pub use interference::InterferenceModel;
 pub use metrics::{HistBucket, LogHistogram, MetricsReport, MetricsWindow};
 pub use options::{DispatchMode, SimOptions};
+pub use snapshot::{EngineSnapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use stats::{decimate_checkpoints, SimStats};
 pub use timer::TimerRing;
 pub use trace_export::chrome_trace_json;

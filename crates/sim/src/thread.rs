@@ -68,7 +68,7 @@ impl ThreadRt {
 /// threads (a phase probe per ring hop, a remaining-work decrement per
 /// dispatch), so splitting the columns keeps each probe on a cache line of
 /// its own kind instead of striding over whole [`ThreadRt`]-style records.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreadArena {
     /// Lifecycle phase per thread.
     pub phase: Vec<Phase>,

@@ -71,6 +71,52 @@ impl TimerRing {
         self.len
     }
 
+    /// The configured bucket granularity (log2 cycles per bucket).
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Every outstanding wakeup, ascending by `(wake, tid)`. Pop order is a
+    /// pure function of this multiset and the query time (the heap-model
+    /// test pins that), so the entry list — not the window internals — is
+    /// what a checkpoint needs to capture.
+    pub fn entries(&self) -> Vec<(u64, usize)> {
+        let mut out: Vec<(u64, usize)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .chain(self.overflow.iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds a ring at time `now` from [`TimerRing::entries`] output.
+    /// The rebuilt ring pops and reports exactly like the captured one for
+    /// every query at or after `now`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects entries that wake before `now` — a valid capture taken after
+    /// the engine drained its due wakeups can never contain one.
+    pub fn from_entries(
+        shift: u32,
+        now: u64,
+        entries: &[(u64, usize)],
+    ) -> Result<TimerRing, String> {
+        let mut ring = TimerRing::new(shift);
+        for &(wake, tid) in entries {
+            if wake < now {
+                return Err(format!(
+                    "timer entry for thread {tid} wakes at {wake}, before restore time {now}"
+                ));
+            }
+            ring.push(now, wake, tid);
+        }
+        Ok(ring)
+    }
+
     /// Whether no wakeups are outstanding.
     pub fn is_empty(&self) -> bool {
         self.len == 0

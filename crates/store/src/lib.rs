@@ -41,4 +41,7 @@ pub mod store;
 
 pub use error::StoreError;
 pub use fingerprint::Fingerprint;
-pub use store::{Durability, GcReport, Lookup, Store, StoreStats, VerifyReport, STORE_FORMAT_VERSION};
+pub use store::{
+    Durability, GcReport, Lookup, PutFault, Store, StoreStats, VerifyReport,
+    STORE_FORMAT_VERSION,
+};

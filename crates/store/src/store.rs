@@ -80,6 +80,23 @@ pub enum Durability {
     Relaxed,
 }
 
+/// A fault armed against the next [`Store::put`] — test instrumentation
+/// for proving the cache degrades instead of poisoning itself. Production
+/// code never arms one; the hook costs a single relaxed atomic load on the
+/// write path.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutFault {
+    /// The write fails with `ENOSPC` mid-payload, as a full disk would.
+    /// The temp file is cleaned up and no record is committed.
+    Enospc,
+    /// Only half the payload reaches the file, yet the record is renamed
+    /// into place anyway — the torn-record shape a kernel crash can leave
+    /// behind under [`Durability::Relaxed`], where the rename can be
+    /// persisted before the data blocks. Readers must quarantine it.
+    ShortWrite,
+}
+
 /// Outcome of a [`Store::get`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Lookup {
@@ -146,6 +163,9 @@ pub struct Store {
     /// Disambiguates temp files written by concurrent threads of this
     /// process.
     tmp_counter: AtomicU64,
+    /// One-shot injected fault for the next `put` (0 = none; see
+    /// [`PutFault`] and [`Store::inject_put_fault`]).
+    put_fault: AtomicU64,
 }
 
 impl Store {
@@ -193,6 +213,7 @@ impl Store {
             salt: salt.into(),
             durability: Durability::default(),
             tmp_counter: AtomicU64::new(0),
+            put_fault: AtomicU64::new(0),
         })
     }
 
@@ -210,6 +231,27 @@ impl Store {
     /// The salt current records are keyed and stamped with.
     pub fn salt(&self) -> &str {
         &self.salt
+    }
+
+    /// Arms `fault` against the next [`Store::put`] (one-shot: the put
+    /// that trips it also clears it). Test instrumentation — see
+    /// [`PutFault`].
+    #[doc(hidden)]
+    pub fn inject_put_fault(&self, fault: PutFault) {
+        let code = match fault {
+            PutFault::Enospc => 1,
+            PutFault::ShortWrite => 2,
+        };
+        self.put_fault.store(code, Ordering::SeqCst);
+    }
+
+    /// Takes (and disarms) the currently armed put fault, if any.
+    fn take_put_fault(&self) -> Option<PutFault> {
+        match self.put_fault.swap(0, Ordering::SeqCst) {
+            1 => Some(PutFault::Enospc),
+            2 => Some(PutFault::ShortWrite),
+            _ => None,
+        }
     }
 
     fn record_path(&self, key: &Fingerprint) -> PathBuf {
@@ -240,10 +282,28 @@ impl Store {
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed),
         ));
+        let fault = self.take_put_fault();
         let write = |tmp: &Path| -> std::io::Result<()> {
             let mut f = fs::File::create(tmp)?;
             f.write_all(header_json.as_bytes())?;
             f.write_all(b"\n")?;
+            match fault {
+                Some(PutFault::Enospc) => {
+                    // The disk fills mid-payload: half the bytes land, then
+                    // the write fails. `put` must clean up and error out.
+                    f.write_all(&payload[..payload.len() / 2])?;
+                    return Err(std::io::Error::from_raw_os_error(28 /* ENOSPC */));
+                }
+                Some(PutFault::ShortWrite) => {
+                    // A torn write that nonetheless commits: the rename
+                    // below proceeds, leaving a record whose payload is
+                    // truncated relative to its header. The read path must
+                    // quarantine it.
+                    f.write_all(&payload[..payload.len() / 2])?;
+                    return Ok(());
+                }
+                None => {}
+            }
             f.write_all(payload)?;
             if self.durability == Durability::Relaxed {
                 return Ok(());
@@ -302,6 +362,22 @@ impl Store {
     /// Whether a committed record exists under `key` (no validation).
     pub fn contains(&self, key: &Fingerprint) -> bool {
         self.record_path(key).exists()
+    }
+
+    /// Deletes the record under `key`, if present. Used for records whose
+    /// usefulness has a lifetime — e.g. a sweep's rolling engine
+    /// checkpoints, removed once the final result is stored.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures; an absent record is `Ok(false)`.
+    pub fn remove(&self, key: &Fingerprint) -> Result<bool, StoreError> {
+        let path = self.record_path(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::io("remove", &path, e)),
+        }
     }
 
     /// Walks every committed record and aggregates layout statistics.
@@ -721,6 +797,48 @@ mod tests {
         assert_eq!(stats.payload_bytes, 16 * 64);
         assert!(stats.file_bytes > stats.payload_bytes, "headers take space");
         assert_eq!(stats.stale, 0);
+    }
+
+    #[test]
+    fn injected_enospc_fails_the_put_and_commits_nothing() {
+        let dir = TempDir::new("enospc");
+        let store = Store::open(&dir.0, "s").unwrap();
+        store.inject_put_fault(PutFault::Enospc);
+        let err = store.put(&key(50), b"does not fit on a full disk").unwrap_err();
+        assert!(err.to_string().contains("write"), "{err}");
+        // Nothing committed, nothing left behind: the key is a clean miss
+        // and the shard holds no orphaned temp file.
+        assert_eq!(store.get(&key(50)).unwrap(), Lookup::Miss);
+        let shard = store.objects.join(key(50).shard());
+        let leftovers = fs::read_dir(&shard)
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "temp file removed after failed write");
+        // The fault is one-shot: the very next put succeeds and serves.
+        store.put(&key(50), b"after the disk was cleared").unwrap();
+        assert_eq!(
+            store.get(&key(50)).unwrap(),
+            Lookup::Hit(b"after the disk was cleared".to_vec())
+        );
+    }
+
+    #[test]
+    fn injected_short_write_commits_a_torn_record_that_quarantines() {
+        let dir = TempDir::new("shortwrite");
+        let store = Store::open(&dir.0, "s").unwrap();
+        store.inject_put_fault(PutFault::ShortWrite);
+        // The put itself reports success — exactly the dangerous case: the
+        // record is committed under its final name with a torn payload.
+        store.put(&key(51), b"a payload that will be torn in half").unwrap();
+        assert!(store.contains(&key(51)));
+        // The read path catches it: quarantined, then a clean miss — the
+        // torn bytes are never served.
+        assert_eq!(store.get(&key(51)).unwrap(), Lookup::Quarantined);
+        assert_eq!(store.get(&key(51)).unwrap(), Lookup::Miss);
+        assert_eq!(store.stats().unwrap().quarantined, 1);
+        // Rewriting heals the key.
+        store.put(&key(51), b"whole again").unwrap();
+        assert_eq!(store.get(&key(51)).unwrap(), Lookup::Hit(b"whole again".to_vec()));
     }
 
     #[test]

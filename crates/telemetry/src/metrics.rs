@@ -110,6 +110,11 @@ pub struct SweepMetrics {
     pub serialize_nanos: SharedIncMetric,
     /// Nanoseconds spent in result-store lookups and writes.
     pub store_io_nanos: SharedIncMetric,
+    /// Mid-run engine checkpoints persisted (`--checkpoint-every`).
+    pub checkpoints_written: SharedIncMetric,
+    /// Architecture legs resumed from a stored checkpoint instead of
+    /// computed from cycle 0.
+    pub checkpoints_resumed: SharedIncMetric,
     /// Worker threads spawned across all sweeps.
     pub workers_spawned: SharedIncMetric,
     /// Nanoseconds workers spent executing points (occupancy numerator;
@@ -129,6 +134,8 @@ impl SweepMetrics {
             sim_nanos: SharedIncMetric::new(),
             serialize_nanos: SharedIncMetric::new(),
             store_io_nanos: SharedIncMetric::new(),
+            checkpoints_written: SharedIncMetric::new(),
+            checkpoints_resumed: SharedIncMetric::new(),
             workers_spawned: SharedIncMetric::new(),
             worker_busy_nanos: SharedIncMetric::new(),
             workers: SharedStoreMetric::new(),
@@ -137,6 +144,8 @@ impl SweepMetrics {
 
     fn values(&self) -> Vec<(&'static str, u64)> {
         vec![
+            ("checkpoints_resumed", self.checkpoints_resumed.count()),
+            ("checkpoints_written", self.checkpoints_written.count()),
             ("points_cached", self.points_cached.count()),
             ("points_computed", self.points_computed.count()),
             ("points_failed", self.points_failed.count()),
@@ -155,10 +164,14 @@ impl SweepMetrics {
 /// daemon): HTTP traffic, rate-limiter sheds, and job-queue flow.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
+    /// Queued jobs cancelled via `DELETE /jobs/{id}`.
+    pub jobs_cancelled: SharedIncMetric,
     /// Jobs that finished successfully.
     pub jobs_completed: SharedIncMetric,
     /// Submissions answered by an already-known job (same fingerprint).
     pub jobs_deduped: SharedIncMetric,
+    /// Terminal job tickets dropped by TTL expiry.
+    pub jobs_expired: SharedIncMetric,
     /// Jobs whose execution returned an error.
     pub jobs_failed: SharedIncMetric,
     /// Jobs accepted into the queue.
@@ -175,13 +188,18 @@ pub struct ServeMetrics {
     pub requests_malformed: SharedIncMetric,
     /// HTTP requests served (any status).
     pub requests_served: SharedIncMetric,
+    /// Connections whose request never arrived within the read deadline
+    /// (answered with HTTP 408).
+    pub requests_timed_out: SharedIncMetric,
 }
 
 impl ServeMetrics {
     const fn new() -> Self {
         ServeMetrics {
+            jobs_cancelled: SharedIncMetric::new(),
             jobs_completed: SharedIncMetric::new(),
             jobs_deduped: SharedIncMetric::new(),
+            jobs_expired: SharedIncMetric::new(),
             jobs_failed: SharedIncMetric::new(),
             jobs_submitted: SharedIncMetric::new(),
             queue_depth: SharedStoreMetric::new(),
@@ -190,13 +208,16 @@ impl ServeMetrics {
             requests_failed: SharedIncMetric::new(),
             requests_malformed: SharedIncMetric::new(),
             requests_served: SharedIncMetric::new(),
+            requests_timed_out: SharedIncMetric::new(),
         }
     }
 
     fn values(&self) -> Vec<(&'static str, u64)> {
         vec![
+            ("jobs_cancelled", self.jobs_cancelled.count()),
             ("jobs_completed", self.jobs_completed.count()),
             ("jobs_deduped", self.jobs_deduped.count()),
+            ("jobs_expired", self.jobs_expired.count()),
             ("jobs_failed", self.jobs_failed.count()),
             ("jobs_submitted", self.jobs_submitted.count()),
             ("queue_depth", self.queue_depth.fetch()),
@@ -205,6 +226,7 @@ impl ServeMetrics {
             ("requests_failed", self.requests_failed.count()),
             ("requests_malformed", self.requests_malformed.count()),
             ("requests_served", self.requests_served.count()),
+            ("requests_timed_out", self.requests_timed_out.count()),
         ]
     }
 }

@@ -16,6 +16,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use register_relocation::serve::{run_serve, ServeOptions};
+use register_relocation::{JobJournal, JournalRecord, SweepGrid};
 
 /// Self-cleaning temp directory for the result store.
 struct TempDir {
@@ -62,6 +63,7 @@ impl Daemon {
             sim_jobs: 2,
             rate: None,
             store_dir: Some(store.path.clone()),
+            ..ServeOptions::default()
         }
     }
 
@@ -295,4 +297,148 @@ fn api_rejects_what_it_should() {
     );
     poll_until_done(daemon.addr, &id);
     daemon.shutdown();
+}
+
+#[test]
+fn delete_cancels_queued_jobs_and_removes_finished_tickets() {
+    let store = TempDir::new("cancel");
+    let daemon = Daemon::start(Daemon::options(&store));
+
+    // One worker: A runs, B waits in the queue where DELETE can reach it.
+    let (_, _, ticket_a) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    let id_a = json_field(&ticket_a, "id").to_string();
+    let b_spec = r#"{"kind": "fig5", "file": 64, "seed": 9, "threads": 8, "work": 2000}"#;
+    let (status, _, ticket_b) = request(daemon.addr, "POST", "/jobs", Some(b_spec));
+    assert_eq!(status, 201, "{ticket_b}");
+    let id_b = json_field(&ticket_b, "id").to_string();
+
+    let (status, _, body) = request(daemon.addr, "DELETE", &format!("/jobs/{id_b}"), None);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field(&body, "outcome"), "\"cancelled\"");
+    let (status, _, body) = request(daemon.addr, "GET", &format!("/jobs/{id_b}"), None);
+    assert_eq!(status, 200, "the cancelled ticket remains visible: {body}");
+    assert_eq!(json_field(&body, "state"), "\"cancelled\"");
+
+    // Cancellation released the fingerprint: the same spec resubmits fresh.
+    let (status, _, ticket_b2) = request(daemon.addr, "POST", "/jobs", Some(b_spec));
+    assert_eq!(status, 201, "{ticket_b2}");
+    assert_eq!(json_field(&ticket_b2, "deduped"), "false");
+    assert_ne!(json_field(&ticket_b2, "id"), id_b);
+
+    // A running job refuses cancellation with 409 (unless it already won the
+    // race and finished, in which case DELETE removes the ticket).
+    let (status, _, body) = request(daemon.addr, "DELETE", &format!("/jobs/{id_a}"), None);
+    match status {
+        409 => {
+            assert!(body.contains("running"), "{body}");
+            poll_until_done(daemon.addr, &id_a);
+            let (status, _, body) =
+                request(daemon.addr, "DELETE", &format!("/jobs/{id_a}"), None);
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(json_field(&body, "outcome"), "\"removed\"");
+        }
+        200 => assert_eq!(json_field(&body, "outcome"), "\"removed\""),
+        other => panic!("unexpected DELETE status {other}: {body}"),
+    }
+    let (status, _, body) = request(daemon.addr, "GET", &format!("/jobs/{id_a}"), None);
+    assert_eq!(status, 404, "removed tickets are gone: {body}");
+    let (status, _, _) = request(daemon.addr, "DELETE", &format!("/jobs/{id_a}"), None);
+    assert_eq!(status, 404, "double delete is a 404, not an error");
+
+    poll_until_done(daemon.addr, json_field(&ticket_b2, "id"));
+    daemon.shutdown();
+}
+
+#[test]
+fn finished_tickets_expire_over_http_when_a_ttl_is_set() {
+    let store = TempDir::new("ttl");
+    let daemon = Daemon::start(ServeOptions {
+        job_ttl: Some(Duration::from_millis(1)),
+        ..Daemon::options(&store)
+    });
+    let (status, _, ticket) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    let id = json_field(&ticket, "id").to_string();
+
+    // The ticket finishes, then the janitor ages it out; either way the id
+    // must eventually answer 404.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, body) = request(daemon.addr, "GET", &format!("/jobs/{id}"), None);
+        match status {
+            404 => break,
+            200 if json_field(&body, "state") == "\"failed\"" => panic!("job failed: {body}"),
+            200 => {}
+            other => panic!("unexpected status {other}: {body}"),
+        }
+        assert!(Instant::now() < deadline, "ticket never expired: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn a_journalled_daemon_readopts_accepted_jobs_across_restarts() {
+    let store = TempDir::new("journal");
+    let journal_path = store.path.join("serve-journal.jsonl");
+    let options = || ServeOptions {
+        journal: Some(journal_path.clone()),
+        ..Daemon::options(&store)
+    };
+
+    // First life: complete one job, remember its bytes.
+    let first = Daemon::start(options());
+    let (status, _, ticket) = request(first.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    let id = json_field(&ticket, "id").to_string();
+    poll_until_done(first.addr, &id);
+    let (_, _, first_report) = request(first.addr, "GET", &format!("/jobs/{id}/result"), None);
+    first.shutdown();
+
+    // Simulate a crash-interrupted job: an accepted submission whose
+    // `finished` record never made it to disk. (A real kill -9 produces
+    // exactly this journal; the CI smoke test does it to the binary.)
+    let mut grid = SweepGrid::figure5_panel(64, 7);
+    grid.base.threads = 8;
+    grid.base.work_per_thread = 2000;
+    let journal = JobJournal::open(&journal_path).unwrap();
+    journal
+        .append(&JournalRecord::submitted(
+            9,
+            "crafted interrupted job",
+            "fp-crafted",
+            serde_json::to_string(&grid).unwrap(),
+        ))
+        .unwrap();
+    drop(journal);
+
+    // Second life: the finished job answers from the journal without
+    // recompute; the interrupted one re-runs (warm, so every point cached).
+    let second = Daemon::start(options());
+    let (status, _, report) = request(second.addr, "GET", &format!("/jobs/{id}/result"), None);
+    assert_eq!(status, 200, "restored ticket serves its result: {report}");
+    assert_eq!(report, first_report, "restored result is byte-identical");
+    let done = poll_until_done(second.addr, "9");
+    assert_eq!(json_field(&done, "cached"), "18", "re-run leans on the warm store");
+
+    // Restored fingerprints still dedup, and ids never regress.
+    let (status, _, resubmit) = request(second.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 200, "{resubmit}");
+    assert_eq!(json_field(&resubmit, "deduped"), "true");
+    assert_eq!(json_field(&resubmit, "id"), id);
+    let fresh = r#"{"kind": "fig5", "file": 64, "seed": 11, "threads": 8, "work": 2000}"#;
+    let (status, _, ticket) = request(second.addr, "POST", "/jobs", Some(fresh));
+    assert_eq!(status, 201, "{ticket}");
+    assert_eq!(json_field(&ticket, "id"), "10", "ids continue past every journalled id");
+    poll_until_done(second.addr, "10");
+    second.shutdown();
+
+    // Third life: both completed jobs are still there, results intact.
+    let third = Daemon::start(options());
+    let (status, _, report) = request(third.addr, "GET", &format!("/jobs/{id}/result"), None);
+    assert_eq!(status, 200, "{report}");
+    assert_eq!(report, first_report);
+    let (status, _, report9) = request(third.addr, "GET", "/jobs/9/result", None);
+    assert_eq!(status, 200, "{report9}");
+    third.shutdown();
 }

@@ -248,6 +248,94 @@ fn trace_records_coexist_with_point_records() {
     assert_eq!(warm.cache.hits, 2);
 }
 
+/// A full disk (injected `ENOSPC`) on the write path: the put fails, the
+/// sweep warns and proceeds, the served science is untouched, and the
+/// next warm run simply recomputes and persists the missing point — the
+/// cache is degraded, never poisoned.
+#[test]
+fn injected_enospc_on_put_degrades_to_recompute() {
+    use register_relocation::store::PutFault;
+
+    let dir = TempDir::new("enospc");
+    let grid = mini_grid(27);
+
+    // One worker so exactly the first point's persist hits the fault.
+    let store = cache::open_store(&dir.0).unwrap();
+    let faulted = SweepRunner::new(1).with_progress(false).with_store(Some(store));
+    faulted.store().unwrap().inject_put_fault(PutFault::Enospc);
+    let cold = faulted.run(&grid).unwrap();
+    assert_eq!(
+        (cold.cache.hits, cold.cache.misses, cold.cache.stored),
+        (0, 2, 1),
+        "the faulted persist is skipped with a warning, not fatal"
+    );
+
+    // The science served by the faulted run equals a storeless run.
+    let plain = SweepRunner::new(1).with_progress(false).run(&grid).unwrap();
+    for (c, p) in cold.report.points.iter().zip(&plain.report.points) {
+        assert_eq!(c.figure, p.figure);
+        assert_eq!(c.fixed, p.fixed);
+        assert_eq!(c.flexible, p.flexible);
+    }
+
+    // A warm run self-heals: one hit, one recompute-and-store.
+    let warm = runner(&dir).run(&grid).unwrap();
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses, warm.cache.stored, warm.cache.quarantined),
+        (1, 1, 1, 0)
+    );
+    // Fully healed: a third run is pure hits and byte-identical to the
+    // second (whose recomputed record it now serves).
+    let healed = runner(&dir).run(&grid).unwrap();
+    assert_eq!((healed.cache.hits, healed.cache.misses), (2, 0));
+    assert_eq!(
+        warm.report.to_json_pretty().unwrap(),
+        healed.report.to_json_pretty().unwrap(),
+    );
+}
+
+/// A torn-but-committed record (injected short write, the shape a crash
+/// under relaxed durability can leave): the put "succeeds", but the read
+/// path quarantines the damage and the runner recomputes — the torn bytes
+/// are never served as results.
+#[test]
+fn injected_short_write_is_quarantined_on_read_not_served() {
+    use register_relocation::store::PutFault;
+
+    let dir = TempDir::new("shortwrite");
+    let grid = mini_grid(28);
+
+    let store = cache::open_store(&dir.0).unwrap();
+    let cold_runner = SweepRunner::new(1).with_progress(false).with_store(Some(store));
+    cold_runner.store().unwrap().inject_put_fault(PutFault::ShortWrite);
+    let cold = cold_runner.run(&grid).unwrap();
+    // The torn write is invisible to the writer: both persists report
+    // success. That is exactly why the read path must stay paranoid.
+    assert_eq!((cold.cache.misses, cold.cache.stored), (2, 2));
+
+    let warm = runner(&dir).run(&grid).unwrap();
+    assert_eq!(
+        (warm.cache.hits, warm.cache.misses, warm.cache.quarantined, warm.cache.stored),
+        (1, 1, 1, 1),
+        "torn record quarantined and recomputed, intact record served"
+    );
+    let store = cache::open_store(&dir.0).unwrap();
+    assert_eq!(store.stats().unwrap().quarantined, 1, "damage moved aside, not deleted");
+
+    // The recomputed science equals a storeless run — nothing torn leaked
+    // into the results.
+    let plain = SweepRunner::new(1).with_progress(false).run(&grid).unwrap();
+    for (w, p) in warm.report.points.iter().zip(&plain.report.points) {
+        assert_eq!(w.figure, p.figure);
+        assert_eq!(w.fixed, p.fixed);
+        assert_eq!(w.flexible, p.flexible);
+    }
+
+    // And the store is healthy again: pure hits from here on.
+    let healed = runner(&dir).run(&grid).unwrap();
+    assert_eq!((healed.cache.hits, healed.cache.quarantined), (2, 0));
+}
+
 /// The canonical spec serialization (and therefore every stored key) must
 /// never drift silently: a fixed spec under a fixed salt hashes to a fixed
 /// address. If this test fails, a format change invalidated every existing

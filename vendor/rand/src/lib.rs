@@ -146,6 +146,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's raw xoshiro256++ state, for checkpointing.
+        /// Feeding it back through [`SmallRng::from_state`] reproduces the
+        /// exact remaining stream.
+        pub fn to_state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`SmallRng::to_state`] output.
+        ///
+        /// An all-zero state is a fixed point of xoshiro256++ and cannot
+        /// come from `to_state`, so it is nudged the same way seeding does.
+        pub fn from_state(mut s: [u64; 4]) -> SmallRng {
+            if s == [0; 4] {
+                s[0] = 0x1;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
