@@ -19,6 +19,8 @@
 //!                                         run or check the pinned perf suite
 //! rr serve [--addr <a>] [--workers <n>] [--queue-cap <n>] [--rate-budget <n>]
 //!                                         run the sweep-job HTTP daemon
+//! rr top   [--addr <a>] [--interval-secs <n>] [--count <n>]
+//!                                         live latency/queue view of a daemon
 //! ```
 //!
 //! Every subcommand also accepts `--log-level <level>` (stderr filter,
@@ -86,7 +88,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], metrics_out.as_deref()),
+        Some("top") => cmd_top(&args[1..]),
         Some("help") | None => {
             if args.iter().any(|a| a == "--list") {
                 // Bare subcommand names, one per line, for shell completion.
@@ -137,7 +140,7 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
 /// shell completion.
 const SUBCOMMANDS: &[&str] = &[
     "asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache",
-    "bench", "serve", "help",
+    "bench", "serve", "top", "help",
 ];
 
 const USAGE: &str = "\
@@ -156,6 +159,7 @@ rr — register-relocation toolchain
   rr bench [--quick] [--check] [--tolerance <f>] [--iterations <n>] [--baseline <path>]
   rr serve [--addr <a>] [--workers <n>] [--queue-cap <n>] [--sim-jobs <n>]
            [--rate-budget <n>] [--rate-refill <n>] [--no-rate] [--store <dir>]
+  rr top   [--addr <a>] [--interval-secs <n>] [--count <n>]
   rr help [--list]
 
 Global flags (any subcommand): --log-level <error|warn|info|debug|off>
@@ -181,7 +185,9 @@ instead of starting over. Results are bit-identical with or without
 checkpoints; damaged checkpoints degrade to recomputation from cycle 0.
 Serving: rr serve runs a long-lived HTTP daemon accepting sweep jobs
 (POST /jobs), deduping them against the result store, and answering
-/health and /metrics — see `rr serve --help`.
+/health and /metrics — see `rr serve --help`. rr top polls a running
+daemon's /metrics?format=prometheus and renders live per-endpoint
+p50/p95/p99 latencies plus queue depth — see `rr top --help`.
 Benching: rr bench runs the pinned perf suite and writes the next
 BENCH_<seq>.json; rr bench --check reruns it and exits nonzero if cycle
 invariants changed or wall clock regressed beyond --tolerance (default
@@ -291,11 +297,22 @@ by any run against the same store are served from it without simulating.
 
 API: POST /jobs {\"kind\": \"fig5\"|\"fig6\"|\"homogeneous\", \"file\"?, \"seed\"?,
 \"threads\"?, \"work\"?, \"context\"?} -> job ticket; GET /jobs; GET /jobs/<id>;
-GET /jobs/<id>/result; DELETE /jobs/<id> (cancel while queued, drop when
-terminal, 409 while running); GET /health; GET /metrics; PUT /shutdown
-(graceful: drains accepted jobs before exiting). Over-budget clients get
-429 with a Retry-After; /health, /metrics, and /shutdown are never rate
-limited. A request not delivered within the read deadline gets 408.
+GET /jobs/<id>/result; GET /jobs/<id>/timeline (Chrome/Perfetto trace of
+the job's spans: queue wait, per-point compute, store traffic — load it
+at ui.perfetto.dev); DELETE /jobs/<id> (cancel while queued, drop when
+terminal, 409 while running); GET /health (includes journal entry and
+compaction stats); GET /metrics (JSON snapshot; ?format=prometheus for
+text exposition 0.0.4 with latency histograms); PUT /shutdown (graceful:
+drains accepted jobs before exiting). Over-budget clients get 429 with a
+Retry-After; /health, /metrics, and /shutdown are never rate limited. A
+request not delivered within the read deadline gets 408.
+
+Observability: every request gets a trace id; all log lines emitted while
+handling it (and while its job runs) carry `trace=<id>`, and the id is in
+the job's status body. The global `--metrics-out <path>` flag makes the
+daemon flush its metrics snapshot to the path every second (atomically,
+on top of the write-on-exit every subcommand does). `rr top` renders the
+daemon's latency histograms live.
 
 Example
 
@@ -710,12 +727,18 @@ fn resolve_store(args: &[String]) -> Option<Store> {
     }
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String], metrics_out: Option<&str>) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
         print!("{}", SERVE_USAGE);
         return Ok(());
     }
-    let mut opts = register_relocation::serve::ServeOptions::default();
+    // The global --metrics-out flag is write-on-exit for one-shot
+    // subcommands; a daemon also flushes it periodically so scrapers see
+    // live counters without waiting for shutdown.
+    let mut opts = register_relocation::serve::ServeOptions {
+        metrics_out: metrics_out.map(PathBuf::from),
+        ..Default::default()
+    };
     if let Some(v) = flag_value(args, "--addr") {
         opts.addr = v;
     }
@@ -788,6 +811,241 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     register_relocation::serve::run_serve(&opts, None)
 }
 
+const TOP_USAGE: &str = "\
+rr top — live latency view of a running daemon
+
+  rr top [flags]
+
+Polls a daemon's GET /metrics?format=prometheus and renders, per span
+kind, the recorded count plus p50/p95/p99 latency (histogram bucket
+upper bounds, so quantiles are conservative), alongside the current
+queue depth. Endpoint rows cover whole requests; the others (queue_wait,
+point_compute, store_get/put, journal_append, ...) break a job's time
+down by stage.
+
+  --addr <a>           daemon address (default 127.0.0.1:8553)
+  --interval-secs <n>  seconds between refreshes (default 2)
+  --count <n>          exit after n refreshes (default 0 = until ^C)
+
+Example
+
+  rr serve --addr 127.0.0.1:8553 --workers 2 --store &
+  rr top --interval-secs 1
+";
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        print!("{}", TOP_USAGE);
+        return Ok(());
+    }
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8553".to_string());
+    let interval = match flag_value(args, "--interval-secs") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad interval `{v}`"))?,
+        None => 2,
+    };
+    let count = match flag_value(args, "--count") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad refresh count `{v}`"))?,
+        None => 0,
+    };
+    let mut refreshes = 0u64;
+    loop {
+        let body = http_get_text(&addr, "/metrics?format=prometheus")?;
+        let view = TopView::parse(&body);
+        refreshes += 1;
+        if refreshes > 1 {
+            println!();
+        }
+        print!("{}", view.render(&addr));
+        if count != 0 && refreshes >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
+    }
+}
+
+/// One HTTP/1.1 GET against the daemon, returning the body on a 200.
+///
+/// The daemon closes the connection after each response, so reading to
+/// EOF (after the blank line) is the framing — no chunked decoding or
+/// Content-Length tracking needed.
+fn http_get_text(addr: &str, path_and_query: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e} (is `rr serve` running?)"))?;
+    let deadline = Some(std::time::Duration::from_secs(5));
+    stream.set_read_timeout(deadline).map_err(|e| format!("socket setup: {e}"))?;
+    stream.set_write_timeout(deadline).map_err(|e| format!("socket setup: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {addr} (no header terminator)"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}: `{status_line}`"))?;
+    if status != 200 {
+        return Err(format!("daemon at {addr} answered {status} for {path_and_query}"));
+    }
+    Ok(body.to_string())
+}
+
+/// A latency histogram reconstructed from Prometheus text exposition:
+/// cumulative `le` buckets (`None` = +Inf) plus the exact count and sum.
+struct HistView {
+    kind: String,
+    count: u64,
+    sum_nanos: u64,
+    /// `(upper_bound_nanos, cumulative_count)`, in exposition order.
+    buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl HistView {
+    /// Upper bound (in nanos) of the bucket containing quantile `q`;
+    /// `None` when it lands in the +Inf bucket or nothing was recorded.
+    fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        self.buckets
+            .iter()
+            .find(|(_, cum)| *cum >= target)
+            .and_then(|(bound, _)| *bound)
+    }
+}
+
+/// Everything `rr top` shows for one refresh, parsed from one scrape.
+struct TopView {
+    histograms: Vec<HistView>,
+    queue_depth: Option<u64>,
+}
+
+impl TopView {
+    /// Parses the daemon's text exposition. Unknown lines are skipped, so
+    /// new metric families never break an older `rr top`.
+    fn parse(text: &str) -> TopView {
+        fn hist(histograms: &mut Vec<HistView>, kind: &str) -> usize {
+            if let Some(i) = histograms.iter().position(|h| h.kind == kind) {
+                return i;
+            }
+            histograms.push(HistView {
+                kind: kind.to_string(),
+                count: 0,
+                sum_nanos: 0,
+                buckets: Vec::new(),
+            });
+            histograms.len() - 1
+        }
+        let mut histograms: Vec<HistView> = Vec::new();
+        let mut queue_depth = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name_and_labels, value)) = line.rsplit_once(' ') else { continue };
+            let Ok(value) = value.parse::<u64>() else { continue };
+            if name_and_labels == "rr_serve_queue_depth" {
+                queue_depth = Some(value);
+                continue;
+            }
+            let Some(rest) = name_and_labels.strip_prefix("rr_span_") else { continue };
+            if let Some((kind_part, labels)) = rest.split_once('{') {
+                let Some(kind) = kind_part.strip_suffix("_nanos_bucket") else { continue };
+                let Some(le) = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                else {
+                    continue;
+                };
+                let bound = if le == "+Inf" {
+                    None
+                } else {
+                    match le.parse::<u64>() {
+                        Ok(b) => Some(b),
+                        Err(_) => continue,
+                    }
+                };
+                let i = hist(&mut histograms, kind);
+                histograms[i].buckets.push((bound, value));
+            } else if let Some(kind) = rest.strip_suffix("_nanos_count") {
+                let i = hist(&mut histograms, kind);
+                histograms[i].count = value;
+            } else if let Some(kind) = rest.strip_suffix("_nanos_sum") {
+                let i = hist(&mut histograms, kind);
+                histograms[i].sum_nanos = value;
+            }
+        }
+        TopView { histograms, queue_depth }
+    }
+
+    fn render(&self, addr: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let depth = match self.queue_depth {
+            Some(d) => d.to_string(),
+            None => "?".to_string(),
+        };
+        let _ = writeln!(out, "rr top — {addr} — queue depth {depth}");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "span", "count", "p50", "p95", "p99", "mean"
+        );
+        for h in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let q = |q: f64| match h.quantile(q) {
+                Some(nanos) => fmt_nanos(nanos),
+                None => ">17s".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                h.kind,
+                h.count,
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                fmt_nanos(h.sum_nanos / h.count)
+            );
+        }
+        if self.histograms.iter().all(|h| h.count == 0) {
+            let _ = writeln!(out, "  (no spans recorded yet — submit a job or hit an endpoint)");
+        }
+        out
+    }
+}
+
+/// Renders a nanosecond latency at a glance: `840ns`, `3.2µs`, `17ms`, `2.4s`.
+fn fmt_nanos(nanos: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", n / 1e6)
+    } else {
+        format!("{:.1}s", n / 1e9)
+    }
+}
+
 fn cmd_cache(args: &[String]) -> Result<(), String> {
     let action = args
         .first()
@@ -848,7 +1106,7 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{SUBCOMMANDS, USAGE};
+    use super::{fmt_nanos, TopView, SUBCOMMANDS, USAGE};
 
     /// Extracts the `Some("...")` subcommand patterns between the dispatch
     /// markers of this very source file. Scoped by the markers because
@@ -889,5 +1147,62 @@ mod tests {
                 "subcommand `{sub}` is missing from the usage text"
             );
         }
+    }
+
+    /// A miniature scrape in the daemon's exact exposition shape: one
+    /// histogram family plus the queue-depth gauge, with comment and
+    /// unknown lines that must be skipped.
+    const SCRAPE: &str = "\
+# HELP rr_span_endpoint_health_nanos latency of GET /health
+# TYPE rr_span_endpoint_health_nanos histogram
+rr_span_endpoint_health_nanos_bucket{le=\"16\"} 0
+rr_span_endpoint_health_nanos_bucket{le=\"1024\"} 6
+rr_span_endpoint_health_nanos_bucket{le=\"2048\"} 9
+rr_span_endpoint_health_nanos_bucket{le=\"+Inf\"} 10
+rr_span_endpoint_health_nanos_sum 12000
+rr_span_endpoint_health_nanos_count 10
+rr_serve_queue_depth 3
+rr_serve_requests_total 42
+not a metric line
+";
+
+    #[test]
+    fn top_view_parses_histograms_and_queue_depth() {
+        let view = TopView::parse(SCRAPE);
+        assert_eq!(view.queue_depth, Some(3));
+        assert_eq!(view.histograms.len(), 1);
+        let h = &view.histograms[0];
+        assert_eq!(h.kind, "endpoint_health");
+        assert_eq!(h.count, 10);
+        assert_eq!(h.sum_nanos, 12_000);
+        assert_eq!(h.buckets.len(), 4);
+        // p50: target 5 of 10 → first bucket with cum >= 5 is le=1024.
+        assert_eq!(h.quantile(0.50), Some(1024));
+        // p95: target 10 → only +Inf reaches it → None (render shows >17s).
+        assert_eq!(h.quantile(0.95), None);
+        // p80: target 8 → le=2048.
+        assert_eq!(h.quantile(0.80), Some(2048));
+
+        let rendered = view.render("127.0.0.1:1");
+        assert!(rendered.contains("queue depth 3"), "{rendered}");
+        assert!(rendered.contains("endpoint_health"), "{rendered}");
+        assert!(rendered.contains(">17s"), "{rendered}");
+    }
+
+    #[test]
+    fn top_view_survives_an_empty_scrape() {
+        let view = TopView::parse("");
+        assert_eq!(view.queue_depth, None);
+        assert!(view.histograms.is_empty());
+        let rendered = view.render("127.0.0.1:1");
+        assert!(rendered.contains("no spans recorded yet"), "{rendered}");
+    }
+
+    #[test]
+    fn fmt_nanos_picks_the_readable_unit() {
+        assert_eq!(fmt_nanos(840), "840ns");
+        assert_eq!(fmt_nanos(3_200), "3.2µs");
+        assert_eq!(fmt_nanos(17_000_000), "17.0ms");
+        assert_eq!(fmt_nanos(2_400_000_000), "2.4s");
     }
 }

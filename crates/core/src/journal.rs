@@ -30,11 +30,13 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use rr_telemetry::warn;
+use rr_telemetry::{warn, METRICS};
 
 /// Version stamped into every record; replay skips records from a future
 /// schema instead of misreading them.
@@ -135,6 +137,9 @@ pub struct ReplaySummary {
 pub struct JobJournal {
     path: PathBuf,
     file: Mutex<File>,
+    /// Records on disk: what was already there at open plus every
+    /// successful append since. Feeds `/health`'s journal statistics.
+    entries: AtomicU64,
 }
 
 impl JobJournal {
@@ -149,8 +154,22 @@ impl JobJournal {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             fs::create_dir_all(parent)?;
         }
+        let existing = match fs::read_to_string(path) {
+            Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+            Err(_) => 0,
+        };
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(JobJournal { path: path.to_path_buf(), file: Mutex::new(file) })
+        Ok(JobJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            entries: AtomicU64::new(existing),
+        })
+    }
+
+    /// Records on disk: lines present when the journal was opened plus
+    /// every successful [`JobJournal::append`] since.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// Where this journal lives.
@@ -169,10 +188,18 @@ impl JobJournal {
         let mut line = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         line.push('\n');
-        let mut file = self.file.lock().expect("journal lock");
-        file.write_all(line.as_bytes())?;
-        file.flush()?;
-        file.sync_data()
+        let started = Instant::now();
+        let result = {
+            let mut file = self.file.lock().expect("journal lock");
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.flush())
+                .and_then(|()| file.sync_data())
+        };
+        METRICS.spans.journal_append.observe_since(started);
+        if result.is_ok() {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Reads every intact record from `path`. Infallible by design: a
@@ -367,5 +394,21 @@ mod tests {
         let journal = JobJournal::open(&path).unwrap();
         journal.append(&JournalRecord::finished_ok(5, "r".into())).unwrap();
         assert_eq!(JobJournal::replay(&path).records.len(), 2);
+    }
+
+    #[test]
+    fn entries_counts_prior_lines_plus_appends() {
+        let dir = TempDir::new("entries");
+        let path = dir.file("jobs.jsonl");
+        let journal = JobJournal::open(&path).unwrap();
+        assert_eq!(journal.entries(), 0, "fresh journal is empty");
+        journal.append(&JournalRecord::submitted(1, "a", "fa", "{}".into())).unwrap();
+        journal.append(&JournalRecord::finished_ok(1, "r".into())).unwrap();
+        assert_eq!(journal.entries(), 2);
+        // Reopening counts what is already on disk.
+        let reopened = JobJournal::open(&path).unwrap();
+        assert_eq!(reopened.entries(), 2);
+        reopened.append(&JournalRecord::expired(1)).unwrap();
+        assert_eq!(reopened.entries(), 3);
     }
 }

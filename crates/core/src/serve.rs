@@ -47,7 +47,7 @@
 //! release their fingerprints for resubmission.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -62,7 +62,8 @@ use rr_serve::{
     ServiceHealth, StatusCode, StopHandle, SubmitError,
 };
 use rr_store::Fingerprint;
-use rr_telemetry::{info, warn, METRICS};
+use rr_telemetry::span::{self, TimelineSpan};
+use rr_telemetry::{info, warn, LatencyHistogram, TraceId, METRICS};
 
 /// Re-exported so daemon embedders can configure rate limiting without
 /// depending on `rr-serve` directly.
@@ -93,6 +94,9 @@ pub struct ServeOptions {
     /// Engine-snapshot stride (simulated cycles) for in-flight sweep legs;
     /// requires a store. `None` disables checkpointing.
     pub checkpoint_every: Option<u64>,
+    /// Periodically flush the telemetry registry snapshot (deterministic
+    /// JSON) to this path while the daemon runs; `None` disables flushing.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -107,6 +111,7 @@ impl Default for ServeOptions {
             journal: None,
             job_ttl: None,
             checkpoint_every: None,
+            metrics_out: None,
         }
     }
 }
@@ -247,6 +252,19 @@ pub struct HealthBody {
     pub service: ServiceHealth,
     /// Store statistics, `null` when running uncached.
     pub store: Option<CacheStatsReport>,
+    /// Journal statistics, `null` when running without a journal.
+    pub journal: Option<JournalHealth>,
+}
+
+/// The journal half of `GET /health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHealth {
+    /// Records in the journal file: what the startup compaction left plus
+    /// every append since.
+    pub entries: u64,
+    /// Records the startup compaction rewrote the journal down to (`0`
+    /// when no compaction was needed).
+    pub compacted_records: u64,
 }
 
 /// One queued sweep: the expanded grid (the fingerprint lives on the queue
@@ -264,6 +282,8 @@ struct ServeHandler {
     workers: usize,
     started: Instant,
     journal: Option<Arc<JobJournal>>,
+    /// Records the startup compaction rewrote the journal down to.
+    compacted_records: u64,
 }
 
 /// Appends one journal record, warning instead of failing: a sick journal
@@ -442,8 +462,63 @@ impl ServeHandler {
                     jobs: counts,
                 },
                 store,
+                journal: self.journal.as_ref().map(|j| JournalHealth {
+                    entries: j.entries(),
+                    compacted_records: self.compacted_records,
+                }),
             }),
         )
+    }
+
+    fn job_timeline(&self, id_raw: &str) -> Response {
+        let Ok(id) = id_raw.parse::<u64>() else {
+            return Response::error(StatusCode::BadRequest, &format!("bad job id `{id_raw}`"));
+        };
+        let Some(snap) = self.queue.job(id) else {
+            return Response::error(StatusCode::NotFound, &format!("no job {id}"));
+        };
+        match self.queue.timeline(id) {
+            Some(timeline) => Response::json(StatusCode::Ok, timeline.as_bytes().to_vec()),
+            None => Response::error(
+                StatusCode::Conflict,
+                &format!(
+                    "job {id} is {}; its timeline appears once it has run",
+                    snap.state.as_str()
+                ),
+            ),
+        }
+    }
+
+    fn metrics(&self, req: &Request) -> Response {
+        match req.query_param("format") {
+            Some("prometheus") => Response::text(
+                StatusCode::Ok,
+                "text/plain; version=0.0.4",
+                span::prometheus_text(&METRICS).into_bytes(),
+            ),
+            Some(other) => Response::error(
+                StatusCode::BadRequest,
+                &format!("unknown metrics format `{other}`; expected `prometheus`"),
+            ),
+            None => Response::json(StatusCode::Ok, METRICS.snapshot().to_json_pretty()),
+        }
+    }
+
+    /// The latency histogram this request's endpoint feeds. Resolution is
+    /// by route shape, not outcome, so a 404'd job id still counts toward
+    /// its endpoint family.
+    fn endpoint_histogram(req: &Request) -> &'static LatencyHistogram {
+        let spans = &METRICS.spans;
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/health") => &spans.endpoint_health,
+            (Method::Get, "/metrics") => &spans.endpoint_metrics,
+            (Method::Put, "/shutdown") => &spans.endpoint_shutdown,
+            (Method::Post, "/jobs") => &spans.endpoint_jobs_submit,
+            (Method::Get, "/jobs") => &spans.endpoint_jobs_read,
+            (Method::Get, p) if p.starts_with("/jobs/") => &spans.endpoint_jobs_read,
+            (Method::Delete, p) if p.starts_with("/jobs/") => &spans.endpoint_jobs_cancel,
+            _ => &spans.endpoint_other,
+        }
     }
 
     fn shutdown(&self) -> Response {
@@ -459,6 +534,15 @@ impl ServeHandler {
 
 impl Handler for ServeHandler {
     fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let response = self.route(req);
+        ServeHandler::endpoint_histogram(req).observe_since(started);
+        response
+    }
+}
+
+impl ServeHandler {
+    fn route(&self, req: &Request) -> Response {
         match (req.method, req.path.as_str()) {
             (Method::Post, "/jobs") => self.submit(req),
             (Method::Get, "/jobs") => Response::json(
@@ -468,14 +552,15 @@ impl Handler for ServeHandler {
                 }),
             ),
             (Method::Get, "/health") => self.health(),
-            (Method::Get, "/metrics") => {
-                Response::json(StatusCode::Ok, METRICS.snapshot().to_json_pretty())
-            }
+            (Method::Get, "/metrics") => self.metrics(req),
             (Method::Put, "/shutdown") => self.shutdown(),
             (Method::Get, path) => match path.strip_prefix("/jobs/") {
                 Some(rest) => match rest.strip_suffix("/result") {
                     Some(id) => self.job_result(id),
-                    None => self.job_status(rest),
+                    None => match rest.strip_suffix("/timeline") {
+                        Some(id) => self.job_timeline(id),
+                        None => self.job_status(rest),
+                    },
                 },
                 None => Response::error(StatusCode::NotFound, &format!("no route for {path}")),
             },
@@ -500,13 +585,19 @@ impl Handler for ServeHandler {
 /// snapshots land in the store at that cycle stride, so a killed daemon's
 /// re-adopted jobs resume points mid-simulation instead of from cycle 0.
 fn execute_sweep(
+    id: u64,
     job: &SweepJob,
     progress: Arc<ProgressCells>,
     store_dir: Option<&PathBuf>,
     sim_jobs: usize,
     checkpoint_every: Option<u64>,
+    queue: &JobQueue<SweepJob>,
 ) -> Result<String, String> {
     progress.set_total(job.grid.len() as u64);
+    // The cells were created when the job was accepted, so this is the
+    // job's queue wait — lane 0 of its timeline.
+    let queue_wait_nanos = progress.accepted_ago_nanos();
+    info!("serve", "job {id}: running {} point(s)", job.grid.len());
     let store = store_dir.and_then(|dir| match cache::open_store(dir) {
         Ok(store) => Some(store),
         Err(e) => {
@@ -516,14 +607,106 @@ fn execute_sweep(
     });
     let checkpoint_every = if store.is_some() { checkpoint_every } else { None };
     let cells = Arc::clone(&progress);
+    let run_started = Instant::now();
+    // Per-point completion events, stamped with their offset from run
+    // start; the timeline builder turns them into Perfetto spans.
+    let events: Arc<Mutex<Vec<(PointOutcome, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let observer_events = Arc::clone(&events);
     let runner = SweepRunner::new(sim_jobs)
         .with_progress(false)
         .with_store(store)
         .with_checkpoint_every(checkpoint_every)
-        .with_observer(Arc::new(move |o: PointOutcome| cells.record_point(o.cached)));
-    let run = runner.run(&job.grid)?;
+        .with_observer(Arc::new(move |o: PointOutcome| {
+            cells.record_point(o.cached);
+            let at = u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            observer_events.lock().expect("events lock").push((o, at));
+        }));
+    let run = runner.run(&job.grid);
+    let run_nanos = u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let label = queue.job(id).map(|s| s.label).unwrap_or_default();
+    let timeline = job_timeline_json(
+        id,
+        &label,
+        span::current(),
+        queue_wait_nanos,
+        run_nanos,
+        &events.lock().expect("events lock"),
+    );
+    queue.set_timeline(id, timeline);
+    let run = run?;
+    info!(
+        "serve",
+        "job {id}: finished in {:.1}ms ({} cache hit(s))",
+        run_nanos as f64 / 1e6,
+        run.cache.hits
+    );
     // Exactly the bytes `rr fig5 --json <path>` writes for this grid.
     run.report.to_json_pretty().map_err(|e| e.to_string())
+}
+
+/// Renders one job's execution as a Chrome/Perfetto trace: lane 0 holds
+/// the lifecycle ("queue wait" then "run", which together span the job's
+/// whole wall clock), and the remaining lanes hold one span per completed
+/// point plus its store traffic (the lookup that served a cached point,
+/// the persist that stored a computed one).
+fn job_timeline_json(
+    id: u64,
+    label: &str,
+    trace: Option<TraceId>,
+    queue_wait_nanos: u64,
+    run_nanos: u64,
+    events: &[(PointOutcome, u64)],
+) -> String {
+    let qw_us = queue_wait_nanos / 1_000;
+    let mut spans = vec![
+        TimelineSpan { name: "queue wait".to_string(), start_us: 0, dur_us: qw_us, lane: Some(0) },
+        TimelineSpan {
+            name: "run".to_string(),
+            start_us: qw_us,
+            dur_us: run_nanos / 1_000,
+            lane: Some(0),
+        },
+    ];
+    for (o, at) in events {
+        let end_us = qw_us + at / 1_000;
+        let dur_us = o.wall_nanos / 1_000;
+        let start_us = end_us.saturating_sub(dur_us);
+        let name = if o.cached {
+            format!("point {} (cached)", o.index)
+        } else {
+            format!("point {}", o.index)
+        };
+        spans.push(TimelineSpan { name, start_us, dur_us, lane: None });
+        if o.store_nanos > 0 {
+            let store_dur = o.store_nanos / 1_000;
+            // A cached point's store traffic is the lookup at its start; a
+            // computed point's is the persist at its end.
+            let (store_name, store_start) = if o.cached {
+                (format!("store get {}", o.index), start_us)
+            } else {
+                (format!("store put {}", o.index), end_us.saturating_sub(store_dur))
+            };
+            spans.push(TimelineSpan {
+                name: store_name,
+                start_us: store_start,
+                dur_us: store_dur,
+                lane: None,
+            });
+        }
+    }
+    let wall_us = (queue_wait_nanos + run_nanos) / 1_000;
+    let trace_json =
+        trace.map(|t| span::json_string(&t.to_string())).unwrap_or_else(|| "null".to_string());
+    span::chrome_timeline_json(
+        &format!("rr-serve job {id}"),
+        &spans,
+        &[
+            ("job_id", id.to_string()),
+            ("label", span::json_string(label)),
+            ("trace_id", trace_json),
+            ("wall_us", wall_us.to_string()),
+        ],
+    )
 }
 
 /// Folds replayed journal records into the jobs a restarted queue should
@@ -653,6 +836,7 @@ pub fn run_serve(
     // Replay the journal first (re-adopting work a crashed predecessor had
     // accepted), compact it, and only then open it for appending — the
     // compaction rename must not race an already-open append handle.
+    let mut compacted_records = 0u64;
     if let Some(path) = &opts.journal {
         let replay = JobJournal::replay(path);
         if replay.skipped > 0 {
@@ -665,7 +849,9 @@ pub fn run_serve(
         }
         let (restored, max_id) = reduce_journal(replay.records);
         if !restored.is_empty() || replay.skipped > 0 {
-            if let Err(e) = JobJournal::rewrite(path, &compaction_records(&restored)) {
+            let records = compaction_records(&restored);
+            compacted_records = records.len() as u64;
+            if let Err(e) = JobJournal::rewrite(path, &records) {
                 warn!("serve", "cannot compact journal `{}`: {e}; continuing", path.display());
             }
         }
@@ -698,8 +884,20 @@ pub fn run_serve(
     let sim_jobs = opts.sim_jobs;
     let checkpoint_every = opts.checkpoint_every;
     let worker_journal = journal.clone();
+    // The executor holds its own handle to the queue to attach timelines;
+    // no cycle, since the queue never owns the executor (only the worker
+    // threads do, and they exit at shutdown).
+    let timeline_queue = Arc::clone(&queue);
     let worker_handles = queue.spawn_workers(opts.workers, move |id, job, progress| {
-        let outcome = execute_sweep(job, progress, store_dir.as_ref(), sim_jobs, checkpoint_every);
+        let outcome = execute_sweep(
+            id,
+            job,
+            progress,
+            store_dir.as_ref(),
+            sim_jobs,
+            checkpoint_every,
+            &timeline_queue,
+        );
         let record = match &outcome {
             Ok(result) => JournalRecord::finished_ok(id, result.clone()),
             Err(error) => JournalRecord::finished_err(id, error.clone()),
@@ -725,6 +923,30 @@ pub fn run_serve(
         })
     });
 
+    // Periodic registry flush: the on-disk snapshot trails the live
+    // registry by at most a second, and a final flush lands after the
+    // accept loop closes so the file reflects the whole run.
+    let metrics_flusher = opts.metrics_out.as_ref().map(|path| {
+        let path = path.clone();
+        let stop = server.stop_handle();
+        std::thread::spawn(move || {
+            loop {
+                if let Err(e) = std::fs::write(&path, METRICS.snapshot().to_json_pretty()) {
+                    warn!("serve", "cannot flush metrics to `{}`: {e}", path.display());
+                }
+                if stop.is_triggered() {
+                    break;
+                }
+                for _ in 0..5 {
+                    if stop.is_triggered() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+        })
+    });
+
     let handler = ServeHandler {
         queue: Arc::clone(&queue),
         store_dir: opts.store_dir.clone(),
@@ -733,6 +955,7 @@ pub fn run_serve(
         workers: opts.workers.max(1),
         started: Instant::now(),
         journal,
+        compacted_records,
     };
     server.serve(&handler);
     // The accept loop is closed; finish every accepted job before exiting.
@@ -743,6 +966,16 @@ pub fn run_serve(
     }
     if let Some(handle) = janitor {
         let _ = handle.join();
+    }
+    if let Some(handle) = metrics_flusher {
+        let _ = handle.join();
+        // One last flush now the drain is complete, so the file carries
+        // the run's final counters.
+        if let Some(path) = &opts.metrics_out {
+            if let Err(e) = std::fs::write(path, METRICS.snapshot().to_json_pretty()) {
+                warn!("serve", "cannot flush final metrics to `{}`: {e}", path.display());
+            }
+        }
     }
     let counts = queue.counts();
     info!(
@@ -888,5 +1121,72 @@ mod tests {
         let label = parse(r#"{"kind": "fig5", "file": 64, "threads": 8, "work": 2000}"#).label();
         assert_eq!(label, "fig5 F=64 seed=1993 threads=8 work=2000");
         assert_eq!(parse(r#"{"kind": "fig6"}"#).label(), "fig6 seed=1993");
+    }
+
+    #[test]
+    fn job_timelines_balance_and_lane_zero_spans_the_wall_clock() {
+        let events = vec![
+            (
+                PointOutcome { index: 0, cached: false, wall_nanos: 4_000_000, store_nanos: 500_000 },
+                4_000_000,
+            ),
+            (
+                PointOutcome { index: 1, cached: true, wall_nanos: 300_000, store_nanos: 300_000 },
+                4_300_000,
+            ),
+            (PointOutcome { index: 2, cached: false, wall_nanos: 5_000_000, store_nanos: 0 }, 9_300_000),
+        ];
+        let trace = rr_telemetry::TraceId::from_u64(0xabc);
+        let json = job_timeline_json(7, "fig5 F=64", Some(trace), 2_000_000, 10_000_000, &events);
+        let v: serde::Value = serde_json::from_str(&json).expect("timeline is valid JSON");
+
+        let serde::Value::Array(entries) = v.get("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents is not an array");
+        };
+        // Every B has its E: the count splits exactly in half (metadata
+        // events are ph=M).
+        let phases: Vec<String> = entries
+            .iter()
+            .filter_map(|e| match e.get("ph") {
+                Some(serde::Value::Str(p)) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        let begins = phases.iter().filter(|p| *p == "B").count();
+        let ends = phases.iter().filter(|p| *p == "E").count();
+        assert_eq!(begins, ends, "every span opens and closes");
+        // 2 lifecycle + 3 points + 2 store spans (point 2 had no store
+        // traffic).
+        assert_eq!(begins, 7);
+
+        assert_eq!(v.get("otherData").and_then(|o| o.get("wall_us")),
+                   Some(&serde::Value::U64(12_000)));
+        assert_eq!(v.get("otherData").and_then(|o| o.get("trace_id")),
+                   Some(&serde::Value::Str("0000000000000abc".into())));
+        assert_eq!(v.get("otherData").and_then(|o| o.get("job_id")),
+                   Some(&serde::Value::U64(7)));
+
+        // Reconstruct the lifecycle lane's (tid 0) B/E pairs and sum them:
+        // queue wait + run must equal the advertised wall clock exactly.
+        let mut lane0_b: Vec<u64> = Vec::new();
+        let mut lane0_e: Vec<u64> = Vec::new();
+        for e in entries {
+            let (Some(serde::Value::U64(tid)), Some(serde::Value::Str(ph))) =
+                (e.get("tid"), e.get("ph"))
+            else {
+                continue;
+            };
+            if *tid == 0 {
+                let Some(serde::Value::U64(ts)) = e.get("ts") else { continue };
+                match ph.as_str() {
+                    "B" => lane0_b.push(*ts),
+                    "E" => lane0_e.push(*ts),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(lane0_b.len(), 2, "lifecycle lane has queue-wait and run");
+        let total: u64 = lane0_e.iter().sum::<u64>() - lane0_b.iter().sum::<u64>();
+        assert_eq!(total, 12_000, "queue wait + run == wall_us");
     }
 }

@@ -72,6 +72,7 @@ use crate::figures::{
 use rr_sim::{Engine, EngineSnapshot, SimStats, TracedRun};
 use rr_store::{Fingerprint, Lookup, Store, StoreError};
 use rr_telemetry::log::{self, Level};
+use rr_telemetry::span;
 use rr_telemetry::{info, warn, IncMetric, MetricsSnapshot, StoreMetric, METRICS};
 use rr_workload::ContextSizeDist;
 
@@ -425,6 +426,12 @@ pub struct PointOutcome {
     /// Whether the point was served from the result store without running
     /// an engine.
     pub cached: bool,
+    /// Host wall-clock nanoseconds spent handling the point end to end
+    /// (store lookup + simulation + persist).
+    pub wall_nanos: u64,
+    /// Of `wall_nanos`, nanoseconds spent talking to the result store
+    /// (the lookup for cached points, the persist for computed ones).
+    pub store_nanos: u64,
 }
 
 /// Executes [`SweepGrid`]s across a pool of scoped worker threads.
@@ -557,11 +564,17 @@ impl SweepRunner {
         let quarantined = AtomicUsize::new(0);
         let started = Instant::now();
         METRICS.sweep.workers.store(self.jobs as u64);
+        // Capture the caller's trace context (the submitting request, when
+        // running under `rr serve`) so it survives the hop onto the sweep's
+        // own worker threads and per-point logs still carry the trace id.
+        let trace = span::current();
         let results = parallel_map(total, self.jobs, |i| {
+            let _trace_ctx = span::enter_opt(trace);
             METRICS
                 .sweep
                 .queue_wait_nanos
                 .add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let handling_started = Instant::now();
             let p = &points[i];
             let key = self.store.as_ref().and_then(|store| {
                 match cache::point_key(&p.spec, store.salt()) {
@@ -573,12 +586,19 @@ impl SweepRunner {
                 }
             });
             if let (Some(store), Some(key)) = (self.store.as_ref(), key.as_ref()) {
+                let lookup_started = Instant::now();
                 match lookup_point(store, key, p) {
                     PointLookup::Hit(report) => {
+                        let store_nanos = nanos_since(lookup_started);
                         hits.fetch_add(1, Ordering::Relaxed);
                         METRICS.sweep.points_cached.inc();
                         self.progress_line(&completed, total, &report, true);
-                        self.observe(PointOutcome { index: p.index, cached: true });
+                        self.observe(PointOutcome {
+                            index: p.index,
+                            cached: true,
+                            wall_nanos: nanos_since(handling_started),
+                            store_nanos,
+                        });
                         return Ok(*report);
                     }
                     PointLookup::Quarantined => {
@@ -604,6 +624,7 @@ impl SweepRunner {
             let wall_nanos =
                 u64::try_from(point_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             METRICS.sweep.sim_nanos.add(wall_nanos);
+            METRICS.spans.point_compute.record(wall_nanos);
             METRICS.sweep.points_computed.inc();
             let report = PointReport {
                 schema_version: SWEEP_SCHEMA_VERSION,
@@ -622,7 +643,9 @@ impl SweepRunner {
                 flexible_wall_nanos: traced.flexible_wall_nanos,
                 wall_nanos,
             };
+            let mut store_nanos = 0;
             if let (Some(store), Some(key)) = (self.store.as_ref(), key.as_ref()) {
+                let persist_started = Instant::now();
                 match persist_point(store, key, &report) {
                     Ok(()) => {
                         stored.fetch_add(1, Ordering::Relaxed);
@@ -631,9 +654,15 @@ impl SweepRunner {
                         warn!("sweep", "could not store point {i}: {e}");
                     }
                 }
+                store_nanos = nanos_since(persist_started);
             }
             self.progress_line(&completed, total, &report, false);
-            self.observe(PointOutcome { index: p.index, cached: false });
+            self.observe(PointOutcome {
+                index: p.index,
+                cached: false,
+                wall_nanos: nanos_since(handling_started),
+                store_nanos,
+            });
             Ok::<PointReport, String>(report)
         });
         let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -717,10 +746,7 @@ enum PointLookup {
 fn lookup_point(store: &Store, key: &rr_store::Fingerprint, p: &SweepPoint) -> PointLookup {
     let io_started = Instant::now();
     let looked_up = store.get(key);
-    METRICS
-        .sweep
-        .store_io_nanos
-        .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    METRICS.sweep.store_io_nanos.add(METRICS.spans.store_get.observe_since(io_started));
     let payload = match looked_up {
         Ok(Lookup::Hit(bytes)) => bytes,
         Ok(Lookup::Miss) => return PointLookup::Miss,
@@ -780,11 +806,13 @@ fn persist_point(
         .add(u64::try_from(serialize_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     let io_started = Instant::now();
     let result = store.put(key, payload.as_bytes());
-    METRICS
-        .sweep
-        .store_io_nanos
-        .add(u64::try_from(io_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    METRICS.sweep.store_io_nanos.add(METRICS.spans.store_put.observe_since(io_started));
     result
+}
+
+/// Saturating nanoseconds since `started`.
+fn nanos_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Runs one architecture leg under `--checkpoint-every`: the engine

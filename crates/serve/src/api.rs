@@ -59,6 +59,10 @@ pub struct JobStatusBody {
     pub progress: Progress,
     /// Failure message when `state` is `"failed"`, else null.
     pub error: Option<String>,
+    /// Hex trace id of the submitting request (null for jobs restored from
+    /// a journal, which have no live request context). Grep the daemon's
+    /// log for `trace=<id>` to see every line the job emitted.
+    pub trace_id: Option<String>,
 }
 
 impl JobStatusBody {
@@ -71,6 +75,7 @@ impl JobStatusBody {
             fingerprint: s.fingerprint.clone(),
             progress: s.progress,
             error: s.error.clone(),
+            trace_id: s.trace.map(|t| t.to_string()),
         }
     }
 }
@@ -132,9 +137,11 @@ mod tests {
             state: JobState::Failed,
             progress: Progress { total: 4, done: 2, cached: 1 },
             error: Some("bad spec".into()),
+            trace: Some(rr_telemetry::TraceId::from_u64(0xdead_beef)),
         };
         let body = JobStatusBody::from_snapshot(&snap);
         assert_eq!(body.state, "failed");
+        assert_eq!(body.trace_id.as_deref(), Some("00000000deadbeef"));
         let v = serde::Serialize::to_value(&body);
         let back: JobStatusBody = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, body);

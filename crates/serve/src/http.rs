@@ -92,6 +92,8 @@ pub struct Request {
     pub method: Method,
     /// The request target's path component (query string stripped).
     pub path: String,
+    /// The raw query string (without the `?`), if the target had one.
+    pub query: Option<String>,
     /// Raw header `(name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
@@ -105,6 +107,15 @@ impl Request {
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of one `name=value` query parameter, if present. A bare
+    /// `name` token (no `=`) yields an empty value.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (n, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (n == name).then_some(v)
+        })
     }
 
     /// The body as UTF-8 text.
@@ -142,8 +153,12 @@ impl Request {
         }
         let method = Method::parse(method_token)
             .ok_or_else(|| ParseError::UnsupportedMethod(method_token.to_string()))?;
-        // The API ignores query strings; strip them so routing sees a path.
-        let path = target.split('?').next().unwrap_or(target).to_string();
+        // Routing sees the bare path; the query survives separately for
+        // handlers that accept parameters (e.g. `/metrics?format=...`).
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
         if !path.starts_with('/') {
             return Err(ParseError::Malformed(format!("target `{target}` is not absolute")));
         }
@@ -160,7 +175,7 @@ impl Request {
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
 
-        let request = Request { method, path, headers, body: Vec::new() };
+        let request = Request { method, path, query, headers, body: Vec::new() };
         let body_len = match request.header("content-length") {
             Some(raw) => raw
                 .parse::<usize>()
@@ -255,12 +270,15 @@ impl StatusCode {
     }
 }
 
-/// One response, always `Connection: close` and `Content-Type:
-/// application/json` (everything this API says is JSON).
+/// One response, always `Connection: close`. The default content type is
+/// `application/json` (almost everything this API says is JSON); the
+/// Prometheus exposition uses [`Response::text`] to override it.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// The status line's code.
     pub status: StatusCode,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the fixed set (e.g. `Retry-After`).
     pub extra_headers: Vec<(String, String)>,
     /// The response body.
@@ -270,7 +288,22 @@ pub struct Response {
 impl Response {
     /// A JSON response with the given body.
     pub fn json(status: StatusCode, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, extra_headers: Vec::new(), body: body.into() }
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A response with an explicit content type (e.g. `text/plain;
+    /// version=0.0.4` for the Prometheus exposition).
+    pub fn text(
+        status: StatusCode,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> Response {
+        Response { content_type, ..Response::json(status, body) }
     }
 
     /// A JSON error response with an `{"error": ...}` body.
@@ -293,9 +326,10 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nServer: rr-serve\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nServer: rr-serve\r\nConnection: close\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status.code(),
             self.status.reason(),
+            self.content_type,
             self.body.len(),
         )?;
         for (name, value) in &self.extra_headers {
@@ -334,7 +368,21 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.path, "/jobs", "query string is stripped before routing");
+        assert_eq!(req.query.as_deref(), Some("verbose=1"), "but the query survives");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.body_str().unwrap(), "{\"kind\":\"fig5\"}");
+    }
+
+    #[test]
+    fn query_parameters_parse_pairs_and_bare_tokens() {
+        let req = parse("GET /metrics?format=prometheus&debug HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("debug"), Some(""), "bare tokens have empty values");
+        let bare = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.query, None);
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]
@@ -387,6 +435,17 @@ mod tests {
         assert!(text.contains("Content-Length: 21\r\n"));
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"slow down\"}"));
+    }
+
+    #[test]
+    fn text_responses_override_the_content_type() {
+        let mut out = Vec::new();
+        Response::text(StatusCode::Ok, "text/plain; version=0.0.4", "rr_up 1\n")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("\r\n\r\nrr_up 1\n"));
     }
 
     #[test]

@@ -27,7 +27,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rr_telemetry::{IncMetric, StoreMetric, METRICS};
+use rr_telemetry::span::{self, TraceId};
+use rr_telemetry::{debug, IncMetric, StoreMetric, METRICS};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one submitted job. Dense, starting at 1.
@@ -100,14 +101,34 @@ impl serde::Deserialize for JobState {
 ///
 /// The executor learns the point count only after expanding the job's grid,
 /// so `total` starts at 0 and is set once execution begins.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProgressCells {
     total: AtomicU64,
     done: AtomicU64,
     cached: AtomicU64,
+    /// When the cells were created — i.e. when the job was accepted.
+    created: Instant,
+}
+
+impl Default for ProgressCells {
+    fn default() -> Self {
+        ProgressCells {
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+            created: Instant::now(),
+        }
+    }
 }
 
 impl ProgressCells {
+    /// Nanoseconds since the job was accepted. Called at the top of an
+    /// executor this measures the job's queue wait, which is how the
+    /// timeline builder learns it without plumbing an extra argument.
+    pub fn accepted_ago_nanos(&self) -> u64 {
+        u64::try_from(self.created.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// Declares how many points the job will produce.
     pub fn set_total(&self, total: u64) {
         self.total.store(total, Ordering::Relaxed);
@@ -159,6 +180,8 @@ pub struct JobSnapshot {
     pub progress: Progress,
     /// The failure message, when `state` is [`JobState::Failed`].
     pub error: Option<String>,
+    /// Trace context of the submitting request, when one was active.
+    pub trace: Option<TraceId>,
 }
 
 /// Counts of jobs by state, for `/health`.
@@ -259,6 +282,13 @@ struct JobEntry<J> {
     payload: Option<J>,
     /// When the job reached a terminal state (feeds TTL expiry).
     finished_at: Option<Instant>,
+    /// Trace context of the submitting request; the worker re-enters it so
+    /// execution logs correlate with the HTTP request that queued the job.
+    trace: Option<TraceId>,
+    /// When the job was accepted (feeds the queue-wait histogram).
+    submitted_at: Instant,
+    /// Rendered Chrome-trace timeline, attached by the executor.
+    timeline: Option<Arc<String>>,
 }
 
 struct Inner<J> {
@@ -346,6 +376,9 @@ impl<J: Send + 'static> JobQueue<J> {
                 result: None,
                 payload: Some(payload),
                 finished_at: None,
+                trace: span::current(),
+                submitted_at: Instant::now(),
+                timeline: None,
             },
         );
         inner.by_fingerprint.insert(fingerprint, id);
@@ -376,6 +409,23 @@ impl<J: Send + 'static> JobQueue<J> {
     pub fn result(&self, id: JobId) -> Option<Arc<String>> {
         let inner = self.inner.lock().expect("queue lock");
         inner.jobs.get(&id).and_then(|e| e.result.clone())
+    }
+
+    /// Attaches a rendered execution timeline to a job. Executors call this
+    /// just before returning so clients can fetch `/jobs/{id}/timeline`
+    /// once the job is terminal. A no-op for unknown ids (the ticket may
+    /// have been cancelled out from under a slow executor).
+    pub fn set_timeline(&self, id: JobId, timeline: String) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.timeline = Some(Arc::new(timeline));
+        }
+    }
+
+    /// The Chrome-trace timeline of a job, if its executor recorded one.
+    pub fn timeline(&self, id: JobId) -> Option<Arc<String>> {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.jobs.get(&id).and_then(|e| e.timeline.clone())
     }
 
     /// Job counts by state.
@@ -522,6 +572,9 @@ impl<J: Send + 'static> JobQueue<J> {
                     result: job.result.map(Arc::new),
                     payload,
                     finished_at: state.is_terminal().then(Instant::now),
+                    trace: None,
+                    submitted_at: Instant::now(),
+                    timeline: None,
                 },
             );
             if queued {
@@ -580,15 +633,23 @@ impl<J: Send + 'static> JobQueue<J> {
                 entry.state = JobState::Running;
                 let payload = entry.payload.take().expect("queued job has its payload");
                 let progress = Arc::clone(&entry.progress);
+                let trace = entry.trace;
+                METRICS.spans.queue_wait.observe_since(entry.submitted_at);
                 inner.running += 1;
                 drop(inner);
 
+                // Re-enter the submitting request's trace context so every
+                // log line the executor emits carries its trace id.
+                let _trace_ctx = span::enter_opt(trace);
+                debug!("queue", "job {id} claimed");
+                let run_started = Instant::now();
                 // `catch_unwind` so a panicking executor fails one job, not
                 // the worker pool.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     executor(id, &payload, Arc::clone(&progress))
                 }))
                 .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
+                METRICS.spans.worker_run.observe_since(run_started);
 
                 inner = self.inner.lock().expect("queue lock");
                 inner.running -= 1;
@@ -606,6 +667,7 @@ impl<J: Send + 'static> JobQueue<J> {
                         METRICS.serve.jobs_failed.inc();
                     }
                 }
+                debug!("queue", "job {id} {}", entry.state.as_str());
             } else if inner.shutting_down {
                 break;
             } else {
@@ -645,6 +707,7 @@ fn snapshot<J>(id: JobId, e: &JobEntry<J>) -> JobSnapshot {
         state: e.state,
         progress: e.progress.load(),
         error: e.error.clone(),
+        trace: e.trace,
     }
 }
 
@@ -1058,6 +1121,42 @@ mod tests {
         }
         assert_eq!(wait_terminal(&queue, 1).state, JobState::Done);
         assert_eq!(queue.jobs().len(), 1, "exactly one job ever existed");
+        queue.shutdown();
+        queue.join();
+    }
+
+    /// The submitting request's trace context rides the job: it lands in
+    /// the snapshot and the worker re-enters it around the executor.
+    #[test]
+    fn jobs_inherit_and_reenter_the_submitters_trace_context() {
+        let queue: Arc<JobQueue<String>> = JobQueue::new(8);
+        let queue_for_worker = Arc::clone(&queue);
+        queue.spawn_workers(1, move |id, _, _| {
+            let seen = span::current().map(|t| t.to_string()).unwrap_or_default();
+            queue_for_worker.set_timeline(id, format!("timeline of {seen}"));
+            Ok(seen)
+        });
+
+        let trace = span::TraceId::next();
+        let id = {
+            let _ctx = span::enter(trace);
+            queue.submit("traced", "f-t", "x".into()).unwrap().id()
+        };
+        assert_eq!(wait_terminal(&queue, id).trace, Some(trace));
+        assert_eq!(queue.result(id).unwrap().as_str(), trace.to_string());
+        assert_eq!(
+            queue.timeline(id).unwrap().as_str(),
+            format!("timeline of {trace}"),
+            "executors can attach a timeline mid-run"
+        );
+
+        // Without an active context the job carries no trace, and the
+        // worker's thread-local stays clear.
+        let bare = queue.submit("bare", "f-b", "y".into()).unwrap().id();
+        let snap = wait_terminal(&queue, bare);
+        assert_eq!(snap.trace, None);
+        assert_eq!(queue.result(bare).unwrap().as_str(), "");
+        assert_eq!(queue.timeline(999), None, "unknown ids have no timeline");
         queue.shutdown();
         queue.join();
     }

@@ -20,7 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rr_telemetry::{IncMetric, METRICS};
+use rr_telemetry::span::{self, TraceId};
+use rr_telemetry::{debug, IncMetric, METRICS};
 
 use crate::http::{ParseError, Request, Response, StatusCode};
 use crate::limiter::RateLimiter;
@@ -179,7 +180,15 @@ impl Server {
             Err(_) => return,
         };
         let mut reader = BufReader::new(DeadlineReader::new(deadline_stream, self.read_timeout));
-        let response = match Request::read_from(&mut reader) {
+        let read_started = Instant::now();
+        let parsed = Request::read_from(&mut reader);
+        if !matches!(parsed, Err(ParseError::ConnectionClosed)) {
+            // Everything that actually tried to be a request counts toward
+            // read/parse latency — including deadline expiries, whose tail
+            // is exactly what the histogram is for.
+            METRICS.spans.http_read.observe_since(read_started);
+        }
+        let response = match parsed {
             Ok(request) => self.dispatch(&request, peer, handler),
             Err(ParseError::ConnectionClosed) => return,
             Err(ParseError::Io(e)) if is_timeout(&e) => {
@@ -216,6 +225,12 @@ impl Server {
     }
 
     fn dispatch(&self, request: &Request, peer: SocketAddr, handler: &dyn Handler) -> Response {
+        // Every parsed request gets a trace id; while this context is
+        // entered, every log line the request causes carries it. Handlers
+        // that enqueue work propagate the id to the worker (the job queue
+        // captures span::current() at submit).
+        let trace = TraceId::next();
+        let _trace_ctx = span::enter(trace);
         if let Some(limiter) = &self.limiter {
             // Observability and control endpoints bypass the limiter: a
             // saturated service must still be inspectable — and stoppable.
@@ -223,10 +238,13 @@ impl Server {
                 matches!(request.path.as_str(), "/health" | "/metrics" | "/shutdown");
             if !exempt {
                 let client = peer.ip().to_string();
-                let verdict =
-                    limiter.lock().expect("limiter lock").check(&client, self.now_nanos());
+                let verdict = {
+                    let _span = METRICS.spans.limiter_check.start();
+                    limiter.lock().expect("limiter lock").check(&client, self.now_nanos())
+                };
                 if let Err(shed) = verdict {
                     METRICS.serve.rate_limited.inc();
+                    debug!("serve", "{} {} shed by rate limiter", request.method, request.path);
                     return Response::error(
                         StatusCode::TooManyRequests,
                         "rate limit exceeded; slow down",
@@ -241,6 +259,13 @@ impl Server {
         } else {
             METRICS.serve.requests_served.inc();
         }
+        debug!(
+            "serve",
+            "{} {} -> {}",
+            request.method,
+            request.path,
+            response.status.code()
+        );
         response
     }
 }

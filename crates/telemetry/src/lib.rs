@@ -40,9 +40,11 @@
 
 pub mod log;
 pub mod metrics;
+pub mod span;
 
 pub use log::{Level, LOGGER};
 pub use metrics::{
     IncMetric, Metrics, MetricsSnapshot, ServeMetrics, SharedIncMetric, SharedStoreMetric,
     StoreMetric, METRICS,
 };
+pub use span::{LatencyHistogram, SpanMetrics, SpanTimer, TimelineSpan, TraceId};

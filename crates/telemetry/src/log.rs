@@ -134,7 +134,14 @@ impl Logger {
             Level::Info => METRICS.log.lines_info.inc(),
             Level::Debug => METRICS.log.lines_debug.inc(),
         }
-        eprintln!("[{:>11}ns {} {target}] {args}", self.nanos(), level.tag());
+        // A record emitted inside a trace context carries its request's id,
+        // so one grep reconstructs the request across subsystems.
+        match crate::span::current() {
+            Some(trace) => {
+                eprintln!("[{:>11}ns {} {target} trace={trace}] {args}", self.nanos(), level.tag());
+            }
+            None => eprintln!("[{:>11}ns {} {target}] {args}", self.nanos(), level.tag()),
+        }
     }
 }
 

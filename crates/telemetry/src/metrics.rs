@@ -20,6 +20,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::span::SpanMetrics;
+
 /// A counter that can only grow. Incrementing is wait-free.
 pub trait IncMetric {
     /// Adds `n` to the counter.
@@ -324,6 +326,8 @@ pub struct Metrics {
     pub log: LogMetrics,
     /// Experiment-service counters (HTTP, rate limiter, job queue).
     pub serve: ServeMetrics,
+    /// Per-span-kind latency histograms (`crate::span`).
+    pub spans: SpanMetrics,
     /// Result-store traffic.
     pub store: StoreMetrics,
     /// Sweep-runner counters.
@@ -339,6 +343,7 @@ impl Metrics {
         Metrics {
             log: LogMetrics::new(),
             serve: ServeMetrics::new(),
+            spans: SpanMetrics::new(),
             store: StoreMetrics::new(),
             sweep: SweepMetrics::new(),
         }
@@ -351,6 +356,7 @@ impl Metrics {
             groups: vec![
                 MetricGroup { name: "log", values: self.log.values() },
                 MetricGroup { name: "serve", values: self.serve.values() },
+                MetricGroup { name: "spans", values: self.spans.values() },
                 MetricGroup { name: "store", values: self.store.values() },
                 MetricGroup { name: "sweep", values: self.sweep.values() },
             ],
@@ -478,7 +484,11 @@ mod tests {
     fn snapshot_shape_and_lookup() {
         let snap = METRICS.snapshot();
         let names: Vec<&str> = snap.groups.iter().map(|g| g.name).collect();
-        assert_eq!(names, vec!["log", "serve", "store", "sweep"], "canonical group order");
+        assert_eq!(
+            names,
+            vec!["log", "serve", "spans", "store", "sweep"],
+            "canonical group order"
+        );
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted, "groups are alphabetical");
@@ -492,6 +502,16 @@ mod tests {
         assert!(snap.get("store", "hits").is_some());
         assert_eq!(snap.get("sweep", "no_such_field"), None);
         assert_eq!(snap.get("no_such_group", "hits"), None);
+    }
+
+    /// Regression: `requests_timed_out` (the PR 8 read-deadline counter)
+    /// must be part of the `/metrics` JSON body, which serializes exactly
+    /// this snapshot.
+    #[test]
+    fn requests_timed_out_is_surfaced_in_the_snapshot() {
+        let snap = METRICS.snapshot();
+        assert!(snap.get("serve", "requests_timed_out").is_some());
+        assert!(snap.to_json_pretty().contains("\"requests_timed_out\": "));
     }
 
     #[test]

@@ -442,3 +442,213 @@ fn a_journalled_daemon_readopts_accepted_jobs_across_restarts() {
     assert_eq!(status, 200, "{report9}");
     third.shutdown();
 }
+
+#[test]
+fn observability_plane_serves_traces_prometheus_and_timelines() {
+    let store = TempDir::new("obs");
+    let daemon = Daemon::start(ServeOptions {
+        journal: Some(store.path.join("journal.jsonl")),
+        ..Daemon::options(&store)
+    });
+
+    let (status, _, ticket) = request(daemon.addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    let id = json_field(&ticket, "id").to_string();
+    let done = poll_until_done(daemon.addr, &id);
+
+    // The status body names the submitting request's trace.
+    let trace = json_field(&done, "trace_id").trim_matches('"').to_string();
+    assert_eq!(trace.len(), 16, "trace id is 16 hex chars: {done}");
+    assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{trace}");
+
+    // The timeline is a loadable Chrome/Perfetto trace whose lifecycle
+    // lane (tid 0: queue wait + run) accounts for the job's wall clock.
+    let (status, head, timeline) =
+        request(daemon.addr, "GET", &format!("/jobs/{id}/timeline"), None);
+    assert_eq!(status, 200, "{timeline}");
+    assert!(head.contains("application/json"), "{head}");
+    let v: serde::Value = serde_json::from_str(&timeline).expect("timeline is valid JSON");
+    let Some(serde::Value::Array(events)) = v.get("traceEvents") else {
+        panic!("no traceEvents array in {timeline}");
+    };
+    let ph = |e: &serde::Value| match e.get("ph") {
+        Some(serde::Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    let spans: Vec<&serde::Value> =
+        events.iter().filter(|e| ph(e) == "B" || ph(e) == "E").collect();
+    let begins = spans.iter().filter(|e| ph(e) == "B").count();
+    let ends = spans.len() - begins;
+    assert_eq!(begins, ends, "B/E spans are balanced: {timeline}");
+    assert!(begins >= 20, "lifecycle pair + 18 point spans expected, got {begins}: {timeline}");
+
+    let ts = |e: &serde::Value| -> i64 {
+        match e.get("ts") {
+            Some(serde::Value::U64(n)) => i64::try_from(*n).unwrap(),
+            Some(serde::Value::I64(n)) => *n,
+            other => panic!("span without integer ts: {other:?}"),
+        }
+    };
+    let tid = |e: &serde::Value| match e.get("tid") {
+        Some(serde::Value::U64(n)) => *n,
+        _ => u64::MAX,
+    };
+    // Sequential spans on the lifecycle lane: sum(E.ts) - sum(B.ts) is the
+    // lane's total covered time, which must be within 5% of the reported
+    // wall clock (by construction it is exact).
+    let lane0: i64 = spans
+        .iter()
+        .filter(|e| tid(e) == 0)
+        .map(|e| if ph(e) == "B" { -ts(e) } else { ts(e) })
+        .sum();
+    let other = v.get("otherData").expect("otherData present");
+    let Some(serde::Value::U64(wall_us)) = other.get("wall_us") else {
+        panic!("no wall_us in {timeline}");
+    };
+    let wall_us = i64::try_from(*wall_us).unwrap();
+    assert!(wall_us > 0, "{timeline}");
+    assert!(
+        (lane0 - wall_us).abs() * 20 <= wall_us,
+        "lifecycle lane covers {lane0}µs but the job took {wall_us}µs"
+    );
+    assert_eq!(
+        other.get("trace_id"),
+        Some(&serde::Value::Str(trace.clone())),
+        "timeline is tagged with the job's trace: {timeline}"
+    );
+
+    let (status, _, body) = request(daemon.addr, "GET", "/jobs/999/timeline", None);
+    assert_eq!(status, 404, "{body}");
+
+    // Prometheus exposition rides the same /metrics endpoint behind
+    // ?format=prometheus; JSON stays the default.
+    let (status, head, prom) =
+        request(daemon.addr, "GET", "/metrics?format=prometheus", None);
+    assert_eq!(status, 200, "{prom}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    // Counts are not asserted exactly: every in-process daemon in this test
+    // binary shares the one global registry.
+    for needle in [
+        "# TYPE rr_span_endpoint_jobs_submit_nanos histogram",
+        "rr_span_worker_run_nanos_bucket{le=\"+Inf\"}",
+        "rr_span_point_compute_nanos_count",
+        "rr_span_queue_wait_nanos_sum",
+        "rr_span_journal_append_nanos_count",
+        "# TYPE rr_serve_queue_depth gauge",
+        "rr_serve_jobs_submitted",
+    ] {
+        assert!(prom.contains(needle), "missing `{needle}` in exposition:\n{prom}");
+    }
+    let (status, _, body) = request(daemon.addr, "GET", "/metrics?format=bogus", None);
+    assert_eq!(status, 400, "{body}");
+    let (status, head, metrics) = request(daemon.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"), "{head}");
+    assert!(metrics.contains("\"spans\""), "{metrics}");
+    assert!(metrics.contains("\"requests_timed_out\""), "{metrics}");
+
+    // /health carries journal stats (submitted + finished >= 2 entries).
+    let (status, _, health) = request(daemon.addr, "GET", "/health", None);
+    assert_eq!(status, 200);
+    let entries: u64 = json_field(&health, "entries").parse().unwrap();
+    assert!(entries >= 2, "journal entries surfaced in /health: {health}");
+    assert!(health.contains("\"compacted_records\""), "{health}");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn the_binary_daemon_traces_job_logs_flushes_metrics_and_feeds_rr_top() {
+    let store = TempDir::new("binary-obs");
+    let metrics_path = store.path.join("metrics.json");
+    let log_path = store.path.join("serve.log");
+    let log_file = std::fs::File::create(&log_path).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rr"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .args(["--sim-jobs", "2", "--no-rate", "--store"])
+        .arg(&store.path)
+        .args(["--log-level", "debug", "--metrics-out"])
+        .arg(&metrics_path)
+        .stdout(std::process::Stdio::null())
+        .stderr(log_file)
+        .spawn()
+        .expect("spawn rr serve");
+
+    // The daemon announces its ephemeral port on stderr.
+    let addr: SocketAddr = {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let log = std::fs::read_to_string(&log_path).unwrap_or_default();
+            if let Some(at) = log.find("http://") {
+                let rest = &log[at + "http://".len()..];
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('/')
+                    .parse()
+                    .expect("parse announced address");
+            }
+            assert!(Instant::now() < deadline, "daemon never announced its address:\n{log}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    let (status, _, ticket) = request(addr, "POST", "/jobs", Some(SUBMIT));
+    assert_eq!(status, 201, "{ticket}");
+    let id = json_field(&ticket, "id").to_string();
+    let done = poll_until_done(addr, &id);
+    let trace = json_field(&done, "trace_id").trim_matches('"').to_string();
+    assert_eq!(trace.len(), 16, "{done}");
+
+    // Every log line the job emitted carries its trace id — that is what
+    // makes `grep trace=<id>` a complete story of the request.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let log = loop {
+        let log = std::fs::read_to_string(&log_path).unwrap();
+        if log.contains(&format!("job {id} done")) {
+            break log;
+        }
+        assert!(Instant::now() < deadline, "job completion never logged:\n{log}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(log.contains(&format!("trace={trace}")), "trace id absent from logs:\n{log}");
+    let job_lines: Vec<&str> =
+        log.lines().filter(|l| l.contains(&format!("job {id}"))).collect();
+    assert!(job_lines.len() >= 3, "claim/finish/state lines expected:\n{log}");
+    for line in &job_lines {
+        assert!(
+            line.contains(&format!("trace={trace}")),
+            "job log line lost its trace: {line}"
+        );
+    }
+
+    // --metrics-out flushes periodically while the daemon lives (not just
+    // at exit): the snapshot file appears and contains span counters.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = std::fs::read_to_string(&metrics_path).unwrap_or_default();
+        if snap.contains("\"point_compute_count\"") && snap.contains("\"spans\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "metrics-out never flushed: {snap}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // `rr top` renders the live histograms from one scrape.
+    let out = Command::new(env!("CARGO_BIN_EXE_rr"))
+        .args(["top", "--addr", &addr.to_string(), "--count", "1"])
+        .output()
+        .expect("run rr top");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let top = String::from_utf8_lossy(&out.stdout);
+    assert!(top.contains("queue depth 0"), "{top}");
+    assert!(top.contains("endpoint_jobs_submit"), "{top}");
+    assert!(top.contains("worker_run"), "{top}");
+    assert!(top.contains("point_compute"), "{top}");
+
+    let (status, _, _) = request(addr, "PUT", "/shutdown", None);
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("daemon exits");
+    assert!(exit.success(), "daemon exit status {exit:?}");
+}
