@@ -13,6 +13,8 @@
 //!                                         regenerate figure sweeps in parallel
 //! rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <t.json>] [--metrics <m.json>]
 //!                                         deep-dive one grid point with verified event tracing
+//! rr diverge <fig5|fig6|homogeneous> (--point <F,R,L> | --heatmap) [--arch-a <l>] [--arch-b <l>]
+//!                                         bisect two configurations to their first divergent event
 //! rr cache <stats|verify|gc> [--store <dir>] [--json]
 //!                                         inspect or maintain the result store
 //! rr bench [--quick] [--check] [--tolerance <f>]
@@ -45,7 +47,13 @@ use std::process::ExitCode;
 
 use register_relocation::bench::{self, BenchConfig, BenchReport, Suite};
 use register_relocation::cache;
+use register_relocation::diverge::{
+    diverge_grid, diverge_point, DivergeGridReport, DivergePair, DivergenceRecord,
+};
+use register_relocation::experiments::Arch;
 use register_relocation::isa::{analysis, assemble, disassemble, Rrm};
+use register_relocation::runtime::{event_diff, CostBucket, Event};
+use register_relocation::sim::{chrome_trace_json, DivergeConfig, DivergeOutcome};
 use register_relocation::machine::{Machine, MachineConfig};
 use register_relocation::report::{format_panel, format_sweep_summary, format_trace_point};
 use register_relocation::store::Store;
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
         Some("fig6") => cmd_sweep(&args[1..], Figure::Fig6),
         Some("homogeneous") => cmd_sweep(&args[1..], Figure::Homogeneous),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("diverge") => cmd_diverge(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], metrics_out.as_deref()),
@@ -139,8 +148,8 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
 /// Every subcommand, in `rr help` order — what `rr help --list` prints for
 /// shell completion.
 const SUBCOMMANDS: &[&str] = &[
-    "asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "cache",
-    "bench", "serve", "top", "help",
+    "asm", "dis", "demand", "check", "run", "fig5", "fig6", "homogeneous", "trace", "diverge",
+    "cache", "bench", "serve", "top", "help",
 ];
 
 const USAGE: &str = "\
@@ -155,6 +164,7 @@ rr — register-relocation toolchain
   rr fig6        [--file <F>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
   rr homogeneous [--file <F>] [--context <C>] [--jobs <n>] [--json <path>] [--seed <s>] [--progress] [--trace-out <path>]
   rr trace <fig5|fig6|homogeneous> --point <F,R,L> [--trace-out <path>] [--metrics <path>]
+  rr diverge <fig5|fig6|homogeneous> (--point <F,R,L> | --heatmap) [--arch-a <l>] [--arch-b <l>]
   rr cache <stats|verify|gc> [--store <dir>] [--json]
   rr bench [--quick] [--check] [--tolerance <f>] [--iterations <n>] [--baseline <path>]
   rr serve [--addr <a>] [--workers <n>] [--queue-cap <n>] [--sim-jobs <n>]
@@ -172,6 +182,9 @@ the workloads for quick looks (figures use 64 threads x 20000 cycles);
 --trace-out <path> re-runs the sweep's slowest point with event recording
 and writes a Perfetto-loadable Chrome trace there.
 Tracing: rr trace deep-dives one grid point — see `rr trace --help`.
+Divergence: rr diverge runs two configurations of one seeded workload in
+lockstep and bisects to the exact first divergent event (or sweeps the
+whole grid as a heatmap) — see `rr diverge --help`.
 Caching: --store [dir] persists every computed point (default dir
 .rr-store, or $RR_STORE) and serves it back on warm runs byte-identically;
 --no-store disables the cache. rr cache stats/verify/gc inspect, integrity-
@@ -255,6 +268,58 @@ Examples
 
   # A synchronization point, persisting the metric summary in the store
   rr trace fig6 --point 128,128,500 --store
+";
+
+const DIVERGE_USAGE: &str = "\
+rr diverge — cycle-accurate divergence explorer for policy comparisons
+
+  rr diverge <fig5|fig6|homogeneous> --point <F,R,L> [flags]
+  rr diverge <fig5|fig6|homogeneous> --heatmap [--jobs <n>] [flags]
+
+Runs two configurations (two architectures) of the *same seeded workload*
+in lockstep, window by window, comparing their event streams at every
+scheduling boundary. On the first differing window it binary-searches
+from the last clean pair of snapshots down to the exact first divergent
+event, verifies the replay reproduces it bit for bit, and reports the
+event with surrounding context from both legs, the per-bucket cost split
+at the divergence cycle, and a field-by-field engine state diff.
+Identical configurations always report `no divergence`, and every number
+printed is deterministic — byte-identical across reruns and `--jobs`.
+
+  --arch-a <label>     leg A, the baseline (default fixed)
+  --arch-b <label>     leg B, the candidate (default flexible); labels:
+                       fixed, flexible, flexible-ff1, flexible-lookup,
+                       flexible-add (self-compare: same label twice)
+  --window <cycles>    lockstep stride between comparisons (default 8192)
+  --context-events <k> events of context shown around the divergence
+                       (default 8)
+  --json <path|->      machine-readable report (point: the full outcome
+                       minus raw streams; heatmap: the record list)
+  --trace-out <path>   point mode: dual-process Chrome trace_event JSON of
+                       both legs (leg A is pid 1, leg B pid 2; 1 us =
+                       1 cycle) — load in https://ui.perfetto.dev
+  --heatmap            sweep the figure's whole F x R x L grid instead,
+                       printing per-panel tables of first-divergence
+                       cycles and efficiency deltas
+  --jobs <n>           heatmap workers (default 0 = all hardware threads)
+
+Flags shared with the sweep subcommands: --seed <s>, --threads <n>,
+--work <n>, --file <F>, --context <C> (homogeneous only), and
+--store [dir] / --no-store. With a store attached, each point's compact
+divergence record is cached under a diverge-tagged content address:
+a warm heatmap replays records byte-identically without simulating.
+
+Examples
+
+  # Where does fixed partitioning first part ways with relocation on the
+  # Figure 5 efficiency-cliff point?
+  rr diverge fig5 --point 64,8,400
+
+  # Prove determinism to yourself: a self-compare never diverges
+  rr diverge fig5 --point 64,8,400 --arch-a flexible --arch-b flexible
+
+  # Allocator-cost comparison, full grid, cached
+  rr diverge fig5 --heatmap --arch-a flexible --arch-b flexible-ff1 --store
 ";
 
 const SERVE_USAGE: &str = "\
@@ -631,6 +696,261 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Formats a window/bracket upper bound, which is `u64::MAX` when the
+/// divergence was only visible in the run totals (no stream mismatch).
+fn fmt_bound(b: u64) -> String {
+    if b == u64::MAX { "end".to_string() } else { b.to_string() }
+}
+
+/// Prints one leg's event context around the divergence, marking the
+/// first divergent event (or its absence) with `>`.
+fn print_leg_context(label: &str, ctx: &[Event], first: Option<&Event>) {
+    println!("  leg {label}:");
+    if ctx.is_empty() && first.is_none() {
+        println!("    > (no event — the other leg acted here)");
+        return;
+    }
+    let mut marked = false;
+    for e in ctx {
+        let hit = !marked && first == Some(e);
+        if hit {
+            marked = true;
+        }
+        println!("    {} {}", if hit { '>' } else { ' ' }, event_diff::summary(e));
+    }
+}
+
+fn print_diverge_point(
+    title: &str,
+    f: u32,
+    r: f64,
+    l: u64,
+    pair: &DivergePair,
+    out: &DivergeOutcome,
+) {
+    println!(
+        "rr diverge — {title} point F={f} R={r} L={l} — {} vs {}",
+        pair.arch_a.label(),
+        pair.arch_b.label()
+    );
+    match &out.divergence {
+        None => println!(
+            "no divergence: {} event(s) identical across {} lockstep window(s)",
+            out.events_compared, out.windows_scanned
+        ),
+        Some(d) => {
+            println!(
+                "divergence at cycle {} (event index {}, window {}..{}, bracket {}..{}, \
+                 {} bisection step(s))",
+                d.cycle,
+                d.event_index,
+                d.window.0,
+                fmt_bound(d.window.1),
+                d.bracket.0,
+                fmt_bound(d.bracket.1),
+                d.bisect_steps
+            );
+            print_leg_context(&out.a.label, &d.context_a, d.first_a.as_ref());
+            print_leg_context(&out.b.label, &d.context_b, d.first_b.as_ref());
+            let deltas: Vec<String> = CostBucket::ALL
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| d.cost_a[i] != d.cost_b[i])
+                .map(|(i, b)| {
+                    format!("{} {:+}", b.label(), d.cost_b[i] as i64 - d.cost_a[i] as i64)
+                })
+                .collect();
+            if deltas.is_empty() {
+                println!("  cumulative cost at divergence: identical in every bucket");
+            } else {
+                println!(
+                    "  cumulative cost delta at divergence ({} - {}): {}",
+                    out.b.label,
+                    out.a.label,
+                    deltas.join(", ")
+                );
+            }
+            if d.state.is_empty() {
+                println!("  engine state at divergence: identical");
+            } else {
+                println!("  engine state at cycle {}:", d.cycle);
+                for delta in &d.state {
+                    println!("    {:<20} {} vs {}", delta.field, delta.a, delta.b);
+                }
+            }
+        }
+    }
+    for leg in [&out.a, &out.b] {
+        println!(
+            "  {:<16} efficiency {:.4}, {} total cycles",
+            leg.label,
+            leg.stats.efficiency(),
+            leg.stats.total_cycles
+        );
+    }
+}
+
+fn print_diverge_heatmap(
+    grid: &SweepGrid,
+    title: &str,
+    arch_a: Arch,
+    arch_b: Arch,
+    report: &DivergeGridReport,
+) {
+    println!("rr diverge heatmap — {title} — {} vs {}", arch_a.label(), arch_b.label());
+    let n_r = grid.run_lengths.len();
+    let n_l = grid.latencies.len();
+    let header: String = grid.latencies.iter().map(|l| format!("{l:>10}")).collect();
+    for (fi, &f) in grid.file_sizes.iter().enumerate() {
+        println!();
+        println!("F = {f} registers — first divergence cycle ('-' = no divergence)");
+        println!("  {:>6}{header}", "R \\ L");
+        for (ri, &r) in grid.run_lengths.iter().enumerate() {
+            let mut row = format!("  {r:>6}");
+            for li in 0..n_l {
+                let rec = &report.records[(fi * n_r + ri) * n_l + li];
+                match rec.divergence_cycle {
+                    Some(c) => row.push_str(&format!("{c:>10}")),
+                    None => row.push_str(&format!("{:>10}", "-")),
+                }
+            }
+            println!("{row}");
+        }
+        println!("  efficiency delta ({} - {})", arch_b.label(), arch_a.label());
+        for (ri, &r) in grid.run_lengths.iter().enumerate() {
+            let mut row = format!("  {r:>6}");
+            for li in 0..n_l {
+                let rec = &report.records[(fi * n_r + ri) * n_l + li];
+                row.push_str(&format!("{:>10}", format!("{:+.3}", rec.efficiency_delta())));
+            }
+            println!("{row}");
+        }
+    }
+    let diverged = report.records.iter().filter(|r| r.divergence_cycle.is_some()).count();
+    println!();
+    println!("{diverged}/{} point(s) diverged", report.records.len());
+}
+
+fn cmd_diverge(args: &[String]) -> Result<(), String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help") {
+        print!("{}", DIVERGE_USAGE);
+        return Ok(());
+    }
+    let figure = match args.first().map(String::as_str) {
+        Some("fig5") => Figure::Fig5,
+        Some("fig6") => Figure::Fig6,
+        Some("homogeneous") => Figure::Homogeneous,
+        Some(other) => {
+            return Err(format!(
+                "unknown diverge target `{other}`; expected fig5, fig6, or homogeneous \
+                 (see `rr diverge --help`)"
+            ))
+        }
+        None => unreachable!("args checked non-empty above"),
+    };
+    let args = &args[1..];
+    let (grid, title) = build_grid(args, figure)?;
+    let arch_a = match flag_value(args, "--arch-a") {
+        Some(v) => Arch::from_label(&v)?,
+        None => Arch::Fixed,
+    };
+    let arch_b = match flag_value(args, "--arch-b") {
+        Some(v) => Arch::from_label(&v)?,
+        None => Arch::Flexible,
+    };
+    let window = match flag_value(args, "--window") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("bad lockstep window `{v}`"))?,
+        None => 8192,
+    };
+    let context = match flag_value(args, "--context-events") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("bad context event count `{v}`"))?,
+        None => 8,
+    };
+    let trace_out = flag_value(args, "--trace-out");
+    let cfg = DivergeConfig { window, context, keep_events: trace_out.is_some() };
+
+    if args.iter().any(|a| a == "--heatmap") {
+        if trace_out.is_some() {
+            return Err("--trace-out needs point mode (--point F,R,L), not --heatmap".to_string());
+        }
+        let jobs = match flag_value(args, "--jobs") {
+            Some(v) => v.parse::<usize>().map_err(|_| format!("bad job count `{v}`"))?,
+            None => 0,
+        };
+        let store = resolve_store(args);
+        let report = diverge_grid(&grid, arch_a, arch_b, &cfg, store.as_ref(), jobs)?;
+        print_diverge_heatmap(&grid, title, arch_a, arch_b, &report);
+        if store.is_some() {
+            info!(
+                "diverge",
+                "store: {} hit(s), {} miss(es), {} newly stored",
+                report.hits,
+                report.misses,
+                report.stored
+            );
+        }
+        if let Some(path) = flag_value(args, "--json") {
+            let json = serde_json::to_string_pretty(&report.records)
+                .map_err(|e| format!("cannot serialize divergence records: {e}"))?;
+            if path == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                info!("diverge", "wrote {} divergence record(s) to {path}", report.records.len());
+            }
+        }
+        return Ok(());
+    }
+
+    let raw_point = flag_value(args, "--point")
+        .ok_or("diverge needs --point F,R,L or --heatmap (see `rr diverge --help`)")?;
+    let (file_size, run_length, latency) = parse_point(&raw_point)?;
+    let point = grid.point_at(file_size, run_length, latency).ok_or_else(|| {
+        format!(
+            "point F={file_size} R={run_length} L={latency} is not on the {title} grid \
+             (F in {:?}, R in {:?}, L in {:?})",
+            grid.file_sizes, grid.run_lengths, grid.latencies
+        )
+    })?;
+    let pair = DivergePair { spec: point.spec, arch_a, arch_b };
+    let outcome = diverge_point(&pair, &cfg)?;
+    print_diverge_point(title, file_size, run_length, latency, &pair, &outcome);
+    if let Some(path) = trace_out {
+        let ea = outcome.a.events.as_deref().ok_or("leg A events missing under --trace-out (bug)")?;
+        let eb = outcome.b.events.as_deref().ok_or("leg B events missing under --trace-out (bug)")?;
+        let doc = chrome_trace_json(&[(1, pair.arch_a.label(), ea), (2, pair.arch_b.label(), eb)]);
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        info!("diverge", "wrote dual-leg Chrome trace to {path} (load in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        // The raw event streams can run to hundreds of thousands of
+        // entries; the JSON report carries everything but them.
+        let mut slim = outcome.clone();
+        slim.a.events = None;
+        slim.b.events = None;
+        let json = serde_json::to_string_pretty(&slim)
+            .map_err(|e| format!("cannot serialize divergence report: {e}"))?;
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            info!("diverge", "wrote divergence report to {path}");
+        }
+    }
+    if let Some(store) = resolve_store(args) {
+        let record = DivergenceRecord::from_outcome(&pair, &cfg, &outcome);
+        let persisted = cache::diverge_key(&pair.spec_a(), store.salt())
+            .and_then(|key| record.to_json().and_then(|json| store.put(&key, json.as_bytes())));
+        match persisted {
+            Ok(()) => {
+                info!("diverge", "stored divergence record under {}", store.root().display())
+            }
+            Err(e) => warn!("diverge", "could not store divergence record: {e}"),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
         print!("{}", BENCH_USAGE);
@@ -847,19 +1167,43 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse::<u64>().map_err(|_| format!("bad refresh count `{v}`"))?,
         None => 0,
     };
+    let period = std::time::Duration::from_secs(interval.max(1));
     let mut refreshes = 0u64;
+    let mut last: Option<TopView> = None;
+    // Ticks are scheduled against deadlines, not `sleep(period)` after
+    // rendering, so slow scrapes don't accumulate drift.
+    let mut next = std::time::Instant::now();
     loop {
-        let body = http_get_text(&addr, "/metrics?format=prometheus")?;
-        let view = TopView::parse(&body);
+        let stale = match http_get_text(&addr, "/metrics?format=prometheus") {
+            Ok(body) => {
+                last = Some(TopView::parse(&body));
+                false
+            }
+            // A daemon that was never reachable is an error; one that
+            // drops mid-session renders the last view marked stale.
+            Err(e) => match &last {
+                Some(_) => true,
+                None => return Err(e),
+            },
+        };
         refreshes += 1;
         if refreshes > 1 {
             println!();
         }
-        print!("{}", view.render(&addr));
+        if let Some(view) = &last {
+            print!("{}", view.render(&addr, stale));
+        }
         if count != 0 && refreshes >= count {
             return Ok(());
         }
-        std::thread::sleep(std::time::Duration::from_secs(interval.max(1)));
+        next += period;
+        let now = std::time::Instant::now();
+        if next <= now {
+            // Fell a whole period behind (suspend, very slow scrape):
+            // realign instead of firing a catch-up burst.
+            next = now + period;
+        }
+        std::thread::sleep(next - now);
     }
 }
 
@@ -992,14 +1336,15 @@ impl TopView {
         TopView { histograms, queue_depth }
     }
 
-    fn render(&self, addr: &str) -> String {
+    fn render(&self, addr: &str, stale: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let depth = match self.queue_depth {
             Some(d) => d.to_string(),
             None => "?".to_string(),
         };
-        let _ = writeln!(out, "rr top — {addr} — queue depth {depth}");
+        let marker = if stale { " — stale (last scrape failed)" } else { "" };
+        let _ = writeln!(out, "rr top — {addr} — queue depth {depth}{marker}");
         let _ = writeln!(
             out,
             "  {:<22} {:>10} {:>9} {:>9} {:>9} {:>9}",
@@ -1183,8 +1528,11 @@ not a metric line
         // p80: target 8 → le=2048.
         assert_eq!(h.quantile(0.80), Some(2048));
 
-        let rendered = view.render("127.0.0.1:1");
+        let rendered = view.render("127.0.0.1:1", false);
         assert!(rendered.contains("queue depth 3"), "{rendered}");
+        assert!(!rendered.contains("stale"), "{rendered}");
+        let stale = view.render("127.0.0.1:1", true);
+        assert!(stale.contains("stale (last scrape failed)"), "{stale}");
         assert!(rendered.contains("endpoint_health"), "{rendered}");
         assert!(rendered.contains(">17s"), "{rendered}");
     }
@@ -1194,7 +1542,7 @@ not a metric line
         let view = TopView::parse("");
         assert_eq!(view.queue_depth, None);
         assert!(view.histograms.is_empty());
-        let rendered = view.render("127.0.0.1:1");
+        let rendered = view.render("127.0.0.1:1", false);
         assert!(rendered.contains("no spans recorded yet"), "{rendered}");
     }
 

@@ -115,6 +115,20 @@ pub fn snapshot_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, St
     Ok(Fingerprint::of_domain(salt, "snapshot", spec.canonical_json()?.as_bytes()))
 }
 
+/// The content address of one grid point's *divergence record* under
+/// `salt` — the cached outcome of the fixed-vs-flexible (or any paired)
+/// lockstep comparison `rr diverge` runs. Keyed by the **baseline** leg's
+/// spec (the comparison's identity is the grid point; the candidate leg is
+/// part of the record), and domain-tagged so it can never collide with the
+/// same spec's sweep result, trace summary, or checkpoint.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the spec's canonical form.
+pub fn diverge_key(spec: &ExperimentSpec, salt: &str) -> Result<Fingerprint, StoreError> {
+    Ok(Fingerprint::of_domain(salt, "diverge", spec.canonical_json()?.as_bytes()))
+}
+
 /// Opens (creating if needed) the result store at `dir` under this build's
 /// [`store_salt`].
 ///
@@ -237,6 +251,20 @@ mod tests {
         let mut other = spec;
         other.seed += 1;
         assert_ne!(trace, trace_key(&other, &salt).unwrap());
+    }
+
+    #[test]
+    fn diverge_keys_never_collide_with_other_domains() {
+        let salt = store_salt();
+        let spec = ExperimentSpec::default();
+        let diverge = diverge_key(&spec, &salt).unwrap();
+        assert_ne!(diverge, point_key(&spec, &salt).unwrap());
+        assert_ne!(diverge, trace_key(&spec, &salt).unwrap());
+        assert_ne!(diverge, snapshot_key(&spec, &salt).unwrap());
+        assert_eq!(diverge, diverge_key(&spec, &salt).unwrap(), "deterministic");
+        let mut other = spec;
+        other.file_size *= 2;
+        assert_ne!(diverge, diverge_key(&other, &salt).unwrap());
     }
 
     #[test]

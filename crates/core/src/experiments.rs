@@ -81,6 +81,31 @@ impl Arch {
             Arch::FlexibleAdd => "flexible-add",
         }
     }
+
+    /// Every architecture variant, in declaration order.
+    pub const ALL: [Arch; 5] = [
+        Arch::Fixed,
+        Arch::Flexible,
+        Arch::FlexibleFf1,
+        Arch::FlexibleLookup,
+        Arch::FlexibleAdd,
+    ];
+
+    /// Parses a [`Arch::label`] back into its variant — how the CLI's
+    /// `--arch-a`/`--arch-b` flags name divergence legs.
+    ///
+    /// # Errors
+    ///
+    /// Lists the valid labels when `label` matches none of them.
+    pub fn from_label(label: &str) -> Result<Arch, String> {
+        Arch::ALL
+            .into_iter()
+            .find(|a| a.label() == label)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Arch::ALL.iter().map(|a| a.label()).collect();
+                format!("unknown architecture {label:?}; expected one of {}", valid.join(", "))
+            })
+    }
 }
 
 /// The kind of long-latency fault the workload takes.
@@ -241,8 +266,9 @@ impl ExperimentSpec {
 
     /// [`ExperimentSpec::engine`] with an arbitrary event sink attached.
     /// The sink choice is monomorphized into the engine, so a [`NullSink`]
-    /// run carries no tracing overhead at all.
-    fn engine_with_sink<S: EventSink>(&self, sink: S) -> Result<Engine<S>, String> {
+    /// run carries no tracing overhead at all. Public so the divergence
+    /// comparator can build paired recording engines from two specs.
+    pub fn engine_with_sink<S: EventSink>(&self, sink: S) -> Result<Engine<S>, String> {
         let (latency_dist, sched, policy, mut opts) = match self.fault {
             FaultKind::Cache { latency } => (
                 Dist::Constant(latency),

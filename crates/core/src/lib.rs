@@ -29,6 +29,8 @@
 //! [`rr_store`]), and [`report`], plus the section 5.1 software-only
 //! variant in [`software_only`] and the single-point deep-dive tracer in
 //! [`trace`] (verified event streams, windowed metrics, Perfetto export).
+//! The [`diverge`] module runs two configurations of one seeded workload
+//! in lockstep and bisects to their first divergent event (`rr diverge`).
 //! The [`serve`] module turns the harness into a long-running daemon
 //! (`rr serve`): sweep jobs over HTTP, deduped against the result store,
 //! rate limited, with graceful drain — built on the generic [`rr_serve`]
@@ -57,6 +59,7 @@
 
 pub mod bench;
 pub mod cache;
+pub mod diverge;
 pub mod experiments;
 pub mod figures;
 pub mod journal;
@@ -67,6 +70,10 @@ pub mod sweep;
 pub mod trace;
 
 pub use bench::{BenchConfig, BenchReport, Suite, BENCH_SCHEMA_VERSION};
+pub use diverge::{
+    diverge_grid, diverge_point, DivergeGridReport, DivergePair, DivergenceRecord,
+    DIVERGE_SCHEMA_VERSION,
+};
 pub use experiments::{Arch, ComparisonPoint, ExperimentSpec, FaultKind};
 pub use figures::{figure5_sweep, figure6_sweep, FigurePoint};
 pub use journal::{JobJournal, JournalRecord, JOURNAL_SCHEMA_VERSION};

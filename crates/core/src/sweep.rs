@@ -927,7 +927,7 @@ fn resume_or_fresh(
 }
 
 /// `0` means "use every available hardware thread".
-fn resolve_jobs(jobs: usize) -> usize {
+pub(crate) fn resolve_jobs(jobs: usize) -> usize {
     if jobs == 0 {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     } else {
@@ -940,8 +940,9 @@ fn resolve_jobs(jobs: usize) -> usize {
 /// Work distribution is a single atomic next-index counter; collection is a
 /// pre-allocated slot per index, each written exactly once by whichever
 /// worker claimed it — no mutex, no channel, and the output order is the
-/// input order by construction.
-fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+/// input order by construction. Crate-visible so the divergence heatmap
+/// reuses the same deterministic-order runner.
+pub(crate) fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,

@@ -1,0 +1,274 @@
+//! Comparing two event streams: the divergence comparator's vocabulary.
+//!
+//! The simulator's engine is deterministic given its spec, so when two
+//! configurations of the same seeded workload behave differently, there is
+//! a *first* event at which their streams part ways. These helpers find
+//! that event and summarize what surrounds it; the lockstep driver that
+//! produces the streams lives in `rr_sim::diverge`.
+//!
+//! All comparisons here respect the pause-overshoot asymmetry of
+//! `Engine::advance`: two legs asked to pause at the same cycle may stop at
+//! *different* scheduling boundaries, so at any pause only the events below
+//! the earlier of the two clocks (the `horizon`) are final on both sides.
+//! Events at or beyond the horizon are held back and compared on a later
+//! pass.
+
+use crate::events::{CostBucket, Event, EventKind};
+
+/// How two event-stream prefixes first differ, as found by
+/// [`first_divergence`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mismatch {
+    /// Index (into both streams) of the first differing position.
+    pub index: usize,
+    /// The differing event from each stream; `None` when that stream has no
+    /// finalized event at the index (the other side acted, this side did
+    /// not).
+    pub events: [Option<Event>; 2],
+}
+
+impl Mismatch {
+    /// The cycle at which the streams diverge: the earlier stamp of the two
+    /// differing events. When one side is absent, the present side's stamp
+    /// — the absent side provably emits nothing before the horizon, so the
+    /// present event is the divergence.
+    pub fn cycle(&self) -> u64 {
+        match self.events {
+            [Some(a), Some(b)] => a.cycle.min(b.cycle),
+            [Some(a), None] => a.cycle,
+            [None, Some(b)] => b.cycle,
+            [None, None] => unreachable!("a mismatch names at least one event"),
+        }
+    }
+}
+
+/// Finds the first position where the finalized prefixes of `a` and `b`
+/// differ. Only events stamped strictly below `horizon` are considered
+/// final (pass `u64::MAX` after both runs have finished); a position where
+/// exactly one stream has a finalized event is a mismatch too, because
+/// event stamps are nondecreasing — the lagging stream can only ever fill
+/// that position with a stamp at or beyond the horizon.
+///
+/// Returns `None` when the finalized prefixes are identical.
+pub fn first_divergence(a: &[Event], b: &[Event], horizon: u64) -> Option<Mismatch> {
+    let mut i = 0;
+    loop {
+        let ea = a.get(i).copied().filter(|e| e.cycle < horizon);
+        let eb = b.get(i).copied().filter(|e| e.cycle < horizon);
+        match (ea, eb) {
+            (None, None) => return None,
+            (Some(x), Some(y)) if x == y => i += 1,
+            _ => return Some(Mismatch { index: i, events: [ea, eb] }),
+        }
+    }
+}
+
+/// The number of leading events of `events` stamped strictly below
+/// `horizon` — the finalized prefix length [`first_divergence`] compares.
+/// Stamps are nondecreasing, so this is a prefix, not a filter.
+pub fn finalized_len(events: &[Event], horizon: u64) -> usize {
+    events.iter().take_while(|e| e.cycle < horizon).count()
+}
+
+/// Up to `k` events on each side of `index` (inclusive of `index` itself),
+/// clamped to the stream — the "±K events of context" a divergence report
+/// shows from each leg.
+pub fn context_window(events: &[Event], index: usize, k: usize) -> &[Event] {
+    if events.is_empty() {
+        return events;
+    }
+    let lo = index.saturating_sub(k);
+    let hi = index.saturating_add(k + 1).min(events.len());
+    &events[lo.min(events.len() - 1)..hi]
+}
+
+/// Sums the `Charge` durations of `events` stamped strictly below `below`
+/// into per-bucket accumulators, indexed like the engine's cost array
+/// (`CostBucket` declaration order). Added to a snapshot's accumulators,
+/// this yields the exact cumulative per-bucket costs at any cycle inside a
+/// re-run window.
+pub fn cost_below(events: &[Event], below: u64) -> [u64; 9] {
+    let mut cost = [0u64; 9];
+    for e in events.iter().take_while(|e| e.cycle < below) {
+        if let EventKind::Charge { bucket, cycles, .. } = e.kind {
+            cost[bucket as usize] += cycles;
+        }
+    }
+    cost
+}
+
+/// One human-readable line for an event, used by divergence reports. Stable
+/// field order, no padding — callers align the output themselves.
+pub fn summary(e: &Event) -> String {
+    let what = match e.kind {
+        EventKind::RunStart { threads, .. } => format!("run-start threads={threads}"),
+        EventKind::Charge { bucket, cycles, resident, thread } => match thread {
+            Some(t) => format!(
+                "charge {}={cycles} thread={t} resident={resident}",
+                bucket.label()
+            ),
+            None => format!("charge {}={cycles} resident={resident}", bucket.label()),
+        },
+        EventKind::SwitchTo { thread, hops } => format!("switch-to thread={thread} hops={hops}"),
+        EventKind::ThreadSpawn { thread } => format!("spawn thread={thread}"),
+        EventKind::Fault { thread, latency, wake } => {
+            format!("fault thread={thread} latency={latency} wake={wake}")
+        }
+        EventKind::ThreadResume { thread } => format!("resume thread={thread}"),
+        EventKind::ThreadRequeue { thread } => format!("requeue thread={thread}"),
+        EventKind::AllocSuccess { thread, regs } => {
+            format!("alloc-success thread={thread} regs={regs}")
+        }
+        EventKind::AllocFailure { thread, regs } => {
+            format!("alloc-failure thread={thread} regs={regs}")
+        }
+        EventKind::ContextLoad { thread, regs, base, resident } => {
+            format!("context-load thread={thread} regs={regs} base={base} resident={resident}")
+        }
+        EventKind::ContextUnload { thread, regs, base, resident } => {
+            format!("context-unload thread={thread} regs={regs} base={base} resident={resident}")
+        }
+        EventKind::SpinStep { thread, accumulated, budget } => {
+            format!("spin-step thread={thread} accumulated={accumulated} budget={budget}")
+        }
+        EventKind::IdleStart { until } => format!("idle-start until={until}"),
+        EventKind::IdleEnd => "idle-end".to_string(),
+        EventKind::ThreadComplete { thread } => format!("complete thread={thread}"),
+        EventKind::OsCall { routine, cycles } => format!("os-call {routine:?} cycles={cycles}"),
+        EventKind::RunEnd { total_cycles, .. } => format!("run-end total={total_cycles}"),
+    };
+    format!("cycle {:>10}  {what}", e.cycle)
+}
+
+/// A short kind tag for an event (no fields) — what a heatmap record names
+/// as "the first thing the legs disagreed about".
+pub fn kind_tag(e: &Event) -> &'static str {
+    match e.kind {
+        EventKind::RunStart { .. } => "run-start",
+        EventKind::Charge { bucket, .. } => match bucket {
+            CostBucket::Busy => "charge-run",
+            CostBucket::Switch => "charge-switch",
+            CostBucket::Spin => "charge-spin",
+            CostBucket::Alloc => "charge-alloc",
+            CostBucket::Dealloc => "charge-dealloc",
+            CostBucket::Load => "charge-load",
+            CostBucket::Unload => "charge-unload",
+            CostBucket::Queue => "charge-queue",
+            CostBucket::Idle => "charge-idle",
+        },
+        EventKind::SwitchTo { .. } => "switch-to",
+        EventKind::ThreadSpawn { .. } => "spawn",
+        EventKind::Fault { .. } => "fault",
+        EventKind::ThreadResume { .. } => "resume",
+        EventKind::ThreadRequeue { .. } => "requeue",
+        EventKind::AllocSuccess { .. } => "alloc-success",
+        EventKind::AllocFailure { .. } => "alloc-failure",
+        EventKind::ContextLoad { .. } => "context-load",
+        EventKind::ContextUnload { .. } => "context-unload",
+        EventKind::SpinStep { .. } => "spin-step",
+        EventKind::IdleStart { .. } => "idle-start",
+        EventKind::IdleEnd => "idle-end",
+        EventKind::ThreadComplete { .. } => "complete",
+        EventKind::OsCall { .. } => "os-call",
+        EventKind::RunEnd { .. } => "run-end",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn(cycle: u64, thread: usize) -> Event {
+        Event { cycle, kind: EventKind::ThreadSpawn { thread } }
+    }
+
+    fn charge(cycle: u64, bucket: CostBucket, cycles: u64) -> Event {
+        Event { cycle, kind: EventKind::Charge { bucket, cycles, resident: 1, thread: None } }
+    }
+
+    #[test]
+    fn identical_streams_never_diverge() {
+        let a = vec![spawn(0, 1), spawn(5, 2), spawn(9, 3)];
+        assert_eq!(first_divergence(&a, &a, u64::MAX), None);
+        assert_eq!(first_divergence(&a, &a, 6), None);
+        assert_eq!(first_divergence(&[], &[], u64::MAX), None);
+    }
+
+    #[test]
+    fn first_differing_event_is_found_by_index() {
+        let a = vec![spawn(0, 1), spawn(5, 2), spawn(9, 3)];
+        let b = vec![spawn(0, 1), spawn(5, 7), spawn(9, 3)];
+        let m = first_divergence(&a, &b, u64::MAX).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.cycle(), 5);
+        assert_eq!(m.events, [Some(a[1]), Some(b[1])]);
+    }
+
+    #[test]
+    fn horizon_masks_unfinalized_tails() {
+        let a = vec![spawn(0, 1), spawn(8, 2)];
+        let b = vec![spawn(0, 1)];
+        // Below cycle 8 the prefixes agree: b simply has not got there yet.
+        assert_eq!(first_divergence(&a, &b, 8), None);
+        // Once cycle 8 is final on both sides, the absence is a divergence.
+        let m = first_divergence(&a, &b, 9).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.cycle(), 8);
+        assert_eq!(m.events, [Some(a[1]), None]);
+    }
+
+    #[test]
+    fn length_asymmetry_below_the_horizon_diverges() {
+        let a = vec![spawn(0, 1), spawn(2, 2)];
+        let b = vec![spawn(0, 1), spawn(9, 2)];
+        // b's second event sits beyond the horizon; a's does not.
+        let m = first_divergence(&a, &b, 5).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.events, [Some(a[1]), None]);
+        assert_eq!(m.cycle(), 2);
+    }
+
+    #[test]
+    fn finalized_len_counts_the_prefix() {
+        let a = vec![spawn(0, 1), spawn(5, 2), spawn(9, 3)];
+        assert_eq!(finalized_len(&a, 0), 0);
+        assert_eq!(finalized_len(&a, 6), 2);
+        assert_eq!(finalized_len(&a, u64::MAX), 3);
+    }
+
+    #[test]
+    fn context_window_clamps_at_both_ends() {
+        let a: Vec<Event> = (0..10).map(|c| spawn(c, c as usize)).collect();
+        assert_eq!(context_window(&a, 0, 2).len(), 3);
+        assert_eq!(context_window(&a, 5, 2).len(), 5);
+        assert_eq!(context_window(&a, 9, 2).len(), 3);
+        assert_eq!(context_window(&a, 5, 0), &a[5..6]);
+        assert!(context_window(&[], 3, 2).is_empty());
+    }
+
+    #[test]
+    fn cost_below_sums_charges_per_bucket() {
+        let events = vec![
+            charge(0, CostBucket::Busy, 10),
+            charge(10, CostBucket::Switch, 3),
+            charge(13, CostBucket::Busy, 5),
+            charge(18, CostBucket::Idle, 100),
+        ];
+        let cost = cost_below(&events, 18);
+        assert_eq!(cost[CostBucket::Busy as usize], 15);
+        assert_eq!(cost[CostBucket::Switch as usize], 3);
+        assert_eq!(cost[CostBucket::Idle as usize], 0, "stamped at 18, not below it");
+        assert_eq!(cost_below(&events, u64::MAX)[CostBucket::Idle as usize], 100);
+    }
+
+    #[test]
+    fn summaries_and_tags_cover_every_kind() {
+        let e = charge(7, CostBucket::Busy, 4);
+        assert!(summary(&e).contains("charge run=4"));
+        assert_eq!(kind_tag(&e), "charge-run");
+        assert_eq!(kind_tag(&spawn(0, 1)), "spawn");
+        let fault = Event { cycle: 3, kind: EventKind::Fault { thread: 2, latency: 9, wake: 12 } };
+        assert!(summary(&fault).contains("fault thread=2"));
+        assert_eq!(kind_tag(&fault), "fault");
+    }
+}

@@ -319,6 +319,20 @@ impl RecordingSink {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Removes and returns the first `n` recorded events, keeping the rest
+    /// in order. Lets a long-running consumer (the divergence comparator's
+    /// lockstep scan) bound its memory to one comparison window: once a
+    /// prefix has been compared equal on both legs it carries no further
+    /// information and can be dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of recorded events.
+    pub fn drain_prefix(&mut self, n: usize) -> Vec<Event> {
+        assert!(n <= self.events.len(), "drain_prefix({n}) of {} events", self.events.len());
+        self.events.drain(..n).collect()
+    }
 }
 
 impl EventSink for RecordingSink {
@@ -364,6 +378,19 @@ mod tests {
         let cycles: Vec<u64> = s.events().iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![0, 1, 2]);
         assert_eq!(s.into_events().len(), 3);
+    }
+
+    #[test]
+    fn drain_prefix_removes_in_order_and_keeps_the_tail() {
+        let mut s = RecordingSink::new();
+        for c in 0..5 {
+            s.emit(Event { cycle: c, kind: EventKind::ThreadSpawn { thread: c as usize } });
+        }
+        let head = s.drain_prefix(3);
+        assert_eq!(head.iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(s.events().iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![3, 4]);
+        assert!(s.drain_prefix(0).is_empty());
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

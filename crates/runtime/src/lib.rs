@@ -20,6 +20,7 @@
 
 pub mod alloc_asm;
 pub mod costs;
+pub mod event_diff;
 pub mod events;
 pub mod executive;
 pub mod loader_asm;

@@ -324,6 +324,14 @@ impl<S: EventSink> Engine<S> {
         &self.sink
     }
 
+    /// Mutable access to the event sink, so a paused caller can drain a
+    /// recording sink's compared prefix (the divergence comparator's
+    /// memory bound) without consuming the engine. The engine never reads
+    /// its sink, so no mutation here can perturb the simulation.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
     /// Captures the engine's complete state at the current cycle boundary.
     ///
     /// Meaningful at construction time or wherever [`Engine::advance`]

@@ -44,6 +44,7 @@
 
 pub mod accountant;
 pub mod adaptive;
+pub mod diverge;
 pub mod engine;
 pub mod interference;
 pub mod metrics;
@@ -55,6 +56,9 @@ pub mod timer;
 pub mod trace_export;
 
 pub use accountant::EventAccountant;
+pub use diverge::{
+    compare_legs, DivergeConfig, DivergeOutcome, Divergence, LegReport, StateDelta,
+};
 pub use engine::{Engine, TracedRun};
 pub use interference::InterferenceModel;
 pub use metrics::{HistBucket, LogHistogram, MetricsReport, MetricsWindow};

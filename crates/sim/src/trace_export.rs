@@ -42,8 +42,9 @@ fn esc(s: &str) -> String {
 
 fn meta(out: &mut Vec<String>, pid: u32, tid: u64, which: &str, name: &str) {
     out.push(format!(
-        "{{\"name\":\"{which}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+        "{{\"name\":\"{}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{}\"}}}}",
+        esc(which),
         esc(name)
     ));
 }
@@ -290,5 +291,16 @@ mod tests {
     fn escaping_handles_special_characters() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn hostile_process_names_still_produce_valid_json() {
+        // A workload name is caller-controlled; quotes, backslashes, and
+        // control characters must not break the handcrafted document.
+        let events = sample_events();
+        let name = "fig\"5\\ case\n\u{1}";
+        let doc = chrome_trace_json(&[(1, name, &events)]);
+        serde_json::from_str::<serde::Value>(&doc).expect("valid JSON");
+        assert!(doc.contains("fig\\\"5\\\\ case\\n\\u0001"), "{doc}");
     }
 }

@@ -285,10 +285,15 @@ impl Drop for SpanTimer<'_> {
 /// One latency histogram per span kind, the `spans` group of the global
 /// registry. Serve-path kinds (`http_read`, `limiter_check`, `queue_wait`,
 /// `worker_run`, `endpoint_*`) are recorded by `rr-serve`; compute-path
-/// kinds (`point_compute`, `store_get`, `store_put`, `journal_append`) by
-/// `core`'s sweep/journal code.
+/// kinds (`point_compute`, `store_get`, `store_put`, `journal_append`,
+/// `diverge_compare`, `diverge_grid`) by `core`'s sweep/journal/diverge
+/// code.
 #[derive(Debug, Default)]
 pub struct SpanMetrics {
+    /// One lockstep divergence comparison (`rr diverge`, single point).
+    pub diverge_compare: LatencyHistogram,
+    /// One full divergence heatmap sweep (`rr diverge --heatmap`).
+    pub diverge_grid: LatencyHistogram,
     /// `GET /health` handling.
     pub endpoint_health: LatencyHistogram,
     /// `DELETE /jobs/{id}` handling.
@@ -324,7 +329,9 @@ pub struct SpanMetrics {
 /// `(kind, count_field, sum_field)` for every histogram, in the canonical
 /// (alphabetical) order. The field names are pre-concatenated so the
 /// snapshot's `(&'static str, u64)` shape holds without allocation tricks.
-const SPAN_KINDS: [(&str, &str, &str); 15] = [
+const SPAN_KINDS: [(&str, &str, &str); 17] = [
+    ("diverge_compare", "diverge_compare_count", "diverge_compare_sum_nanos"),
+    ("diverge_grid", "diverge_grid_count", "diverge_grid_sum_nanos"),
     ("endpoint_health", "endpoint_health_count", "endpoint_health_sum_nanos"),
     ("endpoint_jobs_cancel", "endpoint_jobs_cancel_count", "endpoint_jobs_cancel_sum_nanos"),
     ("endpoint_jobs_read", "endpoint_jobs_read_count", "endpoint_jobs_read_sum_nanos"),
@@ -345,6 +352,8 @@ const SPAN_KINDS: [(&str, &str, &str); 15] = [
 impl SpanMetrics {
     pub(crate) const fn new() -> Self {
         SpanMetrics {
+            diverge_compare: LatencyHistogram::new(),
+            diverge_grid: LatencyHistogram::new(),
             endpoint_health: LatencyHistogram::new(),
             endpoint_jobs_cancel: LatencyHistogram::new(),
             endpoint_jobs_read: LatencyHistogram::new(),
@@ -364,23 +373,25 @@ impl SpanMetrics {
     }
 
     /// Every histogram with its kind name, in canonical order.
-    pub fn histograms(&self) -> [(&'static str, &LatencyHistogram); 15] {
+    pub fn histograms(&self) -> [(&'static str, &LatencyHistogram); 17] {
         [
-            (SPAN_KINDS[0].0, &self.endpoint_health),
-            (SPAN_KINDS[1].0, &self.endpoint_jobs_cancel),
-            (SPAN_KINDS[2].0, &self.endpoint_jobs_read),
-            (SPAN_KINDS[3].0, &self.endpoint_jobs_submit),
-            (SPAN_KINDS[4].0, &self.endpoint_metrics),
-            (SPAN_KINDS[5].0, &self.endpoint_other),
-            (SPAN_KINDS[6].0, &self.endpoint_shutdown),
-            (SPAN_KINDS[7].0, &self.http_read),
-            (SPAN_KINDS[8].0, &self.journal_append),
-            (SPAN_KINDS[9].0, &self.limiter_check),
-            (SPAN_KINDS[10].0, &self.point_compute),
-            (SPAN_KINDS[11].0, &self.queue_wait),
-            (SPAN_KINDS[12].0, &self.store_get),
-            (SPAN_KINDS[13].0, &self.store_put),
-            (SPAN_KINDS[14].0, &self.worker_run),
+            (SPAN_KINDS[0].0, &self.diverge_compare),
+            (SPAN_KINDS[1].0, &self.diverge_grid),
+            (SPAN_KINDS[2].0, &self.endpoint_health),
+            (SPAN_KINDS[3].0, &self.endpoint_jobs_cancel),
+            (SPAN_KINDS[4].0, &self.endpoint_jobs_read),
+            (SPAN_KINDS[5].0, &self.endpoint_jobs_submit),
+            (SPAN_KINDS[6].0, &self.endpoint_metrics),
+            (SPAN_KINDS[7].0, &self.endpoint_other),
+            (SPAN_KINDS[8].0, &self.endpoint_shutdown),
+            (SPAN_KINDS[9].0, &self.http_read),
+            (SPAN_KINDS[10].0, &self.journal_append),
+            (SPAN_KINDS[11].0, &self.limiter_check),
+            (SPAN_KINDS[12].0, &self.point_compute),
+            (SPAN_KINDS[13].0, &self.queue_wait),
+            (SPAN_KINDS[14].0, &self.store_get),
+            (SPAN_KINDS[15].0, &self.store_put),
+            (SPAN_KINDS[16].0, &self.worker_run),
         ]
     }
 
